@@ -1,0 +1,53 @@
+//! Microbenchmarks of the big-integer substrate at the sizes the
+//! interval coding actually uses (Ta056 node numbers: ≤ 50! ≈ 2²¹⁵).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridbnb_bigint::UBig;
+use std::hint::black_box;
+use std::str::FromStr;
+
+fn bench_bigint(c: &mut Criterion) {
+    let a = UBig::factorial(50);
+    let b = UBig::factorial(49).mul_u64(17);
+    let small = UBig::factorial(20);
+
+    let mut group = c.benchmark_group("bigint");
+    group.bench_function("add_50fact", |bench| {
+        bench.iter(|| black_box(&a) + black_box(&b))
+    });
+    group.bench_function("sub_50fact", |bench| {
+        bench.iter(|| black_box(&a).checked_sub(black_box(&b)).unwrap())
+    });
+    group.bench_function("mul_u64", |bench| {
+        bench.iter(|| black_box(&b).mul_u64(black_box(12345)))
+    });
+    group.bench_function("div_rem_u64", |bench| {
+        bench.iter(|| black_box(&a).div_rem_u64(black_box(1_000_003)))
+    });
+    group.bench_function("mul_full", |bench| {
+        bench.iter(|| black_box(&small) * black_box(&small))
+    });
+    group.bench_function("div_rem_full", |bench| {
+        bench.iter(|| black_box(&a).div_rem(black_box(&small)))
+    });
+    group.bench_function("mul_div_floor", |bench| {
+        bench.iter(|| black_box(&a).mul_div_floor(black_box(100), black_box(350)))
+    });
+    group.bench_function("cmp", |bench| {
+        bench.iter(|| black_box(&a).cmp(black_box(&b)))
+    });
+    group.bench_function("factorial_50", |bench| {
+        bench.iter(|| UBig::factorial(black_box(50)))
+    });
+    group.bench_function("to_string_50fact", |bench| {
+        bench.iter(|| black_box(&a).to_string())
+    });
+    let s = a.to_string();
+    group.bench_function("parse_50fact", |bench| {
+        bench.iter(|| UBig::from_str(black_box(&s)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bigint);
+criterion_main!(benches);

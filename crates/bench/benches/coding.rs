@@ -1,0 +1,84 @@
+//! Benchmarks of the paper's coding operators: fold, the two unfold
+//! implementations, and the communication-size argument (interval vs
+//! serialized node list) that justifies the whole design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridbnb_bigint::UBig;
+use gridbnb_coding::{fold, unfold, unfold_direct, Interval, TreeShape};
+use std::hint::black_box;
+
+fn mid_interval(shape: &TreeShape, denom: u64) -> Interval {
+    let third = shape.total_leaves().div_rem_u64(3).0;
+    let len = shape.total_leaves().div_rem_u64(denom).0;
+    Interval::new(third.clone(), &third + &len)
+}
+
+fn bench_coding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coding");
+
+    for n in [20usize, 35, 50] {
+        let shape = TreeShape::permutation(n);
+        let interval = mid_interval(&shape, 1_000_000);
+        group.bench_with_input(
+            BenchmarkId::new("unfold_paper", n),
+            &(&shape, &interval),
+            |b, (shape, interval)| b.iter(|| unfold(black_box(shape), black_box(interval))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unfold_direct", n),
+            &(&shape, &interval),
+            |b, (shape, interval)| b.iter(|| unfold_direct(black_box(shape), black_box(interval))),
+        );
+        let nodes = unfold(&shape, &interval);
+        group.bench_with_input(
+            BenchmarkId::new("fold", n),
+            &(&shape, &nodes),
+            |b, (shape, nodes)| b.iter(|| fold(black_box(shape), black_box(nodes)).unwrap()),
+        );
+        // The message-size claim: two big integers vs one rank token per
+        // depth per active node.
+        group.bench_with_input(
+            BenchmarkId::new("serialize_interval", n),
+            &interval,
+            |b, interval| {
+                b.iter(|| {
+                    let s = format!("{} {}", interval.begin(), interval.end());
+                    black_box(s)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serialize_node_list", n),
+            &nodes,
+            |b, nodes| {
+                b.iter(|| {
+                    let mut s = String::new();
+                    for node in nodes.iter() {
+                        for r in node.ranks() {
+                            s.push_str(&r.to_string());
+                            s.push(' ');
+                        }
+                        s.push(';');
+                    }
+                    black_box(s)
+                })
+            },
+        );
+    }
+
+    // Interval algebra hot ops at 50! scale.
+    let shape = TreeShape::permutation(50);
+    let a = mid_interval(&shape, 100);
+    let b_iv = mid_interval(&shape, 7);
+    group.bench_function("intersect_50", |b| {
+        b.iter(|| black_box(&a).intersect(black_box(&b_iv)))
+    });
+    group.bench_function("split_at_50", |b| {
+        let cut = a.begin() + &UBig::factorial(40);
+        b.iter(|| black_box(&a).split_at(black_box(&cut)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coding);
+criterion_main!(benches);

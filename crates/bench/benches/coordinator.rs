@@ -1,0 +1,83 @@
+//! Coordinator scalability: request-handling cost as `INTERVALS` grows —
+//! the farmer must stay cheap for the paper's 1.7 % claim to hold at
+//! 130 k allocations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridbnb_core::{Coordinator, CoordinatorConfig, Interval, Request, UBig, WorkerId};
+use std::hint::black_box;
+
+/// Builds a coordinator with ~`n` live intervals held by `n` workers.
+fn coordinator_with(n: u64) -> Coordinator {
+    let root = Interval::new(UBig::zero(), UBig::factorial(50));
+    let mut c = Coordinator::new(
+        root,
+        CoordinatorConfig {
+            duplication_threshold: UBig::one(),
+            ..CoordinatorConfig::default()
+        },
+    );
+    for w in 0..n {
+        let _ = c.handle(
+            Request::Join {
+                worker: WorkerId(w),
+                power: 50 + w % 100,
+            },
+            w,
+        );
+    }
+    c
+}
+
+fn bench_coordinator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coordinator");
+    for n in [16u64, 128, 1024, 8192] {
+        let base = coordinator_with(n);
+        group.bench_with_input(BenchmarkId::new("join_assign", n), &base, |b, base| {
+            // Selection scans all entries: this is the farmer's most
+            // expensive operation.
+            b.iter_batched(
+                || base.clone(),
+                |mut coord| {
+                    black_box(coord.handle(
+                        Request::Join {
+                            worker: WorkerId(u64::MAX),
+                            power: 333,
+                        },
+                        99_999,
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("update", n), &base, |b, base| {
+            let interval = base.entries()[base.entries().len() / 2].interval.clone();
+            let worker = base.entries()[base.entries().len() / 2].holders[0].worker;
+            b.iter_batched(
+                || base.clone(),
+                |mut coord| {
+                    black_box(coord.handle(
+                        Request::Update {
+                            worker,
+                            interval: interval.clone(),
+                        },
+                        99_999,
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    // Checkpoint encoding at scale.
+    let big = coordinator_with(4096);
+    group.bench_function("encode_checkpoint_4096", |b| {
+        b.iter(|| {
+            let intervals: Vec<Interval> =
+                big.entries().iter().map(|e| e.interval.clone()).collect();
+            black_box(gridbnb_core::checkpoint::encode_intervals(&intervals))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coordinator);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Engine throughput: raw node-visit rate (no pruning), bound-driven
+//! search, and the cost of interval restriction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridbnb_coding::Interval;
+use gridbnb_engine::toy::{FullEnumeration, TableAssignment};
+use gridbnb_engine::{solve, solve_interval, IntervalExplorer, Problem, UBig};
+use gridbnb_flowshop::bounds::PairSelection;
+use gridbnb_flowshop::taillard::generate;
+use gridbnb_flowshop::{BoundMode, FlowshopProblem};
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+
+    // Raw traversal rate: 109 600 node visits, no pruning.
+    let enumeration = FullEnumeration::new(8);
+    group.bench_function("enumerate_8_full_tree", |b| {
+        b.iter(|| solve(black_box(&enumeration), None))
+    });
+
+    // Interval-restricted run over a slice of the same tree.
+    let shape = enumeration.shape();
+    let total = shape.root_range().end().to_u64().unwrap();
+    let slice = Interval::new(UBig::from(total / 4), UBig::from(total / 2));
+    group.bench_function("enumerate_8_quarter_slice", |b| {
+        b.iter(|| solve_interval(black_box(&enumeration), black_box(&slice), None))
+    });
+
+    // Budgeted stepping (the worker inner loop shape).
+    group.bench_function("explorer_run_1000_steps", |b| {
+        b.iter(|| {
+            let mut e = IntervalExplorer::new(&enumeration, &shape.root_range(), None);
+            e.run(1_000);
+            black_box(e.stats().explored)
+        })
+    });
+
+    // Bound-driven searches.
+    let assignment = TableAssignment::random(9, 7);
+    group.bench_function("assignment_9_bnb", |b| {
+        b.iter(|| solve(black_box(&assignment), None))
+    });
+    let fs_weak = FlowshopProblem::new(generate(9, 4, 42), BoundMode::OneMachine);
+    group.bench_function("flowshop_9x4_one_machine", |b| {
+        b.iter(|| solve(black_box(&fs_weak), None))
+    });
+    let fs_strong =
+        FlowshopProblem::new(generate(9, 4, 42), BoundMode::Johnson(PairSelection::All));
+    group.bench_function("flowshop_9x4_johnson", |b| {
+        b.iter(|| solve(black_box(&fs_strong), None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

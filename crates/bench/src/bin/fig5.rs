@@ -1,0 +1,87 @@
+//! Regenerates **Figure 5** — "An example with B&B processes and a
+//! coordinator": three worker processes exploring intervals while the
+//! coordinator's INTERVALS set tracks the copies, captured live from
+//! the real coordinator.
+//!
+//! ```sh
+//! cargo run -p gridbnb-bench --bin fig5
+//! ```
+
+use gridbnb_core::{Coordinator, CoordinatorConfig, Interval, Request, Response, UBig, WorkerId};
+
+fn show(coordinator: &Coordinator, caption: &str) {
+    println!("\n{caption}");
+    println!(
+        "  SOLUTION = {:?}",
+        coordinator.solution().map(|s| s.cost)
+    );
+    println!("  INTERVALS (cardinality {}):", coordinator.cardinality());
+    for entry in coordinator.entries() {
+        let holders: Vec<String> = entry.holders.iter().map(|h| h.worker.to_string()).collect();
+        let holders = if holders.is_empty() {
+            "unassigned".to_string()
+        } else {
+            holders.join("+")
+        };
+        println!("    {:<24} held by {}", entry.interval.to_string(), holders);
+    }
+}
+
+fn main() {
+    println!("Figure 5: three B&B processes and a coordinator (8-job tree, 40320 leaves)");
+    let root = Interval::new(UBig::zero(), UBig::factorial(8));
+    let mut c = Coordinator::new(
+        root,
+        CoordinatorConfig {
+            duplication_threshold: UBig::from(64u64),
+            ..CoordinatorConfig::default()
+        },
+    );
+    show(&c, "initially: the root range, unassigned");
+
+    for (w, power) in [(1u64, 100u64), (2, 100), (3, 50)] {
+        let r = c.handle(Request::Join { worker: WorkerId(w), power }, w);
+        if let Response::Work { interval, .. } = r {
+            println!("\nworker w{w} (power {power}) joins and receives {interval}");
+        }
+        show(&c, "after the join:");
+    }
+
+    // The workers progress; w2 finishes its interval and asks again —
+    // leaving, like the figure, three explored-in-progress intervals and
+    // one waiting for a process.
+    for (w, a) in [(1u64, 9_000u64), (3, 16_000)] {
+        let copy_end = c
+            .entries()
+            .iter()
+            .find(|e| e.holders.iter().any(|h| h.worker == WorkerId(w)))
+            .map(|e| e.interval.end().clone())
+            .unwrap();
+        c.handle(
+            Request::Update {
+                worker: WorkerId(w),
+                interval: Interval::new(UBig::from(a), copy_end),
+            },
+            10 + w,
+        );
+    }
+    show(&c, "after two progress updates (begins advanced):");
+
+    c.handle(Request::Leave { worker: WorkerId(2) }, 20);
+    show(
+        &c,
+        "after w2's host is reclaimed (its interval waits for a process):",
+    );
+
+    let r = c.handle(
+        Request::ReportSolution {
+            worker: WorkerId(1),
+            solution: gridbnb_core::Solution::new(618, vec![0; 8]),
+        },
+        21,
+    );
+    if let Response::SolutionAck { cutoff } = r {
+        println!("\nw1 reports a solution of cost 618; global cutoff is now {cutoff:?}");
+    }
+    show(&c, "final state (cf. Figure 5: 3 intervals being explored, 1 waiting):");
+}

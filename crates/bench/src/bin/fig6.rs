@@ -1,0 +1,62 @@
+//! Regenerates **Figure 6** — "The experimental nation-wide grid": the
+//! topology of the 9 clusters and the latency classes of the
+//! interconnects.
+//!
+//! ```sh
+//! cargo run -p gridbnb-bench --bin fig6
+//! ```
+
+use gridbnb_grid::{paper_pool, LatencyModel};
+
+fn main() {
+    let pool = paper_pool();
+    let latency = LatencyModel::default();
+    println!("Figure 6: the experimental nation-wide grid\n");
+    println!("                 RENATER 2.5 Gbit national backbone");
+    println!("   ┌─────────┬─────────┬────┴────┬─────────┬─────────┐");
+    let g5k: Vec<&str> = pool
+        .clusters
+        .iter()
+        .filter(|c| c.site == "Grid5000")
+        .map(|c| c.name)
+        .collect();
+    println!("   {}", g5k.join("   "));
+    println!("                         │");
+    println!("                  Lille campus (farmer)");
+    println!("   ┌─────────────────────┼─────────────────────┐");
+    let campus: Vec<&str> = pool
+        .clusters
+        .iter()
+        .filter(|c| c.site == "Lille1")
+        .map(|c| c.name)
+        .collect();
+    println!("   {}", campus.join("        "));
+
+    println!("\ncluster inventory and farmer-path latency:");
+    println!("{:-<78}", "");
+    println!(
+        "{:<16} {:<10} {:<11} {:>6} {:>10} {:>14}",
+        "cluster", "site", "class", "procs", "GHz total", "latency to farmer"
+    );
+    println!("{:-<78}", "");
+    for (i, c) in pool.clusters.iter().enumerate() {
+        println!(
+            "{:<16} {:<10} {:<11} {:>6} {:>10.0} {:>11.1} ms",
+            c.name,
+            c.site,
+            format!("{:?}", c.kind),
+            c.processors(),
+            c.total_ghz(),
+            latency.to_farmer_ns(&pool, i) as f64 / 1e6,
+        );
+    }
+    println!("{:-<78}", "");
+    println!(
+        "{:<16} {:<10} {:<11} {:>6} {:>10.0}",
+        "total",
+        "",
+        "",
+        pool.total_processors(),
+        pool.total_ghz()
+    );
+}

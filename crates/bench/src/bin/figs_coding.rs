@@ -1,0 +1,77 @@
+//! Regenerates **Figures 1–4** — node weights, numbers, ranges, and the
+//! fold/unfold correspondence, on the small permutation trees the paper
+//! illustrates.
+//!
+//! ```sh
+//! cargo run -p gridbnb-bench --bin figs_coding
+//! ```
+
+use gridbnb_coding::{fold, unfold, NodePath, TreeShape};
+
+fn main() {
+    let shape = TreeShape::permutation(3);
+
+    println!("Figure 1: weight of a node (permutation tree over 3 elements)");
+    for depth in 0..=shape.leaf_depth() {
+        println!(
+            "  depth {depth}: weight {} = {}!",
+            shape.weight_at(depth),
+            shape.leaf_depth() - depth
+        );
+    }
+
+    println!("\nFigure 2: node numbers (DFS order == number order)");
+    print_tree(&shape, &NodePath::root(), 0);
+
+    println!("\nFigure 3: node ranges [number, number+weight)");
+    for rank in 0..3 {
+        let child = NodePath::root().child(&shape, rank);
+        println!("  node {}: range {}", child, child.range(&shape));
+        for r2 in 0..2 {
+            let g = child.child(&shape, r2);
+            println!("    node {}: range {}", g, g.range(&shape));
+        }
+    }
+
+    println!("\nFigure 4: fold / unfold between an active list and an interval");
+    let frontier = vec![
+        NodePath::from_ranks(vec![0, 1, 0]), // leaf number 1
+        NodePath::from_ranks(vec![1]),       // subtree [2,4)
+        NodePath::from_ranks(vec![2]),       // subtree [4,6)
+    ];
+    let names: Vec<String> = frontier.iter().map(|n| n.to_string()).collect();
+    let interval = fold(&shape, &frontier).expect("DFS frontier");
+    println!("  active list {names:?}");
+    println!("  fold   -> interval {interval} ({} bytes on the wire)", interval.byte_len());
+    let recovered = unfold(&shape, &interval);
+    let rec_names: Vec<String> = recovered.iter().map(|n| n.to_string()).collect();
+    println!("  unfold -> active list {rec_names:?}");
+    assert_eq!(recovered, frontier, "unfold inverts fold");
+
+    println!("\nsame operators at Ta056 scale (50! ≈ 3.04e64):");
+    let big = TreeShape::permutation(50);
+    let third = big.total_leaves().div_rem_u64(3).0;
+    let interval = gridbnb_coding::Interval::new(third.clone(), third.mul_u64(2));
+    let cover = unfold(&big, &interval);
+    println!(
+        "  interval {} bytes <-> minimal active list of {} nodes",
+        interval.byte_len(),
+        cover.len()
+    );
+    assert_eq!(fold(&big, &cover).unwrap(), interval);
+}
+
+fn print_tree(shape: &TreeShape, node: &NodePath, indent: usize) {
+    println!(
+        "{:indent$}node {}: number {}",
+        "",
+        node,
+        node.number(shape),
+        indent = indent
+    );
+    if !node.is_leaf(shape) {
+        for rank in 0..shape.arity_at(node.depth()) {
+            print_tree(shape, &node.child(shape, rank), indent + 2);
+        }
+    }
+}

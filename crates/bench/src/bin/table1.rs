@@ -1,0 +1,44 @@
+//! Regenerates **Table 1** — "The computational pool": the 1889
+//! processors of the 9-cluster experimental grid.
+//!
+//! ```sh
+//! cargo run -p gridbnb-bench --bin table1
+//! ```
+
+use gridbnb_grid::paper_pool;
+
+fn main() {
+    let pool = paper_pool();
+    println!("Table 1: The computational pool");
+    println!("{:-<56}", "");
+    println!("{:<10} {:>6}  {:<22} {:>6}", "CPU", "(GHz)", "Domain", "No.");
+    println!("{:-<56}", "");
+    for cluster in &pool.clusters {
+        let domain = if cluster.site == "Grid5000" {
+            format!("{}(Grid5000)", cluster.name)
+        } else {
+            format!("{}({})", cluster.name, cluster.site)
+        };
+        for (k, group) in cluster.groups.iter().enumerate() {
+            let label = if k == cluster.groups.len() / 2 { &domain } else { "" };
+            let count = if cluster.site == "Grid5000" {
+                format!("2x{}", group.processors / 2)
+            } else {
+                group.processors.to_string()
+            };
+            println!(
+                "{:<10} {:>6.2}  {:<22} {:>6}",
+                group.model, group.ghz, label, count
+            );
+        }
+        println!("{:-<56}", "");
+    }
+    println!("{:<10} {:>6}  {:<22} {:>6}", "Total", "", "", pool.total_processors());
+    println!();
+    println!(
+        "aggregate power: {:.0} GHz over {} administrative domains",
+        pool.total_ghz(),
+        pool.clusters.len()
+    );
+    assert_eq!(pool.total_processors(), 1889, "paper total");
+}

@@ -1,0 +1,93 @@
+//! Regenerates **Table 2** — "The execution statistics": runs the
+//! discrete-event simulation of the Ta056 campaign on the paper's pool
+//! and prints the same rows next to the paper's values.
+//!
+//! The workload is scaled down (default 2·10⁹ node visits vs the real
+//! 6.5·10¹²; override with `GRIDBNB_NODES`), and the pool by
+//! `GRIDBNB_SCALE` (default 10). Absolute numbers scale accordingly;
+//! the *shape* — worker exploitation near 100 %, farmer load in low
+//! percent, redundancy below 1 % — is the reproduction target.
+//!
+//! ```sh
+//! cargo run --release -p gridbnb-bench --bin table2
+//! GRIDBNB_SCALE=1 GRIDBNB_NODES=5e10 cargo run --release -p gridbnb-bench --bin table2
+//! ```
+
+use gridbnb_bench::{human_cpu, human_duration, nodes_from_env, pct, scale_from_env, ta056_sim};
+use gridbnb_grid::simulate;
+
+fn main() {
+    let scale = scale_from_env();
+    let nodes = nodes_from_env();
+    let (config, workload) = ta056_sim(scale, nodes, 2006);
+    eprintln!(
+        "simulating {} processors, {:.1e} node visits ...",
+        config.pool.total_processors(),
+        nodes
+    );
+    let report = simulate(&config, &workload);
+    assert!(report.completed, "simulation hit the safety cap");
+
+    println!("Table 2: The execution statistics");
+    println!("(simulated pool 1/{scale} of the paper's, workload {:.1e} of 6.5e12 nodes)", nodes);
+    println!("{:-<72}", "");
+    println!("{:<34} {:>16} {:>18}", "", "measured (sim)", "paper");
+    println!("{:-<72}", "");
+    let rows: Vec<(&str, String, &str)> = vec![
+        (
+            "Running wall clock time",
+            human_duration(report.wall_s),
+            "25 days",
+        ),
+        ("Total cpu time", human_cpu(report.cpu_s), "22 years"),
+        (
+            "Average number of workers",
+            format!("{:.0}", report.avg_workers),
+            "328",
+        ),
+        (
+            "Maximum number of workers",
+            report.max_workers.to_string(),
+            "1,195",
+        ),
+        (
+            "Worker CPU exploitation",
+            pct(report.worker_exploitation),
+            "97%",
+        ),
+        (
+            "Coordinator CPU exploitation",
+            pct(report.farmer_exploitation),
+            "1.7%",
+        ),
+        (
+            "Checkpoint operations",
+            (report.checkpoint_ops + report.farmer_checkpoints).to_string(),
+            "4,094,176",
+        ),
+        (
+            "Work allocations",
+            report.work_allocations.to_string(),
+            "129,958",
+        ),
+        (
+            "Explored nodes",
+            format!("{:.4e}", report.explored_nodes),
+            "6.50874e+12",
+        ),
+        (
+            "Redundant nodes",
+            pct(report.redundant_ratio),
+            "0.39%",
+        ),
+    ];
+    for (label, measured, paper) in rows {
+        println!("{label:<34} {measured:>16} {paper:>18}");
+    }
+    println!("{:-<72}", "");
+    println!(
+        "shape checks: worker >> farmer exploitation: {} ; redundancy < 1%: {}",
+        report.worker_exploitation > 10.0 * report.farmer_exploitation,
+        report.redundant_ratio < 0.01,
+    );
+}

@@ -1,0 +1,52 @@
+//! Conversions between `UBig` and primitive integers.
+
+use crate::UBig;
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            UBig::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for UBig {
+    fn from(v: u32) -> Self {
+        UBig::from(u64::from(v))
+    }
+}
+
+impl From<usize> for UBig {
+    fn from(v: usize) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl UBig {
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u128::from(self.limbs[0])),
+            2 => Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64)),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Division: by a limb, full long division, and the fused multiply-divide
+//! used by the proportional partitioning operator.
+
+use crate::UBig;
+
+impl UBig {
+    /// `(self / d, self % d)` for a non-zero limb divisor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_u64(&self, d: u64) -> (UBig, u64) {
+        assert!(d != 0, "UBig division by zero");
+        let mut quot = vec![0u64; self.limbs.len()];
+        let mut rem = 0u64;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (u128::from(rem) << 64) | u128::from(limb);
+            quot[i] = (cur / u128::from(d)) as u64;
+            rem = (cur % u128::from(d)) as u64;
+        }
+        (UBig::from_limbs(quot), rem)
+    }
+
+    /// Full `(self / divisor, self % divisor)` by binary long division.
+    ///
+    /// Interval arithmetic only ever divides by a limb; the full division
+    /// exists for ratio diagnostics and tests. Bit-at-a-time is O(bits ·
+    /// limbs) which is negligible at the ≤ 256-bit sizes this crate sees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &UBig) -> (UBig, UBig) {
+        assert!(!divisor.is_zero(), "UBig division by zero");
+        if self < divisor {
+            return (UBig::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, UBig::from(r));
+        }
+        let bits = self.bit_len();
+        let mut quot = UBig::zero();
+        let mut rem = UBig::zero();
+        for i in (0..bits).rev() {
+            rem.shl1_assign();
+            if self.bit(i) {
+                rem.add_assign_u64(1);
+            }
+            quot.shl1_assign();
+            if rem >= *divisor {
+                rem.sub_assign(divisor);
+                quot.add_assign_u64(1);
+            }
+        }
+        (quot, rem)
+    }
+
+    /// `⌊self · num / den⌋` without intermediate overflow.
+    ///
+    /// This is the core of the coordinator's partitioning operator: the
+    /// partition point of `[A, B)` between a holder of power `p` and a
+    /// requester of power `q` is `C = B − ⌊(B−A)·q/(p+q)⌋`, computed here
+    /// as `(B−A).mul_div_floor(q, p+q)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn mul_div_floor(&self, num: u64, den: u64) -> UBig {
+        assert!(den != 0, "UBig mul_div_floor division by zero");
+        let (q, _r) = self.mul_u64(num).div_rem_u64(den);
+        q
+    }
+
+    /// Approximate ratio `self / denom` as an `f64` in `[0, ∞)`.
+    ///
+    /// Used only for progress reporting and simulator statistics, never
+    /// for the interval algebra itself.
+    pub fn ratio(&self, denom: &UBig) -> f64 {
+        if denom.is_zero() {
+            return f64::INFINITY;
+        }
+        // Scale both operands down so they fit f64 comfortably.
+        let shift = denom.bit_len().saturating_sub(52);
+        self.to_f64_shifted(shift) / denom.to_f64_shifted(shift)
+    }
+
+    /// `self >> shift` converted to `f64` (rounding toward zero).
+    fn to_f64_shifted(&self, shift: usize) -> f64 {
+        let (limb, off) = (shift / 64, shift % 64);
+        let mut value = 0.0f64;
+        let mut scale = 1.0f64;
+        for i in limb..self.limbs.len() {
+            let mut w = self.limbs[i] >> off;
+            if off > 0 && i + 1 < self.limbs.len() {
+                w |= self.limbs[i + 1] << (64 - off);
+            }
+            value += w as f64 * scale;
+            scale *= 2.0f64.powi(64);
+        }
+        value
+    }
+
+    /// Approximate conversion to `f64` (may lose precision, may be
+    /// `inf` for gigantic values).
+    pub fn to_f64(&self) -> f64 {
+        self.to_f64_shifted(0)
+    }
+}

@@ -1,0 +1,97 @@
+//! Decimal formatting and parsing.
+//!
+//! Checkpoint files store interval endpoints as decimal strings, so the
+//! round-trip `UBig -> String -> UBig` must be exact; both directions work
+//! in chunks of 19 decimal digits (the largest power of ten below 2⁶⁴).
+
+use crate::UBig;
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest power of ten that fits in a limb: `10^19`.
+const CHUNK: u64 = 10_000_000_000_000_000_000;
+const CHUNK_DIGITS: usize = 19;
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut out = String::with_capacity(chunks.len() * CHUNK_DIGITS);
+        let mut iter = chunks.iter().rev();
+        if let Some(first) = iter.next() {
+            out.push_str(&first.to_string());
+        }
+        for chunk in iter {
+            out.push_str(&format!("{chunk:019}"));
+        }
+        f.pad_integral(true, "", &out)
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({self})")
+    }
+}
+
+/// Error parsing a decimal string into a [`UBig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUBigError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseUBigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "empty string is not a valid UBig"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid decimal digit {c:?} in UBig"),
+        }
+    }
+}
+
+impl std::error::Error for ParseUBigError {}
+
+impl FromStr for UBig {
+    type Err = ParseUBigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseUBigError {
+                kind: ParseErrorKind::Empty,
+            });
+        }
+        let mut acc = UBig::zero();
+        let bytes = s.as_bytes();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let take = (bytes.len() - pos).min(CHUNK_DIGITS);
+            let mut chunk = 0u64;
+            for &b in &bytes[pos..pos + take] {
+                if !b.is_ascii_digit() {
+                    return Err(ParseUBigError {
+                        kind: ParseErrorKind::InvalidDigit(b as char),
+                    });
+                }
+                chunk = chunk * 10 + u64::from(b - b'0');
+            }
+            acc.mul_assign_u64(10u64.pow(take as u32));
+            acc.add_assign_u64(chunk);
+            pos += take;
+        }
+        Ok(acc)
+    }
+}

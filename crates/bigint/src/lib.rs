@@ -1,0 +1,53 @@
+//! Arbitrary-precision unsigned integer arithmetic for interval-coded
+//! branch and bound.
+//!
+//! The interval coding of Mezmaz, Melab and Talbi (2007) identifies every
+//! node of a regular search tree with an integer below the weight of the
+//! root. For the permutation tree of Taillard's Ta056 instance (50 jobs)
+//! that weight is `50! ≈ 3.04·10⁶⁴`, which exceeds `u128`. This crate
+//! provides [`UBig`], a compact little-endian limb vector with exactly the
+//! operations the coding needs:
+//!
+//! * addition, subtraction (checked and saturating), comparison;
+//! * multiplication by a limb and full school-book multiplication;
+//! * division by a limb, full long division, and the fused
+//!   [`UBig::mul_div_floor`] used by the proportional interval
+//!   partitioning operator;
+//! * factorials, powers of two, decimal parsing and formatting (the
+//!   checkpoint files store intervals as decimal strings).
+//!
+//! The representation is canonical: no trailing zero limbs, and zero is
+//! the empty limb vector. Every operation preserves canonicity, and the
+//! property-test suite cross-checks all arithmetic against `u128`
+//! reference computations.
+//!
+//! # Example
+//!
+//! ```
+//! use gridbnb_bigint::UBig;
+//!
+//! let fifty = UBig::factorial(50);
+//! assert_eq!(
+//!     fifty.to_string(),
+//!     "30414093201713378043612608166064768844377641568960512000000000000"
+//! );
+//! let (half, _rem) = fifty.div_rem_u64(2);
+//! assert!(half < fifty);
+//! assert_eq!(&half + &half, fifty);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod convert;
+mod divide;
+mod fmt;
+mod ops;
+mod ubig;
+
+pub use fmt::ParseUBigError;
+pub use ubig::UBig;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,104 @@
+//! Operator trait implementations (comparison and `+ - *` on references).
+
+use crate::UBig;
+use std::cmp::Ordering;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+impl PartialOrd for UBig {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl PartialEq<u64> for UBig {
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+impl PartialOrd<u64> for UBig {
+    fn partial_cmp(&self, other: &u64) -> Option<Ordering> {
+        if self.limbs.len() > 1 {
+            Some(Ordering::Greater)
+        } else {
+            Some(self.to_u64().unwrap_or(0).cmp(other))
+        }
+    }
+}
+
+impl Add<&UBig> for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: &UBig) -> UBig {
+        UBig::add(self, rhs)
+    }
+}
+
+impl Add<u64> for &UBig {
+    type Output = UBig;
+    fn add(self, rhs: u64) -> UBig {
+        let mut out = self.clone();
+        out.add_assign_u64(rhs);
+        out
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        UBig::add_assign(self, rhs);
+    }
+}
+
+impl AddAssign<u64> for UBig {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add_assign_u64(rhs);
+    }
+}
+
+impl Sub<&UBig> for &UBig {
+    type Output = UBig;
+    /// # Panics
+    ///
+    /// Panics on underflow; use [`UBig::checked_sub`] when the ordering is
+    /// not statically known.
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub(rhs).expect("UBig subtraction underflow")
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        UBig::sub_assign(self, rhs);
+    }
+}
+
+impl Mul<&UBig> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: &UBig) -> UBig {
+        UBig::mul(self, rhs)
+    }
+}
+
+impl Mul<u64> for &UBig {
+    type Output = UBig;
+    fn mul(self, rhs: u64) -> UBig {
+        self.mul_u64(rhs)
+    }
+}

@@ -1,0 +1,144 @@
+//! The fold operator (paper §3.4): active node list → interval.
+
+use crate::{Interval, NodePath, TreeShape};
+use std::fmt;
+
+/// Why a node list could not be folded into a single interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FoldError {
+    /// An empty active list folds to nothing (the exploration is over).
+    EmptyList,
+    /// Equation 9 is violated: the range of node `index` does not end
+    /// where the range of node `index + 1` begins, so the union of ranges
+    /// is not an interval. Only depth-first active lists are foldable.
+    NotContiguous {
+        /// Position (in the input list) of the first offending node.
+        index: usize,
+    },
+}
+
+impl fmt::Display for FoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoldError::EmptyList => write!(f, "cannot fold an empty active list"),
+            FoldError::NotContiguous { index } => write!(
+                f,
+                "active list is not a DFS frontier: gap after node at position {index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FoldError {}
+
+/// Folds a depth-first active list into the interval covering exactly the
+/// node numbers reachable from it (paper equation 10):
+///
+/// `interval(N) = [number(N₁), number(N_k) + weight(N_k))`
+///
+/// The input must be in DFS order and contiguous (equation 9); this is
+/// verified — the cost of verification is the same O(k) as the fold
+/// itself, and a silent mis-fold would lose or duplicate work units.
+pub fn fold(shape: &TreeShape, nodes: &[NodePath]) -> Result<Interval, FoldError> {
+    let first = nodes.first().ok_or(FoldError::EmptyList)?;
+    let mut prev_end = first.range(shape).end().clone();
+    for (index, node) in nodes.iter().enumerate().skip(1) {
+        let range = node.range(shape);
+        if *range.begin() != prev_end {
+            return Err(FoldError::NotContiguous { index: index - 1 });
+        }
+        prev_end = range.end().clone();
+    }
+    Ok(Interval::new(first.number(shape), prev_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbnb_bigint::UBig;
+
+    #[test]
+    fn fold_single_node_gives_its_range() {
+        let shape = TreeShape::permutation(4);
+        let node = NodePath::root().child(&shape, 2);
+        let folded = fold(&shape, &[node.clone()]).unwrap();
+        assert_eq!(folded, node.range(&shape));
+    }
+
+    #[test]
+    fn fold_root_gives_full_space() {
+        let shape = TreeShape::permutation(5);
+        let folded = fold(&shape, &[NodePath::root()]).unwrap();
+        assert_eq!(folded, shape.root_range());
+    }
+
+    #[test]
+    fn fold_paper_figure_4_frontier() {
+        // A DFS frontier of the 3-permutation tree: the leaf <0.1.0>
+        // (number 1), then sibling subtree <1> ([2,4)) and <2> ([4,6)).
+        let shape = TreeShape::permutation(3);
+        let frontier = vec![
+            NodePath::from_ranks(vec![0, 1, 0]),
+            NodePath::from_ranks(vec![1]),
+            NodePath::from_ranks(vec![2]),
+        ];
+        let folded = fold(&shape, &frontier).unwrap();
+        assert_eq!(folded, shape.interval(1u64, 6u64));
+    }
+
+    #[test]
+    fn fold_empty_list_errors() {
+        let shape = TreeShape::permutation(3);
+        assert_eq!(fold(&shape, &[]), Err(FoldError::EmptyList));
+    }
+
+    #[test]
+    fn fold_detects_gap() {
+        let shape = TreeShape::permutation(3);
+        // <0> covers [0,2) and <2> covers [4,6): the subtree <1> is missing.
+        let broken = vec![NodePath::from_ranks(vec![0]), NodePath::from_ranks(vec![2])];
+        assert_eq!(
+            fold(&shape, &broken),
+            Err(FoldError::NotContiguous { index: 0 })
+        );
+    }
+
+    #[test]
+    fn fold_detects_wrong_order() {
+        let shape = TreeShape::permutation(3);
+        let reversed = vec![NodePath::from_ranks(vec![1]), NodePath::from_ranks(vec![0])];
+        assert!(matches!(
+            fold(&shape, &reversed),
+            Err(FoldError::NotContiguous { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_detects_overlap() {
+        let shape = TreeShape::permutation(3);
+        // A parent followed by its own child overlaps.
+        let overlapping = vec![
+            NodePath::from_ranks(vec![0]),
+            NodePath::from_ranks(vec![0, 0]),
+        ];
+        assert!(matches!(
+            fold(&shape, &overlapping),
+            Err(FoldError::NotContiguous { .. })
+        ));
+    }
+
+    #[test]
+    fn fold_mixed_depth_frontier_at_scale() {
+        // Frontier of a 50-permutation tree spanning numbers that only
+        // fit in big integers.
+        let shape = TreeShape::permutation(50);
+        let deep = NodePath::from_ranks(vec![48; 1]); // child 48 of root: [48·49!, 49·49!)
+        let last = NodePath::from_ranks(vec![49]);
+        let folded = fold(&shape, &[deep, last]).unwrap();
+        assert_eq!(
+            *folded.begin(),
+            UBig::factorial(49).mul_u64(48),
+        );
+        assert_eq!(*folded.end(), UBig::factorial(50));
+    }
+}

@@ -1,0 +1,238 @@
+//! Half-open intervals `[begin, end)` of node numbers.
+
+use gridbnb_bigint::UBig;
+use std::fmt;
+
+/// A half-open interval `[begin, end)` of node numbers — the wire and
+/// checkpoint representation of a branch-and-bound work unit (paper §3).
+///
+/// An interval with `begin >= end` is **empty**; the coordinator drops
+/// empty intervals from `INTERVALS` on every update (paper §4.3), which is
+/// what makes termination detection implicit.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Interval {
+    begin: UBig,
+    end: UBig,
+}
+
+impl Interval {
+    /// Builds `[begin, end)`. Empty intervals (`begin >= end`) are legal;
+    /// they normalize comparisons but contain nothing.
+    pub fn new(begin: UBig, end: UBig) -> Self {
+        Interval { begin, end }
+    }
+
+    /// The canonical empty interval `[0, 0)`.
+    pub fn empty() -> Self {
+        Interval {
+            begin: UBig::zero(),
+            end: UBig::zero(),
+        }
+    }
+
+    /// Inclusive lower endpoint.
+    #[inline]
+    pub fn begin(&self) -> &UBig {
+        &self.begin
+    }
+
+    /// Exclusive upper endpoint.
+    #[inline]
+    pub fn end(&self) -> &UBig {
+        &self.end
+    }
+
+    /// `true` iff the interval contains no number (`begin >= end`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.begin >= self.end
+    }
+
+    /// Number of node numbers contained: `max(end − begin, 0)`.
+    pub fn length(&self) -> UBig {
+        self.end.saturating_sub(&self.begin)
+    }
+
+    /// `true` iff `x ∈ [begin, end)`.
+    pub fn contains(&self, x: &UBig) -> bool {
+        *x >= self.begin && *x < self.end
+    }
+
+    /// `true` iff `other ⊆ self`. The empty interval is a subset of
+    /// everything.
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (other.begin >= self.begin && other.end <= self.end)
+    }
+
+    /// `true` iff the two intervals share at least one number.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// The paper's intersection operator (equation 14):
+    /// `[A,B) ∩ [A',B') = [max(A,A'), min(B,B'))`.
+    ///
+    /// Workers apply this against the coordinator's copy on every contact
+    /// so that concurrent exploration (begin advancing) and load balancing
+    /// (end retreating) compose without locks.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        Interval {
+            begin: self.begin.clone().max(other.begin.clone()),
+            end: self.end.clone().min(other.end.clone()),
+        }
+    }
+
+    /// Splits at `cut` into `([begin, cut), [cut, end))`, clamping `cut`
+    /// into the interval. This is the partitioning operator's mechanical
+    /// half; choosing `cut` is policy (see `gridbnb-core`).
+    pub fn split_at(&self, cut: &UBig) -> (Interval, Interval) {
+        let cut = cut.clone().max(self.begin.clone()).min(self.end.clone());
+        (
+            Interval::new(self.begin.clone(), cut.clone()),
+            Interval::new(cut, self.end.clone()),
+        )
+    }
+
+    /// Advances the lower endpoint to `new_begin` (exploration progress).
+    /// Never moves backwards.
+    pub fn advance_begin(&mut self, new_begin: &UBig) {
+        if *new_begin > self.begin {
+            self.begin = new_begin.clone();
+        }
+    }
+
+    /// Retreats the upper endpoint to `new_end` (work stolen from the
+    /// tail). Never moves forwards.
+    pub fn retreat_end(&mut self, new_end: &UBig) {
+        if *new_end < self.end {
+            self.end = new_end.clone();
+        }
+    }
+
+    /// Serialized size in bytes of the two endpoints — the message cost
+    /// that the paper's coding minimizes (compared in the
+    /// `coding_vs_nodelist` benchmark).
+    pub fn byte_len(&self) -> usize {
+        self.begin.byte_len() + self.end.byte_len()
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.begin, self.end)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interval[{}, {})", self.begin, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(UBig::from(a), UBig::from(b))
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::empty().is_empty());
+        assert!(iv(5, 5).is_empty());
+        assert!(iv(6, 5).is_empty());
+        assert!(!iv(5, 6).is_empty());
+    }
+
+    #[test]
+    fn length_saturates_on_inverted() {
+        assert!(iv(9, 3).length().is_zero());
+        assert_eq!(iv(3, 9).length().to_u64(), Some(6));
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let i = iv(10, 20);
+        assert!(i.contains(&UBig::from(10u64)));
+        assert!(i.contains(&UBig::from(19u64)));
+        assert!(!i.contains(&UBig::from(20u64)));
+        assert!(!i.contains(&UBig::from(9u64)));
+    }
+
+    #[test]
+    fn contains_interval_subset_cases() {
+        let outer = iv(10, 20);
+        assert!(outer.contains_interval(&iv(10, 20)));
+        assert!(outer.contains_interval(&iv(12, 15)));
+        assert!(outer.contains_interval(&iv(3, 3))); // empty is subset
+        assert!(!outer.contains_interval(&iv(9, 12)));
+        assert!(!outer.contains_interval(&iv(15, 21)));
+    }
+
+    #[test]
+    fn intersect_equation_14() {
+        assert_eq!(iv(0, 10).intersect(&iv(5, 15)), iv(5, 10));
+        assert_eq!(iv(5, 15).intersect(&iv(0, 10)), iv(5, 10));
+        assert!(iv(0, 5).intersect(&iv(5, 10)).is_empty());
+        assert_eq!(iv(0, 10).intersect(&iv(0, 10)), iv(0, 10));
+    }
+
+    #[test]
+    fn intersect_models_concurrent_progress() {
+        // Worker explored up to 7 (begin 7); coordinator stole the tail
+        // down to end 8. The live interval is their intersection.
+        let worker = iv(7, 10);
+        let coordinator = iv(0, 8);
+        assert_eq!(worker.intersect(&coordinator), iv(7, 8));
+    }
+
+    #[test]
+    fn overlaps_cases() {
+        assert!(iv(0, 10).overlaps(&iv(9, 12)));
+        assert!(!iv(0, 10).overlaps(&iv(10, 12)));
+        assert!(!iv(0, 10).overlaps(&iv(12, 12)));
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let (l, r) = iv(10, 20).split_at(&UBig::from(13u64));
+        assert_eq!(l, iv(10, 13));
+        assert_eq!(r, iv(13, 20));
+    }
+
+    #[test]
+    fn split_at_clamps() {
+        let (l, r) = iv(10, 20).split_at(&UBig::from(5u64));
+        assert!(l.is_empty());
+        assert_eq!(r, iv(10, 20));
+        let (l2, r2) = iv(10, 20).split_at(&UBig::from(25u64));
+        assert_eq!(l2, iv(10, 20));
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn advance_and_retreat_are_monotone() {
+        let mut i = iv(10, 20);
+        i.advance_begin(&UBig::from(15u64));
+        assert_eq!(i, iv(15, 20));
+        i.advance_begin(&UBig::from(12u64)); // no-op: backwards
+        assert_eq!(i, iv(15, 20));
+        i.retreat_end(&UBig::from(18u64));
+        assert_eq!(i, iv(15, 18));
+        i.retreat_end(&UBig::from(19u64)); // no-op: forwards
+        assert_eq!(i, iv(15, 18));
+    }
+
+    #[test]
+    fn byte_len_counts_both_endpoints() {
+        assert_eq!(iv(255, 256).byte_len(), 1 + 2);
+        let big = Interval::new(UBig::zero(), UBig::factorial(50));
+        assert_eq!(big.byte_len(), 0 + 27);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(iv(3, 9).to_string(), "[3, 9)");
+    }
+}

@@ -1,0 +1,63 @@
+//! Interval coding of branch-and-bound work units.
+//!
+//! This crate implements §3 of Mezmaz, Melab and Talbi, *A Grid-enabled
+//! Branch and Bound Algorithm for Solving Challenging Combinatorial
+//! Optimization Problems* (INRIA RR-5945 / IPDPS 2007): a numbering of the
+//! nodes of a **regular search tree** such that the set of tree nodes
+//! covered by any depth-first *active list* is exactly an integer interval
+//! `[A, B)`. The interval (two big integers) replaces the serialized node
+//! list in every communication and checkpoint, which is what lets the
+//! farmer–worker algorithm of §4 scale to thousands of workers.
+//!
+//! # Concepts (paper §3.1–§3.3)
+//!
+//! * **weight** of a node — the number of leaves of its subtree
+//!   (equations 1–3). In a regular tree it only depends on the depth, so
+//!   [`TreeShape`] precomputes one weight per depth.
+//! * **number** of a node — `Σ rank(i) · weight(i)` over the nodes `i` on
+//!   its root path (equation 6); see [`NodePath::number`].
+//! * **range** of a node — `[number, number + weight)` (equation 7); the
+//!   numbers of every node of its subtree fall in this interval.
+//!
+//! # Operators (paper §3.4–§3.5)
+//!
+//! * [`fold`] — active list → interval (equation 10);
+//! * [`unfold`] — interval → the unique minimal active list covering it
+//!   (equations 11–13), implemented both as the paper's elimination
+//!   B&B ([`unfold`]) and as a direct mixed-radix boundary walk
+//!   ([`unfold_direct`]); the two are property-tested equal.
+//!
+//! # Example
+//!
+//! ```
+//! use gridbnb_coding::{fold, unfold, TreeShape};
+//!
+//! // The permutation tree over 4 elements: 24 leaves.
+//! let shape = TreeShape::permutation(4);
+//! assert_eq!(shape.total_leaves().to_u64(), Some(24));
+//!
+//! // Cut out the middle of the search space ...
+//! let interval = shape.interval(7u64, 19u64);
+//! // ... and materialize the minimal set of subtrees covering it.
+//! let nodes = unfold(&shape, &interval);
+//! assert_eq!(fold(&shape, &nodes).unwrap(), interval);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fold;
+mod interval;
+mod path;
+mod set;
+mod shape;
+mod unfold;
+
+pub use fold::{fold, FoldError};
+pub use interval::Interval;
+pub use path::NodePath;
+pub use set::IntervalSet;
+pub use shape::TreeShape;
+pub use unfold::{unfold, unfold_direct};
+
+pub use gridbnb_bigint::UBig;

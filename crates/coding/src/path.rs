@@ -1,0 +1,270 @@
+//! Node paths: positions in a regular tree, their numbers and ranges.
+
+use crate::{Interval, TreeShape};
+use gridbnb_bigint::UBig;
+use std::fmt;
+
+/// A node of a regular tree, identified by the ranks taken from the root
+/// (the paper's `rank(i)` along `path(n)`, §3.2).
+///
+/// `ranks[i]` is the rank (0-based birth order) of the path node at depth
+/// `i + 1`; the root is the empty path. For a permutation tree the ranks
+/// are exactly the digits of the node number in the factorial number
+/// system.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct NodePath {
+    ranks: Vec<u64>,
+}
+
+impl NodePath {
+    /// The root node (empty path, depth 0, number 0).
+    pub fn root() -> Self {
+        NodePath { ranks: Vec::new() }
+    }
+
+    /// Builds a path from explicit ranks.
+    pub fn from_ranks(ranks: Vec<u64>) -> Self {
+        NodePath { ranks }
+    }
+
+    /// The ranks from the root (one per depth, starting at depth 1).
+    #[inline]
+    pub fn ranks(&self) -> &[u64] {
+        &self.ranks
+    }
+
+    /// Depth of this node; the root has depth 0.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// `true` iff the node is a leaf of `shape`.
+    pub fn is_leaf(&self, shape: &TreeShape) -> bool {
+        self.depth() == shape.leaf_depth()
+    }
+
+    /// The child obtained by branching with `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is a leaf or `rank` is out of range for the
+    /// node's depth in `shape` (debug-checked).
+    pub fn child(&self, shape: &TreeShape, rank: u64) -> NodePath {
+        debug_assert!(self.depth() < shape.leaf_depth(), "leaf has no children");
+        debug_assert!(rank < shape.arity_at(self.depth()), "rank out of range");
+        let mut ranks = Vec::with_capacity(self.ranks.len() + 1);
+        ranks.extend_from_slice(&self.ranks);
+        ranks.push(rank);
+        NodePath { ranks }
+    }
+
+    /// The parent node, or `None` for the root.
+    pub fn parent(&self) -> Option<NodePath> {
+        if self.ranks.is_empty() {
+            None
+        } else {
+            Some(NodePath {
+                ranks: self.ranks[..self.ranks.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// The node's number (paper equation 6):
+    /// `number(n) = Σ_{i ∈ path(n)} rank(i) · weight(i)`.
+    ///
+    /// Equal to the number of the leftmost leaf of the node's subtree, and
+    /// to the count of leaves visited strictly before this subtree in a
+    /// depth-first traversal.
+    pub fn number(&self, shape: &TreeShape) -> UBig {
+        let mut n = UBig::zero();
+        for (i, &rank) in self.ranks.iter().enumerate() {
+            if rank != 0 {
+                n += &shape.weight_at(i + 1).mul_u64(rank);
+            }
+        }
+        n
+    }
+
+    /// The node's range (paper equation 7):
+    /// `[number, number + weight)`.
+    pub fn range(&self, shape: &TreeShape) -> Interval {
+        let begin = self.number(shape);
+        let end = &begin + shape.weight_at(self.depth());
+        Interval::new(begin, end)
+    }
+
+    /// The weight of this node in `shape` — leaves of its subtree.
+    pub fn weight<'a>(&self, shape: &'a TreeShape) -> &'a UBig {
+        shape.weight_at(self.depth())
+    }
+
+    /// The path of the unique **leaf** numbered `number`: the mixed-radix
+    /// (for permutation trees: factoradic) decomposition of the number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `number >= total_leaves`.
+    pub fn leaf_with_number(shape: &TreeShape, number: &UBig) -> NodePath {
+        assert!(
+            number < shape.total_leaves(),
+            "leaf number out of range: {number}"
+        );
+        let mut ranks = Vec::with_capacity(shape.leaf_depth());
+        let mut rem = number.clone();
+        for depth in 1..=shape.leaf_depth() {
+            let weight = shape.weight_at(depth);
+            // rank = rem / weight; arities are u64 so the quotient fits.
+            let (q, r) = rem.div_rem(weight);
+            let rank = q.to_u64().expect("rank exceeds arity bound");
+            debug_assert!(rank < shape.arity_at(depth - 1));
+            ranks.push(rank);
+            rem = r;
+        }
+        debug_assert!(rem.is_zero());
+        NodePath { ranks }
+    }
+}
+
+impl fmt::Display for NodePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_number_zero_and_full_range() {
+        let shape = TreeShape::permutation(4);
+        let root = NodePath::root();
+        assert!(root.number(&shape).is_zero());
+        assert_eq!(root.range(&shape), shape.root_range());
+        assert_eq!(root.depth(), 0);
+        assert!(root.parent().is_none());
+    }
+
+    #[test]
+    fn paper_figure_2_numbers() {
+        // Figure 2 of the paper: permutation tree over 3 elements.
+        // Depth-1 children have weight 2! = 2, so their numbers are
+        // 0, 2, 4; depth-2 numbers advance by 1! = 1.
+        let shape = TreeShape::permutation(3);
+        let root = NodePath::root();
+        let numbers: Vec<u64> = (0..3)
+            .map(|r| root.child(&shape, r).number(&shape).to_u64().unwrap())
+            .collect();
+        assert_eq!(numbers, vec![0, 2, 4]);
+        let c1 = root.child(&shape, 1);
+        let grandchildren: Vec<u64> = (0..2)
+            .map(|r| c1.child(&shape, r).number(&shape).to_u64().unwrap())
+            .collect();
+        assert_eq!(grandchildren, vec![2, 3]);
+    }
+
+    #[test]
+    fn paper_figure_3_ranges() {
+        // Ranges of depth-1 nodes of the 3-permutation tree: [0,2) [2,4) [4,6).
+        let shape = TreeShape::permutation(3);
+        let root = NodePath::root();
+        for r in 0..3 {
+            let range = root.child(&shape, r).range(&shape);
+            assert_eq!(range.begin().to_u64(), Some(2 * r));
+            assert_eq!(range.end().to_u64(), Some(2 * r + 2));
+        }
+    }
+
+    #[test]
+    fn sibling_ranges_are_contiguous() {
+        // Equation 9 precondition: B_i == A_{i+1} for consecutive siblings.
+        let shape = TreeShape::from_arities(vec![3, 2, 4]);
+        let parent = NodePath::root().child(&shape, 1);
+        for r in 0..shape.arity_at(1) - 1 {
+            let this = parent.child(&shape, r).range(&shape);
+            let next = parent.child(&shape, r + 1).range(&shape);
+            assert_eq!(this.end(), next.begin());
+        }
+    }
+
+    #[test]
+    fn child_range_inside_parent_range() {
+        let shape = TreeShape::permutation(5);
+        let n = NodePath::root().child(&shape, 3).child(&shape, 2);
+        let parent_range = n.parent().unwrap().range(&shape);
+        assert!(parent_range.contains_interval(&n.range(&shape)));
+    }
+
+    #[test]
+    fn leaf_weight_is_one_and_range_is_singleton() {
+        let shape = TreeShape::permutation(3);
+        let leaf = NodePath::from_ranks(vec![2, 1, 0]);
+        assert!(leaf.is_leaf(&shape));
+        assert_eq!(leaf.weight(&shape).to_u64(), Some(1));
+        assert_eq!(leaf.range(&shape).length().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn leaf_numbers_enumerate_dfs_order() {
+        // Depth-first traversal visits leaves exactly in number order.
+        let shape = TreeShape::permutation(4);
+        let mut expected = 0u64;
+        let mut stack = vec![NodePath::root()];
+        while let Some(node) = stack.pop() {
+            if node.is_leaf(&shape) {
+                assert_eq!(node.number(&shape).to_u64(), Some(expected));
+                expected += 1;
+            } else {
+                for r in (0..shape.arity_at(node.depth())).rev() {
+                    stack.push(node.child(&shape, r));
+                }
+            }
+        }
+        assert_eq!(expected, 24);
+    }
+
+    #[test]
+    fn leaf_with_number_round_trips() {
+        let shape = TreeShape::from_arities(vec![3, 2, 4, 2]);
+        let total = shape.total_leaves().to_u64().unwrap();
+        for n in 0..total {
+            let leaf = NodePath::leaf_with_number(&shape, &UBig::from(n));
+            assert_eq!(leaf.number(&shape).to_u64(), Some(n));
+            assert!(leaf.is_leaf(&shape));
+        }
+    }
+
+    #[test]
+    fn leaf_with_number_at_ta056_scale() {
+        // Factoradic decomposition works beyond u128.
+        let shape = TreeShape::permutation(50);
+        let number = shape.total_leaves().saturating_sub(&UBig::one());
+        let leaf = NodePath::leaf_with_number(&shape, &number);
+        assert_eq!(leaf.number(&shape), number);
+        // Last leaf takes the maximal rank everywhere.
+        for (i, &r) in leaf.ranks().iter().enumerate() {
+            assert_eq!(r, shape.arity_at(i) - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn leaf_with_number_rejects_overflow() {
+        let shape = TreeShape::permutation(3);
+        let _ = NodePath::leaf_with_number(&shape, &UBig::from(6u64));
+    }
+
+    #[test]
+    fn display_shows_ranks() {
+        assert_eq!(NodePath::from_ranks(vec![2, 0, 1]).to_string(), "<2.0.1>");
+        assert_eq!(NodePath::root().to_string(), "<>");
+    }
+}

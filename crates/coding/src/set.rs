@@ -1,0 +1,309 @@
+//! A set of disjoint intervals — interval algebra used by tests and by
+//! the coordinator's invariant checks.
+
+use crate::Interval;
+use gridbnb_bigint::UBig;
+use std::fmt;
+
+/// A canonical set of pairwise-disjoint, non-adjacent, non-empty
+/// intervals kept sorted by lower endpoint.
+///
+/// This is the pure-algebra cousin of the coordinator's `INTERVALS`
+/// (which additionally tracks holders and powers): inserting merges
+/// overlapping or touching intervals, subtracting splits them. The
+/// coordinator's correctness tests use it to assert *work conservation*:
+/// explored ∪ remaining must always equal the root range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    /// Sorted, disjoint, non-adjacent, non-empty.
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A set holding one interval (if non-empty).
+    pub fn from_interval(interval: Interval) -> Self {
+        let mut s = Self::new();
+        s.insert(interval);
+        s
+    }
+
+    /// Number of maximal intervals (the paper's "cardinality of
+    /// INTERVALS").
+    pub fn cardinality(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// `true` iff no numbers are covered.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Sum of the lengths (the paper's "size of INTERVALS": the count of
+    /// not-yet-explored solutions).
+    pub fn size(&self) -> UBig {
+        let mut total = UBig::zero();
+        for i in &self.intervals {
+            total += &i.length();
+        }
+        total
+    }
+
+    /// The intervals in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &Interval> {
+        self.intervals.iter()
+    }
+
+    /// `true` iff `x` is covered.
+    pub fn contains(&self, x: &UBig) -> bool {
+        // Binary search on begin; candidate is the predecessor.
+        let idx = self.intervals.partition_point(|i| *i.begin() <= *x);
+        idx > 0 && self.intervals[idx - 1].contains(x)
+    }
+
+    /// `true` iff every number of `interval` is covered.
+    pub fn covers(&self, interval: &Interval) -> bool {
+        if interval.is_empty() {
+            return true;
+        }
+        let idx = self.intervals.partition_point(|i| *i.begin() <= *interval.begin());
+        idx > 0 && self.intervals[idx - 1].contains_interval(interval)
+    }
+
+    /// Inserts an interval, merging with any overlapping or adjacent
+    /// members. Empty input is a no-op.
+    pub fn insert(&mut self, interval: Interval) {
+        if interval.is_empty() {
+            return;
+        }
+        let mut begin = interval.begin().clone();
+        let mut end = interval.end().clone();
+        // Find the range of members that overlap or touch [begin, end).
+        let lo = self.intervals.partition_point(|i| *i.end() < begin);
+        let hi = self.intervals.partition_point(|i| *i.begin() <= end);
+        for merged in &self.intervals[lo..hi] {
+            if *merged.begin() < begin {
+                begin = merged.begin().clone();
+            }
+            if *merged.end() > end {
+                end = merged.end().clone();
+            }
+        }
+        self.intervals.splice(lo..hi, [Interval::new(begin, end)]);
+    }
+
+    /// Removes every number of `interval` from the set, splitting members
+    /// that straddle its endpoints.
+    pub fn subtract(&mut self, interval: &Interval) {
+        if interval.is_empty() || self.intervals.is_empty() {
+            return;
+        }
+        let lo = self.intervals.partition_point(|i| *i.end() <= *interval.begin());
+        let hi = self.intervals.partition_point(|i| *i.begin() < *interval.end());
+        if lo >= hi {
+            return;
+        }
+        let mut replacement: Vec<Interval> = Vec::with_capacity(2);
+        let left = Interval::new(
+            self.intervals[lo].begin().clone(),
+            interval.begin().clone(),
+        );
+        if !left.is_empty() {
+            replacement.push(left);
+        }
+        let right = Interval::new(interval.end().clone(), self.intervals[hi - 1].end().clone());
+        if !right.is_empty() {
+            replacement.push(right);
+        }
+        self.intervals.splice(lo..hi, replacement);
+    }
+
+    /// Merges another set into this one.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for i in &other.intervals {
+            self.insert(i.clone());
+        }
+    }
+
+    /// Checks the structural invariant (sorted, disjoint, non-adjacent,
+    /// non-empty). Used by property tests after random op sequences.
+    pub fn check_invariants(&self) -> bool {
+        self.intervals.iter().all(|i| !i.is_empty())
+            && self
+                .intervals
+                .windows(2)
+                .all(|w| *w[0].end() < *w[1].begin())
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.intervals.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        let mut s = IntervalSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(UBig::from(a), UBig::from(b))
+    }
+
+    #[test]
+    fn insert_disjoint_keeps_both() {
+        let set: IntervalSet = [iv(0, 5), iv(10, 15)].into_iter().collect();
+        assert_eq!(set.cardinality(), 2);
+        assert_eq!(set.size().to_u64(), Some(10));
+        assert!(set.check_invariants());
+    }
+
+    #[test]
+    fn insert_overlapping_merges() {
+        let set: IntervalSet = [iv(0, 5), iv(3, 8)].into_iter().collect();
+        assert_eq!(set.cardinality(), 1);
+        assert_eq!(set.size().to_u64(), Some(8));
+    }
+
+    #[test]
+    fn insert_adjacent_merges() {
+        let set: IntervalSet = [iv(0, 5), iv(5, 8)].into_iter().collect();
+        assert_eq!(set.cardinality(), 1);
+        assert!(set.covers(&iv(0, 8)));
+    }
+
+    #[test]
+    fn insert_bridging_merges_three() {
+        let mut set: IntervalSet = [iv(0, 2), iv(4, 6), iv(8, 10)].into_iter().collect();
+        set.insert(iv(1, 9));
+        assert_eq!(set.cardinality(), 1);
+        assert_eq!(set.size().to_u64(), Some(10));
+        assert!(set.check_invariants());
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut set = IntervalSet::new();
+        set.insert(iv(5, 5));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn contains_point_lookup() {
+        let set: IntervalSet = [iv(0, 5), iv(10, 15)].into_iter().collect();
+        assert!(set.contains(&UBig::from(0u64)));
+        assert!(set.contains(&UBig::from(4u64)));
+        assert!(!set.contains(&UBig::from(5u64)));
+        assert!(!set.contains(&UBig::from(9u64)));
+        assert!(set.contains(&UBig::from(14u64)));
+        assert!(!set.contains(&UBig::from(15u64)));
+    }
+
+    #[test]
+    fn covers_needs_single_member() {
+        let set: IntervalSet = [iv(0, 5), iv(5, 10)].into_iter().collect(); // merges to [0,10)
+        assert!(set.covers(&iv(2, 8)));
+        let gappy: IntervalSet = [iv(0, 5), iv(6, 10)].into_iter().collect();
+        assert!(!gappy.covers(&iv(2, 8)));
+        assert!(gappy.covers(&iv(7, 7))); // empty always covered
+    }
+
+    #[test]
+    fn subtract_middle_splits() {
+        let mut set = IntervalSet::from_interval(iv(0, 10));
+        set.subtract(&iv(3, 7));
+        assert_eq!(set.cardinality(), 2);
+        assert!(set.covers(&iv(0, 3)));
+        assert!(set.covers(&iv(7, 10)));
+        assert!(!set.contains(&UBig::from(5u64)));
+        assert!(set.check_invariants());
+    }
+
+    #[test]
+    fn subtract_spanning_removes_all() {
+        let mut set: IntervalSet = [iv(2, 4), iv(6, 8)].into_iter().collect();
+        set.subtract(&iv(0, 10));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn subtract_edges_trims() {
+        let mut set = IntervalSet::from_interval(iv(0, 10));
+        set.subtract(&iv(0, 3));
+        set.subtract(&iv(8, 10));
+        assert_eq!(set.cardinality(), 1);
+        assert_eq!(set.size().to_u64(), Some(5));
+        assert!(set.covers(&iv(3, 8)));
+    }
+
+    #[test]
+    fn subtract_disjoint_is_noop() {
+        let mut set = IntervalSet::from_interval(iv(5, 10));
+        set.subtract(&iv(0, 5));
+        set.subtract(&iv(10, 20));
+        assert_eq!(set, IntervalSet::from_interval(iv(5, 10)));
+    }
+
+    #[test]
+    fn subtract_across_multiple_members() {
+        let mut set: IntervalSet = [iv(0, 4), iv(6, 10), iv(12, 16)].into_iter().collect();
+        set.subtract(&iv(2, 14));
+        assert_eq!(set.cardinality(), 2);
+        assert!(set.covers(&iv(0, 2)));
+        assert!(set.covers(&iv(14, 16)));
+        assert!(set.check_invariants());
+    }
+
+    #[test]
+    fn union_with_combines() {
+        let mut a: IntervalSet = [iv(0, 3)].into_iter().collect();
+        let b: IntervalSet = [iv(3, 6), iv(10, 12)].into_iter().collect();
+        a.union_with(&b);
+        assert_eq!(a.cardinality(), 2);
+        assert_eq!(a.size().to_u64(), Some(8));
+    }
+
+    #[test]
+    fn work_conservation_scenario() {
+        // Simulates the coordinator invariant: explored + remaining = root.
+        let root = iv(0, 120);
+        let mut remaining = IntervalSet::from_interval(root.clone());
+        let mut explored = IntervalSet::new();
+        for (a, b) in [(0, 13), (50, 80), (13, 50), (110, 120), (80, 110)] {
+            let chunk = iv(a, b);
+            remaining.subtract(&chunk);
+            explored.insert(chunk);
+            let mut all = remaining.clone();
+            all.union_with(&explored);
+            assert!(all.covers(&root), "lost work after exploring [{a},{b})");
+        }
+        assert!(remaining.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let set: IntervalSet = [iv(0, 3), iv(5, 9)].into_iter().collect();
+        assert_eq!(set.to_string(), "{[0, 3), [5, 9)}");
+    }
+}

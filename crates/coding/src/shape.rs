@@ -1,0 +1,189 @@
+//! Regular tree shapes and their per-depth weight tables.
+
+use crate::Interval;
+use gridbnb_bigint::UBig;
+
+/// The shape of a regular search tree: every node at the same depth has
+/// the same number of children, so weights (equation 1 of the paper)
+/// collapse to one value per depth (equations 2 and 3).
+///
+/// The root is at depth `0`; leaves are at depth [`TreeShape::leaf_depth`]
+/// (the paper's `P`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeShape {
+    /// `arities[d]` = number of children of an internal node at depth `d`,
+    /// for `d ∈ [0, P)`.
+    arities: Vec<u64>,
+    /// `weights[d]` = number of leaves of the subtree rooted at depth `d`,
+    /// for `d ∈ [0, P]`; `weights[P] == 1`.
+    weights: Vec<UBig>,
+}
+
+impl TreeShape {
+    /// A regular tree given the arity of each internal depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arity is zero (a depth with no children would make
+    /// deeper depths unreachable, contradicting regularity).
+    pub fn from_arities(arities: Vec<u64>) -> Self {
+        assert!(
+            arities.iter().all(|&a| a > 0),
+            "tree arities must be positive"
+        );
+        let depth = arities.len();
+        let mut weights = vec![UBig::one(); depth + 1];
+        for d in (0..depth).rev() {
+            weights[d] = weights[d + 1].mul_u64(arities[d]);
+        }
+        TreeShape { arities, weights }
+    }
+
+    /// The permutation tree over `n` elements (paper equation 3): depth
+    /// `d` nodes have `n − d` children and weight `(n − d)!`.
+    ///
+    /// Internal nodes at depth `d` correspond to partial permutations of
+    /// `d` fixed elements; the `n!` leaves are the complete permutations.
+    pub fn permutation(n: usize) -> Self {
+        Self::from_arities((0..n).map(|d| (n - d) as u64).collect())
+    }
+
+    /// The complete binary tree of height `height` (paper equation 2):
+    /// weight `2^(P−d)` at depth `d`.
+    pub fn binary(height: usize) -> Self {
+        Self::from_arities(vec![2; height])
+    }
+
+    /// Depth of the leaves (the paper's `P`). The root is depth 0.
+    #[inline]
+    pub fn leaf_depth(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Number of children of an internal node at `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= leaf_depth()` (leaves have no children).
+    #[inline]
+    pub fn arity_at(&self, depth: usize) -> u64 {
+        self.arities[depth]
+    }
+
+    /// Weight of a node at `depth`: the number of leaves of its subtree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > leaf_depth()`.
+    #[inline]
+    pub fn weight_at(&self, depth: usize) -> &UBig {
+        &self.weights[depth]
+    }
+
+    /// Total number of leaves, i.e. the weight of the root.
+    #[inline]
+    pub fn total_leaves(&self) -> &UBig {
+        &self.weights[0]
+    }
+
+    /// The range of the root: `[0, total_leaves)` — the interval that
+    /// initializes the coordinator's `INTERVALS` set (paper §4.3).
+    pub fn root_range(&self) -> Interval {
+        Interval::new(UBig::zero(), self.total_leaves().clone())
+    }
+
+    /// Convenience constructor for an interval `[begin, end)` of node
+    /// numbers in this tree, clamped into the root range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds the total number of leaves.
+    pub fn interval(&self, begin: impl Into<UBig>, end: impl Into<UBig>) -> Interval {
+        let begin = begin.into();
+        let end = end.into();
+        assert!(
+            end <= *self.total_leaves(),
+            "interval end exceeds the root range"
+        );
+        Interval::new(begin, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_weights_are_factorials() {
+        let shape = TreeShape::permutation(5);
+        assert_eq!(shape.leaf_depth(), 5);
+        for d in 0..=5 {
+            assert_eq!(*shape.weight_at(d), UBig::factorial(5 - d as u32));
+        }
+        assert_eq!(shape.total_leaves().to_u64(), Some(120));
+    }
+
+    #[test]
+    fn permutation_arities_decrease() {
+        let shape = TreeShape::permutation(4);
+        assert_eq!(shape.arity_at(0), 4);
+        assert_eq!(shape.arity_at(1), 3);
+        assert_eq!(shape.arity_at(2), 2);
+        assert_eq!(shape.arity_at(3), 1);
+    }
+
+    #[test]
+    fn binary_weights_are_powers_of_two() {
+        let shape = TreeShape::binary(10);
+        for d in 0..=10 {
+            assert_eq!(*shape.weight_at(d), UBig::pow2(10 - d));
+        }
+    }
+
+    #[test]
+    fn mixed_radix_weight_is_suffix_product() {
+        let shape = TreeShape::from_arities(vec![3, 1, 4, 2]);
+        assert_eq!(shape.total_leaves().to_u64(), Some(24));
+        assert_eq!(shape.weight_at(1).to_u64(), Some(8));
+        assert_eq!(shape.weight_at(2).to_u64(), Some(8));
+        assert_eq!(shape.weight_at(3).to_u64(), Some(2));
+        assert_eq!(shape.weight_at(4).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn degenerate_single_node_tree() {
+        let shape = TreeShape::from_arities(vec![]);
+        assert_eq!(shape.leaf_depth(), 0);
+        assert_eq!(shape.total_leaves().to_u64(), Some(1));
+        assert_eq!(shape.root_range().length().to_u64(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_arity_rejected() {
+        TreeShape::from_arities(vec![2, 0, 2]);
+    }
+
+    #[test]
+    fn ta056_scale_weights() {
+        // The shape used by the paper's flagship instance: 50 jobs.
+        let shape = TreeShape::permutation(50);
+        assert_eq!(*shape.total_leaves(), UBig::factorial(50));
+        assert!(shape.total_leaves().bit_len() > 128, "needs big integers");
+    }
+
+    #[test]
+    fn root_range_starts_at_zero() {
+        let shape = TreeShape::permutation(6);
+        let root = shape.root_range();
+        assert!(root.begin().is_zero());
+        assert_eq!(*root.end(), UBig::factorial(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn interval_constructor_checks_bounds() {
+        let shape = TreeShape::permutation(3);
+        let _ = shape.interval(0u64, 7u64); // 3! = 6 < 7
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests for the interval coding: fold/unfold round trips,
+//! minimality, exact coverage, and interval-set algebra, on random tree
+//! shapes and random intervals (including shapes whose leaf counts exceed
+//! u128).
+
+use gridbnb_bigint::UBig;
+use gridbnb_coding::{fold, unfold, unfold_direct, Interval, IntervalSet, NodePath, TreeShape};
+use proptest::prelude::*;
+
+/// Random regular tree with at most ~2000 leaves (kept enumerable).
+fn small_shape() -> impl Strategy<Value = TreeShape> {
+    proptest::collection::vec(1u64..5, 1..6).prop_map(TreeShape::from_arities)
+}
+
+/// Random big tree: permutation trees up to 40 elements (40! >> u128).
+fn big_shape() -> impl Strategy<Value = TreeShape> {
+    (2usize..40).prop_map(TreeShape::permutation)
+}
+
+/// A random sub-interval of the shape's root range, via two fractions in
+/// per-mille.
+fn sub_interval(shape: &TreeShape, lo_ppm: u64, hi_ppm: u64) -> Interval {
+    let total = shape.total_leaves();
+    let a = total.mul_div_floor(lo_ppm.min(hi_ppm), 1_000_000);
+    let b = total.mul_div_floor(lo_ppm.max(hi_ppm), 1_000_000);
+    Interval::new(a, b)
+}
+
+proptest! {
+    #[test]
+    fn fold_unfold_round_trip_small(shape in small_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let interval = sub_interval(&shape, x, y);
+        prop_assume!(!interval.is_empty());
+        let nodes = unfold(&shape, &interval);
+        prop_assert_eq!(fold(&shape, &nodes).unwrap(), interval);
+    }
+
+    #[test]
+    fn fold_unfold_round_trip_big(shape in big_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let interval = sub_interval(&shape, x, y);
+        prop_assume!(!interval.is_empty());
+        let nodes = unfold_direct(&shape, &interval);
+        prop_assert_eq!(fold(&shape, &nodes).unwrap(), interval);
+    }
+
+    #[test]
+    fn unfold_impls_agree(shape in small_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let interval = sub_interval(&shape, x, y);
+        prop_assert_eq!(unfold(&shape, &interval), unfold_direct(&shape, &interval));
+    }
+
+    #[test]
+    fn unfold_impls_agree_big(shape in big_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let interval = sub_interval(&shape, x, y);
+        prop_assert_eq!(unfold(&shape, &interval), unfold_direct(&shape, &interval));
+    }
+
+    #[test]
+    fn unfold_is_minimal(shape in small_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        // Equation 11: each emitted node is contained but its father is not.
+        let interval = sub_interval(&shape, x, y);
+        for node in unfold(&shape, &interval) {
+            prop_assert!(interval.contains_interval(&node.range(&shape)));
+            if let Some(parent) = node.parent() {
+                prop_assert!(!interval.contains_interval(&parent.range(&shape)));
+            }
+        }
+    }
+
+    #[test]
+    fn unfold_tiles_exactly(shape in small_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        let interval = sub_interval(&shape, x, y);
+        prop_assume!(!interval.is_empty());
+        let nodes = unfold(&shape, &interval);
+        // Consecutive ranges tile with no gaps or overlaps (equation 9),
+        // starting at begin and ending at end.
+        prop_assert!(!nodes.is_empty());
+        let mut cursor = interval.begin().clone();
+        for node in &nodes {
+            let range = node.range(&shape);
+            prop_assert_eq!(range.begin(), &cursor);
+            cursor = range.end().clone();
+        }
+        prop_assert_eq!(&cursor, interval.end());
+    }
+
+    #[test]
+    fn unfold_size_bounded(shape in big_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000) {
+        // ≤ 2 boundary chains of ≤ (arity-1) emissions per depth.
+        let interval = sub_interval(&shape, x, y);
+        let nodes = unfold_direct(&shape, &interval);
+        let p = shape.leaf_depth();
+        let max_arity = (0..p).map(|d| shape.arity_at(d)).max().unwrap_or(1) as usize;
+        prop_assert!(nodes.len() <= 2 * p * max_arity + 1);
+    }
+
+    #[test]
+    fn leaf_number_bijection(shape in small_shape(), k in 0u64..2000) {
+        let total = shape.total_leaves().to_u64().unwrap();
+        let n = k % total;
+        let leaf = NodePath::leaf_with_number(&shape, &UBig::from(n));
+        prop_assert_eq!(leaf.number(&shape).to_u64(), Some(n));
+        prop_assert!(leaf.is_leaf(&shape));
+    }
+
+    #[test]
+    fn number_is_dfs_leaf_prefix_count(shape in small_shape(), k in 0u64..2000) {
+        // number(leaf) equals its 0-based DFS visit position among leaves.
+        let total = shape.total_leaves().to_u64().unwrap();
+        let n = k % total;
+        let leaf = NodePath::leaf_with_number(&shape, &UBig::from(n));
+        // Count leaves lexicographically smaller than this leaf's rank word.
+        let mut count = UBig::zero();
+        for (depth, &rank) in leaf.ranks().iter().enumerate() {
+            count += &shape.weight_at(depth + 1).mul_u64(rank);
+        }
+        prop_assert_eq!(count.to_u64(), Some(n));
+    }
+
+    #[test]
+    fn intersect_commutes_and_shrinks(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000, d in 0u64..1000) {
+        let i1 = Interval::new(UBig::from(a.min(b)), UBig::from(a.max(b)));
+        let i2 = Interval::new(UBig::from(c.min(d)), UBig::from(c.max(d)));
+        let m = i1.intersect(&i2);
+        prop_assert_eq!(m.clone(), i2.intersect(&i1));
+        prop_assert!(m.length() <= i1.length());
+        prop_assert!(m.length() <= i2.length());
+        if !m.is_empty() {
+            prop_assert!(i1.contains_interval(&m));
+            prop_assert!(i2.contains_interval(&m));
+        }
+    }
+
+    #[test]
+    fn split_reassembles(a in 0u64..1000, b in 0u64..1000, c in 0u64..2000) {
+        let interval = Interval::new(UBig::from(a.min(b)), UBig::from(a.max(b)));
+        let (left, right) = interval.split_at(&UBig::from(c));
+        prop_assert_eq!(&left.length() + &right.length(), interval.length());
+        if !left.is_empty() && !right.is_empty() {
+            prop_assert_eq!(left.end(), right.begin());
+        }
+    }
+
+    #[test]
+    fn interval_set_ops_preserve_invariants(ops in proptest::collection::vec((any::<bool>(), 0u64..500, 0u64..500), 0..40)) {
+        let mut set = IntervalSet::new();
+        for (is_insert, x, y) in ops {
+            let iv = Interval::new(UBig::from(x.min(y)), UBig::from(x.max(y)));
+            if is_insert {
+                set.insert(iv);
+            } else {
+                set.subtract(&iv);
+            }
+            prop_assert!(set.check_invariants(), "invariant broken: {}", set);
+        }
+    }
+
+    #[test]
+    fn interval_set_matches_bitset_reference(ops in proptest::collection::vec((any::<bool>(), 0u64..256, 0u64..256), 0..30)) {
+        let mut set = IntervalSet::new();
+        let mut bits = [false; 256];
+        for (is_insert, x, y) in ops {
+            let (lo, hi) = (x.min(y), x.max(y));
+            let iv = Interval::new(UBig::from(lo), UBig::from(hi));
+            if is_insert {
+                set.insert(iv);
+                for bit in bits.iter_mut().take(hi as usize).skip(lo as usize) {
+                    *bit = true;
+                }
+            } else {
+                set.subtract(&iv);
+                for bit in bits.iter_mut().take(hi as usize).skip(lo as usize) {
+                    *bit = false;
+                }
+            }
+        }
+        for (i, &expect) in bits.iter().enumerate() {
+            prop_assert_eq!(set.contains(&UBig::from(i as u64)), expect, "at {}", i);
+        }
+    }
+
+    #[test]
+    fn fold_rejects_shuffled_frontiers(shape in small_shape(), x in 0u64..1_000_000, y in 0u64..1_000_000, swap in any::<proptest::sample::Index>()) {
+        let interval = sub_interval(&shape, x, y);
+        let mut nodes = unfold(&shape, &interval);
+        prop_assume!(nodes.len() >= 2);
+        let i = swap.index(nodes.len() - 1);
+        nodes.swap(i, i + 1);
+        prop_assert!(fold(&shape, &nodes).is_err());
+    }
+}

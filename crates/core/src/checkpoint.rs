@@ -1,0 +1,318 @@
+//! Two-file coordinator checkpointing (paper §4.1).
+//!
+//! "The coordinator manages a possible failure of the farmer by
+//! periodically saving, in two files, the contents of `INTERVALS` and
+//! `SOLUTION`" — every 30 minutes in the paper's run, 4 094 176 total
+//! checkpoint operations in Table 2.
+//!
+//! The on-disk format is a line-oriented decimal text codec (no external
+//! serialization dependency, human-auditable, exact big-integer round
+//! trips):
+//!
+//! ```text
+//! # INTERVALS file             # SOLUTION file
+//! gridbnb-intervals v1         gridbnb-solution v1
+//! 120 720                      cost 3679
+//! 840 5040                     ranks 13 35 2 ...
+//! ```
+//!
+//! Writes are atomic (temp file + rename) so a farmer crash mid-save
+//! cannot corrupt the previous checkpoint.
+
+use crate::Coordinator;
+use gridbnb_coding::Interval;
+use gridbnb_engine::Solution;
+use gridbnb_bigint::UBig;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+const INTERVALS_HEADER: &str = "gridbnb-intervals v1";
+const SOLUTION_HEADER: &str = "gridbnb-solution v1";
+
+/// Errors from loading a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Structural problem in a checkpoint file.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Serializes `INTERVALS` (one `begin end` pair per line, decimal).
+pub fn encode_intervals(intervals: &[Interval]) -> String {
+    let mut out = String::from(INTERVALS_HEADER);
+    out.push('\n');
+    for i in intervals {
+        let _ = writeln!(out, "{} {}", i.begin(), i.end());
+    }
+    out
+}
+
+/// Parses an `INTERVALS` file; empty intervals are dropped.
+pub fn decode_intervals(text: &str) -> Result<Vec<Interval>, CheckpointError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == INTERVALS_HEADER => {}
+        other => {
+            return Err(CheckpointError::Corrupt(format!(
+                "bad intervals header: {other:?}"
+            )))
+        }
+    }
+    let mut intervals = Vec::new();
+    for (ln, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let begin = parse_ubig(parts.next(), ln)?;
+        let end = parse_ubig(parts.next(), ln)?;
+        if parts.next().is_some() {
+            return Err(CheckpointError::Corrupt(format!(
+                "trailing tokens on line {}",
+                ln + 2
+            )));
+        }
+        let interval = Interval::new(begin, end);
+        if !interval.is_empty() {
+            intervals.push(interval);
+        }
+    }
+    Ok(intervals)
+}
+
+fn parse_ubig(token: Option<&str>, ln: usize) -> Result<UBig, CheckpointError> {
+    let token = token.ok_or_else(|| {
+        CheckpointError::Corrupt(format!("missing endpoint on line {}", ln + 2))
+    })?;
+    UBig::from_str(token)
+        .map_err(|e| CheckpointError::Corrupt(format!("line {}: {e}", ln + 2)))
+}
+
+/// Serializes `SOLUTION`.
+pub fn encode_solution(solution: Option<&Solution>) -> String {
+    let mut out = String::from(SOLUTION_HEADER);
+    out.push('\n');
+    if let Some(s) = solution {
+        let _ = writeln!(out, "cost {}", s.cost);
+        let mut ranks = String::from("ranks");
+        for r in &s.leaf_ranks {
+            let _ = write!(ranks, " {r}");
+        }
+        out.push_str(&ranks);
+        out.push('\n');
+    } else {
+        out.push_str("none\n");
+    }
+    out
+}
+
+/// Parses a `SOLUTION` file.
+pub fn decode_solution(text: &str) -> Result<Option<Solution>, CheckpointError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h.trim() == SOLUTION_HEADER => {}
+        other => {
+            return Err(CheckpointError::Corrupt(format!(
+                "bad solution header: {other:?}"
+            )))
+        }
+    }
+    let body: Vec<&str> = lines.map(str::trim).filter(|l| !l.is_empty()).collect();
+    if body.first() == Some(&"none") {
+        return Ok(None);
+    }
+    let cost_line = body
+        .first()
+        .ok_or_else(|| CheckpointError::Corrupt("missing cost line".into()))?;
+    let cost = cost_line
+        .strip_prefix("cost ")
+        .and_then(|c| c.trim().parse::<u64>().ok())
+        .ok_or_else(|| CheckpointError::Corrupt(format!("bad cost line: {cost_line:?}")))?;
+    let ranks_line = body
+        .get(1)
+        .ok_or_else(|| CheckpointError::Corrupt("missing ranks line".into()))?;
+    let ranks = ranks_line
+        .strip_prefix("ranks")
+        .ok_or_else(|| CheckpointError::Corrupt(format!("bad ranks line: {ranks_line:?}")))?
+        .split_whitespace()
+        .map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| CheckpointError::Corrupt(format!("bad rank {t:?}: {e}")))
+        })
+        .collect::<Result<Vec<u64>, _>>()?;
+    Ok(Some(Solution::new(cost, ranks)))
+}
+
+/// The two checkpoint files and atomic save/load operations on them.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    intervals_path: PathBuf,
+    solution_path: PathBuf,
+}
+
+impl CheckpointStore {
+    /// A store writing `INTERVALS` and `SOLUTION` to the given paths.
+    pub fn new(intervals_path: impl Into<PathBuf>, solution_path: impl Into<PathBuf>) -> Self {
+        CheckpointStore {
+            intervals_path: intervals_path.into(),
+            solution_path: solution_path.into(),
+        }
+    }
+
+    /// Saves the coordinator state atomically (both files).
+    pub fn save(&self, coordinator: &Coordinator) -> Result<(), CheckpointError> {
+        let intervals: Vec<Interval> = coordinator
+            .entries()
+            .iter()
+            .map(|e| e.interval.clone())
+            .collect();
+        write_atomic(&self.intervals_path, &encode_intervals(&intervals))?;
+        write_atomic(&self.solution_path, &encode_solution(coordinator.solution()))?;
+        Ok(())
+    }
+
+    /// Loads `(intervals, solution)` from the two files.
+    pub fn load(&self) -> Result<(Vec<Interval>, Option<Solution>), CheckpointError> {
+        let itext = fs::read_to_string(&self.intervals_path)?;
+        let stext = fs::read_to_string(&self.solution_path)?;
+        Ok((decode_intervals(&itext)?, decode_solution(&stext)?))
+    }
+
+    /// `true` iff both files exist (a prior checkpoint is available).
+    pub fn exists(&self) -> bool {
+        self.intervals_path.exists() && self.solution_path.exists()
+    }
+}
+
+fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(UBig::from(a), UBig::from(b))
+    }
+
+    #[test]
+    fn intervals_round_trip() {
+        let intervals = vec![iv(0, 120), iv(840, 5040)];
+        let text = encode_intervals(&intervals);
+        assert_eq!(decode_intervals(&text).unwrap(), intervals);
+    }
+
+    #[test]
+    fn intervals_round_trip_at_ta056_scale() {
+        let big = Interval::new(UBig::factorial(49), UBig::factorial(50));
+        let text = encode_intervals(&[big.clone()]);
+        assert_eq!(decode_intervals(&text).unwrap(), vec![big]);
+    }
+
+    #[test]
+    fn empty_intervals_dropped_on_load() {
+        let text = format!("{INTERVALS_HEADER}\n5 5\n7 9\n");
+        assert_eq!(decode_intervals(&text).unwrap(), vec![iv(7, 9)]);
+    }
+
+    #[test]
+    fn intervals_reject_bad_header() {
+        assert!(decode_intervals("nonsense\n1 2\n").is_err());
+    }
+
+    #[test]
+    fn intervals_reject_garbage_line() {
+        let text = format!("{INTERVALS_HEADER}\n1 2 3\n");
+        assert!(decode_intervals(&text).is_err());
+        let text = format!("{INTERVALS_HEADER}\nabc 4\n");
+        assert!(decode_intervals(&text).is_err());
+        let text = format!("{INTERVALS_HEADER}\n12\n");
+        assert!(decode_intervals(&text).is_err());
+    }
+
+    #[test]
+    fn solution_round_trip() {
+        let s = Solution::new(3679, vec![13, 35, 2, 0, 1]);
+        let text = encode_solution(Some(&s));
+        assert_eq!(decode_solution(&text).unwrap(), Some(s));
+    }
+
+    #[test]
+    fn none_solution_round_trip() {
+        let text = encode_solution(None);
+        assert_eq!(decode_solution(&text).unwrap(), None);
+    }
+
+    #[test]
+    fn solution_rejects_corruption() {
+        assert!(decode_solution("bad\n").is_err());
+        assert!(decode_solution(&format!("{SOLUTION_HEADER}\ncost x\nranks 1\n")).is_err());
+        assert!(decode_solution(&format!("{SOLUTION_HEADER}\ncost 5\n")).is_err());
+        assert!(decode_solution(&format!("{SOLUTION_HEADER}\ncost 5\nranks 1 b\n")).is_err());
+    }
+
+    #[test]
+    fn store_save_load_round_trip() {
+        use crate::{Coordinator, CoordinatorConfig, Request, WorkerId};
+        let dir = std::env::temp_dir().join(format!("gridbnb-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = CheckpointStore::new(dir.join("intervals.txt"), dir.join("solution.txt"));
+        assert!(!store.exists());
+
+        let mut coord = Coordinator::new(iv(0, 5040), CoordinatorConfig::default());
+        // Hand out a couple of units and record a solution.
+        let _ = coord.handle(
+            Request::Join {
+                worker: WorkerId(1),
+                power: 10,
+            },
+            0,
+        );
+        let _ = coord.handle(
+            Request::Update {
+                worker: WorkerId(1),
+                interval: iv(100, 5040),
+            },
+            1,
+        );
+        let _ = coord.handle(
+            Request::ReportSolution {
+                worker: WorkerId(1),
+                solution: Solution::new(42, vec![1, 2, 3]),
+            },
+            2,
+        );
+        store.save(&coord).unwrap();
+        assert!(store.exists());
+
+        let (intervals, solution) = store.load().unwrap();
+        assert_eq!(intervals, vec![iv(100, 5040)]);
+        assert_eq!(solution.unwrap().cost, 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,455 @@
+//! The coordinator (farmer) state machine: `INTERVALS`, `SOLUTION`, and
+//! the selection / partitioning / intersection operators of §4.
+
+use crate::{Request, Response, WorkerId};
+use gridbnb_coding::{Interval, IntervalSet, UBig};
+use gridbnb_engine::Solution;
+
+/// Coordinator tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CoordinatorConfig {
+    /// Intervals shorter than this are **duplicated** instead of split
+    /// (paper §4.2): the requester gets a full copy and both processes
+    /// race, at the price of redundant exploration. Must be ≥ 1.
+    pub duplication_threshold: UBig,
+    /// Holders that have not contacted the coordinator for this long
+    /// (nanoseconds of the injected clock) may be expired by
+    /// [`Coordinator::expire_stale_holders`], making their interval
+    /// reassignable in full — the recovery path for crashed workers.
+    pub holder_timeout_ns: u64,
+    /// Initial upper bound (e.g. from iterated greedy — the paper used
+    /// 3681 then 3680). Solutions must *strictly* improve it.
+    pub initial_upper_bound: Option<u64>,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            duplication_threshold: UBig::from(64u64),
+            holder_timeout_ns: 60_000_000_000, // 60 s
+            initial_upper_bound: None,
+        }
+    }
+}
+
+/// One member of `INTERVALS`: the coordinator-side copy of a work unit.
+#[derive(Clone, Debug)]
+pub struct IntervalEntry {
+    /// The copy `[A', B')`.
+    pub interval: Interval,
+    /// Holders currently exploring (a duplicated interval has several;
+    /// an unassigned interval — after a restore or an expiry — has none
+    /// and behaves as held by the paper's *virtual process of null
+    /// power*).
+    pub holders: Vec<Holder>,
+}
+
+/// One holder of an interval copy.
+#[derive(Clone, Debug)]
+pub struct Holder {
+    /// The worker exploring the interval.
+    pub worker: WorkerId,
+    /// Its relative power (proportional partitioning weight).
+    pub power: u64,
+    /// Injected-clock timestamp of its last contact.
+    pub last_contact_ns: u64,
+}
+
+/// Protocol and bookkeeping counters (feeds the Table 2 reproduction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinatorStats {
+    /// Work units handed out (paper: "work allocations", 129 958).
+    pub work_allocations: u64,
+    /// Interval splits performed.
+    pub partitions: u64,
+    /// Interval duplications performed (redundancy source).
+    pub duplications: u64,
+    /// Whole-interval assignments (unassigned → requester).
+    pub full_assignments: u64,
+    /// Update (checkpoint) requests processed.
+    pub updates: u64,
+    /// Solution reports received.
+    pub solution_reports: u64,
+    /// Solution reports that improved `SOLUTION`.
+    pub improvements: u64,
+    /// Terminate responses issued.
+    pub terminations_sent: u64,
+    /// Holders expired as presumed dead.
+    pub holders_expired: u64,
+}
+
+/// The farmer-side state machine (transport-agnostic; both the thread
+/// runtime and the grid simulator drive it).
+///
+/// Invariants maintained (checked by [`Coordinator::check_invariants`]):
+///
+/// * entries are non-empty intervals within the root range;
+/// * entries are pairwise disjoint (duplication shares *one* entry among
+///   several holders rather than duplicating the entry — the paper:
+///   "the coordinator keeps only one copy of a duplicated interval");
+/// * the union of entries covers exactly the not-yet-explored numbers
+///   (work conservation: nothing is lost, only redundantly re-explored).
+#[derive(Clone, Debug)]
+pub struct Coordinator {
+    root: Interval,
+    entries: Vec<IntervalEntry>,
+    solution: Option<Solution>,
+    config: CoordinatorConfig,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// A coordinator for the whole tree: `INTERVALS` starts as the root
+    /// range (paper §4.3).
+    pub fn new(root: Interval, config: CoordinatorConfig) -> Self {
+        assert!(
+            config.duplication_threshold >= UBig::one(),
+            "duplication threshold must be ≥ 1"
+        );
+        let entries = if root.is_empty() {
+            Vec::new()
+        } else {
+            vec![IntervalEntry {
+                interval: root.clone(),
+                holders: Vec::new(),
+            }]
+        };
+        Coordinator {
+            root,
+            entries,
+            solution: None,
+            config,
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Rebuilds a coordinator from checkpointed state (all intervals
+    /// restored unassigned; workers will re-request work).
+    pub fn restore(
+        root: Interval,
+        intervals: Vec<Interval>,
+        solution: Option<Solution>,
+        config: CoordinatorConfig,
+    ) -> Self {
+        let entries = intervals
+            .into_iter()
+            .filter(|i| !i.is_empty())
+            .map(|interval| IntervalEntry {
+                interval,
+                holders: Vec::new(),
+            })
+            .collect();
+        Coordinator {
+            root,
+            entries,
+            solution,
+            config,
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Handles one worker request at injected time `now_ns`.
+    pub fn handle(&mut self, request: Request, now_ns: u64) -> Response {
+        match request {
+            Request::Join { worker, power } => {
+                // A (re-)joining worker must NOT complete anything: a
+                // crashed-and-restarted process may reuse an id whose old
+                // interval is still unexplored. Detach the id, keep the
+                // intervals.
+                self.remove_holder_everywhere(worker);
+                self.assign(worker, power.max(1), now_ns)
+            }
+            Request::RequestWork { worker, power } => {
+                // RequestWork is only sent on genuine exhaustion: the
+                // worker's live interval is empty, and the coordinator
+                // copy is always a subset of the live interval, so the
+                // copy is fully explored — drop it.
+                self.complete_units_of(worker);
+                self.assign(worker, power.max(1), now_ns)
+            }
+            Request::Update { worker, interval } => self.update(worker, interval, now_ns),
+            Request::ReportSolution { worker: _, solution } => self.report_solution(solution),
+            Request::Leave { worker } => {
+                self.remove_holder_everywhere(worker);
+                Response::LeaveAck
+            }
+        }
+    }
+
+    /// `true` iff `INTERVALS` is empty: implicit termination (§4.3).
+    pub fn is_terminated(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of intervals (the paper's *cardinality* of `INTERVALS`,
+    /// roughly the number of live B&B processes during a run).
+    pub fn cardinality(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sum of interval lengths (the paper's *size* of `INTERVALS`: the
+    /// count of not-yet-explored solutions). Strictly decreasing over a
+    /// run.
+    pub fn size(&self) -> UBig {
+        let mut total = UBig::zero();
+        for e in &self.entries {
+            total += &e.interval.length();
+        }
+        total
+    }
+
+    /// Current best cost: the minimum of the initial upper bound and any
+    /// reported solution (what workers must strictly beat).
+    pub fn cutoff(&self) -> Option<u64> {
+        match (&self.solution, self.config.initial_upper_bound) {
+            (Some(s), Some(ub)) => Some(s.cost.min(ub)),
+            (Some(s), None) => Some(s.cost),
+            (None, ub) => ub,
+        }
+    }
+
+    /// The global best solution (`SOLUTION`).
+    pub fn solution(&self) -> Option<&Solution> {
+        self.solution.as_ref()
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// The current entries (for checkpointing and inspection).
+    pub fn entries(&self) -> &[IntervalEntry] {
+        &self.entries
+    }
+
+    /// The root range this coordinator administers.
+    pub fn root(&self) -> &Interval {
+        &self.root
+    }
+
+    /// Expires holders not heard from since `now_ns −
+    /// holder_timeout_ns`; their intervals become unassigned and are
+    /// handed out *in full* at the next work request — the paper's
+    /// recovery of a failed worker's last interval copy. Returns the
+    /// number of holders expired.
+    pub fn expire_stale_holders(&mut self, now_ns: u64) -> u64 {
+        let timeout = self.config.holder_timeout_ns;
+        let mut expired = 0;
+        for entry in &mut self.entries {
+            entry.holders.retain(|h| {
+                let stale = now_ns.saturating_sub(h.last_contact_ns) > timeout;
+                if stale {
+                    expired += 1;
+                }
+                !stale
+            });
+        }
+        self.stats.holders_expired += expired;
+        expired
+    }
+
+    /// Verifies the structural invariants; returns a description of the
+    /// first violation. Used by tests after arbitrary request sequences.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut set = IntervalSet::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.interval.is_empty() {
+                return Err(format!("entry {i} is empty: {}", e.interval));
+            }
+            if !self.root.contains_interval(&e.interval) {
+                return Err(format!("entry {i} escapes the root range"));
+            }
+            for other in &self.entries[i + 1..] {
+                if e.interval.overlaps(&other.interval) {
+                    return Err(format!(
+                        "entries overlap: {} and {}",
+                        e.interval, other.interval
+                    ));
+                }
+            }
+            set.insert(e.interval.clone());
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Load balancing (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Assigns a work unit via the selection + partitioning operators.
+    fn assign(&mut self, worker: WorkerId, power: u64, now_ns: u64) -> Response {
+        if self.entries.is_empty() {
+            self.stats.terminations_sent += 1;
+            return Response::Terminate;
+        }
+
+        // Selection operator: not the longest interval, but the one that
+        // yields the longest assigned part [C, B) for this requester.
+        let mut best: Option<(usize, UBig)> = None;
+        for (idx, entry) in self.entries.iter().enumerate() {
+            let produced = self.candidate_steal_length(entry, power);
+            match &best {
+                Some((_, len)) if *len >= produced => {}
+                _ => best = Some((idx, produced)),
+            }
+        }
+        let (idx, _) = best.expect("non-empty INTERVALS");
+        let response = self.partition(idx, worker, power, now_ns);
+        self.stats.work_allocations += 1;
+        response
+    }
+
+    /// Length of `[C, B)` the requester would get from this entry.
+    fn candidate_steal_length(&self, entry: &IntervalEntry, power: u64) -> UBig {
+        let len = entry.interval.length();
+        if entry.holders.is_empty() {
+            // Virtual process of null power: C = A, whole interval.
+            return len;
+        }
+        if len < self.config.duplication_threshold {
+            // Duplication hands over a full copy.
+            return len;
+        }
+        let holder_power: u64 = entry.holders.iter().map(|h| h.power.max(1)).sum();
+        let steal = len.mul_div_floor(power, holder_power.saturating_add(power).max(1));
+        if steal.is_zero() {
+            len // would degenerate to duplication
+        } else {
+            steal
+        }
+    }
+
+    /// Partitioning operator on entry `idx` for `worker` of `power`.
+    fn partition(&mut self, idx: usize, worker: WorkerId, power: u64, now_ns: u64) -> Response {
+        let cutoff = self.cutoff();
+        let holder = Holder {
+            worker,
+            power,
+            last_contact_ns: now_ns,
+        };
+        let entry = &mut self.entries[idx];
+        let len = entry.interval.length();
+
+        if entry.holders.is_empty() {
+            // Unassigned (virtual null-power holder): C = A, assign all.
+            entry.holders.push(holder);
+            self.stats.full_assignments += 1;
+            return Response::Work {
+                interval: entry.interval.clone(),
+                cutoff,
+            };
+        }
+
+        if len < self.config.duplication_threshold {
+            return self.duplicate(idx, holder, cutoff);
+        }
+
+        let holder_power: u64 = entry.holders.iter().map(|h| h.power.max(1)).sum();
+        let steal = len.mul_div_floor(power, holder_power.saturating_add(power).max(1));
+        if steal.is_zero() {
+            return self.duplicate(idx, holder, cutoff);
+        }
+        // C = B − steal ; holder keeps [A, C), requester gets [C, B).
+        let cut = entry.interval.end().saturating_sub(&steal);
+        let (keep, give) = entry.interval.split_at(&cut);
+        debug_assert!(!keep.is_empty() && !give.is_empty());
+        entry.interval = keep;
+        self.entries.push(IntervalEntry {
+            interval: give.clone(),
+            holders: vec![holder],
+        });
+        self.stats.partitions += 1;
+        Response::Work {
+            interval: give,
+            cutoff,
+        }
+    }
+
+    /// Duplication: the requester becomes an additional holder of the
+    /// *same* entry and receives a full copy of it.
+    fn duplicate(&mut self, idx: usize, holder: Holder, cutoff: Option<u64>) -> Response {
+        let entry = &mut self.entries[idx];
+        entry.holders.push(holder);
+        self.stats.duplications += 1;
+        Response::Work {
+            interval: entry.interval.clone(),
+            cutoff,
+        }
+    }
+
+    /// Drops every entry (co-)held by `worker` — called when that worker
+    /// reports completion of its unit. Co-holders of a duplicated entry
+    /// lose it too: the numbers are explored, their next update returns
+    /// an empty intersection and they will request new work.
+    fn complete_units_of(&mut self, worker: WorkerId) {
+        self.entries
+            .retain(|e| !e.holders.iter().any(|h| h.worker == worker));
+    }
+
+    /// Removes `worker` from all holder lists without touching the
+    /// intervals (graceful leave: the work remains to be done).
+    fn remove_holder_everywhere(&mut self, worker: WorkerId) {
+        for entry in &mut self.entries {
+            entry.holders.retain(|h| h.worker != worker);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault tolerance (§4.1)
+    // ------------------------------------------------------------------
+
+    /// Intersection update (equation 14): the worker's live `[A, B)`
+    /// meets the coordinator copy `[A', B')`; both sides adopt
+    /// `[max(A,A'), min(B,B'))`.
+    fn update(&mut self, worker: WorkerId, reported: Interval, now_ns: u64) -> Response {
+        self.stats.updates += 1;
+        let cutoff = self.cutoff();
+        let mut result = Interval::empty();
+        let mut found = false;
+        for entry in &mut self.entries {
+            if let Some(h) = entry.holders.iter_mut().find(|h| h.worker == worker) {
+                h.last_contact_ns = now_ns;
+                let met = entry.interval.intersect(&reported);
+                entry.interval = met.clone();
+                result = met;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            // Stale worker (expired or restored coordinator): its unit is
+            // no longer tracked — the empty ack sends it back for work.
+            return Response::UpdateAck {
+                interval: Interval::empty(),
+                cutoff,
+            };
+        }
+        // Drop entries emptied by the intersection (paper §4.3: "any
+        // empty interval of INTERVALS is automatically removed").
+        self.entries.retain(|e| !e.interval.is_empty());
+        Response::UpdateAck {
+            interval: result,
+            cutoff,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Solution sharing (§4.4)
+    // ------------------------------------------------------------------
+
+    fn report_solution(&mut self, solution: Solution) -> Response {
+        self.stats.solution_reports += 1;
+        let improves = match self.cutoff() {
+            Some(c) => solution.cost < c,
+            None => true,
+        };
+        if improves {
+            self.solution = Some(solution);
+            self.stats.improvements += 1;
+        }
+        Response::SolutionAck {
+            cutoff: self.cutoff(),
+        }
+    }
+}

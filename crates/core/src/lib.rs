@@ -1,0 +1,40 @@
+//! Grid-enabled branch and bound: the farmer–worker algorithm of the
+//! paper's §4 with interval-coded work units.
+//!
+//! The central piece is the [`Coordinator`]: a transport-agnostic state
+//! machine owning the paper's two global objects —
+//!
+//! * `INTERVALS`, the set of coordinator-side copies of all not-yet
+//!   explored intervals, and
+//! * `SOLUTION`, the best solution found so far —
+//!
+//! and implementing the four protocol concerns the paper addresses:
+//! **load balancing** (selection + proportional partitioning operators,
+//! with duplication below a length threshold), **fault tolerance**
+//! (interval intersection on every worker contact, equation 14, plus
+//! periodic two-file checkpoints), **implicit termination detection**
+//! (the computation is over exactly when `INTERVALS` becomes empty) and
+//! **solution sharing** (the three rules of §4.4).
+//!
+//! Two executors drive the same coordinator:
+//!
+//! * [`runtime`] — a real multi-threaded farmer–worker runtime built on
+//!   crossbeam channels following the pull model (workers always
+//!   initiate), with optional fault injection;
+//! * the discrete-event grid simulator in `gridbnb-grid`, which replays
+//!   the identical protocol over thousands of simulated volatile hosts to
+//!   reproduce the paper's Table 2 and Figure 7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+mod coordinator;
+mod protocol;
+pub mod runtime;
+
+pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorStats, IntervalEntry};
+pub use protocol::{Request, Response, WorkerId};
+
+pub use gridbnb_coding::{Interval, IntervalSet, TreeShape, UBig};
+pub use gridbnb_engine::{Problem, Solution};

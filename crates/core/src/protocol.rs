@@ -1,0 +1,114 @@
+//! The pull-model message protocol between B&B processes (workers) and
+//! the coordinator (farmer).
+//!
+//! Workers always initiate (the paper assumes workers behind firewalls,
+//! exchanging "according to the pull model"); the coordinator never
+//! contacts a worker. Every exchange doubles as a solution-sharing
+//! opportunity: responses carry the current global cutoff.
+
+use gridbnb_coding::Interval;
+use gridbnb_engine::Solution;
+
+/// Identifies one B&B process (one worker processor).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u64);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A worker-initiated message.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// First contact of a worker (or re-contact after a simulated
+    /// failure): asks for an interval. `power` is the relative speed of
+    /// the hosting processor, used by the proportional partitioning
+    /// operator.
+    Join {
+        /// The contacting worker.
+        worker: WorkerId,
+        /// Relative processor power (e.g. MHz); clamped to ≥ 1.
+        power: u64,
+    },
+    /// The worker finished its interval and asks for another one.
+    RequestWork {
+        /// The contacting worker.
+        worker: WorkerId,
+        /// Relative processor power.
+        power: u64,
+    },
+    /// Periodic checkpoint: the worker reports its live interval; the
+    /// coordinator intersects it with its copy (equation 14) and returns
+    /// the result, which the worker adopts.
+    Update {
+        /// The contacting worker.
+        worker: WorkerId,
+        /// The worker's live interval `[position, end)`.
+        interval: Interval,
+    },
+    /// The worker found a solution improving its local best (solution
+    /// sharing rule 2: inform the coordinator immediately).
+    ReportSolution {
+        /// The contacting worker.
+        worker: WorkerId,
+        /// The improving solution.
+        solution: Solution,
+    },
+    /// Graceful departure (cycle stealing reclaimed the host). The
+    /// worker's interval copy stays in `INTERVALS` and becomes
+    /// immediately reassignable.
+    Leave {
+        /// The departing worker.
+        worker: WorkerId,
+    },
+}
+
+impl Request {
+    /// The worker issuing this request.
+    pub fn worker(&self) -> WorkerId {
+        match self {
+            Request::Join { worker, .. }
+            | Request::RequestWork { worker, .. }
+            | Request::Update { worker, .. }
+            | Request::ReportSolution { worker, .. }
+            | Request::Leave { worker } => *worker,
+        }
+    }
+}
+
+/// The coordinator's reply.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// A work unit: explore `interval` starting from the current global
+    /// cutoff (solution sharing rule 1: initialize the local best from
+    /// `SOLUTION`).
+    Work {
+        /// The assigned interval.
+        interval: Interval,
+        /// Current global cutoff (best known cost), if any.
+        cutoff: Option<u64>,
+    },
+    /// The intersected interval copy after an update, plus the global
+    /// cutoff (solution sharing rule 3: regularly re-read `SOLUTION`).
+    /// If the interval comes back empty the worker's unit was fully
+    /// stolen or completed elsewhere: request new work next.
+    UpdateAck {
+        /// `worker ∩ coordinator` interval (equation 14).
+        interval: Interval,
+        /// Current global cutoff.
+        cutoff: Option<u64>,
+    },
+    /// Acknowledges a reported solution, returning the (possibly better)
+    /// global cutoff.
+    SolutionAck {
+        /// Current global cutoff after merging the report.
+        cutoff: Option<u64>,
+    },
+    /// `INTERVALS` is empty: the whole tree is explored, resolution over
+    /// (the paper's implicit termination detection, §4.3).
+    Terminate,
+    /// Acknowledges a graceful leave.
+    LeaveAck,
+}

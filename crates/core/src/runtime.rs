@@ -1,0 +1,437 @@
+//! Multi-threaded farmer–worker runtime over crossbeam channels.
+//!
+//! One farmer thread owns the [`Coordinator`]; worker threads run
+//! [`IntervalExplorer`]s and speak the pull-model protocol: every message
+//! is worker-initiated, the farmer only replies. Workers interleave
+//! exploration (`poll_nodes` node visits per slice) with protocol
+//! contacts, exactly like the paper's B&B processes that "regularly
+//! contact the coordinator to update their interval".
+//!
+//! Fault tolerance is exercisable in-process: a [`ChaosConfig`] makes
+//! chosen workers "crash" (silently abandon their explorer, losing all
+//! state) and optionally rejoin under a fresh identity. Recovery follows
+//! the paper: the coordinator still holds the crashed worker's last
+//! interval copy; once the holder is expired (or the interval is
+//! duplicated below the threshold) the work is redistributed. Runs with
+//! crashes must still return the exact optimum — the integration tests
+//! assert it.
+
+use crate::checkpoint::CheckpointStore;
+use crate::{Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response, WorkerId};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridbnb_bigint::UBig;
+use gridbnb_coding::Interval;
+use gridbnb_engine::{IntervalExplorer, Problem, SearchStats, Solution};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Periodic farmer checkpointing policy.
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Where the two files go.
+    pub store: CheckpointStore,
+    /// Save period (the paper's coordinator checkpointed every 30 min).
+    pub every: Duration,
+}
+
+/// One scripted worker crash.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// Index of the worker thread that crashes.
+    pub worker_index: usize,
+    /// The crash fires once the worker has explored this many nodes
+    /// (across all its units).
+    pub after_nodes: u64,
+    /// Whether the host comes back (rejoining under a fresh worker id).
+    pub rejoin: bool,
+}
+
+/// Fault-injection script.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosConfig {
+    /// Crashes to inject (at most one per worker index is honored).
+    pub crashes: Vec<CrashPlan>,
+}
+
+/// Runtime configuration.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Node visits explored between two coordinator contacts.
+    pub poll_nodes: u64,
+    /// Coordinator knobs (threshold, timeout, initial upper bound).
+    pub coordinator: CoordinatorConfig,
+    /// Relative worker powers (cycled if shorter than `workers`);
+    /// defaults to homogeneous 100.
+    pub worker_powers: Vec<u64>,
+    /// Optional periodic checkpointing.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Optional fault injection.
+    pub chaos: Option<ChaosConfig>,
+}
+
+impl RuntimeConfig {
+    /// A sensible default for `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        RuntimeConfig {
+            workers,
+            poll_nodes: 2_000,
+            coordinator: CoordinatorConfig::default(),
+            worker_powers: vec![100],
+            checkpoint: None,
+            chaos: None,
+        }
+    }
+
+    /// Sets the initial upper bound (from a heuristic, like the paper's
+    /// 3681 from iterated greedy).
+    pub fn with_initial_upper_bound(mut self, ub: u64) -> Self {
+        self.coordinator.initial_upper_bound = Some(ub);
+        self
+    }
+}
+
+/// Per-worker outcome.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerReport {
+    /// Work units this thread processed.
+    pub units: u64,
+    /// Search counters summed over its units.
+    pub stats: SearchStats,
+    /// Update (checkpoint) messages it sent.
+    pub checkpoint_ops: u64,
+    /// Crashes it simulated.
+    pub crashes: u64,
+    /// Node visits presumed redundant: explored in slices whose update
+    /// ack came back empty (the unit had already been completed
+    /// elsewhere) or lost in a crash (someone re-explores them).
+    pub redundant_nodes: u64,
+    /// Total interval length it consumed (including progress lost in
+    /// crashes, which other workers re-explore).
+    pub consumed: UBig,
+    /// Time spent exploring (busy), as opposed to waiting on the farmer.
+    pub busy: Duration,
+    /// Wall time of the thread.
+    pub wall: Duration,
+}
+
+/// Outcome of a parallel resolution.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Best solution found (none if the initial bound was optimal).
+    pub solution: Option<Solution>,
+    /// `min(initial upper bound, best found)`: the proven optimum once
+    /// the run completes.
+    pub proven_optimum: Option<u64>,
+    /// Farmer-side protocol counters.
+    pub coordinator_stats: CoordinatorStats,
+    /// Per-worker outcomes.
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+    /// Total time the farmer spent handling requests and checkpointing.
+    pub farmer_busy: Duration,
+    /// Checkpoint files written by the farmer.
+    pub farmer_checkpoints: u64,
+    /// Length of the root interval (for redundancy accounting).
+    pub root_length: UBig,
+}
+
+impl RunReport {
+    /// Total nodes explored by all workers.
+    pub fn total_explored(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.explored).sum()
+    }
+
+    /// Total worker busy time.
+    pub fn worker_busy(&self) -> Duration {
+        self.workers.iter().map(|w| w.busy).sum()
+    }
+
+    /// Mean worker CPU exploitation: busy time over wall time (the
+    /// paper reports 97 %).
+    pub fn worker_exploitation(&self) -> f64 {
+        let wall: f64 = self.workers.iter().map(|w| w.wall.as_secs_f64()).sum();
+        if wall == 0.0 {
+            return 0.0;
+        }
+        self.worker_busy().as_secs_f64() / wall
+    }
+
+    /// Farmer CPU exploitation: farmer busy time over run wall time (the
+    /// paper reports 1.7 %).
+    pub fn farmer_exploitation(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.farmer_busy.as_secs_f64() / self.wall.as_secs_f64()
+    }
+
+    /// Fraction of consumed interval length that was covered more than
+    /// once (duplication, shrink lag, crash re-exploration). Measured in
+    /// leaf numbers, so a single pruned-subtree jump across a stolen
+    /// boundary inflates it — see [`RunReport::node_redundancy`] for the
+    /// node-visit measure the paper's Table 2 reports (0.39 %).
+    pub fn redundancy(&self) -> f64 {
+        let mut consumed = UBig::zero();
+        for w in &self.workers {
+            consumed += &w.consumed;
+        }
+        if consumed.is_zero() {
+            return 0.0;
+        }
+        let redundant = consumed.saturating_sub(&self.root_length);
+        redundant.ratio(&consumed)
+    }
+
+    /// Estimated fraction of node visits that were redundant — slices
+    /// whose result was discarded (unit already completed elsewhere, or
+    /// crash-lost work that someone re-explored). Comparable to the
+    /// paper's "Redundant nodes: 0.39 %".
+    pub fn node_redundancy(&self) -> f64 {
+        let total = self.total_explored();
+        if total == 0 {
+            return 0.0;
+        }
+        let redundant: u64 = self.workers.iter().map(|w| w.redundant_nodes).sum();
+        redundant as f64 / total as f64
+    }
+}
+
+type Envelope = (Request, Sender<Response>);
+
+/// Runs the grid-enabled B&B on `problem` with real threads.
+///
+/// Blocks until the whole root interval is explored or eliminated, then
+/// returns the proof-of-optimality report.
+pub fn run<P: Problem>(problem: &P, config: &RuntimeConfig) -> RunReport {
+    let shape = problem.shape();
+    let root = shape.root_range();
+    run_on(problem, root, config)
+}
+
+/// Runs on an explicit root interval (used to resume from a checkpoint:
+/// restore the coordinator yourself and call [`run_with_coordinator`]).
+pub fn run_on<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -> RunReport {
+    let coordinator = Coordinator::new(root, config.coordinator.clone());
+    run_with_coordinator(problem, coordinator, config)
+}
+
+/// Runs with a pre-built coordinator (fresh or restored from a
+/// [`CheckpointStore`]).
+pub fn run_with_coordinator<P: Problem>(
+    problem: &P,
+    coordinator: Coordinator,
+    config: &RuntimeConfig,
+) -> RunReport {
+    assert!(config.workers > 0, "need at least one worker");
+    let started = Instant::now();
+    let root_length = coordinator.root().length();
+    let (req_tx, req_rx) = unbounded::<Envelope>();
+    let fresh_ids = AtomicU64::new(config.workers as u64);
+
+    let mut worker_reports: Vec<WorkerReport> = Vec::new();
+    let mut farmer_out: Option<(Coordinator, Duration, u64)> = None;
+
+    crossbeam::thread::scope(|scope| {
+        let farmer = scope.spawn(|_| farmer_loop(coordinator, req_rx, config, started));
+        let mut handles = Vec::new();
+        for index in 0..config.workers {
+            let req_tx = req_tx.clone();
+            let fresh_ids = &fresh_ids;
+            let power = config.worker_powers[index % config.worker_powers.len().max(1)];
+            let crash = config
+                .chaos
+                .as_ref()
+                .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
+                .copied();
+            handles.push(scope.spawn(move |_| {
+                worker_loop(problem, index, power, crash, req_tx, fresh_ids, config)
+            }));
+        }
+        // The farmer's receiver disconnects when every worker sender is
+        // dropped — including ours.
+        drop(req_tx);
+        for h in handles {
+            worker_reports.push(h.join().expect("worker thread panicked"));
+        }
+        farmer_out = Some(farmer.join().expect("farmer thread panicked"));
+    })
+    .expect("scope panicked");
+
+    let (coordinator, farmer_busy, farmer_checkpoints) = farmer_out.expect("farmer result");
+    let solution = coordinator.solution().cloned();
+    RunReport {
+        proven_optimum: coordinator.cutoff(),
+        solution,
+        coordinator_stats: *coordinator.stats(),
+        workers: worker_reports,
+        wall: started.elapsed(),
+        farmer_busy,
+        farmer_checkpoints,
+        root_length,
+    }
+}
+
+fn farmer_loop(
+    mut coordinator: Coordinator,
+    req_rx: Receiver<Envelope>,
+    config: &RuntimeConfig,
+    started: Instant,
+) -> (Coordinator, Duration, u64) {
+    let mut busy = Duration::ZERO;
+    let mut checkpoints = 0u64;
+    let mut last_checkpoint = Instant::now();
+    let mut last_expiry = Instant::now();
+    let expiry_period =
+        Duration::from_nanos(config.coordinator.holder_timeout_ns.max(1) / 2).max(Duration::from_millis(1));
+    let tick = config
+        .checkpoint
+        .as_ref()
+        .map(|p| p.every)
+        .unwrap_or(Duration::from_millis(50))
+        .min(expiry_period);
+    loop {
+        match req_rx.recv_timeout(tick) {
+            Ok((request, reply_tx)) => {
+                let t0 = Instant::now();
+                let now_ns = started.elapsed().as_nanos() as u64;
+                let response = coordinator.handle(request, now_ns);
+                busy += t0.elapsed();
+                // A dropped worker (crash between send and reply) is fine.
+                let _ = reply_tx.send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let t0 = Instant::now();
+        if last_expiry.elapsed() >= expiry_period {
+            let now_ns = started.elapsed().as_nanos() as u64;
+            coordinator.expire_stale_holders(now_ns);
+            last_expiry = Instant::now();
+        }
+        if let Some(policy) = &config.checkpoint {
+            if last_checkpoint.elapsed() >= policy.every {
+                if policy.store.save(&coordinator).is_ok() {
+                    checkpoints += 1;
+                }
+                last_checkpoint = Instant::now();
+            }
+        }
+        busy += t0.elapsed();
+    }
+    // Final checkpoint so a restart sees the terminal state.
+    if let Some(policy) = &config.checkpoint {
+        let t0 = Instant::now();
+        if policy.store.save(&coordinator).is_ok() {
+            checkpoints += 1;
+        }
+        busy += t0.elapsed();
+    }
+    (coordinator, busy, checkpoints)
+}
+
+fn worker_loop<P: Problem>(
+    problem: &P,
+    index: usize,
+    power: u64,
+    crash: Option<CrashPlan>,
+    req_tx: Sender<Envelope>,
+    fresh_ids: &AtomicU64,
+    config: &RuntimeConfig,
+) -> WorkerReport {
+    let thread_start = Instant::now();
+    let (reply_tx, reply_rx) = unbounded::<Response>();
+    let mut report = WorkerReport::default();
+    let mut id = WorkerId(index as u64);
+    let mut joining = true;
+    let mut crash = crash;
+
+    let send = |req: Request| -> Option<Response> {
+        req_tx.send((req, reply_tx.clone())).ok()?;
+        reply_rx.recv().ok()
+    };
+
+    'units: loop {
+        let request = if joining {
+            Request::Join { worker: id, power }
+        } else {
+            Request::RequestWork { worker: id, power }
+        };
+        joining = false;
+        let Some(response) = send(request) else {
+            break;
+        };
+        let (interval, cutoff) = match response {
+            Response::Work { interval, cutoff } => (interval, cutoff),
+            Response::Terminate => break,
+            other => unreachable!("unexpected work response: {other:?}"),
+        };
+        report.units += 1;
+        let mut explorer = IntervalExplorer::new(problem, &interval, cutoff);
+        let unit_start_position = explorer.position().clone();
+
+        loop {
+            let t0 = Instant::now();
+            explorer.run(config.poll_nodes);
+            report.busy += t0.elapsed();
+
+            // Solution sharing rule 2: report improvements immediately.
+            if let Some(solution) = explorer.take_fresh_best() {
+                if let Some(Response::SolutionAck { cutoff }) =
+                    send(Request::ReportSolution { worker: id, solution })
+                {
+                    if let Some(c) = cutoff {
+                        explorer.observe_external_cutoff(c);
+                    }
+                }
+            }
+
+            // Scripted crash: silently lose everything.
+            if let Some(plan) = crash {
+                if report.stats.explored + explorer.stats().explored >= plan.after_nodes {
+                    crash = None;
+                    report.crashes += 1;
+                    report.consumed += &explorer.position().saturating_sub(&unit_start_position);
+                    report.stats.merge(explorer.stats());
+                    if plan.rejoin {
+                        id = WorkerId(fresh_ids.fetch_add(1, Ordering::Relaxed));
+                        joining = true;
+                        continue 'units;
+                    }
+                    break 'units;
+                }
+            }
+
+            if explorer.is_exhausted() {
+                break;
+            }
+
+            // Pull-model checkpoint: report the live interval, adopt the
+            // intersection, refresh the cutoff (solution sharing rule 3).
+            let Some(ack) = send(Request::Update {
+                worker: id,
+                interval: explorer.current_interval(),
+            }) else {
+                break 'units;
+            };
+            report.checkpoint_ops += 1;
+            match ack {
+                Response::UpdateAck { interval, cutoff } => {
+                    explorer.intersect_with(&interval);
+                    if let Some(c) = cutoff {
+                        explorer.observe_external_cutoff(c);
+                    }
+                }
+                Response::Terminate => break 'units,
+                other => unreachable!("unexpected update response: {other:?}"),
+            }
+        }
+
+        report.consumed += &explorer.position().saturating_sub(&unit_start_position);
+        report.stats.merge(explorer.stats());
+    }
+    report.wall = thread_start.elapsed();
+    report
+}

@@ -1,0 +1,386 @@
+//! Coordinator state-machine tests: load balancing, fault tolerance,
+//! termination detection and solution sharing, driven synthetically
+//! (no threads, injected clock).
+
+use gridbnb_core::{
+    Coordinator, CoordinatorConfig, Interval, Request, Response, Solution, UBig, WorkerId,
+};
+
+fn iv(a: u64, b: u64) -> Interval {
+    Interval::new(UBig::from(a), UBig::from(b))
+}
+
+fn config(threshold: u64) -> CoordinatorConfig {
+    CoordinatorConfig {
+        duplication_threshold: UBig::from(threshold),
+        holder_timeout_ns: 1_000,
+        initial_upper_bound: None,
+    }
+}
+
+fn join(c: &mut Coordinator, w: u64, power: u64, now: u64) -> Interval {
+    match c.handle(
+        Request::Join {
+            worker: WorkerId(w),
+            power,
+        },
+        now,
+    ) {
+        Response::Work { interval, .. } => interval,
+        other => panic!("expected work, got {other:?}"),
+    }
+}
+
+#[test]
+fn initial_intervals_is_root_range() {
+    let c = Coordinator::new(iv(0, 5040), config(8));
+    assert_eq!(c.cardinality(), 1);
+    assert_eq!(c.size().to_u64(), Some(5040));
+    assert!(!c.is_terminated());
+}
+
+#[test]
+fn first_join_gets_everything() {
+    // Unassigned intervals belong to the virtual null-power process:
+    // C = A, the requester takes it all (paper §4.2).
+    let mut c = Coordinator::new(iv(0, 5040), config(8));
+    let got = join(&mut c, 1, 100, 0);
+    assert_eq!(got, iv(0, 5040));
+    assert_eq!(c.cardinality(), 1);
+    assert_eq!(c.stats().full_assignments, 1);
+}
+
+#[test]
+fn second_join_steals_proportionally() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    let first = join(&mut c, 1, 100, 0);
+    assert_eq!(first, iv(0, 1000));
+    // Equal powers: the requester takes the second half.
+    let second = join(&mut c, 2, 100, 1);
+    assert_eq!(second, iv(500, 1000));
+    assert_eq!(c.cardinality(), 2);
+    assert_eq!(c.stats().partitions, 1);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn partition_respects_power_ratio() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 300, 0);
+    // Requester power 100 vs holder 300: steals 1000·100/400 = 250.
+    let got = join(&mut c, 2, 100, 1);
+    assert_eq!(got, iv(750, 1000));
+}
+
+#[test]
+fn selection_picks_interval_yielding_largest_steal() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 100, 0); // holds [0,1000)
+    join(&mut c, 2, 100, 1); // takes [500,1000)
+    // Worker 3 (equal power) could steal 250 from either; after worker 1
+    // progresses, its interval is smaller, so stealing from 2 wins.
+    let upd = c.handle(
+        Request::Update {
+            worker: WorkerId(1),
+            interval: iv(400, 500),
+        },
+        2,
+    );
+    assert!(matches!(upd, Response::UpdateAck { .. }));
+    let got = join(&mut c, 3, 100, 3);
+    // From w1's [400,500): steal 50; from w2's [500,1000): steal 250.
+    assert_eq!(got, iv(750, 1000));
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn small_intervals_are_duplicated_not_split() {
+    let mut c = Coordinator::new(iv(0, 10), config(64));
+    let a = join(&mut c, 1, 100, 0);
+    let b = join(&mut c, 2, 100, 1);
+    assert_eq!(a, iv(0, 10));
+    assert_eq!(b, iv(0, 10), "below threshold: duplicate");
+    assert_eq!(c.cardinality(), 1, "one copy kept for a duplicated interval");
+    assert_eq!(c.stats().duplications, 1);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn duplicated_interval_completion_frees_all_holders() {
+    let mut c = Coordinator::new(iv(0, 10), config(64));
+    join(&mut c, 1, 100, 0);
+    join(&mut c, 2, 100, 1);
+    // Worker 1 finishes the duplicated interval.
+    let r = c.handle(
+        Request::RequestWork {
+            worker: WorkerId(1),
+            power: 100,
+        },
+        2,
+    );
+    assert!(matches!(r, Response::Terminate));
+    // Worker 2's next update sees an empty intersection.
+    match c.handle(
+        Request::Update {
+            worker: WorkerId(2),
+            interval: iv(3, 10),
+        },
+        3,
+    ) {
+        Response::UpdateAck { interval, .. } => assert!(interval.is_empty()),
+        other => panic!("{other:?}"),
+    }
+    assert!(c.is_terminated());
+}
+
+#[test]
+fn update_applies_equation_14() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 100, 0);
+    join(&mut c, 2, 100, 1); // w1 now holds [0,500) in the coordinator copy
+    // w1 reports progress [200, 1000) — it has not yet heard about the
+    // steal. Intersection: [200, 500).
+    match c.handle(
+        Request::Update {
+            worker: WorkerId(1),
+            interval: iv(200, 1000),
+        },
+        2,
+    ) {
+        Response::UpdateAck { interval, .. } => assert_eq!(interval, iv(200, 500)),
+        other => panic!("{other:?}"),
+    }
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn empty_intersection_removes_entry() {
+    let mut c = Coordinator::new(iv(0, 100), config(8));
+    join(&mut c, 1, 100, 0);
+    // Worker reports it has passed the end of its (stolen) interval.
+    join(&mut c, 2, 100, 1); // w1: [0,50)
+    match c.handle(
+        Request::Update {
+            worker: WorkerId(1),
+            interval: iv(60, 100),
+        },
+        2,
+    ) {
+        Response::UpdateAck { interval, .. } => assert!(interval.is_empty()),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.cardinality(), 1); // only w2's entry remains
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn unknown_worker_update_gets_empty_ack() {
+    let mut c = Coordinator::new(iv(0, 100), config(8));
+    match c.handle(
+        Request::Update {
+            worker: WorkerId(9),
+            interval: iv(0, 50),
+        },
+        0,
+    ) {
+        Response::UpdateAck { interval, .. } => assert!(interval.is_empty()),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn termination_when_intervals_empty() {
+    let mut c = Coordinator::new(iv(0, 100), config(8));
+    join(&mut c, 1, 100, 0);
+    let r = c.handle(
+        Request::RequestWork {
+            worker: WorkerId(1),
+            power: 100,
+        },
+        1,
+    );
+    assert!(matches!(r, Response::Terminate));
+    assert!(c.is_terminated());
+    assert_eq!(c.stats().terminations_sent, 1);
+    // Every further request also terminates.
+    let r2 = c.handle(
+        Request::Join {
+            worker: WorkerId(7),
+            power: 1,
+        },
+        2,
+    );
+    assert!(matches!(r2, Response::Terminate));
+}
+
+#[test]
+fn size_is_monotone_under_updates() {
+    let mut c = Coordinator::new(iv(0, 10_000), config(8));
+    join(&mut c, 1, 100, 0);
+    join(&mut c, 2, 100, 1);
+    join(&mut c, 3, 50, 2);
+    let mut last = c.size();
+    for (w, pos) in [(1u64, 100u64), (2, 5300), (3, 7600), (1, 900)] {
+        // Workers advance; ends come from their current view — use the
+        // coordinator copy end to stay conservative.
+        let copy_end = c
+            .entries()
+            .iter()
+            .find(|e| e.holders.iter().any(|h| h.worker == WorkerId(w)))
+            .map(|e| e.interval.end().clone())
+            .unwrap();
+        c.handle(
+            Request::Update {
+                worker: WorkerId(w),
+                interval: Interval::new(UBig::from(pos), copy_end),
+            },
+            3,
+        );
+        let size = c.size();
+        assert!(size <= last, "INTERVALS size must shrink");
+        last = size;
+        c.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn solution_sharing_rules() {
+    let mut c = Coordinator::new(
+        iv(0, 100),
+        CoordinatorConfig {
+            initial_upper_bound: Some(50),
+            ..config(8)
+        },
+    );
+    assert_eq!(c.cutoff(), Some(50));
+    // A non-improving report is rejected.
+    match c.handle(
+        Request::ReportSolution {
+            worker: WorkerId(1),
+            solution: Solution::new(50, vec![0]),
+        },
+        0,
+    ) {
+        Response::SolutionAck { cutoff } => assert_eq!(cutoff, Some(50)),
+        other => panic!("{other:?}"),
+    }
+    assert!(c.solution().is_none());
+    // An improving one updates SOLUTION and the cutoff.
+    match c.handle(
+        Request::ReportSolution {
+            worker: WorkerId(1),
+            solution: Solution::new(42, vec![0]),
+        },
+        1,
+    ) {
+        Response::SolutionAck { cutoff } => assert_eq!(cutoff, Some(42)),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.solution().unwrap().cost, 42);
+    assert_eq!(c.stats().improvements, 1);
+    assert_eq!(c.stats().solution_reports, 2);
+    // New work responses carry the cutoff.
+    match c.handle(
+        Request::Join {
+            worker: WorkerId(2),
+            power: 100,
+        },
+        2,
+    ) {
+        Response::Work { cutoff, .. } => assert_eq!(cutoff, Some(42)),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn crashed_worker_interval_recovers_via_expiry() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 100, 0);
+    // Worker 1 reports once, then dies at t=100.
+    c.handle(
+        Request::Update {
+            worker: WorkerId(1),
+            interval: iv(300, 1000),
+        },
+        100,
+    );
+    // Time passes beyond the 1000 ns holder timeout.
+    assert_eq!(c.expire_stale_holders(2_000), 1);
+    // The interval [300,1000) is intact and unassigned: worker 2 gets it
+    // entirely — the paper's "entirely given to another B&B process".
+    let got = join(&mut c, 2, 100, 2_100);
+    assert_eq!(got, iv(300, 1000));
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn rejoin_does_not_lose_work() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 100, 0);
+    // Worker 1 crashes silently and rejoins under the same id (worst
+    // case): its old interval must NOT be treated as completed.
+    let got = join(&mut c, 1, 100, 1);
+    // The old interval stays tracked; the rejoined worker is handed a
+    // part of it (it is the only interval).
+    assert!(!got.is_empty());
+    let total = c.size();
+    assert_eq!(total.to_u64(), Some(1000), "no work lost on rejoin");
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn graceful_leave_keeps_interval_reassignable() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 100, 0);
+    let r = c.handle(Request::Leave { worker: WorkerId(1) }, 1);
+    assert!(matches!(r, Response::LeaveAck));
+    let got = join(&mut c, 2, 100, 2);
+    assert_eq!(got, iv(0, 1000));
+}
+
+#[test]
+fn restore_marks_everything_unassigned() {
+    let c = Coordinator::restore(
+        iv(0, 1000),
+        vec![iv(100, 300), iv(500, 900), iv(40, 40)],
+        Some(Solution::new(77, vec![1])),
+        config(8),
+    );
+    assert_eq!(c.cardinality(), 2, "empty intervals dropped");
+    assert_eq!(c.cutoff(), Some(77));
+    assert_eq!(c.size().to_u64(), Some(600));
+}
+
+#[test]
+fn zero_power_requester_clamped() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 0, 0); // power clamped to 1
+    let got = join(&mut c, 2, 0, 1);
+    assert!(!got.is_empty());
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn steal_rounding_to_zero_duplicates() {
+    // len 10 with huge holder power: steal = 10·1/(10^6+1) = 0 → the
+    // requester receives a duplicate instead of an empty interval.
+    let mut c = Coordinator::new(iv(0, 10), config(1));
+    join(&mut c, 1, 1_000_000, 0);
+    let got = join(&mut c, 2, 1, 1);
+    assert_eq!(got, iv(0, 10));
+    assert_eq!(c.stats().duplications, 1);
+}
+
+#[test]
+fn empty_root_terminates_immediately() {
+    let mut c = Coordinator::new(iv(5, 5), config(8));
+    assert!(c.is_terminated());
+    let r = c.handle(
+        Request::Join {
+            worker: WorkerId(1),
+            power: 1,
+        },
+        0,
+    );
+    assert!(matches!(r, Response::Terminate));
+}

@@ -1,0 +1,206 @@
+//! State-machine property tests: the coordinator keeps its invariants
+//! (disjoint intervals, work conservation, monotone size) under
+//! arbitrary interleavings of worker requests, including stale and
+//! nonsensical ones.
+
+use gridbnb_core::{
+    Coordinator, CoordinatorConfig, Interval, Request, Response, Solution, UBig, WorkerId,
+};
+use proptest::prelude::*;
+
+/// Symbolic worker action.
+#[derive(Clone, Debug)]
+enum Action {
+    Join { worker: u8, power: u16 },
+    RequestWork { worker: u8, power: u16 },
+    /// The worker advances its live interval by a fraction and reports.
+    Progress { worker: u8, advance_ppm: u32 },
+    Report { worker: u8, cost: u16 },
+    Leave { worker: u8 },
+    ExpireAll,
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..6, 1u16..1000).prop_map(|(worker, power)| Action::Join { worker, power }),
+        (0u8..6, 1u16..1000).prop_map(|(worker, power)| Action::RequestWork { worker, power }),
+        (0u8..6, 0u32..1_200_000).prop_map(|(worker, advance_ppm)| Action::Progress {
+            worker,
+            advance_ppm
+        }),
+        (0u8..6, 1u16..5000).prop_map(|(worker, cost)| Action::Report { worker, cost }),
+        (0u8..6).prop_map(|worker| Action::Leave { worker }),
+        Just(Action::ExpireAll),
+    ]
+}
+
+/// Tracks each live worker's view of its interval, mirroring an explorer
+/// without actually exploring: `Progress` advances the begin, applies the
+/// intersection from the ack, and fully-explored units trigger
+/// `RequestWork` next time.
+#[derive(Default)]
+struct WorkerModel {
+    interval: Option<Interval>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_interleavings(
+        actions in proptest::collection::vec(arb_action(), 1..120),
+        threshold in 1u64..200,
+        total in 100u64..100_000,
+    ) {
+        let root = Interval::new(UBig::zero(), UBig::from(total));
+        let mut coordinator = Coordinator::new(
+            root.clone(),
+            CoordinatorConfig {
+                duplication_threshold: UBig::from(threshold),
+                holder_timeout_ns: 50,
+                initial_upper_bound: Some(10_000),
+            },
+        );
+        let mut workers: Vec<WorkerModel> = (0..6).map(|_| WorkerModel::default()).collect();
+        let mut explored_total = UBig::zero();
+        let mut last_size = coordinator.size();
+        let mut now = 0u64;
+
+        for action in actions {
+            now += 1;
+            match action {
+                Action::Join { worker, power } => {
+                    let resp = coordinator.handle(
+                        Request::Join { worker: WorkerId(worker as u64), power: power as u64 },
+                        now,
+                    );
+                    match resp {
+                        Response::Work { interval, .. } => {
+                            workers[worker as usize].interval = Some(interval);
+                        }
+                        Response::Terminate => {}
+                        other => prop_assert!(false, "bad join response {:?}", other),
+                    }
+                }
+                Action::RequestWork { worker, power } => {
+                    // Only legal if the worker's unit is exhausted (the
+                    // runtime guarantees this); model it by finishing the
+                    // unit first.
+                    let w = &mut workers[worker as usize];
+                    if let Some(iv) = w.interval.take() {
+                        // Mark the whole live interval as explored.
+                        explored_total += &iv.length();
+                    }
+                    let resp = coordinator.handle(
+                        Request::RequestWork { worker: WorkerId(worker as u64), power: power as u64 },
+                        now,
+                    );
+                    match resp {
+                        Response::Work { interval, .. } => {
+                            workers[worker as usize].interval = Some(interval);
+                        }
+                        Response::Terminate => {}
+                        other => prop_assert!(false, "bad request response {:?}", other),
+                    }
+                }
+                Action::Progress { worker, advance_ppm } => {
+                    let w = &mut workers[worker as usize];
+                    if let Some(live) = &mut w.interval {
+                        // Advance begin by a fraction of the live length
+                        // (can overshoot past the end: ppm > 1e6 is
+                        // clamped by the explorer semantics).
+                        let len = live.length();
+                        let adv = len.mul_div_floor(advance_ppm.min(1_000_000) as u64, 1_000_000);
+                        let new_begin = live.begin().add(&adv);
+                        explored_total += &adv;
+                        live.advance_begin(&new_begin);
+                        let reported = live.clone();
+                        match coordinator.handle(
+                            Request::Update { worker: WorkerId(worker as u64), interval: reported },
+                            now,
+                        ) {
+                            Response::UpdateAck { interval, .. } => {
+                                if interval.is_empty() {
+                                    w.interval = None;
+                                } else {
+                                    live.retreat_end(interval.end());
+                                    if live.is_empty() {
+                                        w.interval = None;
+                                    }
+                                }
+                            }
+                            other => prop_assert!(false, "bad update response {:?}", other),
+                        }
+                    }
+                }
+                Action::Report { worker, cost } => {
+                    let resp = coordinator.handle(
+                        Request::ReportSolution {
+                            worker: WorkerId(worker as u64),
+                            solution: Solution::new(cost as u64, vec![0]),
+                        },
+                        now,
+                    );
+                    match resp {
+                        Response::SolutionAck { cutoff } => {
+                            prop_assert!(cutoff.unwrap() <= 10_000);
+                            prop_assert!(cutoff.unwrap() <= cost as u64 || cutoff.unwrap() < 10_000);
+                        }
+                        other => prop_assert!(false, "bad report response {:?}", other),
+                    }
+                }
+                Action::Leave { worker } => {
+                    let _ = coordinator.handle(
+                        Request::Leave { worker: WorkerId(worker as u64) },
+                        now,
+                    );
+                    workers[worker as usize].interval = None;
+                }
+                Action::ExpireAll => {
+                    now += 1_000; // jump past the timeout
+                    coordinator.expire_stale_holders(now);
+                }
+            }
+
+            // Core invariants after every step.
+            coordinator.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
+            let size = coordinator.size();
+            prop_assert!(size <= last_size, "INTERVALS size grew");
+            last_size = size.clone();
+            // Work conservation: remaining + explored covers the root.
+            // (Redundancy means explored can overshoot, never undershoot.)
+            let remaining = size;
+            let covered = remaining.add(&explored_total);
+            prop_assert!(
+                covered >= root.length(),
+                "work lost: remaining+explored {} < total {}",
+                covered,
+                root.length()
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_is_monotone_nonincreasing(costs in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut coordinator = Coordinator::new(
+            Interval::new(UBig::zero(), UBig::from(100u64)),
+            CoordinatorConfig::default(),
+        );
+        let mut last = u64::MAX;
+        for (i, cost) in costs.into_iter().enumerate() {
+            coordinator.handle(
+                Request::ReportSolution {
+                    worker: WorkerId(0),
+                    solution: Solution::new(cost, vec![0]),
+                },
+                i as u64,
+            );
+            let cutoff = coordinator.cutoff().unwrap();
+            prop_assert!(cutoff <= last);
+            prop_assert!(cutoff <= cost);
+            last = cutoff;
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end runtime tests: the threaded farmer–worker resolution must
+//! always return the exact optimum — with many workers, heterogeneous
+//! powers, crashes, rejoin, and checkpoint/restore.
+
+use gridbnb_core::checkpoint::CheckpointStore;
+use gridbnb_core::runtime::{
+    run, run_with_coordinator, ChaosConfig, CheckpointPolicy, CrashPlan, RuntimeConfig,
+};
+use gridbnb_core::{Coordinator, CoordinatorConfig, UBig};
+use gridbnb_engine::toy::FullEnumeration;
+use gridbnb_engine::{solve, solve_interval};
+use gridbnb_flowshop::taillard::generate;
+use gridbnb_flowshop::{BoundMode, FlowshopProblem, Problem};
+use gridbnb_tsp::{TspInstance, TspProblem};
+use std::time::Duration;
+
+fn small_flowshop(seed: i64) -> FlowshopProblem {
+    let instance = generate(9, 4, seed);
+    FlowshopProblem::new(
+        instance,
+        BoundMode::Johnson(gridbnb_flowshop::bounds::PairSelection::All),
+    )
+}
+
+fn fast_config(workers: usize) -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(workers);
+    config.poll_nodes = 500;
+    config.coordinator.duplication_threshold = UBig::from(32u64);
+    config.coordinator.holder_timeout_ns = 20_000_000; // 20 ms
+    config
+}
+
+#[test]
+fn one_worker_matches_sequential() {
+    let problem = small_flowshop(11);
+    let sequential = solve(&problem, None);
+    let report = run(&problem, &fast_config(1));
+    assert_eq!(report.proven_optimum, sequential.best_cost);
+    assert_eq!(report.solution.map(|s| s.cost), sequential.best_cost);
+}
+
+#[test]
+fn many_workers_match_sequential() {
+    let problem = small_flowshop(22);
+    let expected = solve(&problem, None).best_cost;
+    for workers in [2, 4, 8] {
+        let report = run(&problem, &fast_config(workers));
+        assert_eq!(
+            report.proven_optimum, expected,
+            "{workers} workers diverged"
+        );
+        assert!(report.coordinator_stats.work_allocations >= workers as u64);
+    }
+}
+
+#[test]
+fn heterogeneous_powers_still_exact() {
+    let problem = small_flowshop(33);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(4);
+    config.worker_powers = vec![20, 100, 350, 1000];
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+}
+
+#[test]
+fn initial_upper_bound_is_honored() {
+    let problem = small_flowshop(44);
+    let optimum = solve(&problem, None).best_cost.unwrap();
+    // Exact-bound run: pure optimality proof, no solution produced.
+    let config = fast_config(3).with_initial_upper_bound(optimum);
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, Some(optimum));
+    assert!(report.solution.is_none());
+    // Loose-bound run: the solution must be rediscovered.
+    let config = fast_config(3).with_initial_upper_bound(optimum + 5);
+    let report = run(&problem, &config);
+    assert_eq!(report.solution.map(|s| s.cost), Some(optimum));
+}
+
+#[test]
+fn crash_without_rejoin_preserves_exactness() {
+    // FullEnumeration forces an exhaustive 109 600-node search so the
+    // scripted crashes reliably fire mid-exploration.
+    let problem = FullEnumeration::new(8);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(4);
+    config.poll_nodes = 200;
+    config.chaos = Some(ChaosConfig {
+        crashes: vec![
+            CrashPlan {
+                worker_index: 0,
+                after_nodes: 2_000,
+                rejoin: false,
+            },
+            CrashPlan {
+                worker_index: 2,
+                after_nodes: 5_000,
+                rejoin: false,
+            },
+        ],
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected, "crashes lost work");
+    let crashes: u64 = report.workers.iter().map(|w| w.crashes).sum();
+    assert_eq!(crashes, 2);
+}
+
+#[test]
+fn crash_with_rejoin_preserves_exactness() {
+    let problem = FullEnumeration::new(8);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(3);
+    config.poll_nodes = 200;
+    config.chaos = Some(ChaosConfig {
+        crashes: vec![CrashPlan {
+            worker_index: 1,
+            after_nodes: 1_000,
+            rejoin: true,
+        }],
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    assert!(report.workers[1].crashes == 1);
+}
+
+#[test]
+fn all_workers_crash_then_rejoin_still_completes() {
+    let problem = FullEnumeration::new(8);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(3);
+    config.poll_nodes = 200;
+    config.chaos = Some(ChaosConfig {
+        crashes: (0..3)
+            .map(|i| CrashPlan {
+                worker_index: i,
+                after_nodes: 1_000 + 700 * i as u64,
+                rejoin: true,
+            })
+            .collect(),
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    let crashes: u64 = report.workers.iter().map(|w| w.crashes).sum();
+    assert_eq!(crashes, 3);
+}
+
+#[test]
+fn works_on_tsp_too() {
+    let instance = TspInstance::random_euclidean(9, 123);
+    let expected = instance.brute_optimum();
+    let problem = TspProblem::new(instance);
+    let report = run(&problem, &fast_config(4));
+    assert_eq!(report.proven_optimum, Some(expected));
+}
+
+#[test]
+fn checkpoint_files_written_and_restorable() {
+    let dir = std::env::temp_dir().join(format!("gridbnb-rt-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::new(dir.join("intervals.txt"), dir.join("solution.txt"));
+
+    let problem = small_flowshop(88);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(3);
+    config.checkpoint = Some(CheckpointPolicy {
+        store: store.clone(),
+        every: Duration::from_millis(5),
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    assert!(report.farmer_checkpoints >= 1);
+    // The final checkpoint reflects termination: no intervals left, and
+    // the solution matches.
+    let (intervals, solution) = store.load().unwrap();
+    assert!(intervals.is_empty());
+    assert_eq!(solution.map(|s| s.cost), expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restore_resumes_partial_run() {
+    // Simulate a farmer failure mid-run: the left half was explored (its
+    // best is in SOLUTION), only the right half remains in INTERVALS.
+    let problem = small_flowshop(99);
+    let shape = problem.shape();
+    let total = shape.root_range();
+    let cut = total.end().div_rem_u64(3).0;
+    let (left, right) = total.split_at(&cut);
+    let left_report = solve_interval(&problem, &left, None);
+
+    let coordinator = Coordinator::restore(
+        total.clone(),
+        vec![right],
+        left_report.best.clone(),
+        CoordinatorConfig {
+            duplication_threshold: UBig::from(32u64),
+            holder_timeout_ns: 20_000_000,
+            initial_upper_bound: None,
+        },
+    );
+    let config = fast_config(4);
+    let report = run_with_coordinator(&problem, coordinator, &config);
+    let expected = solve(&problem, None).best_cost;
+    assert_eq!(report.proven_optimum, expected);
+}
+
+#[test]
+fn report_accounting_is_consistent() {
+    let problem = small_flowshop(111);
+    let report = run(&problem, &fast_config(4));
+    // Redundancy is a fraction in [0, 1).
+    let r = report.redundancy();
+    assert!((0.0..1.0).contains(&r), "redundancy {r}");
+    // Workers did some exploring and some checkpointing.
+    assert!(report.total_explored() > 0);
+    let updates: u64 = report.workers.iter().map(|w| w.checkpoint_ops).sum();
+    assert_eq!(updates, report.coordinator_stats.updates);
+    // Every worker processed at least one unit.
+    assert!(report.workers.iter().all(|w| w.units >= 1));
+    // Busy fractions are sane.
+    assert!(report.worker_exploitation() > 0.0);
+    assert!(report.worker_exploitation() <= 1.0 + 1e-9);
+    assert!(report.farmer_exploitation() < 1.0);
+}
+
+#[test]
+fn consumed_length_covers_root() {
+    let problem = small_flowshop(222);
+    let report = run(&problem, &fast_config(4));
+    let mut consumed = UBig::zero();
+    for w in &report.workers {
+        consumed += &w.consumed;
+    }
+    assert!(
+        consumed >= report.root_length,
+        "explored length {consumed} must cover the root {}",
+        report.root_length
+    );
+}

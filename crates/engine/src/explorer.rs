@@ -1,0 +1,306 @@
+//! The interval-restricted depth-first explorer: one "B&B process" of the
+//! paper's §4, exploring exactly the node numbers in `[A, B)`.
+
+use crate::{Problem, SearchStats, Solution};
+use gridbnb_coding::{Interval, TreeShape, UBig};
+
+/// Why a call to [`IntervalExplorer::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The interval is fully explored: `A` reached `B`.
+    Exhausted,
+    /// The node budget was consumed; call `run` again to continue.
+    BudgetSpent,
+}
+
+/// One depth-first B&B exploration restricted to an interval of node
+/// numbers.
+///
+/// Maintains the invariant that makes interval coding work (paper §3):
+/// depth-first traversal visits nodes in **non-decreasing number order**,
+/// so the live interval `[position, end)` is at all times exactly the
+/// un-explored remainder of the work unit:
+///
+/// * completing a leaf advances `position` by 1;
+/// * eliminating a subtree by bound advances `position` by its weight;
+/// * the coordinator stealing the tail shrinks `end`
+///   ([`IntervalExplorer::shrink_end`]) and exploration never crosses it.
+///
+/// The explorer is resumable: [`IntervalExplorer::run`] processes at most
+/// a given number of node visits, which is how worker threads interleave
+/// exploration with the pull-model protocol (contact the farmer every *k*
+/// nodes).
+pub struct IntervalExplorer<'p, P: Problem> {
+    problem: &'p P,
+    shape: TreeShape,
+    /// Lower endpoint `A`: number of the next node to explore. Monotone.
+    position: UBig,
+    /// Upper endpoint `B`. Only ever shrinks.
+    end: UBig,
+    /// DFS stack; `stack[0]` is the root.
+    stack: Vec<Frame<P::State>>,
+    /// Prune threshold: subtrees with `lower_bound >= cutoff` are
+    /// eliminated. Tracks `min(initial upper bound, best found so far)`.
+    cutoff: u64,
+    best: Option<Solution>,
+    fresh_best: bool,
+    stats: SearchStats,
+    done: bool,
+}
+
+struct Frame<S> {
+    state: S,
+    depth: usize,
+    /// Rank of this node among its siblings (unused for the root).
+    rank_in_parent: u64,
+    /// Next child rank to visit.
+    next_rank: u64,
+    /// Number (range begin) of the child at `next_rank`; advanced by the
+    /// child weight as ranks are consumed, so no multiplication is needed
+    /// per sibling.
+    next_child_lo: UBig,
+}
+
+impl<'p, P: Problem> IntervalExplorer<'p, P> {
+    /// Creates an explorer for `interval` (clamped into the root range).
+    ///
+    /// `initial_cutoff` seeds the elimination operator — the paper's runs
+    /// started from the best known upper bound (3681, then 3680). `None`
+    /// means no initial bound (`u64::MAX`).
+    pub fn new(problem: &'p P, interval: &Interval, initial_cutoff: Option<u64>) -> Self {
+        let shape = problem.shape();
+        let clamped = interval.intersect(&shape.root_range());
+        let done = clamped.is_empty();
+        let stack = if done {
+            Vec::new()
+        } else {
+            vec![Frame {
+                state: problem.root_state(),
+                depth: 0,
+                rank_in_parent: 0,
+                next_rank: 0,
+                next_child_lo: UBig::zero(),
+            }]
+        };
+        IntervalExplorer {
+            problem,
+            shape,
+            position: clamped.begin().clone(),
+            end: clamped.end().clone(),
+            stack,
+            cutoff: initial_cutoff.unwrap_or(u64::MAX),
+            best: None,
+            fresh_best: false,
+            stats: SearchStats::default(),
+            done,
+        }
+    }
+
+    /// The live interval `[position, end)` — what the worker reports to
+    /// the coordinator on every contact (paper §4.1).
+    pub fn current_interval(&self) -> Interval {
+        Interval::new(self.position.clone(), self.end.clone())
+    }
+
+    /// Current lower endpoint `A` (exploration progress).
+    pub fn position(&self) -> &UBig {
+        &self.position
+    }
+
+    /// Current upper endpoint `B`.
+    pub fn end(&self) -> &UBig {
+        &self.end
+    }
+
+    /// `true` once `[position, end)` is empty and nothing remains.
+    pub fn is_exhausted(&self) -> bool {
+        self.done
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+
+    /// Current elimination threshold.
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+
+    /// Best solution found *by this explorer* (not external bests).
+    pub fn best(&self) -> Option<&Solution> {
+        self.best.as_ref()
+    }
+
+    /// Takes the best solution if it improved since the last call —
+    /// rule 2 of the paper's solution sharing: report improvements
+    /// immediately.
+    pub fn take_fresh_best(&mut self) -> Option<Solution> {
+        if self.fresh_best {
+            self.fresh_best = false;
+            self.best.clone()
+        } else {
+            None
+        }
+    }
+
+    /// Lowers the elimination threshold with an externally-found cost —
+    /// rules 1 and 3 of the paper's solution sharing (initialize from and
+    /// regularly re-read `SOLUTION`). Never raises it.
+    pub fn observe_external_cutoff(&mut self, cost: u64) {
+        if cost < self.cutoff {
+            self.cutoff = cost;
+        }
+    }
+
+    /// Shrinks the upper endpoint (the coordinator gave the tail to
+    /// another worker). Never grows it. Applying the paper's equation 14
+    /// amounts to `shrink_end(B')` since `position` only moves forward.
+    pub fn shrink_end(&mut self, new_end: &UBig) {
+        if *new_end < self.end {
+            self.end = new_end.clone();
+            if self.position >= self.end {
+                self.finish();
+            }
+        }
+    }
+
+    /// Replaces the live interval by its intersection with the
+    /// coordinator's copy (paper equation 14).
+    pub fn intersect_with(&mut self, coordinator_copy: &Interval) {
+        // position = max(A, A'): our own position is always >= the copy's
+        // begin (the copy only lags), so only the end can shrink.
+        self.shrink_end(coordinator_copy.end());
+    }
+
+    /// Explores at most `node_budget` node visits.
+    pub fn run(&mut self, node_budget: u64) -> RunOutcome {
+        let mut remaining = node_budget;
+        while remaining > 0 {
+            if self.done {
+                return RunOutcome::Exhausted;
+            }
+            if self.visit_one() {
+                remaining -= 1;
+            }
+        }
+        if self.done {
+            RunOutcome::Exhausted
+        } else {
+            RunOutcome::BudgetSpent
+        }
+    }
+
+    /// Runs to exhaustion of the interval.
+    pub fn run_to_end(&mut self) {
+        while !self.done {
+            self.visit_one();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.done = true;
+        self.stack.clear();
+        // Normalize: the remaining interval is empty.
+        if self.position > self.end {
+            self.position = self.end.clone();
+        }
+    }
+
+    /// Advances the traversal; returns `true` if a node was visited
+    /// (counted against the budget), `false` for bookkeeping moves.
+    fn visit_one(&mut self) -> bool {
+        if self.position >= self.end {
+            self.finish();
+            return false;
+        }
+        let Some(frame) = self.stack.last_mut() else {
+            self.finish();
+            return false;
+        };
+        let depth = frame.depth;
+        debug_assert!(depth < self.shape.leaf_depth());
+        if frame.next_rank >= self.shape.arity_at(depth) {
+            self.stack.pop();
+            if self.stack.is_empty() {
+                self.finish();
+            }
+            return false;
+        }
+
+        let child_depth = depth + 1;
+        let child_weight = self.shape.weight_at(child_depth).clone();
+        let rank = frame.next_rank;
+        let child_lo = frame.next_child_lo.clone();
+        let child_hi = &child_lo + &child_weight;
+        frame.next_rank += 1;
+        frame.next_child_lo = child_hi.clone();
+
+        if child_hi <= self.position {
+            // Entirely before A: already explored (or never ours).
+            return false;
+        }
+        if child_lo >= self.end {
+            // Entirely past B — and so is everything after in DFS order.
+            self.finish();
+            return false;
+        }
+
+        let child_state = self.problem.branch(&frame.state, rank);
+        self.stats.explored += 1;
+
+        if child_depth == self.shape.leaf_depth() {
+            self.stats.leaves += 1;
+            let cost = self.problem.leaf_cost(&child_state);
+            if cost < self.cutoff {
+                self.cutoff = cost;
+                self.stats.improvements += 1;
+                self.best = Some(Solution::new(cost, self.leaf_ranks_with(rank)));
+                self.fresh_best = true;
+            }
+            self.advance_to(child_hi);
+        } else {
+            self.stats.bound_calls += 1;
+            let bound = self.problem.lower_bound(&child_state);
+            if bound >= self.cutoff {
+                // Elimination operator: the whole subtree is fathomed;
+                // its un-explored numbers [position, child_hi) are done.
+                self.stats.pruned += 1;
+                self.advance_to(child_hi);
+            } else {
+                self.stats.branched += 1;
+                self.stack.push(Frame {
+                    state: child_state,
+                    depth: child_depth,
+                    rank_in_parent: rank,
+                    next_rank: 0,
+                    next_child_lo: child_lo,
+                });
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn advance_to(&mut self, new_position: UBig) {
+        debug_assert!(new_position > self.position);
+        self.position = new_position;
+        if self.position >= self.end {
+            self.finish();
+        }
+    }
+
+    /// Ranks from root to the leaf currently being evaluated, whose last
+    /// branch took `leaf_rank`.
+    fn leaf_ranks_with(&self, leaf_rank: u64) -> Vec<u64> {
+        let mut ranks: Vec<u64> = self
+            .stack
+            .iter()
+            .skip(1) // the root has no rank_in_parent
+            .map(|f| f.rank_in_parent)
+            .collect();
+        ranks.push(leaf_rank);
+        debug_assert_eq!(ranks.len(), self.shape.leaf_depth());
+        ranks
+    }
+}

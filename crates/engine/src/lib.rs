@@ -1,0 +1,42 @@
+//! Sequential branch-and-bound engine over interval-coded regular trees.
+//!
+//! This crate provides the four B&B operators of the paper's §2
+//! (branching, bounding, selection, elimination) behind a generic
+//! [`Problem`] trait, and the **interval-restricted depth-first
+//! explorer** ([`IntervalExplorer`]) that is the unit of execution of the
+//! grid algorithm of §4: a B&B process that explores exactly the node
+//! numbers of an interval `[A, B)`, advancing `A` as it goes and honoring
+//! online shrinking of `B` (work stolen by the coordinator).
+//!
+//! The explorer maintains the central invariant of the interval coding:
+//! *depth-first order is node-number order*, so the pair `(A, B)` always
+//! encodes the exact remaining work. Pruning a subtree (elimination by
+//! bound) advances `A` by the subtree weight; completing a leaf advances
+//! it by one.
+//!
+//! # Example
+//!
+//! ```
+//! use gridbnb_engine::{solve, toy::TableAssignment};
+//!
+//! // A 5-element assignment toy problem with known optimum.
+//! let problem = TableAssignment::diagonal(5);
+//! let report = solve(&problem, None);
+//! assert_eq!(report.best_cost, Some(problem.optimum()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod problem;
+mod sequential;
+mod stats;
+pub mod toy;
+
+pub use explorer::{IntervalExplorer, RunOutcome};
+pub use problem::{Problem, Solution};
+pub use sequential::{solve, solve_interval, SolveReport};
+pub use stats::SearchStats;
+
+pub use gridbnb_coding::{Interval, TreeShape, UBig};

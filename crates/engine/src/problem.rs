@@ -1,0 +1,76 @@
+//! The [`Problem`] trait: what a combinatorial optimization problem must
+//! provide for the interval-coded B&B to solve it.
+
+use gridbnb_coding::TreeShape;
+
+/// A minimization problem whose solution space is the leaf set of a
+/// regular search tree.
+///
+/// The trait carries the paper's §2 operators:
+///
+/// * **branching** — [`Problem::branch`] produces the child state
+///   obtained by taking the `rank`-th branch (ranks are the birth order
+///   of §3.2: rank 0 first);
+/// * **bounding** — [`Problem::lower_bound`] on any internal state;
+/// * **evaluation** — [`Problem::leaf_cost`] on complete states;
+/// * the **selection** and **elimination** operators live in the engine
+///   (depth-first selection; elimination by bound against the incumbent).
+///
+/// The tree must be *regular* (arity depends only on depth) so that the
+/// interval coding applies; permutation problems satisfy this naturally
+/// (depth `d` has `n − d` open choices).
+pub trait Problem: Send + Sync {
+    /// Search state attached to a tree node (e.g. a partial schedule).
+    type State: Clone + Send;
+
+    /// The shape of the search tree (arity per depth).
+    fn shape(&self) -> TreeShape;
+
+    /// The state of the root node (empty partial solution).
+    fn root_state(&self) -> Self::State;
+
+    /// The child state reached by taking branch `rank` (`0 ≤ rank <
+    /// arity(depth(state))`).
+    fn branch(&self, state: &Self::State, rank: u64) -> Self::State;
+
+    /// A lower bound on the cost of every leaf below `state`. Must be
+    /// admissible (never exceed the true minimum below the node):
+    /// inadmissible bounds lose optimality proofs.
+    fn lower_bound(&self, state: &Self::State) -> u64;
+
+    /// The exact cost of a complete (leaf-depth) state.
+    fn leaf_cost(&self, state: &Self::State) -> u64;
+}
+
+/// A complete solution: the branch ranks from root to leaf, plus cost.
+///
+/// Ranks are domain-independent (they are the factoradic digits of the
+/// leaf number); each problem knows how to decode them — e.g. the
+/// flowshop crate turns them back into a job permutation.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Solution {
+    /// Cost of the leaf (the objective value).
+    pub cost: u64,
+    /// Branch ranks from the root (length = leaf depth).
+    pub leaf_ranks: Vec<u64>,
+}
+
+impl Solution {
+    /// Creates a solution record.
+    pub fn new(cost: u64, leaf_ranks: Vec<u64>) -> Self {
+        Solution { cost, leaf_ranks }
+    }
+}
+
+impl std::fmt::Display for Solution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cost {} via ranks [", self.cost)?;
+        for (i, r) in self.leaf_ranks.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}

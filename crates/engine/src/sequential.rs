@@ -1,0 +1,48 @@
+//! Convenience single-process solvers built on the interval explorer.
+
+use crate::{IntervalExplorer, Problem, SearchStats, Solution};
+use gridbnb_coding::Interval;
+
+/// Result of a (sub-)exploration.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Cost of the best solution found, if any leaf beat the initial
+    /// bound. `None` means the initial upper bound was proven optimal
+    /// (or the space was empty).
+    pub best_cost: Option<u64>,
+    /// The best solution found by this exploration.
+    pub best: Option<Solution>,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl SolveReport {
+    /// The proven optimal cost: the best found, or the initial upper
+    /// bound if nothing beat it.
+    pub fn proven_optimum(&self, initial_ub: Option<u64>) -> Option<u64> {
+        self.best_cost.or(initial_ub)
+    }
+}
+
+/// Solves the whole problem space sequentially (one B&B process over the
+/// root interval), running to completion. Returns a proof-of-optimality
+/// report: when it returns, every node has been explored or eliminated.
+pub fn solve<P: Problem>(problem: &P, initial_ub: Option<u64>) -> SolveReport {
+    solve_interval(problem, &problem.shape().root_range(), initial_ub)
+}
+
+/// Solves the restriction of the problem to `interval`.
+pub fn solve_interval<P: Problem>(
+    problem: &P,
+    interval: &Interval,
+    initial_ub: Option<u64>,
+) -> SolveReport {
+    let mut explorer = IntervalExplorer::new(problem, interval, initial_ub);
+    explorer.run_to_end();
+    let best = explorer.best().cloned();
+    SolveReport {
+        best_cost: best.as_ref().map(|s| s.cost),
+        best,
+        stats: *explorer.stats(),
+    }
+}

@@ -1,0 +1,43 @@
+//! Search statistics collected by the explorer.
+
+use std::ops::AddAssign;
+
+/// Counters describing one exploration (or the merged total of many).
+///
+/// `explored` mirrors the paper's Table 2 "Explored nodes" row: every
+/// node *visited* by the search (branched, evaluated or pruned), not
+/// counting nodes skipped wholesale because they lie outside the
+/// assigned interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Nodes visited (decomposed + leaves + pruned).
+    pub explored: u64,
+    /// Internal nodes decomposed by the branching operator.
+    pub branched: u64,
+    /// Subtrees eliminated by the bounding test.
+    pub pruned: u64,
+    /// Leaves evaluated.
+    pub leaves: u64,
+    /// Evaluated leaves that improved the incumbent.
+    pub improvements: u64,
+    /// Calls to the lower-bound operator.
+    pub bound_calls: u64,
+}
+
+impl AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: SearchStats) {
+        self.explored += rhs.explored;
+        self.branched += rhs.branched;
+        self.pruned += rhs.pruned;
+        self.leaves += rhs.leaves;
+        self.improvements += rhs.improvements;
+        self.bound_calls += rhs.bound_calls;
+    }
+}
+
+impl SearchStats {
+    /// Merges counters from another run.
+    pub fn merge(&mut self, other: &SearchStats) {
+        *self += *other;
+    }
+}

@@ -1,0 +1,234 @@
+//! Small synthetic problems used by tests and benchmarks.
+//!
+//! These are not part of the paper; they exist so that engine and
+//! protocol behaviour can be verified against brute force on trees small
+//! enough to enumerate, independently of the flowshop substrate.
+
+use crate::Problem;
+use gridbnb_coding::TreeShape;
+
+/// A linear assignment toy problem on a permutation tree: place `n`
+/// distinct items into `n` positions, paying `cost[position][item]`.
+///
+/// Rank `r` at depth `d` selects the `r`-th (by index) still-unused item
+/// for position `d`. The bound adds, for every open position, the
+/// cheapest still-unused item — admissible because each position's true
+/// choice can only cost more.
+#[derive(Clone, Debug)]
+pub struct TableAssignment {
+    n: usize,
+    /// `cost[position * n + item]`.
+    cost: Vec<u64>,
+}
+
+/// Search state: which items are used, the running cost.
+#[derive(Clone, Debug)]
+pub struct AssignState {
+    used: u64, // bitmask over items (n <= 64)
+    depth: usize,
+    cost_so_far: u64,
+}
+
+impl TableAssignment {
+    /// Builds a toy instance from an explicit cost table
+    /// (`cost[position][item]` flattened row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost.len() != n*n` or `n > 20` (keep toys enumerable).
+    pub fn new(n: usize, cost: Vec<u64>) -> Self {
+        assert!(n <= 20, "toy problems should stay small");
+        assert_eq!(cost.len(), n * n);
+        TableAssignment { n, cost }
+    }
+
+    /// A deterministic instance: `cost[p][i] = ((p+1)·(i+2)) mod 17 + 1`.
+    /// Non-trivial structure, stable across runs.
+    pub fn diagonal(n: usize) -> Self {
+        let cost = (0..n * n)
+            .map(|k| {
+                let (p, i) = (k / n, k % n);
+                ((p as u64 + 1) * (i as u64 + 2)) % 17 + 1
+            })
+            .collect();
+        TableAssignment::new(n, cost)
+    }
+
+    /// A pseudo-random instance from a seed (SplitMix64; no external
+    /// RNG dependency so the library stays deterministic).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let cost = (0..n * n).map(|_| next() % 100 + 1).collect();
+        TableAssignment::new(n, cost)
+    }
+
+    /// Number of items/positions.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn cost_of(&self, position: usize, item: usize) -> u64 {
+        self.cost[position * self.n + item]
+    }
+
+    /// The `rank`-th unused item (by increasing index) given `used`.
+    fn item_at_rank(&self, used: u64, rank: u64) -> usize {
+        let mut seen = 0;
+        for item in 0..self.n {
+            if used & (1 << item) == 0 {
+                if seen == rank {
+                    return item;
+                }
+                seen += 1;
+            }
+        }
+        unreachable!("rank exceeds free item count");
+    }
+
+    /// Brute-force optimum by full enumeration. Only for `n ≤ 9`.
+    pub fn optimum(&self) -> u64 {
+        assert!(self.n <= 9, "brute force needs a small instance");
+        let mut best = u64::MAX;
+        let mut items: Vec<usize> = (0..self.n).collect();
+        permute(&mut items, 0, &mut |perm| {
+            let total: u64 = perm
+                .iter()
+                .enumerate()
+                .map(|(p, &i)| self.cost_of(p, i))
+                .sum();
+            best = best.min(total);
+        });
+        best
+    }
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+impl Problem for TableAssignment {
+    type State = AssignState;
+
+    fn shape(&self) -> TreeShape {
+        TreeShape::permutation(self.n)
+    }
+
+    fn root_state(&self) -> AssignState {
+        AssignState {
+            used: 0,
+            depth: 0,
+            cost_so_far: 0,
+        }
+    }
+
+    fn branch(&self, state: &AssignState, rank: u64) -> AssignState {
+        let item = self.item_at_rank(state.used, rank);
+        AssignState {
+            used: state.used | (1 << item),
+            depth: state.depth + 1,
+            cost_so_far: state.cost_so_far + self.cost_of(state.depth, item),
+        }
+    }
+
+    fn lower_bound(&self, state: &AssignState) -> u64 {
+        let mut bound = state.cost_so_far;
+        for position in state.depth..self.n {
+            let cheapest = (0..self.n)
+                .filter(|&i| state.used & (1 << i) == 0)
+                .map(|i| self.cost_of(position, i))
+                .min()
+                .unwrap_or(0);
+            bound += cheapest;
+        }
+        bound
+    }
+
+    fn leaf_cost(&self, state: &AssignState) -> u64 {
+        debug_assert_eq!(state.depth, self.n);
+        state.cost_so_far
+    }
+}
+
+/// A permutation problem with **no pruning power**: the bound is always
+/// zero, so the search must enumerate the entire tree. Leaf cost is a
+/// hash of the leaf ranks. Used to verify exhaustive node counts.
+#[derive(Clone, Debug)]
+pub struct FullEnumeration {
+    n: usize,
+}
+
+impl FullEnumeration {
+    /// A full-enumeration problem over permutations of `n` elements.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= 12, "full enumeration must stay feasible");
+        FullEnumeration { n }
+    }
+
+    /// Total tree nodes excluding the root: what an exhaustive search
+    /// must visit (`Σ_{d=1..=n} n!/(n−d)!`).
+    pub fn total_nodes_below_root(&self) -> u64 {
+        let mut total = 0u64;
+        let mut level = 1u64;
+        for d in 0..self.n {
+            level *= (self.n - d) as u64;
+            total += level;
+        }
+        total
+    }
+}
+
+/// State: depth and a running mix of chosen ranks.
+#[derive(Clone, Debug)]
+pub struct EnumState {
+    depth: usize,
+    mix: u64,
+}
+
+impl Problem for FullEnumeration {
+    type State = EnumState;
+
+    fn shape(&self) -> TreeShape {
+        TreeShape::permutation(self.n)
+    }
+
+    fn root_state(&self) -> EnumState {
+        EnumState { depth: 0, mix: 0 }
+    }
+
+    fn branch(&self, state: &EnumState, rank: u64) -> EnumState {
+        EnumState {
+            depth: state.depth + 1,
+            mix: state
+                .mix
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(rank + 1),
+        }
+    }
+
+    fn lower_bound(&self, _state: &EnumState) -> u64 {
+        0
+    }
+
+    fn leaf_cost(&self, state: &EnumState) -> u64 {
+        debug_assert_eq!(state.depth, self.n);
+        // Strictly positive so the zero lower bound never reaches the
+        // cutoff and the enumeration really is exhaustive.
+        state.mix % 1_000_000 + 1
+    }
+}

@@ -1,0 +1,289 @@
+//! Engine integration tests: the interval explorer against brute force,
+//! interval-splitting equivalence, resumability and online shrinking.
+
+use gridbnb_coding::{Interval, UBig};
+use gridbnb_engine::toy::{FullEnumeration, TableAssignment};
+use gridbnb_engine::{solve, solve_interval, IntervalExplorer, Problem, RunOutcome};
+
+#[test]
+fn finds_brute_force_optimum_diagonal() {
+    for n in 2..=8 {
+        let problem = TableAssignment::diagonal(n);
+        let report = solve(&problem, None);
+        assert_eq!(
+            report.best_cost,
+            Some(problem.optimum()),
+            "diagonal({n}) optimum mismatch"
+        );
+    }
+}
+
+#[test]
+fn finds_brute_force_optimum_random() {
+    for seed in 0..10 {
+        let problem = TableAssignment::random(7, seed);
+        let report = solve(&problem, None);
+        assert_eq!(
+            report.best_cost,
+            Some(problem.optimum()),
+            "random(7, {seed}) optimum mismatch"
+        );
+    }
+}
+
+#[test]
+fn initial_upper_bound_prunes_but_preserves_optimum() {
+    let problem = TableAssignment::random(7, 42);
+    let free = solve(&problem, None);
+    let optimum = free.best_cost.unwrap();
+    // A UB above the optimum must still find the optimum, faster.
+    let bounded = solve(&problem, Some(optimum + 1));
+    assert_eq!(bounded.best_cost, Some(optimum));
+    assert!(
+        bounded.stats.explored <= free.stats.explored,
+        "an initial bound should not grow the search"
+    );
+    // A UB equal to the optimum proves optimality while finding nothing.
+    let proof = solve(&problem, Some(optimum));
+    assert_eq!(proof.best_cost, None);
+    assert_eq!(proof.proven_optimum(Some(optimum)), Some(optimum));
+}
+
+#[test]
+fn full_enumeration_visits_every_node() {
+    let problem = FullEnumeration::new(6);
+    let report = solve(&problem, None);
+    assert_eq!(report.stats.explored, problem.total_nodes_below_root());
+    assert_eq!(report.stats.leaves, 720);
+    assert_eq!(report.stats.pruned, 0);
+}
+
+#[test]
+fn interval_split_equivalence() {
+    // Exploring [0,C) then [C,N!) independently must find the global
+    // optimum among the two parts, for any split point.
+    let problem = TableAssignment::random(6, 7);
+    let full = solve(&problem, None);
+    let total = problem.shape().root_range().end().to_u64().unwrap();
+    for cut in [1u64, 17, 100, 359, 719] {
+        let left = solve_interval(
+            &problem,
+            &Interval::new(UBig::zero(), UBig::from(cut)),
+            None,
+        );
+        let right = solve_interval(
+            &problem,
+            &Interval::new(UBig::from(cut), UBig::from(total)),
+            None,
+        );
+        let best = [left.best_cost, right.best_cost]
+            .into_iter()
+            .flatten()
+            .min();
+        assert_eq!(best, full.best_cost, "split at {cut} lost the optimum");
+    }
+}
+
+#[test]
+fn many_way_split_equivalence_with_shared_bound_handoff() {
+    // Simulates sequentialized work units: each part starts from the best
+    // cost discovered so far, like workers reading SOLUTION.
+    let problem = TableAssignment::random(7, 99);
+    let full = solve(&problem, None);
+    let total = problem.shape().root_range().end().to_u64().unwrap();
+    let parts = 13u64;
+    let mut cutoff: Option<u64> = None;
+    let mut explored = 0;
+    for k in 0..parts {
+        let a = total * k / parts;
+        let b = total * (k + 1) / parts;
+        let report = solve_interval(
+            &problem,
+            &Interval::new(UBig::from(a), UBig::from(b)),
+            cutoff,
+        );
+        if let Some(c) = report.best_cost {
+            cutoff = Some(cutoff.map_or(c, |x| x.min(c)));
+        }
+        explored += report.stats.explored;
+    }
+    assert_eq!(cutoff, full.best_cost);
+    // Sharing bounds across parts cannot be worse than twice the
+    // monolithic search on this toy (usually it is close to equal).
+    assert!(explored < full.stats.explored * 2);
+}
+
+#[test]
+fn explorer_is_resumable_in_small_budgets() {
+    let problem = TableAssignment::random(6, 5);
+    let full = solve(&problem, None);
+    let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+    let mut rounds = 0;
+    loop {
+        match explorer.run(3) {
+            RunOutcome::Exhausted => break,
+            RunOutcome::BudgetSpent => rounds += 1,
+        }
+        assert!(rounds < 1_000_000, "runaway search");
+    }
+    assert_eq!(explorer.best().map(|s| s.cost), full.best_cost);
+    assert_eq!(explorer.stats().explored, full.stats.explored);
+    assert!(explorer.is_exhausted());
+    assert!(explorer.current_interval().is_empty());
+}
+
+#[test]
+fn position_is_monotone_and_tracks_interval() {
+    let problem = TableAssignment::random(6, 11);
+    let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+    let mut last = UBig::zero();
+    while !explorer.is_exhausted() {
+        explorer.run(10);
+        let pos = explorer.position().clone();
+        assert!(pos >= last, "position went backwards");
+        last = pos;
+    }
+    assert_eq!(*explorer.position(), *explorer.end());
+}
+
+#[test]
+fn shrink_end_stops_exploration_at_new_boundary() {
+    let problem = FullEnumeration::new(6);
+    let total = 720u64;
+    let mut explorer = IntervalExplorer::new(
+        &problem,
+        &Interval::new(UBig::zero(), UBig::from(total)),
+        None,
+    );
+    explorer.run(50);
+    assert!(!explorer.is_exhausted());
+    // Steal the tail: worker must never visit leaves numbered >= 100.
+    explorer.shrink_end(&UBig::from(100u64));
+    explorer.run_to_end();
+    assert!(explorer.is_exhausted());
+    // 100 leaves at most (those before the boundary).
+    assert!(explorer.stats().leaves <= 100);
+    // The other part explores the rest; together they cover everything.
+    let mut tail = IntervalExplorer::new(
+        &problem,
+        &Interval::new(UBig::from(100u64), UBig::from(total)),
+        None,
+    );
+    tail.run_to_end();
+    assert_eq!(explorer.stats().leaves + tail.stats().leaves, total);
+}
+
+#[test]
+fn shrink_end_to_current_position_exhausts_immediately() {
+    let problem = FullEnumeration::new(5);
+    let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+    explorer.run(10);
+    let pos = explorer.position().clone();
+    explorer.shrink_end(&pos);
+    assert!(explorer.is_exhausted());
+    assert!(explorer.current_interval().is_empty());
+}
+
+#[test]
+fn shrink_end_never_grows() {
+    let problem = FullEnumeration::new(5);
+    let mut explorer = IntervalExplorer::new(
+        &problem,
+        &Interval::new(UBig::zero(), UBig::from(50u64)),
+        None,
+    );
+    explorer.shrink_end(&UBig::from(100u64)); // attempt to grow: ignored
+    assert_eq!(explorer.end().to_u64(), Some(50));
+}
+
+#[test]
+fn observe_external_cutoff_prunes_like_own_discovery() {
+    let problem = TableAssignment::random(7, 3);
+    let optimum = solve(&problem, None).best_cost.unwrap();
+    let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+    explorer.observe_external_cutoff(optimum); // as if read from SOLUTION
+    explorer.run_to_end();
+    // Nothing strictly better exists, so no solution is reported...
+    assert!(explorer.best().is_none());
+    // ...and the search was a pure optimality proof.
+    assert!(explorer.stats().pruned > 0);
+}
+
+#[test]
+fn take_fresh_best_reports_each_improvement_once() {
+    let problem = TableAssignment::random(7, 13);
+    let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+    let mut improvements = Vec::new();
+    while !explorer.is_exhausted() {
+        explorer.run(5);
+        if let Some(s) = explorer.take_fresh_best() {
+            improvements.push(s.cost);
+        }
+        assert!(explorer.take_fresh_best().is_none(), "double report");
+    }
+    assert!(!improvements.is_empty());
+    assert!(improvements.windows(2).all(|w| w[1] < w[0]));
+    assert_eq!(
+        improvements.last().copied(),
+        solve(&problem, None).best_cost
+    );
+}
+
+#[test]
+fn empty_interval_is_immediately_exhausted() {
+    let problem = TableAssignment::diagonal(5);
+    let explorer = IntervalExplorer::new(
+        &problem,
+        &Interval::new(UBig::from(7u64), UBig::from(7u64)),
+        None,
+    );
+    assert!(explorer.is_exhausted());
+    assert_eq!(explorer.stats().explored, 0);
+}
+
+#[test]
+fn interval_clamped_to_root_range() {
+    let problem = TableAssignment::diagonal(4);
+    let mut explorer = IntervalExplorer::new(
+        &problem,
+        &Interval::new(UBig::zero(), UBig::from(10_000u64)),
+        None,
+    );
+    explorer.run_to_end();
+    assert_eq!(explorer.end().to_u64(), Some(24));
+}
+
+#[test]
+fn mid_tree_interval_explores_only_its_leaves() {
+    let problem = FullEnumeration::new(6);
+    let mut explorer = IntervalExplorer::new(
+        &problem,
+        &Interval::new(UBig::from(100u64), UBig::from(220u64)),
+        None,
+    );
+    explorer.run_to_end();
+    assert_eq!(explorer.stats().leaves, 120);
+}
+
+#[test]
+fn solution_ranks_reconstruct_cost() {
+    let problem = TableAssignment::random(6, 21);
+    let report = solve(&problem, None);
+    let solution = report.best.unwrap();
+    // Replay the ranks through the problem and compare the leaf cost.
+    let mut state = problem.root_state();
+    for &rank in &solution.leaf_ranks {
+        state = problem.branch(&state, rank);
+    }
+    assert_eq!(problem.leaf_cost(&state), solution.cost);
+}
+
+#[test]
+fn stats_are_consistent() {
+    let problem = TableAssignment::random(7, 77);
+    let report = solve(&problem, None);
+    let s = report.stats;
+    assert_eq!(s.explored, s.branched + s.pruned + s.leaves);
+    assert!(s.improvements <= s.leaves);
+    assert_eq!(s.bound_calls, s.branched + s.pruned);
+}

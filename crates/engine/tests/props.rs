@@ -1,0 +1,112 @@
+//! Property tests for the engine: interval restriction is exact, splits
+//! never lose the optimum, and budgeted runs match monolithic runs.
+
+use gridbnb_coding::{Interval, NodePath, UBig};
+use gridbnb_engine::toy::{FullEnumeration, TableAssignment};
+use gridbnb_engine::{solve, solve_interval, IntervalExplorer, Problem};
+use proptest::prelude::*;
+
+/// Cost of the leaf numbered `num` computed independently by replaying
+/// the factoradic ranks through the problem.
+fn leaf_cost_by_number<P: Problem>(problem: &P, num: u64) -> u64 {
+    let shape = problem.shape();
+    let path = NodePath::leaf_with_number(&shape, &UBig::from(num));
+    let mut state = problem.root_state();
+    for &rank in path.ranks() {
+        state = problem.branch(&state, rank);
+    }
+    problem.leaf_cost(&state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_restriction_finds_exact_min(a in 0u64..720, b in 0u64..720) {
+        let problem = FullEnumeration::new(6);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let report = solve_interval(
+            &problem,
+            &Interval::new(UBig::from(lo), UBig::from(hi)),
+            None,
+        );
+        let expected = (lo..hi).map(|n| leaf_cost_by_number(&problem, n)).min();
+        prop_assert_eq!(report.best_cost, expected);
+        prop_assert_eq!(report.stats.leaves, hi - lo);
+    }
+
+    #[test]
+    fn random_split_preserves_optimum(seed in 0u64..500, cut_ppm in 0u64..=1_000_000) {
+        let problem = TableAssignment::random(6, seed);
+        let full = solve(&problem, None);
+        let total = problem.shape().root_range().end().to_u64().unwrap();
+        let cut = total * cut_ppm / 1_000_000;
+        let left = solve_interval(&problem, &Interval::new(UBig::zero(), UBig::from(cut)), None);
+        let right = solve_interval(&problem, &Interval::new(UBig::from(cut), UBig::from(total)), None);
+        let best = [left.best_cost, right.best_cost].into_iter().flatten().min();
+        prop_assert_eq!(best, full.best_cost);
+    }
+
+    #[test]
+    fn budgeted_run_equals_monolithic(seed in 0u64..200, budget in 1u64..50) {
+        let problem = TableAssignment::random(5, seed);
+        let full = solve(&problem, None);
+        let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+        while !explorer.is_exhausted() {
+            explorer.run(budget);
+        }
+        prop_assert_eq!(explorer.best().map(|s| s.cost), full.best_cost);
+        prop_assert_eq!(explorer.stats().explored, full.stats.explored);
+    }
+
+    #[test]
+    fn tighter_initial_bound_never_explores_more(seed in 0u64..200, slack in 0u64..20) {
+        let problem = TableAssignment::random(6, seed);
+        let optimum = solve(&problem, None).best_cost.unwrap();
+        let loose = solve(&problem, Some(optimum + slack + 1));
+        let tight = solve(&problem, Some(optimum + 1));
+        prop_assert!(tight.stats.explored <= loose.stats.explored);
+        prop_assert_eq!(tight.best_cost, Some(optimum));
+        prop_assert_eq!(loose.best_cost, Some(optimum));
+    }
+
+    #[test]
+    fn mid_run_shrink_and_complement_cover_all_leaves(warmup in 1u64..2000, boundary in 1u64..720) {
+        // If the holder has already explored past the new boundary when
+        // the steal lands, the overlap is explored twice — the paper's
+        // "redundant nodes" (<0.4% in Table 2). Coverage must still be
+        // complete and the redundancy exactly the overlap.
+        let problem = FullEnumeration::new(6);
+        let mut head = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+        head.run(warmup);
+        let pos_at_shrink = head.position().to_u64().unwrap();
+        head.shrink_end(&UBig::from(boundary));
+        head.run_to_end();
+        let mut tail = IntervalExplorer::new(
+            &problem,
+            &Interval::new(UBig::from(boundary), UBig::from(720u64)),
+            None,
+        );
+        tail.run_to_end();
+        // FullEnumeration never prunes, so leaves == numbers explored.
+        let head_extent = pos_at_shrink.max(boundary).min(720);
+        prop_assert_eq!(head.stats().leaves, head_extent.min(720));
+        prop_assert_eq!(tail.stats().leaves, 720 - boundary);
+        let redundant = head_extent.saturating_sub(boundary);
+        prop_assert_eq!(head.stats().leaves + tail.stats().leaves, 720 + redundant);
+    }
+
+    #[test]
+    fn reported_interval_shrinks_monotonically(seed in 0u64..100) {
+        let problem = TableAssignment::random(5, seed);
+        let mut explorer = IntervalExplorer::new(&problem, &problem.shape().root_range(), None);
+        let mut last_len = explorer.current_interval().length();
+        while !explorer.is_exhausted() {
+            explorer.run(7);
+            let len = explorer.current_interval().length();
+            prop_assert!(len <= last_len);
+            last_len = len;
+        }
+        prop_assert!(last_len.is_zero());
+    }
+}

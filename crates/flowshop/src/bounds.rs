@@ -1,0 +1,420 @@
+//! Lower bounds for partial flowshop schedules — the bounding operator.
+//!
+//! Two bounds are provided:
+//!
+//! * [`one_machine_bound`] — the classic single-machine relaxation: each
+//!   machine must still process every unscheduled job after its current
+//!   head, and the last of them still has to traverse the downstream
+//!   machines.
+//! * [`JohnsonBound`] — the two-machine relaxation of Lageweg, Lenstra
+//!   and Rinnooy Kan: for a pair of machines `(k, l)` the remaining jobs
+//!   form a two-machine flowshop with time lags, solved exactly by
+//!   Johnson's rule (Mitten's extension); the best pair gives a much
+//!   stronger bound at a higher evaluation cost. This is the bound family
+//!   used by the grid B&B literature on Taillard instances.
+//!
+//! Both bounds are *admissible* (never exceed the true optimum below a
+//! node), which the property tests verify against brute-force enumeration
+//! on small instances.
+
+use crate::makespan::tail_after;
+use crate::Instance;
+
+/// A set of jobs as a bitmask (instances are limited to 64 jobs, which
+/// covers every Taillard group up to 50×20 and beyond).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobSet(pub u64);
+
+impl JobSet {
+    /// The full set `{0, …, n−1}`.
+    pub fn full(n: usize) -> Self {
+        assert!(n <= 64, "at most 64 jobs");
+        if n == 64 {
+            JobSet(u64::MAX)
+        } else {
+            JobSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The empty set.
+    pub fn empty() -> Self {
+        JobSet(0)
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, job: usize) -> bool {
+        self.0 & (1 << job) != 0
+    }
+
+    /// Set with `job` removed.
+    #[inline]
+    pub fn without(self, job: usize) -> Self {
+        JobSet(self.0 & !(1 << job))
+    }
+
+    /// Set with `job` added.
+    #[inline]
+    pub fn with(self, job: usize) -> Self {
+        JobSet(self.0 | (1 << job))
+    }
+
+    /// Number of jobs in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff no job is in the set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates member jobs in increasing index order.
+    #[inline]
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let j = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(j)
+            }
+        })
+    }
+
+    /// The `rank`-th member in increasing index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= len()`.
+    #[inline]
+    pub fn nth(self, rank: u64) -> usize {
+        self.iter()
+            .nth(rank as usize)
+            .expect("rank exceeds remaining-set size")
+    }
+}
+
+/// One-machine bound. For every machine `m`:
+///
+/// `LB(m) = heads[m] + Σ_{j∈R} p(j,m) + min_{j∈R} tail(j,m)`
+///
+/// plus the job-based term `min-start + job total` for each remaining
+/// job; the bound is the maximum over all of these. With `R = ∅` it
+/// degenerates to the partial makespan `heads[M−1]`.
+pub fn one_machine_bound(instance: &Instance, heads: &[u64], remaining: JobSet) -> u64 {
+    let m_count = instance.machines();
+    if remaining.is_empty() {
+        return heads[m_count - 1];
+    }
+    let mut best = heads[m_count - 1];
+    for m in 0..m_count {
+        let mut load = 0u64;
+        let mut min_tail = u64::MAX;
+        for j in remaining.iter() {
+            load += u64::from(instance.time(j, m));
+            min_tail = min_tail.min(tail_after(instance, j, m));
+        }
+        best = best.max(heads[m] + load + min_tail);
+    }
+    // Job-based term: job j cannot start machine 0 before heads[0] and
+    // needs at least its total processing time end-to-end.
+    for j in remaining.iter() {
+        best = best.max(heads[0] + instance.job_total(j));
+    }
+    best
+}
+
+/// Which machine pairs the Johnson bound evaluates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairSelection {
+    /// Every pair `(k, l)` with `k < l` — strongest, O(M²) pairs.
+    All,
+    /// Adjacent pairs `(m, m+1)` plus the extremal pair `(0, M−1)`.
+    AdjacentPlusEnds,
+    /// An explicit pair list.
+    Custom(Vec<(usize, usize)>),
+}
+
+/// Precomputed two-machine (Johnson) bound of Lageweg–Lenstra–Rinnooy
+/// Kan.
+///
+/// For each selected pair `(k, l)`, jobs are pre-sorted by Johnson's rule
+/// on `(p(j,k) + lag, lag + p(j,l))` where `lag = Σ_{k<m<l} p(j,m)`.
+/// Restricting a Johnson-sorted list to any subset keeps it
+/// Johnson-sorted, so bound evaluation is a single pass per pair.
+#[derive(Clone, Debug)]
+pub struct JohnsonBound {
+    pairs: Vec<PairData>,
+}
+
+#[derive(Clone, Debug)]
+struct PairData {
+    k: usize,
+    l: usize,
+    /// Jobs in Johnson order for this pair.
+    order: Vec<u16>,
+    /// `lag[j]` for this pair.
+    lags: Vec<u64>,
+}
+
+impl JohnsonBound {
+    /// Precomputes Johnson orders for the selected machine pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or non-increasing custom pairs.
+    pub fn new(instance: &Instance, selection: &PairSelection) -> Self {
+        let m = instance.machines();
+        let pair_list: Vec<(usize, usize)> = match selection {
+            PairSelection::All => (0..m)
+                .flat_map(|k| (k + 1..m).map(move |l| (k, l)))
+                .collect(),
+            PairSelection::AdjacentPlusEnds => {
+                let mut v: Vec<(usize, usize)> = (0..m.saturating_sub(1)).map(|k| (k, k + 1)).collect();
+                if m >= 2 && !v.contains(&(0, m - 1)) {
+                    v.push((0, m - 1));
+                }
+                v
+            }
+            PairSelection::Custom(pairs) => {
+                for &(k, l) in pairs {
+                    assert!(k < l && l < m, "invalid machine pair ({k},{l})");
+                }
+                pairs.clone()
+            }
+        };
+        let pairs = pair_list
+            .into_iter()
+            .map(|(k, l)| {
+                let lags: Vec<u64> = (0..instance.jobs())
+                    .map(|j| (k + 1..l).map(|mm| u64::from(instance.time(j, mm))).sum())
+                    .collect();
+                let mut order: Vec<u16> = (0..instance.jobs() as u16).collect();
+                // Johnson/Mitten rule on (a, b) = (p_k + lag, lag + p_l):
+                // group 1 (a <= b) ascending a, then group 2 descending b.
+                order.sort_by_key(|&j| {
+                    let j = j as usize;
+                    let a = u64::from(instance.time(j, k)) + lags[j];
+                    let b = lags[j] + u64::from(instance.time(j, l));
+                    if a <= b {
+                        (0u8, a, 0u64)
+                    } else {
+                        (1u8, u64::MAX - b, 0u64)
+                    }
+                });
+                PairData { k, l, order, lags }
+            })
+            .collect();
+        JohnsonBound { pairs }
+    }
+
+    /// Number of machine pairs evaluated per bound call.
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The two-machine bound for a partial schedule with machine `heads`
+    /// and `remaining` unscheduled jobs. `R = ∅` degenerates to the
+    /// partial makespan.
+    pub fn bound(&self, instance: &Instance, heads: &[u64], remaining: JobSet) -> u64 {
+        let m_count = instance.machines();
+        if remaining.is_empty() {
+            return heads[m_count - 1];
+        }
+        let mut best = 0u64;
+        for pair in &self.pairs {
+            let (k, l) = (pair.k, pair.l);
+            let mut c1 = heads[k];
+            let mut c2 = heads[l];
+            let mut min_tail = u64::MAX;
+            for &j16 in &pair.order {
+                let j = j16 as usize;
+                if !remaining.contains(j) {
+                    continue;
+                }
+                c1 += u64::from(instance.time(j, k));
+                c2 = c2.max(c1 + pair.lags[j]) + u64::from(instance.time(j, l));
+                min_tail = min_tail.min(tail_after(instance, j, l));
+            }
+            best = best.max(c2 + min_tail);
+        }
+        best.max(heads[m_count - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::makespan::{makespan, push_job};
+
+    fn tiny() -> Instance {
+        Instance::new(3, 3, vec![2, 1, 2, 1, 3, 1, 3, 1, 1])
+    }
+
+    /// Best completion over all completions of a partial schedule.
+    fn exact_best_completion(instance: &Instance, prefix: &[usize]) -> u64 {
+        let all: Vec<usize> = (0..instance.jobs()).filter(|j| !prefix.contains(j)).collect();
+        let mut best = u64::MAX;
+        let mut rest = all.clone();
+        permute(&mut rest, 0, &mut |order| {
+            let mut full = prefix.to_vec();
+            full.extend_from_slice(order);
+            best = best.min(makespan(instance, &full));
+        });
+        if all.is_empty() {
+            best = makespan(instance, prefix);
+        }
+        best
+    }
+
+    fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+        if k == items.len() {
+            visit(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, visit);
+            items.swap(k, i);
+        }
+    }
+
+    fn heads_of(instance: &Instance, prefix: &[usize]) -> Vec<u64> {
+        let mut heads = vec![0u64; instance.machines()];
+        for &j in prefix {
+            push_job(instance, &mut heads, j);
+        }
+        heads
+    }
+
+    fn remaining_of(instance: &Instance, prefix: &[usize]) -> JobSet {
+        let mut r = JobSet::full(instance.jobs());
+        for &j in prefix {
+            r = r.without(j);
+        }
+        r
+    }
+
+    #[test]
+    fn jobset_basic_ops() {
+        let s = JobSet::full(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        let s = s.without(2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 3, 4]);
+        assert_eq!(s.nth(2), 3);
+        assert_eq!(s.with(2), JobSet::full(5));
+        assert!(JobSet::empty().is_empty());
+    }
+
+    #[test]
+    fn jobset_full_64() {
+        let s = JobSet::full(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn jobset_too_large_panics() {
+        let _ = JobSet::full(65);
+    }
+
+    #[test]
+    fn bounds_admissible_on_tiny_everywhere() {
+        let inst = tiny();
+        let johnson = JohnsonBound::new(&inst, &PairSelection::All);
+        let prefixes: Vec<Vec<usize>> = vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![2, 0],
+            vec![1, 2],
+            vec![0, 1, 2],
+        ];
+        for prefix in prefixes {
+            let heads = heads_of(&inst, &prefix);
+            let remaining = remaining_of(&inst, &prefix);
+            let exact = exact_best_completion(&inst, &prefix);
+            let lb1 = one_machine_bound(&inst, &heads, remaining);
+            let lb2 = johnson.bound(&inst, &heads, remaining);
+            assert!(lb1 <= exact, "LB1 {lb1} > exact {exact} at {prefix:?}");
+            assert!(lb2 <= exact, "LB2 {lb2} > exact {exact} at {prefix:?}");
+        }
+    }
+
+    #[test]
+    fn johnson_at_least_as_strong_at_root_of_tiny() {
+        let inst = tiny();
+        let heads = vec![0u64; 3];
+        let remaining = JobSet::full(3);
+        let lb1 = one_machine_bound(&inst, &heads, remaining);
+        let johnson = JohnsonBound::new(&inst, &PairSelection::All);
+        let lb2 = johnson.bound(&inst, &heads, remaining);
+        assert!(lb2 >= lb1, "Johnson {lb2} weaker than one-machine {lb1}");
+    }
+
+    #[test]
+    fn empty_remaining_returns_partial_makespan() {
+        let inst = tiny();
+        let schedule = [2, 0, 1];
+        let heads = heads_of(&inst, &schedule);
+        let remaining = JobSet::empty();
+        let exact = makespan(&inst, &schedule);
+        assert_eq!(one_machine_bound(&inst, &heads, remaining), exact);
+        let johnson = JohnsonBound::new(&inst, &PairSelection::All);
+        assert_eq!(johnson.bound(&inst, &heads, remaining), exact);
+    }
+
+    #[test]
+    fn two_machine_exactness_via_johnson() {
+        // On a 2-machine instance, the Johnson bound at the root equals
+        // the true optimum (Johnson's algorithm is exact for M=2).
+        let inst = Instance::new(4, 2, vec![3, 2, 1, 4, 6, 2, 2, 5]);
+        let johnson = JohnsonBound::new(&inst, &PairSelection::All);
+        let root_bound = johnson.bound(&inst, &[0, 0], JobSet::full(4));
+        let mut jobs: Vec<usize> = (0..4).collect();
+        let mut best = u64::MAX;
+        permute(&mut jobs, 0, &mut |order| {
+            best = best.min(makespan(&inst, order));
+        });
+        assert_eq!(root_bound, best);
+    }
+
+    #[test]
+    fn pair_selection_sizes() {
+        let inst = crate::taillard::generate(10, 6, 12345);
+        assert_eq!(JohnsonBound::new(&inst, &PairSelection::All).pair_count(), 15);
+        assert_eq!(
+            JohnsonBound::new(&inst, &PairSelection::AdjacentPlusEnds).pair_count(),
+            6
+        );
+        let custom = PairSelection::Custom(vec![(0, 5), (2, 3)]);
+        assert_eq!(JohnsonBound::new(&inst, &custom).pair_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine pair")]
+    fn custom_pair_validation() {
+        let inst = tiny();
+        let _ = JohnsonBound::new(&inst, &PairSelection::Custom(vec![(2, 1)]));
+    }
+
+    #[test]
+    fn all_pairs_dominate_subsets() {
+        let inst = crate::taillard::generate(8, 5, 777);
+        let all = JohnsonBound::new(&inst, &PairSelection::All);
+        let sub = JohnsonBound::new(&inst, &PairSelection::AdjacentPlusEnds);
+        let heads = vec![0u64; 5];
+        let r = JobSet::full(8);
+        assert!(all.bound(&inst, &heads, r) >= sub.bound(&inst, &heads, r));
+    }
+}

@@ -1,0 +1,187 @@
+//! Iterated greedy (Ruiz & Stützle 2007) — the metaheuristic that
+//! produced the best known Ta056 upper bound (3681) before the paper's
+//! exact resolution, and the supplier of initial upper bounds for the
+//! grid search.
+
+use crate::makespan::makespan;
+use crate::neh::{best_insertion, neh};
+use crate::Instance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Iterated greedy parameters.
+#[derive(Clone, Debug)]
+pub struct IgParams {
+    /// Destruction–construction iterations.
+    pub iterations: u32,
+    /// Jobs removed per destruction (Ruiz & Stützle recommend 4).
+    pub destruct: usize,
+    /// Temperature factor `τ` of the Metropolis acceptance:
+    /// `T = τ · Σp / (n · m · 10)`.
+    pub temperature_factor: f64,
+    /// Run the insertion local search after each construction.
+    pub local_search: bool,
+    /// RNG seed (the algorithm is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for IgParams {
+    fn default() -> Self {
+        IgParams {
+            iterations: 400,
+            destruct: 4,
+            temperature_factor: 0.4,
+            local_search: true,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Runs iterated greedy. Returns `(best schedule, best makespan)`.
+///
+/// Pipeline per iteration: remove `destruct` random jobs; greedily
+/// re-insert each at its best position; optionally run the insertion
+/// local search; accept by Metropolis on the makespan delta.
+pub fn iterated_greedy(instance: &Instance, params: &IgParams) -> (Vec<usize>, u64) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let destruct = params.destruct.min(instance.jobs().saturating_sub(1));
+    let temperature = params.temperature_factor * instance.grand_total() as f64
+        / (instance.jobs() as f64 * instance.machines() as f64 * 10.0);
+
+    let (mut current, mut current_cost) = neh(instance);
+    if params.local_search {
+        local_search(instance, &mut current, &mut current_cost, &mut rng);
+    }
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    for _ in 0..params.iterations {
+        // Destruction: remove `destruct` distinct random positions.
+        let mut candidate = current.clone();
+        let mut removed = Vec::with_capacity(destruct);
+        for _ in 0..destruct {
+            let pos = rng.random_range(0..candidate.len());
+            removed.push(candidate.remove(pos));
+        }
+        // Construction: greedy best-position reinsertion.
+        for &job in &removed {
+            let (pos, _) = best_insertion(instance, &candidate, job);
+            candidate.insert(pos, job);
+        }
+        let mut candidate_cost = makespan(instance, &candidate);
+        if params.local_search {
+            local_search(instance, &mut candidate, &mut candidate_cost, &mut rng);
+        }
+        // Acceptance (Metropolis-like, constant temperature).
+        let accept = candidate_cost <= current_cost || {
+            let delta = (candidate_cost - current_cost) as f64;
+            temperature > 0.0 && rng.random_range(0.0..1.0) < (-delta / temperature).exp()
+        };
+        if accept {
+            current = candidate;
+            current_cost = candidate_cost;
+        }
+        if current_cost < best_cost {
+            best = current.clone();
+            best_cost = current_cost;
+        }
+    }
+    (best, best_cost)
+}
+
+/// Insertion local search: repeatedly remove each job (random order) and
+/// re-insert it at its best position, until a full pass yields no
+/// improvement.
+fn local_search(instance: &Instance, schedule: &mut Vec<usize>, cost: &mut u64, rng: &mut StdRng) {
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let mut order: Vec<usize> = (0..schedule.len()).collect();
+        order.shuffle(rng);
+        for &slot in &order {
+            // `slot` indexes the original positions; find the job's
+            // current position (it may have moved).
+            let job = schedule[slot.min(schedule.len() - 1)];
+            let pos = schedule.iter().position(|&x| x == job).unwrap();
+            schedule.remove(pos);
+            let (best_pos, best_cost) = best_insertion(instance, schedule, job);
+            schedule.insert(best_pos, job);
+            if best_cost < *cost {
+                *cost = best_cost;
+                improved = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taillard::{generate, taillard_instance, TA_20_5};
+
+    #[test]
+    fn ig_returns_valid_permutation() {
+        let inst = generate(12, 5, 909);
+        let (schedule, cost) = iterated_greedy(&inst, &IgParams::default());
+        let mut sorted = schedule.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+        assert_eq!(cost, makespan(&inst, &schedule));
+    }
+
+    #[test]
+    fn ig_never_worse_than_neh() {
+        for seed in [5, 17] {
+            let inst = generate(10, 5, 1000 + seed);
+            let (_, neh_cost) = neh(&inst);
+            let params = IgParams {
+                iterations: 60,
+                seed: seed as u64,
+                ..IgParams::default()
+            };
+            let (_, ig_cost) = iterated_greedy(&inst, &params);
+            assert!(ig_cost <= neh_cost);
+        }
+    }
+
+    #[test]
+    fn ig_deterministic_for_fixed_seed() {
+        let inst = generate(10, 4, 321);
+        let params = IgParams {
+            iterations: 40,
+            ..IgParams::default()
+        };
+        assert_eq!(
+            iterated_greedy(&inst, &params),
+            iterated_greedy(&inst, &params)
+        );
+    }
+
+    #[test]
+    fn ig_close_to_known_optimum_on_ta001() {
+        // Taillard ta001 (20×5) has proven optimum 1278. A short IG run
+        // should land within 2% — a strong sanity check of both the
+        // generator and the heuristic.
+        let inst = taillard_instance(&TA_20_5, 1);
+        let params = IgParams {
+            iterations: 300,
+            ..IgParams::default()
+        };
+        let (_, cost) = iterated_greedy(&inst, &params);
+        assert!(cost >= 1278, "cost {cost} below proven optimum: generator broken?");
+        assert!(cost <= 1304, "cost {cost} more than 2% above optimum 1278");
+    }
+
+    #[test]
+    fn destruct_clamped_on_tiny_instances() {
+        let inst = generate(3, 3, 55);
+        let params = IgParams {
+            iterations: 10,
+            destruct: 10, // larger than the job count
+            ..IgParams::default()
+        };
+        let (schedule, _) = iterated_greedy(&inst, &params);
+        assert_eq!(schedule.len(), 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! Permutation flowshop instances.
+
+use std::fmt;
+
+/// A permutation flowshop instance: `jobs` jobs each consisting of
+/// `machines` consecutive tasks, task `m` of every job requiring machine
+/// `m` for a job-specific processing time. Jobs pass the machines in the
+/// same order; the objective is to minimize the makespan `C_max`
+/// (paper §5.1, equation 15).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Instance {
+    jobs: usize,
+    machines: usize,
+    /// `times[job * machines + machine]`, job-major for cache-friendly
+    /// head updates during evaluation.
+    times: Vec<u32>,
+}
+
+impl Instance {
+    /// Builds an instance from a job-major processing-time matrix
+    /// (`times[job][machine]` flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times.len() != jobs * machines` or either dimension is 0.
+    pub fn new(jobs: usize, machines: usize, times: Vec<u32>) -> Self {
+        assert!(jobs > 0 && machines > 0, "empty instance");
+        assert_eq!(times.len(), jobs * machines, "processing-time shape");
+        Instance {
+            jobs,
+            machines,
+            times,
+        }
+    }
+
+    /// Builds from a machine-major matrix (`times[machine][job]`
+    /// flattened) — the layout of Taillard's generator and instance
+    /// files.
+    pub fn from_machine_major(jobs: usize, machines: usize, machine_major: Vec<u32>) -> Self {
+        assert_eq!(machine_major.len(), jobs * machines);
+        let mut times = vec![0u32; jobs * machines];
+        for m in 0..machines {
+            for j in 0..jobs {
+                times[j * machines + m] = machine_major[m * jobs + j];
+            }
+        }
+        Instance::new(jobs, machines, times)
+    }
+
+    /// Number of jobs `N`.
+    #[inline]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Number of machines `M`.
+    #[inline]
+    pub fn machines(&self) -> usize {
+        self.machines
+    }
+
+    /// Processing time of `job` on `machine`.
+    #[inline]
+    pub fn time(&self, job: usize, machine: usize) -> u32 {
+        debug_assert!(job < self.jobs && machine < self.machines);
+        self.times[job * self.machines + machine]
+    }
+
+    /// The processing times of one job across all machines.
+    #[inline]
+    pub fn job_row(&self, job: usize) -> &[u32] {
+        &self.times[job * self.machines..(job + 1) * self.machines]
+    }
+
+    /// Total processing time of `job` over all machines.
+    pub fn job_total(&self, job: usize) -> u64 {
+        self.job_row(job).iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Total processing time on `machine` over all jobs.
+    pub fn machine_total(&self, machine: usize) -> u64 {
+        (0..self.jobs).map(|j| u64::from(self.time(j, machine))).sum()
+    }
+
+    /// Sum of all processing times (used e.g. by the iterated-greedy
+    /// acceptance temperature).
+    pub fn grand_total(&self) -> u64 {
+        self.times.iter().map(|&t| u64::from(t)).sum()
+    }
+
+    /// Parses the classic Taillard text format: first line `jobs
+    /// machines`, then `machines` lines of `jobs` integers each
+    /// (machine-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed token or shape
+    /// mismatch.
+    pub fn parse_taillard(text: &str) -> Result<Self, String> {
+        let mut tokens = text.split_whitespace().map(|t| {
+            t.parse::<u64>()
+                .map_err(|e| format!("bad integer {t:?}: {e}"))
+        });
+        let mut next = |what: &str| {
+            tokens
+                .next()
+                .ok_or_else(|| format!("missing {what}"))
+                .and_then(|r| r)
+        };
+        let jobs = next("job count")? as usize;
+        let machines = next("machine count")? as usize;
+        if jobs == 0 || machines == 0 {
+            return Err("empty instance".into());
+        }
+        let mut machine_major = Vec::with_capacity(jobs * machines);
+        for m in 0..machines {
+            for j in 0..jobs {
+                let t = next(&format!("time[{m}][{j}]"))?;
+                machine_major.push(u32::try_from(t).map_err(|_| "time too large")?);
+            }
+        }
+        Ok(Instance::from_machine_major(jobs, machines, machine_major))
+    }
+
+    /// Serializes to the Taillard text format parsed by
+    /// [`Instance::parse_taillard`].
+    pub fn to_taillard_format(&self) -> String {
+        let mut out = format!("{} {}\n", self.jobs, self.machines);
+        for m in 0..self.machines {
+            for j in 0..self.jobs {
+                if j > 0 {
+                    out.push(' ');
+                }
+                out.push_str(&self.time(j, m).to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Instance({}x{})", self.jobs, self.machines)
+    }
+}

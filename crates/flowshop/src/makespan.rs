@@ -1,0 +1,170 @@
+//! Makespan evaluation: complete schedules, incremental heads for partial
+//! schedules, and tails for lower bounds.
+
+use crate::Instance;
+
+/// Makespan (`C_max`) of a complete permutation `schedule` (0-based job
+/// indices, one per position).
+///
+/// Standard critical-path recurrence: the completion of job `j` on
+/// machine `m` is `max(C(prev_job, m), C(j, m−1)) + p(j, m)`.
+///
+/// # Panics
+///
+/// Debug-asserts that the schedule length equals the job count; a partial
+/// prefix is also legal input (gives the partial makespan).
+pub fn makespan(instance: &Instance, schedule: &[usize]) -> u64 {
+    let mut heads = vec![0u64; instance.machines()];
+    for &job in schedule {
+        push_job(instance, &mut heads, job);
+    }
+    heads[instance.machines() - 1]
+}
+
+/// Advances machine heads by appending `job`: `heads[m]` is the
+/// completion time of the prefix on machine `m`.
+#[inline]
+pub fn push_job(instance: &Instance, heads: &mut [u64], job: usize) {
+    let row = instance.job_row(job);
+    let mut prev = heads[0] + u64::from(row[0]);
+    heads[0] = prev;
+    for (head, &t) in heads.iter_mut().zip(row).skip(1) {
+        prev = prev.max(*head) + u64::from(t);
+        *head = prev;
+    }
+}
+
+/// Completion times of every (position, machine) pair for a schedule —
+/// the full matrix, used by tests and by insertion heuristics.
+pub fn completion_matrix(instance: &Instance, schedule: &[usize]) -> Vec<Vec<u64>> {
+    let m = instance.machines();
+    let mut rows = Vec::with_capacity(schedule.len());
+    let mut heads = vec![0u64; m];
+    for &job in schedule {
+        push_job(instance, &mut heads, job);
+        rows.push(heads.clone());
+    }
+    rows
+}
+
+/// Tail of `job` after `machine`: total processing of the job on the
+/// machines strictly after `machine` — a lower bound on the time between
+/// the job finishing on `machine` and the end of the schedule. Used by
+/// the one-machine and Johnson bounds.
+#[inline]
+pub fn tail_after(instance: &Instance, job: usize, machine: usize) -> u64 {
+    instance.job_row(job)[machine + 1..]
+        .iter()
+        .map(|&t| u64::from(t))
+        .sum()
+}
+
+/// Reverse makespan: the makespan of the instance with machine order and
+/// job order reversed equals the forward makespan (a classical symmetry;
+/// used as a test oracle).
+pub fn reverse_makespan(instance: &Instance, schedule: &[usize]) -> u64 {
+    let m = instance.machines();
+    let mut heads = vec![0u64; m];
+    for &job in schedule.iter().rev() {
+        let row = instance.job_row(job);
+        let mut prev = heads[0] + u64::from(row[m - 1]);
+        heads[0] = prev;
+        for k in 1..m {
+            prev = prev.max(heads[k]) + u64::from(row[m - 1 - k]);
+            heads[k] = prev;
+        }
+    }
+    heads[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3 jobs × 3 machines with hand-computed makespan.
+    fn tiny() -> Instance {
+        // job 0: 2 1 2 ; job 1: 1 3 1 ; job 2: 3 1 1
+        Instance::new(3, 3, vec![2, 1, 2, 1, 3, 1, 3, 1, 1])
+    }
+
+    #[test]
+    fn hand_computed_makespan() {
+        let inst = tiny();
+        // Schedule 0,1,2:
+        // M0: j0 ends 2, j1 ends 3, j2 ends 6
+        // M1: j0 ends 3, j1 ends 6, j2 ends 7
+        // M2: j0 ends 5, j1 ends 7, j2 ends 8
+        assert_eq!(makespan(&inst, &[0, 1, 2]), 8);
+        // Schedule 1,0,2:
+        // M0: 1, 3, 6 ; M1: 4, 5, 7 ; M2: 5, 7, 8
+        assert_eq!(makespan(&inst, &[1, 0, 2]), 8);
+        // Schedule 2,1,0:
+        // M0: 3, 4, 6 ; M1: 4, 7, 8 ; M2: 5, 8, 10
+        assert_eq!(makespan(&inst, &[2, 1, 0]), 10);
+    }
+
+    #[test]
+    fn single_machine_is_sum() {
+        let inst = Instance::new(4, 1, vec![3, 5, 2, 7]);
+        assert_eq!(makespan(&inst, &[2, 0, 3, 1]), 17);
+    }
+
+    #[test]
+    fn single_job_is_row_sum() {
+        let inst = Instance::new(1, 4, vec![3, 5, 2, 7]);
+        assert_eq!(makespan(&inst, &[0]), 17);
+    }
+
+    #[test]
+    fn partial_prefix_heads_match_full_eval() {
+        let inst = tiny();
+        let mut heads = vec![0u64; 3];
+        push_job(&inst, &mut heads, 0);
+        push_job(&inst, &mut heads, 1);
+        assert_eq!(heads[2], makespan(&inst, &[0, 1]));
+    }
+
+    #[test]
+    fn completion_matrix_last_row_is_heads() {
+        let inst = tiny();
+        let mat = completion_matrix(&inst, &[2, 0, 1]);
+        assert_eq!(mat.len(), 3);
+        assert_eq!(mat[2][2], makespan(&inst, &[2, 0, 1]));
+        // Rows are monotone in both directions.
+        for r in 1..3 {
+            for m in 0..3 {
+                assert!(mat[r][m] > mat[r - 1][m] - inst.time(0, 0).min(0) as u64 || mat[r][m] >= mat[r - 1][m]);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_after_sums_suffix() {
+        let inst = tiny();
+        assert_eq!(tail_after(&inst, 0, 0), 3); // 1 + 2
+        assert_eq!(tail_after(&inst, 0, 1), 2);
+        assert_eq!(tail_after(&inst, 0, 2), 0);
+    }
+
+    #[test]
+    fn reverse_symmetry_on_small_instances() {
+        let inst = tiny();
+        let schedules: [&[usize]; 4] = [&[0, 1, 2], &[2, 1, 0], &[1, 2, 0], &[0, 2, 1]];
+        for s in schedules {
+            assert_eq!(makespan(&inst, s), reverse_makespan(&inst, s), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn makespan_at_least_every_machine_and_job_total() {
+        let inst = tiny();
+        let schedule = [1, 2, 0];
+        let cmax = makespan(&inst, &schedule);
+        for m in 0..3 {
+            assert!(cmax >= inst.machine_total(m));
+        }
+        for j in 0..3 {
+            assert!(cmax >= inst.job_total(j));
+        }
+    }
+}

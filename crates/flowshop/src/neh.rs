@@ -1,0 +1,120 @@
+//! The NEH constructive heuristic (Nawaz, Enscore, Ham 1983) — the
+//! standard starting point for permutation-flowshop upper bounds and the
+//! seed of the iterated greedy.
+
+use crate::makespan::makespan;
+use crate::Instance;
+
+/// Builds a schedule with NEH: jobs sorted by decreasing total processing
+/// time are inserted one at a time at the position minimizing the partial
+/// makespan. Returns `(schedule, makespan)`.
+pub fn neh(instance: &Instance) -> (Vec<usize>, u64) {
+    let mut order: Vec<usize> = (0..instance.jobs()).collect();
+    // Decreasing total processing time; ties by index for determinism.
+    order.sort_by_key(|&j| (std::cmp::Reverse(instance.job_total(j)), j));
+    let mut schedule: Vec<usize> = Vec::with_capacity(instance.jobs());
+    for &job in &order {
+        let (pos, _) = best_insertion(instance, &schedule, job);
+        schedule.insert(pos, job);
+    }
+    let cost = makespan(instance, &schedule);
+    (schedule, cost)
+}
+
+/// Finds the insertion position of `job` into `schedule` minimizing the
+/// resulting makespan. Returns `(position, makespan)`. Ties favor the
+/// earliest position (NEH convention).
+pub fn best_insertion(instance: &Instance, schedule: &[usize], job: usize) -> (usize, u64) {
+    let mut best_pos = 0;
+    let mut best_cost = u64::MAX;
+    let mut candidate = Vec::with_capacity(schedule.len() + 1);
+    for pos in 0..=schedule.len() {
+        candidate.clear();
+        candidate.extend_from_slice(&schedule[..pos]);
+        candidate.push(job);
+        candidate.extend_from_slice(&schedule[pos..]);
+        let cost = makespan(instance, &candidate);
+        if cost < best_cost {
+            best_cost = cost;
+            best_pos = pos;
+        }
+    }
+    (best_pos, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taillard::generate;
+
+    fn brute_optimum(instance: &Instance) -> u64 {
+        fn permute(items: &mut Vec<usize>, k: usize, best: &mut u64, inst: &Instance) {
+            if k == items.len() {
+                *best = (*best).min(makespan(inst, items));
+                return;
+            }
+            for i in k..items.len() {
+                items.swap(k, i);
+                permute(items, k + 1, best, inst);
+                items.swap(k, i);
+            }
+        }
+        let mut jobs: Vec<usize> = (0..instance.jobs()).collect();
+        let mut best = u64::MAX;
+        permute(&mut jobs, 0, &mut best, instance);
+        best
+    }
+
+    #[test]
+    fn neh_is_a_valid_permutation() {
+        let inst = generate(12, 5, 4242);
+        let (schedule, cost) = neh(&inst);
+        let mut sorted = schedule.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..12).collect::<Vec<_>>());
+        assert_eq!(cost, makespan(&inst, &schedule));
+    }
+
+    #[test]
+    fn neh_upper_bounds_the_optimum() {
+        for seed in [1, 99, 52_000] {
+            let inst = generate(7, 4, seed);
+            let (_, neh_cost) = neh(&inst);
+            let opt = brute_optimum(&inst);
+            assert!(neh_cost >= opt);
+            // NEH is good: allow at most 25% excess on tiny instances.
+            assert!(
+                (neh_cost as f64) <= opt as f64 * 1.25,
+                "NEH {neh_cost} too far from optimum {opt} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn neh_single_job() {
+        let inst = Instance::new(1, 3, vec![5, 6, 7]);
+        let (schedule, cost) = neh(&inst);
+        assert_eq!(schedule, vec![0]);
+        assert_eq!(cost, 18);
+    }
+
+    #[test]
+    fn best_insertion_scans_all_positions() {
+        let inst = generate(6, 3, 31);
+        let schedule = vec![0, 1, 2, 3];
+        let (pos, cost) = best_insertion(&inst, &schedule, 4);
+        assert!(pos <= 4);
+        // Verify the reported cost is truly minimal.
+        for p in 0..=4 {
+            let mut cand = schedule.clone();
+            cand.insert(p, 4);
+            assert!(makespan(&inst, &cand) >= cost);
+        }
+    }
+
+    #[test]
+    fn neh_deterministic() {
+        let inst = generate(15, 8, 2026);
+        assert_eq!(neh(&inst), neh(&inst));
+    }
+}

@@ -1,0 +1,171 @@
+//! The `Problem` implementation binding the flowshop substrate to the
+//! interval-coded search tree.
+
+use crate::bounds::{one_machine_bound, JobSet, JohnsonBound, PairSelection};
+use crate::makespan::push_job;
+use crate::Instance;
+use gridbnb_coding::TreeShape;
+use gridbnb_engine::Problem;
+
+/// Which bounding operator the search uses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoundMode {
+    /// The one-machine bound only (cheapest).
+    OneMachine,
+    /// The Johnson two-machine bound over the selected pairs.
+    Johnson(PairSelection),
+    /// `max(one-machine, Johnson)` — strongest, for hard instances.
+    Combined(PairSelection),
+}
+
+impl Default for BoundMode {
+    fn default() -> Self {
+        BoundMode::Combined(PairSelection::All)
+    }
+}
+
+/// The permutation flowshop as a [`Problem`] on a permutation tree:
+/// depth `d` fixes the job in position `d`; rank `r` selects the `r`-th
+/// (by index) still-unscheduled job.
+#[derive(Clone, Debug)]
+pub struct FlowshopProblem {
+    instance: Instance,
+    mode: BoundMode,
+    johnson: Option<JohnsonBound>,
+}
+
+/// Search state: machine heads of the scheduled prefix plus the remaining
+/// job set. The prefix itself is implied by the tree path (the engine
+/// carries ranks), so states stay small.
+#[derive(Clone, Debug)]
+pub struct FlowshopState {
+    heads: Vec<u64>,
+    remaining: JobSet,
+}
+
+impl FlowshopProblem {
+    /// Binds an instance with the given bounding operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance has more than 64 jobs (the remaining-set
+    /// bitmask limit; every Taillard group fits).
+    pub fn new(instance: Instance, mode: BoundMode) -> Self {
+        assert!(instance.jobs() <= 64, "at most 64 jobs");
+        let johnson = match &mode {
+            BoundMode::OneMachine => None,
+            BoundMode::Johnson(sel) | BoundMode::Combined(sel) => {
+                Some(JohnsonBound::new(&instance, sel))
+            }
+        };
+        FlowshopProblem {
+            instance,
+            mode,
+            johnson,
+        }
+    }
+
+    /// Binds with the default (strongest) bound.
+    pub fn with_default_bound(instance: Instance) -> Self {
+        FlowshopProblem::new(instance, BoundMode::default())
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The bound mode in use.
+    pub fn bound_mode(&self) -> &BoundMode {
+        &self.mode
+    }
+
+    /// Decodes branch ranks (as reported in engine `Solution`s) into the
+    /// job permutation they represent.
+    pub fn decode_ranks(&self, ranks: &[u64]) -> Vec<usize> {
+        let mut remaining = JobSet::full(self.instance.jobs());
+        ranks
+            .iter()
+            .map(|&r| {
+                let job = remaining.nth(r);
+                remaining = remaining.without(job);
+                job
+            })
+            .collect()
+    }
+
+    /// Encodes a job permutation into branch ranks — the inverse of
+    /// [`FlowshopProblem::decode_ranks`]. Useful to locate a known
+    /// schedule (like the paper's published Ta056 optimum) in the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schedule` is not a permutation of `0..jobs`.
+    pub fn encode_schedule(&self, schedule: &[usize]) -> Vec<u64> {
+        assert_eq!(schedule.len(), self.instance.jobs(), "not a permutation");
+        let mut remaining = JobSet::full(self.instance.jobs());
+        schedule
+            .iter()
+            .map(|&job| {
+                let rank = remaining
+                    .iter()
+                    .position(|j| j == job)
+                    .expect("job repeated or out of range") as u64;
+                remaining = remaining.without(job);
+                rank
+            })
+            .collect()
+    }
+}
+
+impl Problem for FlowshopProblem {
+    type State = FlowshopState;
+
+    fn shape(&self) -> TreeShape {
+        TreeShape::permutation(self.instance.jobs())
+    }
+
+    fn root_state(&self) -> FlowshopState {
+        FlowshopState {
+            heads: vec![0; self.instance.machines()],
+            remaining: JobSet::full(self.instance.jobs()),
+        }
+    }
+
+    fn branch(&self, state: &FlowshopState, rank: u64) -> FlowshopState {
+        let job = state.remaining.nth(rank);
+        let mut heads = state.heads.clone();
+        push_job(&self.instance, &mut heads, job);
+        FlowshopState {
+            heads,
+            remaining: state.remaining.without(job),
+        }
+    }
+
+    fn lower_bound(&self, state: &FlowshopState) -> u64 {
+        match &self.mode {
+            BoundMode::OneMachine => {
+                one_machine_bound(&self.instance, &state.heads, state.remaining)
+            }
+            BoundMode::Johnson(_) => self
+                .johnson
+                .as_ref()
+                .expect("johnson precomputed")
+                .bound(&self.instance, &state.heads, state.remaining),
+            BoundMode::Combined(_) => {
+                let lb1 = one_machine_bound(&self.instance, &state.heads, state.remaining);
+                let lb2 = self
+                    .johnson
+                    .as_ref()
+                    .expect("johnson precomputed")
+                    .bound(&self.instance, &state.heads, state.remaining);
+                lb1.max(lb2)
+            }
+        }
+    }
+
+    fn leaf_cost(&self, state: &FlowshopState) -> u64 {
+        debug_assert!(state.remaining.is_empty());
+        state.heads[self.instance.machines() - 1]
+    }
+}

@@ -1,0 +1,163 @@
+//! Taillard's benchmark generator (E. Taillard, *Benchmarks for basic
+//! scheduling problems*, EJOR 64:278–285, 1993).
+//!
+//! Instances are defined by a linear congruential generator and a
+//! published per-instance seed, so the exact processing-time matrices can
+//! be regenerated anywhere. Ta056 — the 50×20 instance the paper solved
+//! for the first time — is `taillard_instance(TA_50_20, 6)`.
+//!
+//! The embedded seed tables cover the 20×5, 20×10, 20×20 and 50×20
+//! groups. The 50×20 entry for Ta056 is cross-validated by evaluating the
+//! optimal schedule published in the paper (§5.3): its makespan must be
+//! exactly 3679 (see `ta056` tests).
+
+use crate::Instance;
+
+/// Taillard's portable uniform generator: 31-bit Lehmer LCG
+/// (`seed ← 16807·seed mod 2³¹−1`) via Schrage's method, mapped to
+/// `{low, …, high}`.
+#[derive(Clone, Debug)]
+pub struct TaillardRng {
+    seed: i64,
+}
+
+impl TaillardRng {
+    const M: i64 = 2_147_483_647;
+    const A: i64 = 16_807;
+    const B: i64 = 127_773;
+    const C: i64 = 2_836;
+
+    /// Creates the generator with a published time seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < seed < 2³¹ − 1` (Lehmer generators cannot leave
+    /// the zero state).
+    pub fn new(seed: i64) -> Self {
+        assert!(seed > 0 && seed < Self::M, "seed out of range");
+        TaillardRng { seed }
+    }
+
+    /// Next uniform value in `(0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        let k = self.seed / Self::B;
+        self.seed = Self::A * (self.seed % Self::B) - k * Self::C;
+        if self.seed < 0 {
+            self.seed += Self::M;
+        }
+        self.seed as f64 / Self::M as f64
+    }
+
+    /// Next uniform integer in `{low, …, high}` — Taillard's `unif`.
+    pub fn next_int(&mut self, low: i32, high: i32) -> i32 {
+        low + (self.next_unit() * f64::from(high - low + 1)) as i32
+    }
+}
+
+/// A benchmark group: all instances share a shape and differ by seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BenchmarkGroup {
+    /// Group name (e.g. `"ta051-ta060"`).
+    pub name: &'static str,
+    /// Jobs per instance.
+    pub jobs: usize,
+    /// Machines per instance.
+    pub machines: usize,
+    /// Index of the first instance in Taillard's global numbering
+    /// (1-based; e.g. 51 for the 50×20 group).
+    pub first_index: usize,
+    /// The published time seeds, one per instance.
+    pub time_seeds: [i64; 10],
+}
+
+/// The 20×5 group, ta001–ta010.
+pub const TA_20_5: BenchmarkGroup = BenchmarkGroup {
+    name: "ta001-ta010",
+    jobs: 20,
+    machines: 5,
+    first_index: 1,
+    time_seeds: [
+        873654221, 379008056, 1866992158, 216771124, 495070989, 402959317, 1369363414, 2021925980,
+        573109518, 88325120,
+    ],
+};
+
+/// The 20×10 group, ta011–ta020.
+pub const TA_20_10: BenchmarkGroup = BenchmarkGroup {
+    name: "ta011-ta020",
+    jobs: 20,
+    machines: 10,
+    first_index: 11,
+    time_seeds: [
+        587595453, 1401007982, 873136276, 268827376, 1634173168, 691823909, 73807235, 1273398721,
+        2065119309, 1672900551,
+    ],
+};
+
+/// The 20×20 group, ta021–ta030.
+pub const TA_20_20: BenchmarkGroup = BenchmarkGroup {
+    name: "ta021-ta030",
+    jobs: 20,
+    machines: 20,
+    first_index: 21,
+    time_seeds: [
+        479340445, 268827376, 1958948863, 918272953, 555010963, 2010851491, 1519833303, 1748670931,
+        1923497586, 1829909967,
+    ],
+};
+
+/// The 50×20 group, ta051–ta060 — Ta056 is instance 6 of this group.
+pub const TA_50_20: BenchmarkGroup = BenchmarkGroup {
+    name: "ta051-ta060",
+    jobs: 50,
+    machines: 20,
+    first_index: 51,
+    time_seeds: [
+        3755293, 2898574, 3902815, 1237595, 1064093, 1397197, 1544387, 1369098, 456619, 2908525,
+    ],
+};
+
+/// Generates the `k`-th (1-based) instance of a group with Taillard's
+/// generator: processing times `unif(1, 99)`, machine-major order.
+///
+/// # Panics
+///
+/// Panics if `k` is not in `1..=10`.
+pub fn taillard_instance(group: &BenchmarkGroup, k: usize) -> Instance {
+    assert!((1..=10).contains(&k), "groups have 10 instances");
+    generate(group.jobs, group.machines, group.time_seeds[k - 1])
+}
+
+/// Generates a flowshop instance of arbitrary shape from a seed using
+/// Taillard's procedure (times in `1..=99`, machine-major fill order).
+pub fn generate(jobs: usize, machines: usize, time_seed: i64) -> Instance {
+    let mut rng = TaillardRng::new(time_seed);
+    let mut machine_major = Vec::with_capacity(jobs * machines);
+    for _m in 0..machines {
+        for _j in 0..jobs {
+            machine_major.push(rng.next_int(1, 99) as u32);
+        }
+    }
+    Instance::from_machine_major(jobs, machines, machine_major)
+}
+
+/// The instance the paper solved: Ta056 (50 jobs × 20 machines).
+pub fn ta056() -> Instance {
+    taillard_instance(&TA_50_20, 6)
+}
+
+/// The optimal Ta056 schedule published in the paper (§5.3), as 0-based
+/// job indices in processing order. Its makespan is 3679 — the first
+/// proven optimum for this instance.
+pub const TA056_OPTIMAL_SCHEDULE: [usize; 50] = [
+    13, 36, 2, 17, 7, 32, 10, 20, 41, 4, 12, 48, 49, 19, 27, 44, 42, 40, 45, 14, 23, 43, 39, 35,
+    38, 3, 15, 46, 16, 26, 0, 25, 9, 18, 31, 24, 29, 6, 1, 30, 22, 5, 47, 21, 28, 33, 8, 34, 37,
+    11,
+];
+
+/// The proven optimal makespan of Ta056 (paper §5.3).
+pub const TA056_OPTIMUM: u64 = 3679;
+
+/// The best known upper bound before the paper's runs (Ruiz & Stützle's
+/// iterated greedy): 3681. The paper's first run was initialized with it.
+pub const TA056_PRIOR_BEST: u64 = 3681;

@@ -1,0 +1,67 @@
+//! Network latency model of the experimental grid (paper §5.2 and
+//! Figure 6).
+//!
+//! Campus clusters are interconnected by Gigabit Ethernet (IUT-A by
+//! 100 Mbit); campus ↔ Grid'5000 and inter-Grid'5000 traffic crosses the
+//! 2.5 Gbit RENATER national backbone. The farmer ran at Lille, so a
+//! worker's round-trip time depends on its cluster's site.
+
+use crate::pool::GridPool;
+
+/// One-way message latencies in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// Latency within the farmer's own campus network.
+    pub campus_ns: u64,
+    /// Latency for the slower 100 Mbit campus cluster (IUT-A).
+    pub slow_campus_ns: u64,
+    /// Latency across RENATER to a remote Grid'5000 site.
+    pub wide_area_ns: u64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            campus_ns: 200_000,        // 0.2 ms switched Gigabit
+            slow_campus_ns: 1_000_000, // 1 ms on 100 Mbit
+            wide_area_ns: 10_000_000,  // 10 ms national RTT/2
+        }
+    }
+}
+
+impl LatencyModel {
+    /// One-way latency from a worker in `cluster` to the farmer (located
+    /// on the Lille campus, like the paper's coordinator).
+    pub fn to_farmer_ns(&self, pool: &GridPool, cluster: usize) -> u64 {
+        let c = &pool.clusters[cluster];
+        if c.site == "Lille1" {
+            if c.name == "IUT-A" {
+                self.slow_campus_ns
+            } else {
+                self.campus_ns
+            }
+        } else {
+            self.wide_area_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::paper_pool;
+
+    #[test]
+    fn campus_faster_than_wide_area() {
+        let pool = paper_pool();
+        let lat = LatencyModel::default();
+        let ieea = pool.clusters.iter().position(|c| c.name == "IEEA-FIL").unwrap();
+        let iut = pool.clusters.iter().position(|c| c.name == "IUT-A").unwrap();
+        let orsay = pool.clusters.iter().position(|c| c.name == "Orsay").unwrap();
+        let l_ieea = lat.to_farmer_ns(&pool, ieea);
+        let l_iut = lat.to_farmer_ns(&pool, iut);
+        let l_orsay = lat.to_farmer_ns(&pool, orsay);
+        assert!(l_ieea < l_iut, "100 Mbit campus slower than Gigabit");
+        assert!(l_iut < l_orsay, "wide area slowest");
+    }
+}

@@ -1,0 +1,276 @@
+//! Grid pool descriptions — the paper's Table 1 encoded as data.
+//!
+//! The experimental platform was 1889 processors across 9 administrative
+//! domains: three campus clusters of Université de Lille 1 (IEEA-FIL,
+//! Polytech'Lille, IUT-A) and six Grid'5000 clusters (Bordeaux, Lille,
+//! Rennes, Sophia, Toulouse, Orsay). Campus machines are volatile
+//! mono-processor desktops harvested by cycle stealing; Grid'5000 nodes
+//! are dedicated bi-processors.
+
+/// One hardware row of Table 1: a group of identical processors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuGroup {
+    /// CPU model as printed in the paper (e.g. `"P4"`, `"AMD"`).
+    pub model: &'static str,
+    /// Clock in GHz (the relative-power measure used for partitioning).
+    pub ghz: f64,
+    /// Number of processors in the group.
+    pub processors: usize,
+}
+
+/// Volatility class of a cluster, driving the availability model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// Educational desktop pools: harvested when idle, frequently
+    /// reclaimed (high churn; strong diurnal pattern).
+    Campus,
+    /// Grid'5000 reserved nodes: long stable sessions, occasional
+    /// maintenance (low churn).
+    Dedicated,
+}
+
+/// One administrative domain (cluster) of the pool.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// Cluster name (paper's "Domain" column).
+    pub name: &'static str,
+    /// Hosting site, for the latency model.
+    pub site: &'static str,
+    /// Volatility class.
+    pub kind: ClusterKind,
+    /// Hardware groups in this cluster.
+    pub groups: Vec<CpuGroup>,
+}
+
+impl Cluster {
+    /// Total processors in the cluster.
+    pub fn processors(&self) -> usize {
+        self.groups.iter().map(|g| g.processors).sum()
+    }
+
+    /// Sum of GHz over all processors (aggregate power).
+    pub fn total_ghz(&self) -> f64 {
+        self.groups
+            .iter()
+            .map(|g| g.ghz * g.processors as f64)
+            .sum()
+    }
+}
+
+/// A full grid pool.
+#[derive(Clone, Debug)]
+pub struct GridPool {
+    /// The clusters (administrative domains).
+    pub clusters: Vec<Cluster>,
+}
+
+impl GridPool {
+    /// Total processors (paper: 1889).
+    pub fn total_processors(&self) -> usize {
+        self.clusters.iter().map(|c| c.processors()).sum()
+    }
+
+    /// Aggregate GHz of the pool.
+    pub fn total_ghz(&self) -> f64 {
+        self.clusters.iter().map(|c| c.total_ghz()).sum()
+    }
+
+    /// Flattens into per-processor records `(cluster index, ghz)`,
+    /// in deterministic order.
+    pub fn processors(&self) -> Vec<ProcessorSpec> {
+        let mut out = Vec::with_capacity(self.total_processors());
+        for (ci, cluster) in self.clusters.iter().enumerate() {
+            for group in &cluster.groups {
+                for _ in 0..group.processors {
+                    out.push(ProcessorSpec {
+                        cluster: ci,
+                        ghz: group.ghz,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// A proportionally scaled-down pool: every group keeps
+    /// `ceil(processors / factor)` processors. Used to run the Table 2
+    /// simulation quickly at reduced scale while preserving the
+    /// heterogeneity profile.
+    pub fn scaled_down(&self, factor: usize) -> GridPool {
+        assert!(factor >= 1);
+        GridPool {
+            clusters: self
+                .clusters
+                .iter()
+                .map(|c| Cluster {
+                    name: c.name,
+                    site: c.site,
+                    kind: c.kind,
+                    groups: c
+                        .groups
+                        .iter()
+                        .map(|g| CpuGroup {
+                            model: g.model,
+                            ghz: g.ghz,
+                            processors: g.processors.div_ceil(factor),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One processor slot of the flattened pool.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessorSpec {
+    /// Index into [`GridPool::clusters`].
+    pub cluster: usize,
+    /// Clock in GHz.
+    pub ghz: f64,
+}
+
+/// The exact pool of the paper's Table 1 (1889 processors, 9 domains).
+pub fn paper_pool() -> GridPool {
+    use ClusterKind::{Campus, Dedicated};
+    let g = |model, ghz, processors| CpuGroup {
+        model,
+        ghz,
+        processors,
+    };
+    GridPool {
+        clusters: vec![
+            Cluster {
+                name: "IEEA-FIL",
+                site: "Lille1",
+                kind: Campus,
+                groups: vec![
+                    g("P4", 1.70, 24),
+                    g("P4", 2.40, 48),
+                    g("P4", 2.80, 59),
+                    g("P4", 3.00, 27),
+                    g("AMD", 1.30, 14),
+                ],
+            },
+            Cluster {
+                name: "Polytech'Lille",
+                site: "Lille1",
+                kind: Campus,
+                groups: vec![
+                    g("Celeron", 2.40, 35),
+                    g("Celeron", 0.80, 14),
+                    g("Celeron", 2.00, 13),
+                    g("Celeron", 2.20, 28),
+                    g("P3", 1.20, 12),
+                    g("P4", 3.20, 12),
+                ],
+            },
+            Cluster {
+                name: "IUT-A",
+                site: "Lille1",
+                kind: Campus,
+                groups: vec![
+                    g("P4", 1.60, 22),
+                    g("P4", 2.00, 18),
+                    g("P4", 2.80, 45),
+                    g("P4", 2.66, 57),
+                    g("P4", 3.00, 41),
+                ],
+            },
+            Cluster {
+                name: "Bordeaux",
+                site: "Grid5000",
+                kind: Dedicated,
+                groups: vec![g("AMD", 2.20, 2 * 47)],
+            },
+            Cluster {
+                name: "Lille",
+                site: "Grid5000",
+                kind: Dedicated,
+                groups: vec![g("AMD", 2.20, 2 * 54)],
+            },
+            Cluster {
+                name: "Rennes",
+                site: "Grid5000",
+                kind: Dedicated,
+                groups: vec![g("Xeon", 2.40, 2 * 64), g("AMD", 2.20, 2 * 64)],
+            },
+            Cluster {
+                name: "Sophia",
+                site: "Grid5000",
+                kind: Dedicated,
+                groups: vec![g("AMD", 2.00, 2 * 100), g("AMD", 2.00, 2 * 107)],
+            },
+            Cluster {
+                name: "Toulouse",
+                site: "Grid5000",
+                kind: Dedicated,
+                groups: vec![g("AMD", 2.20, 2 * 58)],
+            },
+            Cluster {
+                name: "Orsay",
+                site: "Grid5000",
+                kind: Dedicated,
+                groups: vec![g("AMD", 2.00, 2 * 216)],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_pool_totals_1889() {
+        // Table 1's bottom line.
+        assert_eq!(paper_pool().total_processors(), 1889);
+    }
+
+    #[test]
+    fn paper_pool_has_nine_domains() {
+        let pool = paper_pool();
+        assert_eq!(pool.clusters.len(), 9);
+        let campus = pool
+            .clusters
+            .iter()
+            .filter(|c| c.kind == ClusterKind::Campus)
+            .count();
+        assert_eq!(campus, 3);
+    }
+
+    #[test]
+    fn grid5000_machines_are_biprocessors() {
+        let pool = paper_pool();
+        for c in &pool.clusters {
+            if c.site == "Grid5000" {
+                for g in &c.groups {
+                    assert_eq!(g.processors % 2, 0, "{} {}", c.name, g.model);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_matches_totals() {
+        let pool = paper_pool();
+        let procs = pool.processors();
+        assert_eq!(procs.len(), 1889);
+        let ghz: f64 = procs.iter().map(|p| p.ghz).sum();
+        assert!((ghz - pool.total_ghz()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_down_preserves_structure() {
+        let pool = paper_pool().scaled_down(10);
+        assert_eq!(pool.clusters.len(), 9);
+        assert!(pool.total_processors() >= 189 / 10 * 9 / 9); // non-trivial
+        assert!(pool.total_processors() < 1889 / 5);
+        // Every group survives with at least one processor.
+        for c in &pool.clusters {
+            for g in &c.groups {
+                assert!(g.processors >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Host availability model: cycle stealing over volatile desktops plus
+//! reserved-node sessions, with the diurnal pattern visible in the
+//! paper's Figure 7.
+//!
+//! Each processor alternates *up* and *down* periods drawn from
+//! exponential distributions whose means depend on the cluster kind
+//! (campus desktops churn much faster than Grid'5000 reservations).
+//! Campus down-times are modulated by a 24-hour sinusoid — machines are
+//! busy with students during the day and free at night — which produces
+//! the wavy available-processor curve of Figure 7.
+
+use crate::pool::ClusterKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Availability parameters for one cluster kind.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnProfile {
+    /// Mean length of an availability period, seconds.
+    pub mean_up_s: f64,
+    /// Mean length of an unavailability period, seconds.
+    pub mean_down_s: f64,
+    /// Diurnal modulation amplitude in `[0, 1)`: 0 = flat, 0.8 = strong
+    /// day/night swing of the *down* durations.
+    pub diurnal_amplitude: f64,
+}
+
+/// The volatility model: per-kind churn profiles and a start-up ramp.
+#[derive(Clone, Debug)]
+pub struct VolatilityModel {
+    /// Campus (cycle stealing) profile.
+    pub campus: ChurnProfile,
+    /// Dedicated (reservation) profile.
+    pub dedicated: ChurnProfile,
+    /// Hosts join progressively over this window at the start of the
+    /// run (the paper's run ramped from a few hundred processors).
+    pub rampup_s: f64,
+    /// Fraction of the pool that participates at all (not every listed
+    /// processor was exploited all the time; Table 2 reports an average
+    /// of 328 on a 1889-processor pool).
+    pub participation: f64,
+}
+
+impl Default for VolatilityModel {
+    fn default() -> Self {
+        VolatilityModel {
+            campus: ChurnProfile {
+                mean_up_s: 4.0 * 3600.0,
+                mean_down_s: 8.0 * 3600.0,
+                diurnal_amplitude: 0.7,
+            },
+            dedicated: ChurnProfile {
+                mean_up_s: 24.0 * 3600.0,
+                mean_down_s: 36.0 * 3600.0,
+                diurnal_amplitude: 0.2,
+            },
+            rampup_s: 2.0 * 3600.0,
+            participation: 1.0,
+        }
+    }
+}
+
+impl VolatilityModel {
+    /// The profile for a cluster kind.
+    pub fn profile(&self, kind: ClusterKind) -> ChurnProfile {
+        match kind {
+            ClusterKind::Campus => self.campus,
+            ClusterKind::Dedicated => self.dedicated,
+        }
+    }
+}
+
+/// Stateful per-run availability sampler.
+pub struct AvailabilitySampler {
+    rng: StdRng,
+}
+
+impl AvailabilitySampler {
+    /// Deterministic sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        AvailabilitySampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Exponential draw with the given mean (seconds), as nanoseconds.
+    pub fn exp_ns(&mut self, mean_s: f64) -> u64 {
+        let u: f64 = self.rng.random_range(f64::EPSILON..1.0);
+        let secs = -mean_s * u.ln();
+        (secs.min(365.0 * 86_400.0) * 1e9) as u64
+    }
+
+    /// First join time of a host: uniform over the ramp-up window.
+    pub fn initial_join_ns(&mut self, rampup_s: f64) -> u64 {
+        let secs = self.rng.random_range(0.0..rampup_s.max(1e-9));
+        (secs * 1e9) as u64
+    }
+
+    /// Whether a host participates at all.
+    pub fn participates(&mut self, participation: f64) -> bool {
+        self.rng.random_range(0.0..1.0) < participation
+    }
+
+    /// Length of an up period for a profile, at absolute time `now_ns`.
+    pub fn up_period_ns(&mut self, profile: &ChurnProfile) -> u64 {
+        self.exp_ns(profile.mean_up_s).max(1)
+    }
+
+    /// Length of a down period, modulated by the diurnal factor:
+    /// longer during the (simulated) day, shorter at night.
+    pub fn down_period_ns(&mut self, profile: &ChurnProfile, now_ns: u64) -> u64 {
+        let t_days = now_ns as f64 / 1e9 / 86_400.0;
+        let phase = (t_days.fract() * std::f64::consts::TAU).sin();
+        let factor = 1.0 + profile.diurnal_amplitude * phase;
+        self.exp_ns(profile.mean_down_s * factor.max(0.05)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_mean_roughly_correct() {
+        let mut s = AvailabilitySampler::new(42);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| s.exp_ns(100.0) as f64 / 1e9).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 10.0, "sampled mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = AvailabilitySampler::new(7);
+        let mut b = AvailabilitySampler::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.exp_ns(50.0), b.exp_ns(50.0));
+        }
+    }
+
+    #[test]
+    fn diurnal_modulation_changes_down_times() {
+        let profile = ChurnProfile {
+            mean_up_s: 100.0,
+            mean_down_s: 100.0,
+            diurnal_amplitude: 0.9,
+        };
+        // Average the modulated mean at day peak vs night trough.
+        let day_peak = (0.25f64 * 86_400.0 * 1e9) as u64; // sin = 1
+        let night = (0.75f64 * 86_400.0 * 1e9) as u64; // sin = -1
+        let mut s = AvailabilitySampler::new(3);
+        let n = 4000;
+        let day_mean: f64 = (0..n)
+            .map(|_| s.down_period_ns(&profile, day_peak) as f64)
+            .sum::<f64>()
+            / n as f64;
+        let night_mean: f64 = (0..n)
+            .map(|_| s.down_period_ns(&profile, night) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            day_mean > night_mean * 3.0,
+            "day {day_mean} vs night {night_mean}"
+        );
+    }
+
+    #[test]
+    fn ramp_join_times_within_window() {
+        let mut s = AvailabilitySampler::new(9);
+        for _ in 0..100 {
+            let t = s.initial_join_ns(3600.0);
+            assert!(t <= 3_600_000_000_000);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Synthetic B&B workload model for the simulator.
+//!
+//! The simulator does not re-run a real 22-CPU-year search; it models
+//! the *exploration effort* as a density of node visits over the root
+//! interval `[0, N!)`. The density is deliberately **irregular** (the
+//! paper stresses "the irregular nature of the tree explored"): the
+//! interval is divided into segments whose node densities span orders of
+//! magnitude, so a worker cannot predict how long an interval will take
+//! — exactly the load-balancing challenge the coordinator solves.
+//!
+//! Internally the model is a piecewise-linear CDF `F` over the unit
+//! interval: an interval `[a, b)` of the tree carries
+//! `(F(b/N!) − F(a/N!)) · total_nodes` node visits, and a worker that
+//! explores `n` nodes starting at `a` ends at `F⁻¹(F(a/N!) + n/total)`.
+
+use gridbnb_bigint::UBig;
+
+/// Node-visit density over the root interval.
+#[derive(Clone, Debug)]
+pub struct WorkloadModel {
+    root_length: UBig,
+    total_nodes: f64,
+    /// `cum[i]` = F(i / S); `cum[0] = 0`, `cum[S] = 1`, non-decreasing.
+    cum: Vec<f64>,
+}
+
+impl WorkloadModel {
+    /// Uniform density: every part of the tree costs the same.
+    pub fn uniform(root_length: UBig, total_nodes: f64) -> Self {
+        Self::from_weights(root_length, total_nodes, &[1.0])
+    }
+
+    /// Irregular density: `segments` regions with weights spanning
+    /// roughly `10^spread` between lightest and heaviest, deterministic
+    /// in `seed`.
+    pub fn irregular(
+        root_length: UBig,
+        total_nodes: f64,
+        segments: usize,
+        spread: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(segments >= 1);
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            z as f64 / u64::MAX as f64
+        };
+        let weights: Vec<f64> = (0..segments)
+            .map(|_| 10f64.powf(next() * spread))
+            .collect();
+        Self::from_weights(root_length, total_nodes, &weights)
+    }
+
+    /// Builds from explicit non-negative segment weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any is negative.
+    pub fn from_weights(root_length: UBig, total_nodes: f64, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "all weights zero");
+        let mut cum = Vec::with_capacity(weights.len() + 1);
+        cum.push(0.0);
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cum.push(acc.min(1.0));
+        }
+        *cum.last_mut().expect("nonempty") = 1.0;
+        WorkloadModel {
+            root_length,
+            total_nodes,
+            cum,
+        }
+    }
+
+    /// Total node visits of the whole workload.
+    pub fn total_nodes(&self) -> f64 {
+        self.total_nodes
+    }
+
+    /// Length of the root interval.
+    pub fn root_length(&self) -> &UBig {
+        &self.root_length
+    }
+
+    /// Position → unit fraction.
+    pub fn frac_of(&self, pos: &UBig) -> f64 {
+        pos.ratio(&self.root_length).clamp(0.0, 1.0)
+    }
+
+    /// Unit fraction → position (monotone, floor rounding).
+    pub fn pos_of_frac(&self, frac: f64) -> UBig {
+        const SCALE: u64 = 1 << 53;
+        let scaled = (frac.clamp(0.0, 1.0) * SCALE as f64).floor() as u64;
+        self.root_length.mul_div_floor(scaled.min(SCALE), SCALE)
+    }
+
+    /// CDF: mass in `[0, u)`.
+    pub fn cdf(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        let s = self.cum.len() - 1;
+        let x = u * s as f64;
+        let i = (x.floor() as usize).min(s - 1);
+        let t = x - i as f64;
+        self.cum[i] + t * (self.cum[i + 1] - self.cum[i])
+    }
+
+    /// Inverse CDF.
+    pub fn inv_cdf(&self, mass: f64) -> f64 {
+        let m = mass.clamp(0.0, 1.0);
+        let s = self.cum.len() - 1;
+        // Find the segment containing m.
+        let i = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&m).expect("no NaN"))
+        {
+            Ok(i) => i.min(s - 1),
+            Err(i) => i.saturating_sub(1).min(s - 1),
+        };
+        let lo = self.cum[i];
+        let hi = self.cum[i + 1];
+        let t = if hi > lo { (m - lo) / (hi - lo) } else { 0.0 };
+        ((i as f64 + t) / s as f64).clamp(0.0, 1.0)
+    }
+
+    /// Node visits required to explore the fraction range `[u0, u1)`.
+    pub fn nodes_between(&self, u0: f64, u1: f64) -> f64 {
+        if u1 <= u0 {
+            return 0.0;
+        }
+        (self.cdf(u1) - self.cdf(u0)).max(0.0) * self.total_nodes
+    }
+
+    /// Where a worker ends after spending `nodes` node visits from `u0`,
+    /// never beyond `u1`. Returns `(new_u, nodes_actually_spent)`.
+    pub fn advance(&self, u0: f64, u1: f64, nodes: f64) -> (f64, f64) {
+        let available = self.nodes_between(u0, u1);
+        if nodes >= available {
+            return (u1, available);
+        }
+        let target_mass = self.cdf(u0) + nodes / self.total_nodes;
+        let new_u = self.inv_cdf(target_mass).clamp(u0, u1);
+        (new_u, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> WorkloadModel {
+        WorkloadModel::from_weights(UBig::from(1_000_000u64), 1e6, &[1.0, 3.0, 1.0, 5.0])
+    }
+
+    #[test]
+    fn cdf_endpoints() {
+        let m = model();
+        assert_eq!(m.cdf(0.0), 0.0);
+        assert!((m.cdf(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let m = WorkloadModel::irregular(UBig::from(1000u64), 1e9, 64, 3.0, 11);
+        let mut last = -1.0;
+        for k in 0..=1000 {
+            let v = m.cdf(k as f64 / 1000.0);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn inv_cdf_inverts() {
+        let m = model();
+        for k in 0..=100 {
+            let u = k as f64 / 100.0;
+            let round = m.inv_cdf(m.cdf(u));
+            assert!((round - u).abs() < 1e-9, "u={u} round={round}");
+        }
+    }
+
+    #[test]
+    fn nodes_between_splits_additively() {
+        let m = model();
+        let whole = m.nodes_between(0.1, 0.9);
+        let split = m.nodes_between(0.1, 0.4) + m.nodes_between(0.4, 0.9);
+        assert!((whole - split).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_consumes_exactly() {
+        let m = model();
+        let (u, spent) = m.advance(0.2, 1.0, 1234.0);
+        assert!((spent - 1234.0).abs() < 1e-9);
+        assert!((m.nodes_between(0.2, u) - 1234.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advance_caps_at_end() {
+        let m = model();
+        let available = m.nodes_between(0.2, 0.3);
+        let (u, spent) = m.advance(0.2, 0.3, available * 10.0);
+        assert_eq!(u, 0.3);
+        assert!((spent - available).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frac_pos_round_trip() {
+        let m = WorkloadModel::uniform(UBig::factorial(50), 1e12);
+        for k in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let pos = m.pos_of_frac(k);
+            let back = m.frac_of(&pos);
+            assert!((back - k).abs() < 1e-9, "k={k} back={back}");
+        }
+    }
+
+    #[test]
+    fn pos_of_frac_is_monotone() {
+        let m = WorkloadModel::uniform(UBig::factorial(20), 1e9);
+        let mut last = UBig::zero();
+        for k in 0..=1000 {
+            let p = m.pos_of_frac(k as f64 / 1000.0);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn uniform_density_is_linear() {
+        let m = WorkloadModel::uniform(UBig::from(100u64), 1000.0);
+        assert!((m.nodes_between(0.0, 0.5) - 500.0).abs() < 1e-9);
+        assert!((m.nodes_between(0.25, 0.75) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irregular_is_deterministic() {
+        let a = WorkloadModel::irregular(UBig::from(10u64), 1e6, 32, 2.0, 5);
+        let b = WorkloadModel::irregular(UBig::from(10u64), 1e6, 32, 2.0, 5);
+        assert_eq!(a.cdf(0.37), b.cdf(0.37));
+    }
+
+    #[test]
+    fn irregular_spread_creates_imbalance() {
+        let m = WorkloadModel::irregular(UBig::from(10u64), 1e6, 128, 3.0, 5);
+        // Some equal-length windows must differ in cost by > 5x.
+        let mut min = f64::MAX;
+        let mut max: f64 = 0.0;
+        for k in 0..64 {
+            let u0 = k as f64 / 64.0;
+            let n = m.nodes_between(u0, u0 + 1.0 / 64.0);
+            min = min.min(n);
+            max = max.max(n);
+        }
+        assert!(max / min.max(1e-12) > 5.0, "spread {}..{}", min, max);
+    }
+}

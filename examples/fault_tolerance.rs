@@ -1,0 +1,98 @@
+//! Fault-tolerance demonstration: workers crash mid-search (losing all
+//! state), the coordinator recovers their intervals, and the final
+//! optimum is still exact. Also shows farmer checkpoint/restore — the
+//! paper's two-file recovery (§4.1).
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use gridbnb::core::checkpoint::CheckpointStore;
+use gridbnb::core::runtime::{
+    run, run_with_coordinator, ChaosConfig, CheckpointPolicy, CrashPlan, RuntimeConfig,
+};
+use gridbnb::core::{Coordinator, CoordinatorConfig};
+use gridbnb::engine::solve;
+use gridbnb::flowshop::bounds::PairSelection;
+use gridbnb::flowshop::{taillard, BoundMode, FlowshopProblem};
+use std::time::Duration;
+
+fn main() {
+    let instance = taillard::generate(10, 5, 31_337);
+    let problem = FlowshopProblem::new(instance, BoundMode::Johnson(PairSelection::All));
+
+    // Ground truth from a sequential run.
+    let expected = solve(&problem, None).best_cost;
+    println!("sequential optimum: {expected:?}");
+
+    // ---- Worker crashes.
+    let mut config = RuntimeConfig::new(4);
+    config.poll_nodes = 200;
+    config.coordinator.holder_timeout_ns = 20_000_000; // 20 ms
+    config.chaos = Some(ChaosConfig {
+        crashes: vec![
+            CrashPlan {
+                worker_index: 0,
+                after_nodes: 500,
+                rejoin: true,
+            },
+            CrashPlan {
+                worker_index: 1,
+                after_nodes: 600,
+                rejoin: false,
+            },
+            CrashPlan {
+                worker_index: 2,
+                after_nodes: 900,
+                rejoin: true,
+            },
+        ],
+    });
+    let report = run(&problem, &config);
+    let crashes: u64 = report.workers.iter().map(|w| w.crashes).sum();
+    println!(
+        "with {crashes} injected crashes: optimum {:?}, redundancy {:.2}%, holders expired {}",
+        report.proven_optimum,
+        report.redundancy() * 100.0,
+        report.coordinator_stats.holders_expired,
+    );
+    assert_eq!(report.proven_optimum, expected, "crashes must not lose work");
+
+    // ---- Farmer checkpoint/restore.
+    let dir = std::env::temp_dir().join(format!("gridbnb-example-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store = CheckpointStore::new(dir.join("INTERVALS"), dir.join("SOLUTION"));
+    let mut config = RuntimeConfig::new(4);
+    config.checkpoint = Some(CheckpointPolicy {
+        store: store.clone(),
+        every: Duration::from_millis(5),
+    });
+    let report = run(&problem, &config);
+    println!(
+        "checkpointing run: optimum {:?}, {} farmer checkpoints written",
+        report.proven_optimum, report.farmer_checkpoints
+    );
+
+    // Simulate a farmer restart from the files — here the terminal state.
+    let (intervals, solution) = store.load().expect("readable checkpoint");
+    println!(
+        "restored checkpoint: {} interval(s), solution {:?}",
+        intervals.len(),
+        solution.as_ref().map(|s| s.cost)
+    );
+    let coordinator = Coordinator::restore(
+        problem_root(&problem),
+        intervals,
+        solution,
+        CoordinatorConfig::default(),
+    );
+    let resumed = run_with_coordinator(&problem, coordinator, &RuntimeConfig::new(2));
+    println!("resumed run confirms optimum: {:?}", resumed.proven_optimum);
+    assert_eq!(resumed.proven_optimum, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn problem_root(problem: &FlowshopProblem) -> gridbnb::coding::Interval {
+    use gridbnb::engine::Problem;
+    problem.shape().root_range()
+}

@@ -1,0 +1,80 @@
+//! Simulate the paper's 1889-processor nation-wide campaign at reduced
+//! scale: volatile campus desktops + dedicated Grid'5000 nodes solving a
+//! Ta056-shaped workload, with the statistics of Table 2.
+//!
+//! ```sh
+//! cargo run --release --example grid_campaign
+//! ```
+
+use gridbnb::bigint::UBig;
+use gridbnb::core::CoordinatorConfig;
+use gridbnb::grid::{paper_pool, simulate, SimConfig, WorkloadModel};
+
+fn main() {
+    // The paper's pool scaled down 10x (~190 processors), exploring a
+    // Ta056-shaped workload of 20 billion synthetic node visits over the
+    // 50! interval (the real run visited 6.5e12).
+    let pool = paper_pool().scaled_down(10);
+    println!(
+        "pool: {} processors in {} domains, {:.0} GHz aggregate",
+        pool.total_processors(),
+        pool.clusters.len(),
+        pool.total_ghz()
+    );
+
+    let workload = WorkloadModel::irregular(UBig::factorial(50), 2e10, 1024, 2.5, 56);
+    let mut config = SimConfig::new(pool);
+    config.coordinator = CoordinatorConfig {
+        duplication_threshold: UBig::factorial(50).div_rem_u64(10_000_000).0,
+        holder_timeout_ns: 15 * 60 * 1_000_000_000,
+        initial_upper_bound: Some(3680),
+    };
+    config.sample_period_s = 1_800.0;
+
+    let report = simulate(&config, &workload);
+    assert!(report.completed, "the run must terminate by itself");
+
+    println!("\n--- campaign report (cf. paper Table 2) ---");
+    println!("wall clock            : {:.1} h", report.wall_s / 3600.0);
+    println!(
+        "cumulative CPU        : {:.1} days",
+        report.cpu_s / 86_400.0
+    );
+    println!(
+        "avg / max workers     : {:.0} / {}",
+        report.avg_workers, report.max_workers
+    );
+    println!(
+        "worker exploitation   : {:.1} %",
+        report.worker_exploitation * 100.0
+    );
+    println!(
+        "farmer exploitation   : {:.2} %",
+        report.farmer_exploitation * 100.0
+    );
+    println!("work allocations      : {}", report.work_allocations);
+    println!("checkpoint operations : {}", report.checkpoint_ops);
+    println!("explored nodes        : {:.3e}", report.explored_nodes);
+    println!(
+        "redundant nodes       : {:.2} %",
+        report.redundant_ratio * 100.0
+    );
+
+    println!("\n--- available processors over time (cf. Figure 7) ---");
+    let max = report
+        .samples
+        .iter()
+        .map(|s| s.online)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    for chunk in report
+        .samples
+        .chunks(report.samples.len().div_ceil(24).max(1))
+    {
+        let t = chunk[0].t_s / 3600.0;
+        let online: usize = chunk.iter().map(|s| s.online).sum::<usize>() / chunk.len();
+        let bar = "#".repeat(online * 50 / max);
+        println!("{t:>7.1} h |{bar:<50}| {online}");
+    }
+}

@@ -1,0 +1,49 @@
+//! # gridbnb — grid-enabled branch and bound with interval-coded work units
+//!
+//! A from-scratch Rust reproduction of M. Mezmaz, N. Melab and E-G.
+//! Talbi, *A Grid-enabled Branch and Bound Algorithm for Solving
+//! Challenging Combinatorial Optimization Problems* (INRIA RR-5945 /
+//! IPDPS 2007) — the system that produced the first exact resolution of
+//! Taillard's Ta056 flowshop instance (makespan 3679) on a 1889-processor
+//! nation-wide grid.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`bigint`] | `gridbnb-bigint` | arbitrary-precision integers (50! sized node numbers) |
+//! | [`coding`] | `gridbnb-coding` | node weight/number/range, fold & unfold operators |
+//! | [`engine`] | `gridbnb-engine` | `Problem` trait + interval-restricted DFS explorer |
+//! | [`flowshop`] | `gridbnb-flowshop` | Taillard instances, makespan, bounds, NEH, iterated greedy |
+//! | [`tsp`] | `gridbnb-tsp` | TSP as a second `Problem` |
+//! | [`core`] | `gridbnb-core` | coordinator, pull protocol, checkpoints, thread runtime |
+//! | [`grid`] | `gridbnb-grid` | discrete-event simulator of the paper's grid |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gridbnb::core::runtime::{run, RuntimeConfig};
+//! use gridbnb::flowshop::{taillard, BoundMode, FlowshopProblem};
+//! use gridbnb::flowshop::bounds::PairSelection;
+//!
+//! // An exactly-solvable Taillard-like instance: 9 jobs × 4 machines.
+//! let instance = taillard::generate(9, 4, 1234);
+//! let problem = FlowshopProblem::new(instance, BoundMode::Johnson(PairSelection::All));
+//! let report = run(&problem, &RuntimeConfig::new(4));
+//! println!(
+//!     "optimum {:?} after {} nodes across {} work units",
+//!     report.proven_optimum,
+//!     report.total_explored(),
+//!     report.coordinator_stats.work_allocations,
+//! );
+//! assert!(report.proven_optimum.is_some());
+//! ```
+
+pub use gridbnb_bigint as bigint;
+pub use gridbnb_coding as coding;
+pub use gridbnb_core as core;
+pub use gridbnb_engine as engine;
+pub use gridbnb_flowshop as flowshop;
+pub use gridbnb_grid as grid;
+pub use gridbnb_qap as qap;
+pub use gridbnb_tsp as tsp;
