@@ -31,8 +31,7 @@ fn bench_runtime(c: &mut Criterion) {
     }
 
     // A real bound-driven flowshop resolution.
-    let problem =
-        FlowshopProblem::new(generate(10, 5, 77), BoundMode::Johnson(PairSelection::All));
+    let problem = FlowshopProblem::new(generate(10, 5, 77), BoundMode::Johnson(PairSelection::All));
     for workers in [1usize, 4] {
         group.bench_with_input(
             BenchmarkId::new("flowshop_10x5", workers),

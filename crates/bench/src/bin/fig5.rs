@@ -11,10 +11,7 @@ use gridbnb_core::{Coordinator, CoordinatorConfig, Interval, Request, Response, 
 
 fn show(coordinator: &Coordinator, caption: &str) {
     println!("\n{caption}");
-    println!(
-        "  SOLUTION = {:?}",
-        coordinator.solution().map(|s| s.cost)
-    );
+    println!("  SOLUTION = {:?}", coordinator.solution().map(|s| s.cost));
     println!("  INTERVALS (cardinality {}):", coordinator.cardinality());
     for entry in coordinator.entries() {
         let holders: Vec<String> = entry.holders.iter().map(|h| h.worker.to_string()).collect();
@@ -40,7 +37,13 @@ fn main() {
     show(&c, "initially: the root range, unassigned");
 
     for (w, power) in [(1u64, 100u64), (2, 100), (3, 50)] {
-        let r = c.handle(Request::Join { worker: WorkerId(w), power }, w);
+        let r = c.handle(
+            Request::Join {
+                worker: WorkerId(w),
+                power,
+            },
+            w,
+        );
         if let Response::Work { interval, .. } = r {
             println!("\nworker w{w} (power {power}) joins and receives {interval}");
         }
@@ -67,7 +70,12 @@ fn main() {
     }
     show(&c, "after two progress updates (begins advanced):");
 
-    c.handle(Request::Leave { worker: WorkerId(2) }, 20);
+    c.handle(
+        Request::Leave {
+            worker: WorkerId(2),
+        },
+        20,
+    );
     show(
         &c,
         "after w2's host is reclaimed (its interval waits for a process):",
@@ -83,5 +91,8 @@ fn main() {
     if let Response::SolutionAck { cutoff } = r {
         println!("\nw1 reports a solution of cost 618; global cutoff is now {cutoff:?}");
     }
-    show(&c, "final state (cf. Figure 5: 3 intervals being explored, 1 waiting):");
+    show(
+        &c,
+        "final state (cf. Figure 5: 3 intervals being explored, 1 waiting):",
+    );
 }

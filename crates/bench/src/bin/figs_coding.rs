@@ -42,7 +42,10 @@ fn main() {
     let names: Vec<String> = frontier.iter().map(|n| n.to_string()).collect();
     let interval = fold(&shape, &frontier).expect("DFS frontier");
     println!("  active list {names:?}");
-    println!("  fold   -> interval {interval} ({} bytes on the wire)", interval.byte_len());
+    println!(
+        "  fold   -> interval {interval} ({} bytes on the wire)",
+        interval.byte_len()
+    );
     let recovered = unfold(&shape, &interval);
     let rec_names: Vec<String> = recovered.iter().map(|n| n.to_string()).collect();
     println!("  unfold -> active list {rec_names:?}");

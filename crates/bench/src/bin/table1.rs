@@ -11,7 +11,10 @@ fn main() {
     let pool = paper_pool();
     println!("Table 1: The computational pool");
     println!("{:-<56}", "");
-    println!("{:<10} {:>6}  {:<22} {:>6}", "CPU", "(GHz)", "Domain", "No.");
+    println!(
+        "{:<10} {:>6}  {:<22} {:>6}",
+        "CPU", "(GHz)", "Domain", "No."
+    );
     println!("{:-<56}", "");
     for cluster in &pool.clusters {
         let domain = if cluster.site == "Grid5000" {
@@ -20,7 +23,11 @@ fn main() {
             format!("{}({})", cluster.name, cluster.site)
         };
         for (k, group) in cluster.groups.iter().enumerate() {
-            let label = if k == cluster.groups.len() / 2 { &domain } else { "" };
+            let label = if k == cluster.groups.len() / 2 {
+                &domain
+            } else {
+                ""
+            };
             let count = if cluster.site == "Grid5000" {
                 format!("2x{}", group.processors / 2)
             } else {
@@ -33,7 +40,13 @@ fn main() {
         }
         println!("{:-<56}", "");
     }
-    println!("{:<10} {:>6}  {:<22} {:>6}", "Total", "", "", pool.total_processors());
+    println!(
+        "{:<10} {:>6}  {:<22} {:>6}",
+        "Total",
+        "",
+        "",
+        pool.total_processors()
+    );
     println!();
     println!(
         "aggregate power: {:.0} GHz over {} administrative domains",

@@ -29,7 +29,10 @@ fn main() {
     assert!(report.completed, "simulation hit the safety cap");
 
     println!("Table 2: The execution statistics");
-    println!("(simulated pool 1/{scale} of the paper's, workload {:.1e} of 6.5e12 nodes)", nodes);
+    println!(
+        "(simulated pool 1/{scale} of the paper's, workload {:.1e} of 6.5e12 nodes)",
+        nodes
+    );
     println!("{:-<72}", "");
     println!("{:<34} {:>16} {:>18}", "", "measured (sim)", "paper");
     println!("{:-<72}", "");
@@ -75,11 +78,7 @@ fn main() {
             format!("{:.4e}", report.explored_nodes),
             "6.50874e+12",
         ),
-        (
-            "Redundant nodes",
-            pct(report.redundant_ratio),
-            "0.39%",
-        ),
+        ("Redundant nodes", pct(report.redundant_ratio), "0.39%"),
     ];
     for (label, measured, paper) in rows {
         println!("{label:<34} {measured:>16} {paper:>18}");

@@ -108,7 +108,10 @@ fn mul_u64_by_zero() {
 fn mul_cross_limb() {
     let a = UBig::from(u64::MAX);
     let b = a.mul_u64(u64::MAX);
-    assert_eq!(b.to_u128(), Some(u128::from(u64::MAX) * u128::from(u64::MAX)));
+    assert_eq!(
+        b.to_u128(),
+        Some(u128::from(u64::MAX) * u128::from(u64::MAX))
+    );
 }
 
 #[test]
@@ -133,7 +136,10 @@ fn factorial_small_values() {
     assert_eq!(UBig::factorial(0).to_u64(), Some(1));
     assert_eq!(UBig::factorial(1).to_u64(), Some(1));
     assert_eq!(UBig::factorial(5).to_u64(), Some(120));
-    assert_eq!(UBig::factorial(20).to_u64(), Some(2_432_902_008_176_640_000));
+    assert_eq!(
+        UBig::factorial(20).to_u64(),
+        Some(2_432_902_008_176_640_000)
+    );
 }
 
 #[test]
@@ -159,7 +165,10 @@ fn pow_binary_exponentiation() {
     assert_eq!(UBig::pow(3, 0).to_u64(), Some(1));
     assert_eq!(UBig::pow(3, 5).to_u64(), Some(243));
     assert_eq!(UBig::pow(2, 100), UBig::pow2(100));
-    assert_eq!(UBig::pow(10, 30).to_string(), format!("1{}", "0".repeat(30)));
+    assert_eq!(
+        UBig::pow(10, 30).to_string(),
+        format!("1{}", "0".repeat(30))
+    );
 }
 
 #[test]

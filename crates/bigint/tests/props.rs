@@ -130,7 +130,7 @@ proptest! {
         prop_assume!(!a.is_zero());
         let (half, _) = a.div_rem_u64(2);
         let r = half.ratio(&a);
-        prop_assert!(r >= 0.0 && r <= 0.5 + 1e-9, "ratio {}", r);
+        prop_assert!((0.0..=0.5 + 1e-9).contains(&r), "ratio {}", r);
     }
 
     #[test]

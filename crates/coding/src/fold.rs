@@ -61,7 +61,7 @@ mod tests {
     fn fold_single_node_gives_its_range() {
         let shape = TreeShape::permutation(4);
         let node = NodePath::root().child(&shape, 2);
-        let folded = fold(&shape, &[node.clone()]).unwrap();
+        let folded = fold(&shape, std::slice::from_ref(&node)).unwrap();
         assert_eq!(folded, node.range(&shape));
     }
 
@@ -135,10 +135,7 @@ mod tests {
         let deep = NodePath::from_ranks(vec![48; 1]); // child 48 of root: [48·49!, 49·49!)
         let last = NodePath::from_ranks(vec![49]);
         let folded = fold(&shape, &[deep, last]).unwrap();
-        assert_eq!(
-            *folded.begin(),
-            UBig::factorial(49).mul_u64(48),
-        );
+        assert_eq!(*folded.begin(), UBig::factorial(49).mul_u64(48),);
         assert_eq!(*folded.end(), UBig::factorial(50));
     }
 }

@@ -228,7 +228,7 @@ mod tests {
     fn byte_len_counts_both_endpoints() {
         assert_eq!(iv(255, 256).byte_len(), 1 + 2);
         let big = Interval::new(UBig::zero(), UBig::factorial(50));
-        assert_eq!(big.byte_len(), 0 + 27);
+        assert_eq!(big.byte_len(), 27); // begin 0 contributes no bytes
     }
 
     #[test]

@@ -70,7 +70,9 @@ impl IntervalSet {
         if interval.is_empty() {
             return true;
         }
-        let idx = self.intervals.partition_point(|i| *i.begin() <= *interval.begin());
+        let idx = self
+            .intervals
+            .partition_point(|i| *i.begin() <= *interval.begin());
         idx > 0 && self.intervals[idx - 1].contains_interval(interval)
     }
 
@@ -102,16 +104,17 @@ impl IntervalSet {
         if interval.is_empty() || self.intervals.is_empty() {
             return;
         }
-        let lo = self.intervals.partition_point(|i| *i.end() <= *interval.begin());
-        let hi = self.intervals.partition_point(|i| *i.begin() < *interval.end());
+        let lo = self
+            .intervals
+            .partition_point(|i| *i.end() <= *interval.begin());
+        let hi = self
+            .intervals
+            .partition_point(|i| *i.begin() < *interval.end());
         if lo >= hi {
             return;
         }
         let mut replacement: Vec<Interval> = Vec::with_capacity(2);
-        let left = Interval::new(
-            self.intervals[lo].begin().clone(),
-            interval.begin().clone(),
-        );
+        let left = Interval::new(self.intervals[lo].begin().clone(), interval.begin().clone());
         if !left.is_empty() {
             replacement.push(left);
         }

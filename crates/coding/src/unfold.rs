@@ -69,7 +69,13 @@ pub fn unfold_direct(shape: &TreeShape, interval: &Interval) -> Vec<NodePath> {
 /// Emits the canonical cover of `target` restricted to the subtree at
 /// `node`, whose range begins at `lo`. Invariant: `target` overlaps the
 /// node's range.
-fn cover(shape: &TreeShape, node: &NodePath, lo: &UBig, target: &Interval, out: &mut Vec<NodePath>) {
+fn cover(
+    shape: &TreeShape,
+    node: &NodePath,
+    lo: &UBig,
+    target: &Interval,
+    out: &mut Vec<NodePath>,
+) {
     let depth = node.depth();
     let hi = lo + shape.weight_at(depth);
     if *target.begin() <= *lo && hi <= *target.end() {
@@ -94,7 +100,9 @@ fn cover(shape: &TreeShape, node: &NodePath, lo: &UBig, target: &Interval, out: 
         // target.end > lo because the ranges overlap.
         let offset = &(target.end() - lo) - &UBig::one();
         let (q, _r) = offset.div_rem(child_weight);
-        q.to_u64().expect("child index fits the arity").min(arity - 1)
+        q.to_u64()
+            .expect("child index fits the arity")
+            .min(arity - 1)
     };
     let mut child_lo = lo + &child_weight.mul_u64(first);
     for rank in first..=last {
@@ -121,8 +129,8 @@ mod tests {
         let mut out = Vec::new();
         let mut stack = vec![NodePath::root()];
         while let Some(node) = stack.pop() {
-            let contained = interval.contains_interval(&node.range(shape))
-                && !node.range(shape).is_empty();
+            let contained =
+                interval.contains_interval(&node.range(shape)) && !node.range(shape).is_empty();
             let parent_contained = node
                 .parent()
                 .is_some_and(|p| interval.contains_interval(&p.range(shape)));
@@ -278,7 +286,10 @@ mod tests {
     #[test]
     fn unfold_cost_is_bounded_by_depth_times_arity() {
         let shape = TreeShape::permutation(20);
-        let interval = Interval::new(UBig::from(12345u64), shape.total_leaves().saturating_sub(&UBig::from(6789u64)));
+        let interval = Interval::new(
+            UBig::from(12345u64),
+            shape.total_leaves().saturating_sub(&UBig::from(6789u64)),
+        );
         let nodes = unfold_direct(&shape, &interval);
         assert!(nodes.len() <= 20 * 20, "cover of {} nodes", nodes.len());
     }

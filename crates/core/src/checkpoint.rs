@@ -20,9 +20,9 @@
 //! cannot corrupt the previous checkpoint.
 
 use crate::Coordinator;
+use gridbnb_bigint::UBig;
 use gridbnb_coding::Interval;
 use gridbnb_engine::Solution;
-use gridbnb_bigint::UBig;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
@@ -103,11 +103,9 @@ pub fn decode_intervals(text: &str) -> Result<Vec<Interval>, CheckpointError> {
 }
 
 fn parse_ubig(token: Option<&str>, ln: usize) -> Result<UBig, CheckpointError> {
-    let token = token.ok_or_else(|| {
-        CheckpointError::Corrupt(format!("missing endpoint on line {}", ln + 2))
-    })?;
-    UBig::from_str(token)
-        .map_err(|e| CheckpointError::Corrupt(format!("line {}: {e}", ln + 2)))
+    let token = token
+        .ok_or_else(|| CheckpointError::Corrupt(format!("missing endpoint on line {}", ln + 2)))?;
+    UBig::from_str(token).map_err(|e| CheckpointError::Corrupt(format!("line {}: {e}", ln + 2)))
 }
 
 /// Serializes `SOLUTION`.
@@ -189,7 +187,10 @@ impl CheckpointStore {
             .map(|e| e.interval.clone())
             .collect();
         write_atomic(&self.intervals_path, &encode_intervals(&intervals))?;
-        write_atomic(&self.solution_path, &encode_solution(coordinator.solution()))?;
+        write_atomic(
+            &self.solution_path,
+            &encode_solution(coordinator.solution()),
+        )?;
         Ok(())
     }
 
@@ -230,7 +231,7 @@ mod tests {
     #[test]
     fn intervals_round_trip_at_ta056_scale() {
         let big = Interval::new(UBig::factorial(49), UBig::factorial(50));
-        let text = encode_intervals(&[big.clone()]);
+        let text = encode_intervals(std::slice::from_ref(&big));
         assert_eq!(decode_intervals(&text).unwrap(), vec![big]);
     }
 

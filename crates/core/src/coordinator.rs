@@ -1,25 +1,122 @@
 //! The coordinator (farmer) state machine: `INTERVALS`, `SOLUTION`, and
 //! the selection / partitioning / intersection operators of §4.
+//!
+//! # Indexed hot path
+//!
+//! The paper's farmer handled ~130 000 work allocations and ~2 000 000
+//! update operations; with `INTERVALS` holding one entry per live B&B
+//! process, any per-contact linear scan caps farmer scalability (the
+//! 1.7 % farmer exploitation of Table 2 grows linearly with the pool).
+//! This coordinator therefore keeps three auxiliary indexes next to the
+//! entry vector:
+//!
+//! * `holder_of` — `WorkerId → entry index`, so `Update`, `Leave`,
+//!   `RequestWork` completion and re-`Join` detaching are O(1) lookups
+//!   instead of scans (a worker holds at most one entry at a time: every
+//!   assignment is preceded by a detach or completion);
+//! * `by_priority` — a `BTreeSet` of selection keys ordered by the
+//!   **power-normalized selection rule** (below), so the selection
+//!   operator is an O(log n) max-lookup;
+//! * `heartbeats` — a `BTreeSet<(last_contact_ns, WorkerId)>`, so
+//!   [`Coordinator::expire_stale_holders`] touches only the holders that
+//!   are actually stale instead of sweeping every entry.
+//!
+//! `size()` is answered from an incrementally maintained total, so
+//! monitoring does not rescan `INTERVALS` either.
+//!
+//! # Power-normalized selection
+//!
+//! The paper selects "the interval which maximizes the assigned part
+//! `[C, B)`" for the requester; computed literally, that quantity
+//! (`len·p/(holder_power+p)` for requester power `p`) depends on `p`, so
+//! no single ordering of `INTERVALS` answers every query — which is
+//! exactly why the seed implementation rescanned all entries on every
+//! request. This coordinator instead ranks entries by **interval length
+//! per unit holder power** (`len / holder_power`), the `p → 0` limit of
+//! the paper's criterion, with two deliberate properties:
+//!
+//! * unassigned entries (the paper's *virtual process of null power*)
+//!   have infinite priority, ranked among themselves by length — an
+//!   expired or restored interval is always re-assigned first, which is
+//!   the paper's fault-recovery behavior ("entirely given to another
+//!   B&B process");
+//! * among held entries, the least-served interval (longest remaining
+//!   work per unit of exploration power currently attacking it) is
+//!   partitioned first, which is the proportional-partitioning intent.
+//!
+//! Ties break toward the longer interval, then the lower entry index, so
+//! selection is deterministic. [`Coordinator::selection_oracle`] is the
+//! reference linear-scan implementation of the same rule; a property
+//! test asserts the indexed selection always agrees with it.
 
 use crate::{Request, Response, WorkerId};
-use gridbnb_coding::{Interval, IntervalSet, UBig};
+use gridbnb_coding::{Interval, UBig};
 use gridbnb_engine::Solution;
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
 
 /// Coordinator tuning knobs.
 #[derive(Clone, Debug)]
 pub struct CoordinatorConfig {
     /// Intervals shorter than this are **duplicated** instead of split
     /// (paper §4.2): the requester gets a full copy and both processes
-    /// race, at the price of redundant exploration. Must be ≥ 1.
+    /// race, at the price of redundant exploration. Must be ≥ 1; the
+    /// coordinator clamps zero to one (a zero threshold would make
+    /// duplication unreachable *and* is meaningless, since entries are
+    /// never empty). Use [`CoordinatorConfig::validate`] to reject the
+    /// misconfiguration instead of silently clamping.
     pub duplication_threshold: UBig,
-    /// Holders that have not contacted the coordinator for this long
-    /// (nanoseconds of the injected clock) may be expired by
+    /// Holders that have not contacted the coordinator for **more than**
+    /// this long (nanoseconds of the injected clock) may be expired by
     /// [`Coordinator::expire_stale_holders`], making their interval
     /// reassignable in full — the recovery path for crashed workers.
+    /// The comparison is strictly-greater: a worker whose contact is
+    /// exactly `holder_timeout_ns` old is still live, so a heartbeat
+    /// period equal to the timeout never expires a healthy worker.
     pub holder_timeout_ns: u64,
     /// Initial upper bound (e.g. from iterated greedy — the paper used
     /// 3681 then 3680). Solutions must *strictly* improve it.
     pub initial_upper_bound: Option<u64>,
+}
+
+/// A rejected [`CoordinatorConfig`] (see [`CoordinatorConfig::validate`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `duplication_threshold` was zero (documented contract: ≥ 1).
+    ZeroDuplicationThreshold,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroDuplicationThreshold => {
+                write!(f, "duplication_threshold must be ≥ 1 (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl CoordinatorConfig {
+    /// Checks the documented invariants without constructing a
+    /// coordinator. [`Coordinator::new`] and [`Coordinator::restore`]
+    /// accept invalid configs but clamp them to the nearest valid value;
+    /// call this first to fail loudly instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.duplication_threshold.is_zero() {
+            return Err(ConfigError::ZeroDuplicationThreshold);
+        }
+        Ok(())
+    }
+
+    /// The config with out-of-contract values clamped into range.
+    fn sanitized(mut self) -> Self {
+        if self.duplication_threshold.is_zero() {
+            self.duplication_threshold = UBig::one();
+        }
+        self
+    }
 }
 
 impl Default for CoordinatorConfig {
@@ -42,6 +139,15 @@ pub struct IntervalEntry {
     /// and behaves as held by the paper's *virtual process of null
     /// power*).
     pub holders: Vec<Holder>,
+}
+
+impl IntervalEntry {
+    /// Combined power of all holders (0 for an unassigned entry).
+    fn holder_power(&self) -> u64 {
+        self.holders
+            .iter()
+            .fold(0u64, |acc, h| acc.saturating_add(h.power.max(1)))
+    }
 }
 
 /// One holder of an interval copy.
@@ -78,6 +184,41 @@ pub struct CoordinatorStats {
     pub holders_expired: u64,
 }
 
+/// Selection priority of one entry under the power-normalized rule:
+/// ordered by `len / holder_power` (exact rational comparison via
+/// cross-multiplication; `holder_power == 0` compares as +∞), then by
+/// length, then toward the lower entry index. The maximum of the
+/// [`Coordinator::by_priority`] set is the entry the selection operator
+/// picks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct SelectionKey {
+    len: UBig,
+    holder_power: u64,
+    idx: usize,
+}
+
+impl Ord for SelectionKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let ratio = match (self.holder_power, other.holder_power) {
+            (0, 0) => Ordering::Equal,
+            (0, _) => Ordering::Greater,
+            (_, 0) => Ordering::Less,
+            // len_a / hp_a  vs  len_b / hp_b  ⇔  len_a·hp_b  vs  len_b·hp_a
+            (hp_a, hp_b) => self.len.mul_u64(hp_b).cmp(&other.len.mul_u64(hp_a)),
+        };
+        ratio
+            .then_with(|| self.len.cmp(&other.len))
+            // Lower index ranks higher so `last()` is deterministic.
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for SelectionKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// The farmer-side state machine (transport-agnostic; both the thread
 /// runtime and the grid simulator drive it).
 ///
@@ -88,11 +229,25 @@ pub struct CoordinatorStats {
 ///   several holders rather than duplicating the entry — the paper:
 ///   "the coordinator keeps only one copy of a duplicated interval");
 /// * the union of entries covers exactly the not-yet-explored numbers
-///   (work conservation: nothing is lost, only redundantly re-explored).
+///   (work conservation: nothing is lost, only redundantly re-explored —
+///   only checkable against an external record of explored numbers, so
+///   this one is asserted by the state-machine property tests, not by
+///   `check_invariants`);
+/// * every auxiliary index (priority set, holder map, heartbeat set, the
+///   running size total) agrees with the entry vector.
 #[derive(Clone, Debug)]
 pub struct Coordinator {
     root: Interval,
     entries: Vec<IntervalEntry>,
+    /// One key per entry; `last()` is the selection operator's pick.
+    by_priority: BTreeSet<SelectionKey>,
+    /// `worker → index of the entry it (co-)holds` — at most one, since
+    /// every assignment is preceded by a detach or a completion.
+    holder_of: HashMap<WorkerId, usize>,
+    /// `(last_contact_ns, worker)` for every holder, oldest first.
+    heartbeats: BTreeSet<(u64, WorkerId)>,
+    /// Σ entry lengths, maintained incrementally (`size()`).
+    remaining: UBig,
     solution: Option<Solution>,
     config: CoordinatorConfig,
     stats: CoordinatorStats,
@@ -100,27 +255,15 @@ pub struct Coordinator {
 
 impl Coordinator {
     /// A coordinator for the whole tree: `INTERVALS` starts as the root
-    /// range (paper §4.3).
+    /// range (paper §4.3). Out-of-contract config values are clamped
+    /// (see [`CoordinatorConfig::validate`]).
     pub fn new(root: Interval, config: CoordinatorConfig) -> Self {
-        assert!(
-            config.duplication_threshold >= UBig::one(),
-            "duplication threshold must be ≥ 1"
-        );
-        let entries = if root.is_empty() {
+        let intervals = if root.is_empty() {
             Vec::new()
         } else {
-            vec![IntervalEntry {
-                interval: root.clone(),
-                holders: Vec::new(),
-            }]
+            vec![root.clone()]
         };
-        Coordinator {
-            root,
-            entries,
-            solution: None,
-            config,
-            stats: CoordinatorStats::default(),
-        }
+        Self::build(root, intervals, None, config)
     }
 
     /// Rebuilds a coordinator from checkpointed state (all intervals
@@ -131,21 +274,38 @@ impl Coordinator {
         solution: Option<Solution>,
         config: CoordinatorConfig,
     ) -> Self {
-        let entries = intervals
-            .into_iter()
-            .filter(|i| !i.is_empty())
-            .map(|interval| IntervalEntry {
+        Self::build(root, intervals, solution, config)
+    }
+
+    fn build(
+        root: Interval,
+        intervals: Vec<Interval>,
+        solution: Option<Solution>,
+        config: CoordinatorConfig,
+    ) -> Self {
+        let mut coordinator = Coordinator {
+            root,
+            entries: Vec::new(),
+            by_priority: BTreeSet::new(),
+            holder_of: HashMap::new(),
+            heartbeats: BTreeSet::new(),
+            remaining: UBig::zero(),
+            solution,
+            config: config.sanitized(),
+            stats: CoordinatorStats::default(),
+        };
+        for interval in intervals {
+            if interval.is_empty() {
+                continue;
+            }
+            coordinator.remaining += &interval.length();
+            coordinator.entries.push(IntervalEntry {
                 interval,
                 holders: Vec::new(),
-            })
-            .collect();
-        Coordinator {
-            root,
-            entries,
-            solution,
-            config,
-            stats: CoordinatorStats::default(),
+            });
+            coordinator.index_insert(coordinator.entries.len() - 1);
         }
+        coordinator
     }
 
     /// Handles one worker request at injected time `now_ns`.
@@ -156,7 +316,7 @@ impl Coordinator {
                 // crashed-and-restarted process may reuse an id whose old
                 // interval is still unexplored. Detach the id, keep the
                 // intervals.
-                self.remove_holder_everywhere(worker);
+                self.detach_worker(worker);
                 self.assign(worker, power.max(1), now_ns)
             }
             Request::RequestWork { worker, power } => {
@@ -164,13 +324,16 @@ impl Coordinator {
                 // worker's live interval is empty, and the coordinator
                 // copy is always a subset of the live interval, so the
                 // copy is fully explored — drop it.
-                self.complete_units_of(worker);
+                self.complete_unit_of(worker);
                 self.assign(worker, power.max(1), now_ns)
             }
             Request::Update { worker, interval } => self.update(worker, interval, now_ns),
-            Request::ReportSolution { worker: _, solution } => self.report_solution(solution),
+            Request::ReportSolution {
+                worker: _,
+                solution,
+            } => self.report_solution(solution),
             Request::Leave { worker } => {
-                self.remove_holder_everywhere(worker);
+                self.detach_worker(worker);
                 Response::LeaveAck
             }
         }
@@ -189,13 +352,9 @@ impl Coordinator {
 
     /// Sum of interval lengths (the paper's *size* of `INTERVALS`: the
     /// count of not-yet-explored solutions). Strictly decreasing over a
-    /// run.
+    /// run; answered from a running total, not a scan.
     pub fn size(&self) -> UBig {
-        let mut total = UBig::zero();
-        for e in &self.entries {
-            total += &e.interval.length();
-        }
-        total
+        self.remaining.clone()
     }
 
     /// Current best cost: the minimum of the initial upper bound and any
@@ -218,7 +377,8 @@ impl Coordinator {
         &self.stats
     }
 
-    /// The current entries (for checkpointing and inspection).
+    /// The current entries (for checkpointing and inspection). Order is
+    /// arbitrary and changes as entries are removed.
     pub fn entries(&self) -> &[IntervalEntry] {
         &self.entries
     }
@@ -228,31 +388,71 @@ impl Coordinator {
         &self.root
     }
 
-    /// Expires holders not heard from since `now_ns −
-    /// holder_timeout_ns`; their intervals become unassigned and are
-    /// handed out *in full* at the next work request — the paper's
-    /// recovery of a failed worker's last interval copy. Returns the
-    /// number of holders expired.
+    /// Earliest injected-clock instant at which some holder becomes
+    /// expirable, or `None` if no entry is held. Executors use this to
+    /// schedule [`Coordinator::expire_stale_holders`] exactly instead of
+    /// sweeping on a fixed period.
+    pub fn next_expiry_at(&self) -> Option<u64> {
+        self.heartbeats.first().map(|&(t, _)| {
+            t.saturating_add(self.config.holder_timeout_ns)
+                .saturating_add(1)
+        })
+    }
+
+    /// Expires holders whose last contact is **strictly** older than
+    /// `holder_timeout_ns` at `now_ns`; their intervals become unassigned
+    /// and are handed out *in full* at the next work request — the
+    /// paper's recovery of a failed worker's last interval copy. A worker
+    /// heard from exactly `holder_timeout_ns` ago is still live (a
+    /// heartbeat period equal to the timeout never expires its own
+    /// sender). Returns the number of holders expired.
+    ///
+    /// Only stale holders are visited (oldest-first heartbeat index);
+    /// a sweep with nothing to expire is O(1).
     pub fn expire_stale_holders(&mut self, now_ns: u64) -> u64 {
         let timeout = self.config.holder_timeout_ns;
-        let mut expired = 0;
-        for entry in &mut self.entries {
-            entry.holders.retain(|h| {
-                let stale = now_ns.saturating_sub(h.last_contact_ns) > timeout;
-                if stale {
-                    expired += 1;
-                }
-                !stale
-            });
+        let mut expired = 0u64;
+        while let Some(&(t, worker)) = self.heartbeats.first() {
+            if now_ns.saturating_sub(t) <= timeout {
+                break; // everything else is at least as recent
+            }
+            self.detach_worker(worker);
+            expired += 1;
         }
         self.stats.holders_expired += expired;
         expired
     }
 
-    /// Verifies the structural invariants; returns a description of the
-    /// first violation. Used by tests after arbitrary request sequences.
+    /// Index of the entry the selection operator would pick now, or
+    /// `None` when `INTERVALS` is empty. O(log n) via the priority set.
+    pub fn selection_peek(&self) -> Option<usize> {
+        self.by_priority.last().map(|k| k.idx)
+    }
+
+    /// Reference implementation of the power-normalized selection rule
+    /// as a naive linear scan. Property tests assert it always agrees
+    /// with [`Coordinator::selection_peek`]; it is not used on the
+    /// request path.
+    pub fn selection_oracle(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(idx, e)| SelectionKey {
+                len: e.interval.length(),
+                holder_power: e.holder_power(),
+                idx,
+            })
+            .max()
+            .map(|k| k.idx)
+    }
+
+    /// Verifies the structural invariants — including the agreement of
+    /// every auxiliary index with the entry vector — and returns a
+    /// description of the first violation. Used by tests after arbitrary
+    /// request sequences; O(n²), never on the request path.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let mut set = IntervalSet::new();
+        let mut total = UBig::zero();
+        let mut holders_seen = 0usize;
         for (i, e) in self.entries.iter().enumerate() {
             if e.interval.is_empty() {
                 return Err(format!("entry {i} is empty: {}", e.interval));
@@ -268,9 +468,146 @@ impl Coordinator {
                     ));
                 }
             }
-            set.insert(e.interval.clone());
+            total += &e.interval.length();
+            if !self.by_priority.contains(&self.priority_key(i)) {
+                return Err(format!("entry {i} has no (current) priority key"));
+            }
+            for h in &e.holders {
+                holders_seen += 1;
+                if self.holder_of.get(&h.worker) != Some(&i) {
+                    return Err(format!("holder map does not place {} at {i}", h.worker));
+                }
+                if !self.heartbeats.contains(&(h.last_contact_ns, h.worker)) {
+                    return Err(format!("missing heartbeat for {}", h.worker));
+                }
+            }
+        }
+        if self.by_priority.len() != self.entries.len() {
+            return Err(format!(
+                "priority set has {} keys for {} entries",
+                self.by_priority.len(),
+                self.entries.len()
+            ));
+        }
+        if self.holder_of.len() != holders_seen {
+            return Err(format!(
+                "holder map has {} workers for {} holders",
+                self.holder_of.len(),
+                holders_seen
+            ));
+        }
+        if self.heartbeats.len() != holders_seen {
+            return Err(format!(
+                "heartbeat set has {} stamps for {} holders",
+                self.heartbeats.len(),
+                holders_seen
+            ));
+        }
+        if total != self.remaining {
+            return Err(format!(
+                "running size {} diverged from actual {total}",
+                self.remaining
+            ));
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Index maintenance
+    // ------------------------------------------------------------------
+
+    /// The current selection key of entry `idx` (recomputed, not stored:
+    /// the key is a pure function of the entry, so remove-before-mutate /
+    /// insert-after-mutate pairs stay symmetric).
+    fn priority_key(&self, idx: usize) -> SelectionKey {
+        let e = &self.entries[idx];
+        SelectionKey {
+            len: e.interval.length(),
+            holder_power: e.holder_power(),
+            idx,
+        }
+    }
+
+    fn index_insert(&mut self, idx: usize) {
+        let key = self.priority_key(idx);
+        let inserted = self.by_priority.insert(key);
+        debug_assert!(inserted, "duplicate priority key for entry {idx}");
+    }
+
+    fn index_remove(&mut self, idx: usize) {
+        let key = self.priority_key(idx);
+        let removed = self.by_priority.remove(&key);
+        debug_assert!(removed, "stale priority key for entry {idx}");
+    }
+
+    /// Runs `mutate` on entry `idx` with its priority key kept in sync.
+    fn with_entry<R>(&mut self, idx: usize, mutate: impl FnOnce(&mut IntervalEntry) -> R) -> R {
+        self.index_remove(idx);
+        let result = mutate(&mut self.entries[idx]);
+        self.index_insert(idx);
+        result
+    }
+
+    /// Registers `holder` on entry `idx` (map + heartbeat + priority).
+    fn attach_holder(&mut self, idx: usize, holder: Holder) {
+        self.holder_of.insert(holder.worker, idx);
+        self.heartbeats
+            .insert((holder.last_contact_ns, holder.worker));
+        self.with_entry(idx, |e| e.holders.push(holder));
+    }
+
+    /// Removes `worker` from the entry it holds (if any) without touching
+    /// the interval — graceful leave, expiry, or re-join: the work
+    /// remains to be done. O(log n).
+    fn detach_worker(&mut self, worker: WorkerId) {
+        let Some(idx) = self.holder_of.remove(&worker) else {
+            return;
+        };
+        let stamp = self.with_entry(idx, |e| {
+            let pos = e
+                .holders
+                .iter()
+                .position(|h| h.worker == worker)
+                .expect("holder map pointed at an entry without the holder");
+            e.holders.swap_remove(pos).last_contact_ns
+        });
+        self.heartbeats.remove(&(stamp, worker));
+    }
+
+    /// Drops the entry (co-)held by `worker` — called when that worker
+    /// reports completion of its unit. Co-holders of a duplicated entry
+    /// lose it too: the numbers are explored, their next update returns
+    /// an empty intersection and they will request new work. O(log n).
+    fn complete_unit_of(&mut self, worker: WorkerId) {
+        if let Some(&idx) = self.holder_of.get(&worker) {
+            self.remove_entry(idx);
+        }
+    }
+
+    /// Removes entry `idx` entirely: detaches all holders, drops its
+    /// priority key, subtracts its length from the running size, and
+    /// repairs the indexes of the entry swapped into its slot.
+    fn remove_entry(&mut self, idx: usize) {
+        self.index_remove(idx);
+        let last = self.entries.len() - 1;
+        if idx != last {
+            // The last entry is about to move into slot `idx`: retire its
+            // key under the old index first.
+            self.index_remove(last);
+        }
+        let entry = self.entries.swap_remove(idx);
+        for h in &entry.holders {
+            self.holder_of.remove(&h.worker);
+            self.heartbeats.remove(&(h.last_contact_ns, h.worker));
+        }
+        self.remaining = self.remaining.saturating_sub(&entry.interval.length());
+        if idx != last {
+            // Re-key the moved entry and re-point its holders.
+            self.index_insert(idx);
+            for h in &self.entries[idx].holders {
+                self.holder_of.insert(h.worker, idx);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -278,46 +615,19 @@ impl Coordinator {
     // ------------------------------------------------------------------
 
     /// Assigns a work unit via the selection + partitioning operators.
+    /// O(log n): one priority-set max plus index maintenance.
     fn assign(&mut self, worker: WorkerId, power: u64, now_ns: u64) -> Response {
-        if self.entries.is_empty() {
+        let Some(idx) = self.selection_peek() else {
             self.stats.terminations_sent += 1;
             return Response::Terminate;
-        }
-
-        // Selection operator: not the longest interval, but the one that
-        // yields the longest assigned part [C, B) for this requester.
-        let mut best: Option<(usize, UBig)> = None;
-        for (idx, entry) in self.entries.iter().enumerate() {
-            let produced = self.candidate_steal_length(entry, power);
-            match &best {
-                Some((_, len)) if *len >= produced => {}
-                _ => best = Some((idx, produced)),
-            }
-        }
-        let (idx, _) = best.expect("non-empty INTERVALS");
+        };
+        // Agreement with the linear-scan oracle is pinned by the
+        // `indexed_selection_matches_linear_oracle` property test, not
+        // asserted here — an O(n) scan per allocation would re-create
+        // the very cost this path removes, even in debug builds.
         let response = self.partition(idx, worker, power, now_ns);
         self.stats.work_allocations += 1;
         response
-    }
-
-    /// Length of `[C, B)` the requester would get from this entry.
-    fn candidate_steal_length(&self, entry: &IntervalEntry, power: u64) -> UBig {
-        let len = entry.interval.length();
-        if entry.holders.is_empty() {
-            // Virtual process of null power: C = A, whole interval.
-            return len;
-        }
-        if len < self.config.duplication_threshold {
-            // Duplication hands over a full copy.
-            return len;
-        }
-        let holder_power: u64 = entry.holders.iter().map(|h| h.power.max(1)).sum();
-        let steal = len.mul_div_floor(power, holder_power.saturating_add(power).max(1));
-        if steal.is_zero() {
-            len // would degenerate to duplication
-        } else {
-            steal
-        }
     }
 
     /// Partitioning operator on entry `idx` for `worker` of `power`.
@@ -328,24 +638,22 @@ impl Coordinator {
             power,
             last_contact_ns: now_ns,
         };
-        let entry = &mut self.entries[idx];
+        let entry = &self.entries[idx];
         let len = entry.interval.length();
 
         if entry.holders.is_empty() {
             // Unassigned (virtual null-power holder): C = A, assign all.
-            entry.holders.push(holder);
+            let interval = entry.interval.clone();
+            self.attach_holder(idx, holder);
             self.stats.full_assignments += 1;
-            return Response::Work {
-                interval: entry.interval.clone(),
-                cutoff,
-            };
+            return Response::Work { interval, cutoff };
         }
 
         if len < self.config.duplication_threshold {
             return self.duplicate(idx, holder, cutoff);
         }
 
-        let holder_power: u64 = entry.holders.iter().map(|h| h.power.max(1)).sum();
+        let holder_power = entry.holder_power();
         let steal = len.mul_div_floor(power, holder_power.saturating_add(power).max(1));
         if steal.is_zero() {
             return self.duplicate(idx, holder, cutoff);
@@ -354,11 +662,14 @@ impl Coordinator {
         let cut = entry.interval.end().saturating_sub(&steal);
         let (keep, give) = entry.interval.split_at(&cut);
         debug_assert!(!keep.is_empty() && !give.is_empty());
-        entry.interval = keep;
+        self.with_entry(idx, |e| e.interval = keep);
         self.entries.push(IntervalEntry {
             interval: give.clone(),
-            holders: vec![holder],
+            holders: Vec::new(),
         });
+        let new_idx = self.entries.len() - 1;
+        self.index_insert(new_idx);
+        self.attach_holder(new_idx, holder);
         self.stats.partitions += 1;
         Response::Work {
             interval: give,
@@ -369,30 +680,10 @@ impl Coordinator {
     /// Duplication: the requester becomes an additional holder of the
     /// *same* entry and receives a full copy of it.
     fn duplicate(&mut self, idx: usize, holder: Holder, cutoff: Option<u64>) -> Response {
-        let entry = &mut self.entries[idx];
-        entry.holders.push(holder);
+        let interval = self.entries[idx].interval.clone();
+        self.attach_holder(idx, holder);
         self.stats.duplications += 1;
-        Response::Work {
-            interval: entry.interval.clone(),
-            cutoff,
-        }
-    }
-
-    /// Drops every entry (co-)held by `worker` — called when that worker
-    /// reports completion of its unit. Co-holders of a duplicated entry
-    /// lose it too: the numbers are explored, their next update returns
-    /// an empty intersection and they will request new work.
-    fn complete_units_of(&mut self, worker: WorkerId) {
-        self.entries
-            .retain(|e| !e.holders.iter().any(|h| h.worker == worker));
-    }
-
-    /// Removes `worker` from all holder lists without touching the
-    /// intervals (graceful leave: the work remains to be done).
-    fn remove_holder_everywhere(&mut self, worker: WorkerId) {
-        for entry in &mut self.entries {
-            entry.holders.retain(|h| h.worker != worker);
-        }
+        Response::Work { interval, cutoff }
     }
 
     // ------------------------------------------------------------------
@@ -401,33 +692,53 @@ impl Coordinator {
 
     /// Intersection update (equation 14): the worker's live `[A, B)`
     /// meets the coordinator copy `[A', B')`; both sides adopt
-    /// `[max(A,A'), min(B,B'))`.
+    /// `[max(A,A'), min(B,B'))`. O(log n) via the holder map.
     fn update(&mut self, worker: WorkerId, reported: Interval, now_ns: u64) -> Response {
         self.stats.updates += 1;
         let cutoff = self.cutoff();
-        let mut result = Interval::empty();
-        let mut found = false;
-        for entry in &mut self.entries {
-            if let Some(h) = entry.holders.iter_mut().find(|h| h.worker == worker) {
-                h.last_contact_ns = now_ns;
-                let met = entry.interval.intersect(&reported);
-                entry.interval = met.clone();
-                result = met;
-                found = true;
-                break;
-            }
-        }
-        if !found {
+        let Some(&idx) = self.holder_of.get(&worker) else {
             // Stale worker (expired or restored coordinator): its unit is
             // no longer tracked — the empty ack sends it back for work.
             return Response::UpdateAck {
                 interval: Interval::empty(),
                 cutoff,
             };
+        };
+        // Refresh the heartbeat.
+        let entry = &mut self.entries[idx];
+        let h = entry
+            .holders
+            .iter_mut()
+            .find(|h| h.worker == worker)
+            .expect("holder map pointed at an entry without the holder");
+        self.heartbeats.remove(&(h.last_contact_ns, worker));
+        h.last_contact_ns = now_ns;
+        self.heartbeats.insert((now_ns, worker));
+
+        let met = entry.interval.intersect(&reported);
+        if met.is_empty() {
+            // Paper §4.3: "any empty interval of INTERVALS is
+            // automatically removed" — and with it, its holders.
+            self.remove_entry(idx);
+            return Response::UpdateAck {
+                interval: Interval::empty(),
+                cutoff,
+            };
         }
-        // Drop entries emptied by the intersection (paper §4.3: "any
-        // empty interval of INTERVALS is automatically removed").
-        self.entries.retain(|e| !e.interval.is_empty());
+        if met == entry.interval {
+            // Heartbeat-only update (no progress, nothing stolen): the
+            // key and the running size are unchanged — skip the
+            // re-index and the size arithmetic entirely.
+            return Response::UpdateAck {
+                interval: met,
+                cutoff,
+            };
+        }
+        let old_len = entry.interval.length();
+        self.remaining += &met.length();
+        self.remaining = self.remaining.saturating_sub(&old_len);
+        let result = met.clone();
+        self.with_entry(idx, |e| e.interval = met);
         Response::UpdateAck {
             interval: result,
             cutoff,

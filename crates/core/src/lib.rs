@@ -33,7 +33,9 @@ mod coordinator;
 mod protocol;
 pub mod runtime;
 
-pub use coordinator::{Coordinator, CoordinatorConfig, CoordinatorStats, IntervalEntry};
+pub use coordinator::{
+    ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
+};
 pub use protocol::{Request, Response, WorkerId};
 
 pub use gridbnb_coding::{Interval, IntervalSet, TreeShape, UBig};

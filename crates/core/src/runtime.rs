@@ -283,17 +283,23 @@ fn farmer_loop(
     let mut busy = Duration::ZERO;
     let mut checkpoints = 0u64;
     let mut last_checkpoint = Instant::now();
-    let mut last_expiry = Instant::now();
-    let expiry_period =
-        Duration::from_nanos(config.coordinator.holder_timeout_ns.max(1) / 2).max(Duration::from_millis(1));
     let tick = config
         .checkpoint
         .as_ref()
         .map(|p| p.every)
-        .unwrap_or(Duration::from_millis(50))
-        .min(expiry_period);
+        .unwrap_or(Duration::from_millis(50));
     loop {
-        match req_rx.recv_timeout(tick) {
+        // Sleep until a request arrives, the next checkpoint is due, or
+        // the earliest holder becomes expirable — the coordinator's
+        // heartbeat index makes that instant an O(1) query, so no
+        // periodic full sweep is needed.
+        let now_ns = started.elapsed().as_nanos() as u64;
+        let wait = coordinator
+            .next_expiry_at()
+            .map(|t| Duration::from_nanos(t.saturating_sub(now_ns)).max(Duration::from_millis(1)))
+            .unwrap_or(tick)
+            .min(tick);
+        match req_rx.recv_timeout(wait) {
             Ok((request, reply_tx)) => {
                 let t0 = Instant::now();
                 let now_ns = started.elapsed().as_nanos() as u64;
@@ -306,10 +312,11 @@ fn farmer_loop(
             Err(RecvTimeoutError::Disconnected) => break,
         }
         let t0 = Instant::now();
-        if last_expiry.elapsed() >= expiry_period {
+        {
+            // Expiry visits only holders that are actually stale; with
+            // none due this is a constant-time check.
             let now_ns = started.elapsed().as_nanos() as u64;
             coordinator.expire_stale_holders(now_ns);
-            last_expiry = Instant::now();
         }
         if let Some(policy) = &config.checkpoint {
             if last_checkpoint.elapsed() >= policy.every {
@@ -379,12 +386,13 @@ fn worker_loop<P: Problem>(
 
             // Solution sharing rule 2: report improvements immediately.
             if let Some(solution) = explorer.take_fresh_best() {
-                if let Some(Response::SolutionAck { cutoff }) =
-                    send(Request::ReportSolution { worker: id, solution })
+                if let Some(Response::SolutionAck { cutoff: Some(c) }) =
+                    send(Request::ReportSolution {
+                        worker: id,
+                        solution,
+                    })
                 {
-                    if let Some(c) = cutoff {
-                        explorer.observe_external_cutoff(c);
-                    }
+                    explorer.observe_external_cutoff(c);
                 }
             }
 

@@ -77,8 +77,8 @@ fn selection_picks_interval_yielding_largest_steal() {
     let mut c = Coordinator::new(iv(0, 1000), config(8));
     join(&mut c, 1, 100, 0); // holds [0,1000)
     join(&mut c, 2, 100, 1); // takes [500,1000)
-    // Worker 3 (equal power) could steal 250 from either; after worker 1
-    // progresses, its interval is smaller, so stealing from 2 wins.
+                             // Worker 3 (equal power) could steal 250 from either; after worker 1
+                             // progresses, its interval is smaller, so stealing from 2 wins.
     let upd = c.handle(
         Request::Update {
             worker: WorkerId(1),
@@ -100,7 +100,11 @@ fn small_intervals_are_duplicated_not_split() {
     let b = join(&mut c, 2, 100, 1);
     assert_eq!(a, iv(0, 10));
     assert_eq!(b, iv(0, 10), "below threshold: duplicate");
-    assert_eq!(c.cardinality(), 1, "one copy kept for a duplicated interval");
+    assert_eq!(
+        c.cardinality(),
+        1,
+        "one copy kept for a duplicated interval"
+    );
     assert_eq!(c.stats().duplications, 1);
     c.check_invariants().unwrap();
 }
@@ -138,8 +142,8 @@ fn update_applies_equation_14() {
     let mut c = Coordinator::new(iv(0, 1000), config(8));
     join(&mut c, 1, 100, 0);
     join(&mut c, 2, 100, 1); // w1 now holds [0,500) in the coordinator copy
-    // w1 reports progress [200, 1000) — it has not yet heard about the
-    // steal. Intersection: [200, 500).
+                             // w1 reports progress [200, 1000) — it has not yet heard about the
+                             // steal. Intersection: [200, 500).
     match c.handle(
         Request::Update {
             worker: WorkerId(1),
@@ -332,7 +336,12 @@ fn rejoin_does_not_lose_work() {
 fn graceful_leave_keeps_interval_reassignable() {
     let mut c = Coordinator::new(iv(0, 1000), config(8));
     join(&mut c, 1, 100, 0);
-    let r = c.handle(Request::Leave { worker: WorkerId(1) }, 1);
+    let r = c.handle(
+        Request::Leave {
+            worker: WorkerId(1),
+        },
+        1,
+    );
     assert!(matches!(r, Response::LeaveAck));
     let got = join(&mut c, 2, 100, 2);
     assert_eq!(got, iv(0, 1000));
@@ -369,6 +378,92 @@ fn steal_rounding_to_zero_duplicates() {
     let got = join(&mut c, 2, 1, 1);
     assert_eq!(got, iv(0, 10));
     assert_eq!(c.stats().duplications, 1);
+}
+
+#[test]
+fn zero_duplication_threshold_is_rejected_by_validate_and_clamped() {
+    let bad = CoordinatorConfig {
+        duplication_threshold: UBig::zero(),
+        ..config(8)
+    };
+    assert_eq!(
+        bad.validate(),
+        Err(gridbnb_core::ConfigError::ZeroDuplicationThreshold)
+    );
+    assert!(config(8).validate().is_ok());
+    // The constructors clamp instead of panicking (the seed asserted in
+    // `new` and checked nothing in `restore`): behavior is exactly a
+    // threshold of 1.
+    let mut c = Coordinator::new(iv(0, 1000), bad.clone());
+    join(&mut c, 1, 100, 0);
+    let got = join(&mut c, 2, 100, 1);
+    assert_eq!(got, iv(500, 1000), "clamped config still partitions");
+    c.check_invariants().unwrap();
+    let restored = Coordinator::restore(iv(0, 1000), vec![iv(0, 500)], None, bad);
+    assert_eq!(restored.cardinality(), 1);
+}
+
+#[test]
+fn heartbeat_at_exactly_the_timeout_is_not_expired() {
+    // Timeout 1000: a worker last heard from exactly 1000 ns ago is
+    // still live (strictly-greater staleness), so a heartbeat period
+    // equal to the timeout never expires its own sender; one tick later
+    // it is fair game.
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    join(&mut c, 1, 100, 500);
+    assert_eq!(c.expire_stale_holders(1_500), 0, "age == timeout: live");
+    assert_eq!(c.entries()[0].holders.len(), 1);
+    assert_eq!(c.expire_stale_holders(1_501), 1, "age > timeout: expired");
+    assert!(c.entries()[0].holders.is_empty());
+    assert_eq!(c.stats().holders_expired, 1);
+    c.check_invariants().unwrap();
+}
+
+#[test]
+fn next_expiry_at_tracks_oldest_heartbeat() {
+    let mut c = Coordinator::new(iv(0, 1000), config(8));
+    assert_eq!(c.next_expiry_at(), None, "no holders, nothing to expire");
+    join(&mut c, 1, 100, 500);
+    // Oldest contact at 500, timeout 1000: expirable strictly after
+    // 1500, i.e. from 1501 on.
+    assert_eq!(c.next_expiry_at(), Some(1_501));
+    assert_eq!(c.expire_stale_holders(1_500), 0);
+    assert_eq!(c.expire_stale_holders(c.next_expiry_at().unwrap()), 1);
+    assert_eq!(c.next_expiry_at(), None);
+}
+
+#[test]
+fn unassigned_intervals_are_selected_before_held_ones() {
+    // Power-normalized selection: an orphaned (expired) interval has
+    // infinite priority — the paper's recovery hands it out whole before
+    // splitting anyone else's work, even when the held interval is far
+    // longer.
+    let mut c = Coordinator::new(iv(0, 10_000), config(8));
+    join(&mut c, 1, 100, 0); // holds [0, 10000)
+    join(&mut c, 2, 100, 1); // takes [5000, 10000)
+                             // Worker 1 dies; its [0, 5000) becomes unassigned.
+    c.handle(
+        Request::Update {
+            worker: WorkerId(1),
+            interval: iv(4_900, 5_000),
+        },
+        2,
+    );
+    // Worker 2 stays fresh; only worker 1 goes stale.
+    c.handle(
+        Request::Update {
+            worker: WorkerId(2),
+            interval: iv(5_000, 10_000),
+        },
+        4_500,
+    );
+    c.expire_stale_holders(5_000);
+    // Worker 3 gets the orphan whole — not a slice of w2's 5000-wide
+    // interval, although that slice (2500) would be longer.
+    let got = join(&mut c, 3, 100, 5_001);
+    assert_eq!(got, iv(4_900, 5_000));
+    assert_eq!(c.stats().full_assignments, 2);
+    c.check_invariants().unwrap();
 }
 
 #[test]

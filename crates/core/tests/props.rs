@@ -11,12 +11,26 @@ use proptest::prelude::*;
 /// Symbolic worker action.
 #[derive(Clone, Debug)]
 enum Action {
-    Join { worker: u8, power: u16 },
-    RequestWork { worker: u8, power: u16 },
+    Join {
+        worker: u8,
+        power: u16,
+    },
+    RequestWork {
+        worker: u8,
+        power: u16,
+    },
     /// The worker advances its live interval by a fraction and reports.
-    Progress { worker: u8, advance_ppm: u32 },
-    Report { worker: u8, cost: u16 },
-    Leave { worker: u8 },
+    Progress {
+        worker: u8,
+        advance_ppm: u32,
+    },
+    Report {
+        worker: u8,
+        cost: u16,
+    },
+    Leave {
+        worker: u8,
+    },
     ExpireAll,
 }
 
@@ -179,6 +193,97 @@ proptest! {
                 covered,
                 root.length()
             );
+        }
+    }
+
+    /// The indexed selection (priority set) must pick exactly the entry
+    /// the naive linear-scan oracle picks, across arbitrary `INTERVALS`
+    /// states — partitions, duplications, expiries, removals and
+    /// re-keyed entries included. This is the guard on the O(log n)
+    /// hot-path rewrite: any stale or missing priority key shows up as a
+    /// disagreement here (or as an index-consistency failure in
+    /// `check_invariants`).
+    #[test]
+    fn indexed_selection_matches_linear_oracle(
+        ops in proptest::collection::vec(
+            (0u8..5, 0u8..8, 1u16..500, 0u32..1_000_000),
+            1..200,
+        ),
+        threshold in 1u64..5_000,
+        total in 100u64..1_000_000,
+    ) {
+        let root = Interval::new(UBig::zero(), UBig::from(total));
+        let mut coordinator = Coordinator::new(
+            root,
+            CoordinatorConfig {
+                duplication_threshold: UBig::from(threshold),
+                holder_timeout_ns: 40,
+                initial_upper_bound: Some(10_000),
+            },
+        );
+        let mut now = 0u64;
+        for (op, worker, power, frac_ppm) in ops {
+            now += 1;
+            let worker = WorkerId(worker as u64);
+            match op {
+                0 => {
+                    let _ = coordinator.handle(
+                        Request::Join { worker, power: power as u64 },
+                        now,
+                    );
+                }
+                1 => {
+                    let _ = coordinator.handle(
+                        Request::RequestWork { worker, power: power as u64 },
+                        now,
+                    );
+                }
+                2 => {
+                    // Report an arbitrary sub-interval of whatever this
+                    // worker holds (the coordinator intersects, so a
+                    // fabricated range only ever shrinks its entry).
+                    let held = coordinator
+                        .entries()
+                        .iter()
+                        .find(|e| e.holders.iter().any(|h| h.worker == worker))
+                        .map(|e| e.interval.clone());
+                    if let Some(iv) = held {
+                        let adv = iv.length().mul_div_floor(frac_ppm as u64, 1_000_000);
+                        let begin = iv.begin().add(&adv);
+                        let _ = coordinator.handle(
+                            Request::Update {
+                                worker,
+                                interval: Interval::new(begin, iv.end().clone()),
+                            },
+                            now,
+                        );
+                    } else {
+                        // Stale update from an untracked worker.
+                        let _ = coordinator.handle(
+                            Request::Update {
+                                worker,
+                                interval: Interval::new(UBig::zero(), UBig::from(total)),
+                            },
+                            now,
+                        );
+                    }
+                }
+                3 => {
+                    let _ = coordinator.handle(Request::Leave { worker }, now);
+                }
+                _ => {
+                    now += 100; // jump past the timeout
+                    coordinator.expire_stale_holders(now);
+                }
+            }
+            prop_assert_eq!(
+                coordinator.selection_peek(),
+                coordinator.selection_oracle(),
+                "indexed selection diverged from the linear oracle"
+            );
+            coordinator.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("invariant violated: {e}"))
+            })?;
         }
     }
 

@@ -112,14 +112,14 @@ pub fn one_machine_bound(instance: &Instance, heads: &[u64], remaining: JobSet) 
         return heads[m_count - 1];
     }
     let mut best = heads[m_count - 1];
-    for m in 0..m_count {
+    for (m, &head) in heads.iter().enumerate().take(m_count) {
         let mut load = 0u64;
         let mut min_tail = u64::MAX;
         for j in remaining.iter() {
             load += u64::from(instance.time(j, m));
             min_tail = min_tail.min(tail_after(instance, j, m));
         }
-        best = best.max(heads[m] + load + min_tail);
+        best = best.max(head + load + min_tail);
     }
     // Job-based term: job j cannot start machine 0 before heads[0] and
     // needs at least its total processing time end-to-end.
@@ -175,7 +175,8 @@ impl JohnsonBound {
                 .flat_map(|k| (k + 1..m).map(move |l| (k, l)))
                 .collect(),
             PairSelection::AdjacentPlusEnds => {
-                let mut v: Vec<(usize, usize)> = (0..m.saturating_sub(1)).map(|k| (k, k + 1)).collect();
+                let mut v: Vec<(usize, usize)> =
+                    (0..m.saturating_sub(1)).map(|k| (k, k + 1)).collect();
                 if m >= 2 && !v.contains(&(0, m - 1)) {
                     v.push((0, m - 1));
                 }
@@ -258,7 +259,9 @@ mod tests {
 
     /// Best completion over all completions of a partial schedule.
     fn exact_best_completion(instance: &Instance, prefix: &[usize]) -> u64 {
-        let all: Vec<usize> = (0..instance.jobs()).filter(|j| !prefix.contains(j)).collect();
+        let all: Vec<usize> = (0..instance.jobs())
+            .filter(|j| !prefix.contains(j))
+            .collect();
         let mut best = u64::MAX;
         let mut rest = all.clone();
         permute(&mut rest, 0, &mut |order| {
@@ -392,7 +395,10 @@ mod tests {
     #[test]
     fn pair_selection_sizes() {
         let inst = crate::taillard::generate(10, 6, 12345);
-        assert_eq!(JohnsonBound::new(&inst, &PairSelection::All).pair_count(), 15);
+        assert_eq!(
+            JohnsonBound::new(&inst, &PairSelection::All).pair_count(),
+            15
+        );
         assert_eq!(
             JohnsonBound::new(&inst, &PairSelection::AdjacentPlusEnds).pair_count(),
             6

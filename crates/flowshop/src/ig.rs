@@ -169,7 +169,10 @@ mod tests {
             ..IgParams::default()
         };
         let (_, cost) = iterated_greedy(&inst, &params);
-        assert!(cost >= 1278, "cost {cost} below proven optimum: generator broken?");
+        assert!(
+            cost >= 1278,
+            "cost {cost} below proven optimum: generator broken?"
+        );
         assert!(cost <= 1304, "cost {cost} more than 2% above optimum 1278");
     }
 

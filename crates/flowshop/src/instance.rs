@@ -79,7 +79,9 @@ impl Instance {
 
     /// Total processing time on `machine` over all jobs.
     pub fn machine_total(&self, machine: usize) -> u64 {
-        (0..self.jobs).map(|j| u64::from(self.time(j, machine))).sum()
+        (0..self.jobs)
+            .map(|j| u64::from(self.time(j, machine)))
+            .sum()
     }
 
     /// Sum of all processing times (used e.g. by the iterated-greedy

@@ -147,18 +147,18 @@ impl Problem for FlowshopProblem {
             BoundMode::OneMachine => {
                 one_machine_bound(&self.instance, &state.heads, state.remaining)
             }
-            BoundMode::Johnson(_) => self
-                .johnson
-                .as_ref()
-                .expect("johnson precomputed")
-                .bound(&self.instance, &state.heads, state.remaining),
+            BoundMode::Johnson(_) => self.johnson.as_ref().expect("johnson precomputed").bound(
+                &self.instance,
+                &state.heads,
+                state.remaining,
+            ),
             BoundMode::Combined(_) => {
                 let lb1 = one_machine_bound(&self.instance, &state.heads, state.remaining);
-                let lb2 = self
-                    .johnson
-                    .as_ref()
-                    .expect("johnson precomputed")
-                    .bound(&self.instance, &state.heads, state.remaining);
+                let lb2 = self.johnson.as_ref().expect("johnson precomputed").bound(
+                    &self.instance,
+                    &state.heads,
+                    state.remaining,
+                );
                 lb1.max(lb2)
             }
         }

@@ -2,18 +2,17 @@
 //! admissibility, heuristic dominance and exact-search agreement with
 //! brute force.
 
+use gridbnb_engine::solve;
 use gridbnb_flowshop::bounds::{one_machine_bound, JobSet, JohnsonBound, PairSelection};
 use gridbnb_flowshop::makespan::{makespan, push_job, reverse_makespan};
 use gridbnb_flowshop::neh::neh;
 use gridbnb_flowshop::taillard::generate;
 use gridbnb_flowshop::{BoundMode, FlowshopProblem, Instance};
-use gridbnb_engine::solve;
 use proptest::prelude::*;
 
 fn arb_instance(max_jobs: usize, max_machines: usize) -> impl Strategy<Value = Instance> {
-    (1..=max_jobs, 1..=max_machines, any::<u32>()).prop_map(|(n, m, seed)| {
-        generate(n, m, i64::from(seed % 2_147_483_645) + 1)
-    })
+    (1..=max_jobs, 1..=max_machines, any::<u32>())
+        .prop_map(|(n, m, seed)| generate(n, m, i64::from(seed % 2_147_483_645) + 1))
 }
 
 fn brute_optimum(instance: &Instance) -> u64 {

@@ -55,9 +55,21 @@ mod tests {
     fn campus_faster_than_wide_area() {
         let pool = paper_pool();
         let lat = LatencyModel::default();
-        let ieea = pool.clusters.iter().position(|c| c.name == "IEEA-FIL").unwrap();
-        let iut = pool.clusters.iter().position(|c| c.name == "IUT-A").unwrap();
-        let orsay = pool.clusters.iter().position(|c| c.name == "Orsay").unwrap();
+        let ieea = pool
+            .clusters
+            .iter()
+            .position(|c| c.name == "IEEA-FIL")
+            .unwrap();
+        let iut = pool
+            .clusters
+            .iter()
+            .position(|c| c.name == "IUT-A")
+            .unwrap();
+        let orsay = pool
+            .clusters
+            .iter()
+            .position(|c| c.name == "Orsay")
+            .unwrap();
         let l_ieea = lat.to_farmer_ns(&pool, ieea);
         let l_iut = lat.to_farmer_ns(&pool, iut);
         let l_orsay = lat.to_farmer_ns(&pool, orsay);

@@ -17,7 +17,9 @@ use crate::net::LatencyModel;
 use crate::pool::GridPool;
 use crate::volatility::{AvailabilitySampler, VolatilityModel};
 use crate::workload::WorkloadModel;
-use gridbnb_core::{Coordinator, CoordinatorConfig, CoordinatorStats, Interval, Request, Response, WorkerId};
+use gridbnb_core::{
+    Coordinator, CoordinatorConfig, CoordinatorStats, Interval, Request, Response, WorkerId,
+};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -404,9 +406,22 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
                 );
             }
             EventKind::Sweep => {
+                // Periodic, not exact-time: workers whose update period
+                // equals the holder timeout hover at the expiry boundary,
+                // and sweeping the instant they cross it would expire
+                // live-but-latent workers every cycle. The period keeps
+                // the old grace window; the coordinator's heartbeat index
+                // makes each sweep O(stale holders) instead of a scan of
+                // all of `INTERVALS`, so sweeps are cheap even when the
+                // pool is large and nothing is stale.
                 coordinator.expire_stale_holders(now);
                 farmer_busy_ns += service_ns;
-                push(&mut queue, &mut seq, now + sweep_period_ns, EventKind::Sweep);
+                push(
+                    &mut queue,
+                    &mut seq,
+                    now + sweep_period_ns,
+                    EventKind::Sweep,
+                );
             }
             EventKind::Checkpoint => {
                 farmer_checkpoints += 1;
@@ -462,7 +477,11 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
         cpu_s: busy_s,
         avg_workers,
         max_workers,
-        worker_exploitation: if online_s > 0.0 { busy_s / online_s } else { 0.0 },
+        worker_exploitation: if online_s > 0.0 {
+            busy_s / online_s
+        } else {
+            0.0
+        },
         farmer_exploitation: if wall_s > 0.0 {
             (farmer_busy_ns as f64 / 1e9) / wall_s
         } else {

@@ -50,9 +50,7 @@ impl WorkloadModel {
             z ^= z >> 31;
             z as f64 / u64::MAX as f64
         };
-        let weights: Vec<f64> = (0..segments)
-            .map(|_| 10f64.powf(next() * spread))
-            .collect();
+        let weights: Vec<f64> = (0..segments).map(|_| 10f64.powf(next() * spread)).collect();
         Self::from_weights(root_length, total_nodes, &weights)
     }
 

@@ -34,7 +34,10 @@ fn simulation_terminates_and_covers_workload() {
         workload.total_nodes()
     );
     assert!(report.wall_s > 0.0);
-    assert!(report.cpu_s > report.wall_s, "parallelism should compress time");
+    assert!(
+        report.cpu_s > report.wall_s,
+        "parallelism should compress time"
+    );
 }
 
 #[test]

@@ -204,8 +204,7 @@ impl Problem for QapProblem {
             let d = self.instance.dist(loc as usize, location);
             // Both directions of the (symmetric or not) flow matrix.
             cost += self.instance.flow(other, facility) * d
-                + self.instance.flow(facility, other)
-                    * self.instance.dist(location, loc as usize);
+                + self.instance.flow(facility, other) * self.instance.dist(location, loc as usize);
         }
         let mut placement = state.placement.clone();
         placement.push(location as u16);
@@ -266,12 +265,7 @@ impl Problem for QapProblem {
         }
         flows.sort_unstable();
         dists.sort_unstable_by(|x, y| y.cmp(x));
-        bound
-            + flows
-                .iter()
-                .zip(&dists)
-                .map(|(f, d)| f * d)
-                .sum::<u64>()
+        bound + flows.iter().zip(&dists).map(|(f, d)| f * d).sum::<u64>()
     }
 
     fn leaf_cost(&self, state: &QapState) -> u64 {
@@ -289,8 +283,8 @@ mod tests {
     fn identity_placement_cost() {
         // 3 facilities on a line, flow only between 0 and 2.
         let mut flow = vec![0u64; 9];
-        flow[0 * 3 + 2] = 5;
-        flow[2 * 3 + 0] = 5;
+        flow[2] = 5; // (0, 2)
+        flow[2 * 3] = 5; // (2, 0)
         let dist = vec![0, 1, 2, 1, 0, 1, 2, 1, 0];
         let inst = QapInstance::new(3, flow, dist);
         // facilities 0,2 adjacent => cost 2*5*1 ; far apart => 2*5*2.

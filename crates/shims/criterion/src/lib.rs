@@ -1,0 +1,320 @@
+//! Offline stand-in for the `criterion` API subset this workspace's
+//! benches use. It is a *real* measuring harness, just a small one:
+//! per benchmark it warms up, auto-calibrates an iteration count so each
+//! sample takes ~5 ms, collects `sample_size` samples, and reports the
+//! median ns/iteration (plus min/max) on stdout.
+//!
+//! Set `CRITERION_JSON=/path/to/out.json` to additionally write all
+//! results of the process as a JSON array — the repository's
+//! `BENCH_coordinator.json` baseline is produced this way (see the
+//! workspace README).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per setup.
+    SmallInput,
+    /// Large inputs: fewer per batch.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// A benchmark identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// One measured result.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function/parameter`.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The measurement driver handed to bench closures.
+pub struct Bencher<'m> {
+    sample_size: usize,
+    result: &'m mut Option<(f64, f64, f64, usize, u64)>,
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+impl<'m> Bencher<'m> {
+    fn record(&mut self, mut one_sample: impl FnMut(u64) -> Duration) {
+        // Warm up and calibrate: how many iterations fill ~5 ms?
+        let mut iters: u64 = 1;
+        loop {
+            let t = one_sample(iters);
+            if t >= TARGET_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            let scale = if t.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / t.as_nanos().max(1)).clamp(2, 16) as u64
+            };
+            iters = iters.saturating_mul(scale);
+        }
+        let mut samples_ns: Vec<f64> = (0..self.sample_size)
+            .map(|_| one_sample(iters).as_nanos() as f64 / iters as f64)
+            .collect();
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        *self.result = Some((
+            median,
+            samples_ns[0],
+            samples_ns[samples_ns.len() - 1],
+            samples_ns.len(),
+            iters,
+        ));
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        self.record(|iters| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            t0.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded, and — like real criterion — the routine's outputs are
+    /// collected and dropped *outside* the measurement, so returning a
+    /// large consumed input excludes its teardown from the timing.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        self.record(|iters| {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let mut outputs: Vec<O> = Vec::with_capacity(inputs.len());
+            let t0 = Instant::now();
+            for input in inputs {
+                outputs.push(black_box(routine(input)));
+            }
+            let elapsed = t0.elapsed();
+            drop(outputs);
+            elapsed
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut result = None;
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        match result {
+            Some((median, min, max, samples, iters)) => {
+                println!(
+                    "{full_id:<48} median {median:>12.1} ns/iter  (min {min:.1}, max {max:.1}, {samples} samples x {iters} iters)"
+                );
+                self.criterion.results.push(BenchResult {
+                    id: full_id,
+                    median_ns: median,
+                    min_ns: min,
+                    max_ns: max,
+                    samples,
+                    iters_per_sample: iters,
+                });
+            }
+            None => println!("{full_id:<48} (no measurement recorded)"),
+        }
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher<'_>)) {
+        let id = id.into_id();
+        self.run(id, f);
+    }
+
+    /// Benches a closure under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) {
+        self.run(id.id, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op beyond symmetry with criterion).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness state.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benches a stand-alone closure (group-less).
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the JSON report if `CRITERION_JSON` is set. Called by
+    /// `criterion_main!` after all groups ran.
+    pub fn finalize(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: failed to write {path}: {e}");
+        } else {
+            println!(
+                "criterion shim: wrote {} results to {path}",
+                self.results.len()
+            );
+        }
+    }
+}
+
+/// Declares a group function running each bench target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares `main` running each group then finalizing the report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|r| r.median_ns >= 0.0));
+        assert!(c.results()[0].id.starts_with("t/spin"));
+        assert_eq!(c.results()[1].id, "t/param/4");
+    }
+}

@@ -1,0 +1,138 @@
+//! The [`Strategy`] trait and combinators.
+
+use crate::TestRng;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the [`TestRng`] stream.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V: std::fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (see [`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// A union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len() as u128) as usize;
+        self.arms[arm].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy {:?}", self);
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                self.start().wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);

@@ -306,7 +306,9 @@ mod tests {
         let report = solve(&problem, None);
         assert!(report.stats.pruned > 0, "bound should prune something");
         // Full tree below root for n-1=8: sum_{d=1..8} 8!/(8-d)!.
-        let full: u64 = (1..=8).map(|d| (0..d).map(|k| (8 - k) as u64).product::<u64>()).sum();
+        let full: u64 = (1..=8)
+            .map(|d| (0..d).map(|k| (8 - k) as u64).product::<u64>())
+            .sum();
         assert!(report.stats.explored < full);
     }
 }

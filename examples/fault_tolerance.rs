@@ -56,7 +56,10 @@ fn main() {
         report.redundancy() * 100.0,
         report.coordinator_stats.holders_expired,
     );
-    assert_eq!(report.proven_optimum, expected, "crashes must not lose work");
+    assert_eq!(
+        report.proven_optimum, expected,
+        "crashes must not lose work"
+    );
 
     // ---- Farmer checkpoint/restore.
     let dir = std::env::temp_dir().join(format!("gridbnb-example-ckpt-{}", std::process::id()));

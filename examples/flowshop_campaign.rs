@@ -19,7 +19,10 @@ fn main() {
         "{:<12} {:>6} {:>6} {:>8} {:>10} {:>9} {:>8}",
         "instance", "NEH", "IG", "optimum", "nodes", "time", "gap(IG)"
     );
-    for (k, seed) in [4221i64, 58_455, 9_000_001, 777, 123_456].iter().enumerate() {
+    for (k, seed) in [4221i64, 58_455, 9_000_001, 777, 123_456]
+        .iter()
+        .enumerate()
+    {
         let instance = taillard::generate(10, 5, *seed);
         let (_, neh_cost) = neh(&instance);
         let (_, ig_cost) = iterated_greedy(

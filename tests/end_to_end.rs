@@ -45,7 +45,10 @@ fn flowshop_pipeline_agrees_across_modes() {
 
     // Parallel resolution, seeded with the IG bound like the paper.
     let problem = FlowshopProblem::new(instance.clone(), BoundMode::Johnson(PairSelection::All));
-    let report = run(&problem, &RuntimeConfig::new(4).with_initial_upper_bound(ig_cost + 1));
+    let report = run(
+        &problem,
+        &RuntimeConfig::new(4).with_initial_upper_bound(ig_cost + 1),
+    );
     assert_eq!(report.proven_optimum, Some(optimum));
 
     // The optimal schedule decodes and re-evaluates exactly.
