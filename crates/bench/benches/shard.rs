@@ -1,0 +1,234 @@
+//! Sharded-router throughput on the 8192-interval workload.
+//!
+//! Three architectures serve the same aggregate contact load (4 client
+//! threads, 1024 progress updates each):
+//!
+//! * `farmer_channel_update_x1024_threads4/1` — the pre-sharding
+//!   architecture: one coordinator behind a farmer thread, every
+//!   contact a blocking channel round-trip (what `runtime.rs` does at
+//!   `shards = 1`);
+//! * `router_update_x1024_threads4/1` — a one-shard [`ShardRouter`]
+//!   contacted directly (lock-per-contact, no funnel);
+//! * `router_update_x1024_threads4/4` — four shards, each client thread
+//!   homed on its own shard, so contacts don't share a lock at all.
+//!
+//! The headline claim CI gates on: the S=4 router must beat the
+//! funneled farmer by ≥ 2× aggregate throughput (~3.4× on the 1-core
+//! build box, more on real hardware). The S=4/S=1 router pair isolates
+//! the lock-spreading win: ~1.4× on one core from contention relief
+//! alone, scaling with cores once shard locks stop sharing them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridbnb_core::{
+    Coordinator, CoordinatorConfig, Interval, Request, Response, ShardRouter, UBig, WorkerId,
+};
+use std::hint::black_box;
+use std::sync::mpsc::{channel, Sender};
+
+const WORKERS: u64 = 8192;
+const THREADS: usize = 4;
+const OPS_PER_THREAD: u64 = 1024;
+
+fn root() -> Interval {
+    Interval::new(UBig::zero(), UBig::factorial(50))
+}
+
+fn config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        duplication_threshold: UBig::one(),
+        ..CoordinatorConfig::default()
+    }
+}
+
+/// A router with ~8192 live intervals held by 8192 workers.
+fn router_with(shards: usize) -> ShardRouter {
+    let router = ShardRouter::new(root(), shards, config()).expect("valid config");
+    for w in 0..WORKERS {
+        let _ = router.handle(
+            Request::Join {
+                worker: WorkerId(w),
+                power: 50 + w % 100,
+            },
+            w,
+        );
+    }
+    router
+}
+
+/// One benched client: `(worker, its current interval copy)` — each
+/// update advances the begin, exercising the shrink + re-index path.
+type Client = (WorkerId, Interval);
+
+/// Picks `THREADS` distinct joined workers, thread `t` homed on shard
+/// `t % S` (so at S=4 the four client threads hit four distinct locks,
+/// and at S=1 four distinct holders contend on the one lock), and
+/// probes each one's interval copy with a heartbeat-only update.
+fn clients_of(router: &ShardRouter) -> Vec<Client> {
+    let mut chosen: Vec<WorkerId> = Vec::with_capacity(THREADS);
+    for t in 0..THREADS {
+        let home = (t % router.shard_count()) as u32;
+        let worker = (0..WORKERS)
+            .map(WorkerId)
+            .find(|&w| router.route(w).0 == home && !chosen.contains(&w))
+            .expect("a worker homed on every shard");
+        chosen.push(worker);
+    }
+    chosen
+        .into_iter()
+        .enumerate()
+        .map(|(t, worker)| {
+            let copy = match router.handle(
+                Request::Update {
+                    worker,
+                    interval: root(),
+                },
+                WORKERS + t as u64,
+            ) {
+                Response::UpdateAck { interval, .. } => interval,
+                other => panic!("probe failed: {other:?}"),
+            };
+            (worker, copy)
+        })
+        .collect()
+}
+
+/// 4 threads × 1024 progressing updates straight into the router.
+fn drive_router(router: &ShardRouter, clients: &[Client]) {
+    std::thread::scope(|scope| {
+        for (worker, copy) in clients {
+            scope.spawn(move || {
+                for j in 0..OPS_PER_THREAD {
+                    let reported =
+                        Interval::new(copy.begin().add(&UBig::from(j + 1)), copy.end().clone());
+                    black_box(router.handle(
+                        Request::Update {
+                            worker: *worker,
+                            interval: reported,
+                        },
+                        1_000_000 + j,
+                    ));
+                }
+            });
+        }
+    });
+}
+
+/// The same aggregate load through the pre-sharding funnel: one farmer
+/// thread owns the coordinator, clients block on a reply channel per
+/// contact.
+fn drive_funnel(coordinator: &mut Coordinator, clients: &[Client]) {
+    type FunnelEnvelope = (Request, Sender<Response>);
+    let (req_tx, req_rx) = channel::<FunnelEnvelope>();
+    std::thread::scope(|scope| {
+        let coordinator = &mut *coordinator;
+        scope.spawn(move || {
+            let mut now = 1_000_000u64;
+            while let Ok((request, reply)) = req_rx.recv() {
+                now += 1;
+                let _ = reply.send(coordinator.handle(request, now));
+            }
+        });
+        for (worker, copy) in clients {
+            let req_tx = req_tx.clone();
+            scope.spawn(move || {
+                let (reply_tx, reply_rx) = channel::<Response>();
+                for j in 0..OPS_PER_THREAD {
+                    let reported =
+                        Interval::new(copy.begin().add(&UBig::from(j + 1)), copy.end().clone());
+                    let request = Request::Update {
+                        worker: *worker,
+                        interval: reported,
+                    };
+                    req_tx.send((request, reply_tx.clone())).unwrap();
+                    black_box(reply_rx.recv().unwrap());
+                }
+            });
+        }
+        drop(req_tx);
+    });
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard");
+    group.sample_size(10);
+
+    for shards in [1usize, 4] {
+        let base = router_with(shards);
+        let clients = clients_of(&base);
+        // Single-threaded routing overhead vs the bare coordinator's
+        // join bench: the router adds one hash + one uncontended lock.
+        group.bench_with_input(
+            BenchmarkId::new("router_join_x64", shards),
+            &base,
+            |b, base| {
+                b.iter_batched(
+                    || base.clone(),
+                    |router| {
+                        for j in 0..64u64 {
+                            black_box(router.handle(
+                                Request::Join {
+                                    worker: WorkerId(u64::MAX - j),
+                                    power: 333,
+                                },
+                                999_999 + j,
+                            ));
+                        }
+                        router
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+        // Aggregate concurrent update throughput (the CI-gated id).
+        group.bench_with_input(
+            BenchmarkId::new("router_update_x1024_threads4", shards),
+            &(&base, &clients),
+            |b, (base, clients)| {
+                b.iter_batched(
+                    || (*base).clone(),
+                    |router| {
+                        drive_router(&router, clients);
+                        router
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+
+    // The pre-sharding architecture under the identical load.
+    let funnel_base = router_with(1);
+    let funnel_clients = clients_of(&funnel_base);
+    let coordinator_base = Coordinator::new(root(), config());
+    let coordinator_base = {
+        let mut coordinator = coordinator_base;
+        for w in 0..WORKERS {
+            let _ = coordinator.handle(
+                Request::Join {
+                    worker: WorkerId(w),
+                    power: 50 + w % 100,
+                },
+                w,
+            );
+        }
+        coordinator
+    };
+    group.bench_with_input(
+        BenchmarkId::new("farmer_channel_update_x1024_threads4", 1usize),
+        &(&coordinator_base, &funnel_clients),
+        |b, (base, clients)| {
+            b.iter_batched(
+                || (*base).clone(),
+                |mut coordinator| {
+                    drive_funnel(&mut coordinator, clients);
+                    coordinator
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

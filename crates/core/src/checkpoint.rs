@@ -68,8 +68,51 @@ pub fn encode_intervals(intervals: &[Interval]) -> String {
     out
 }
 
-/// Parses an `INTERVALS` file; empty intervals are dropped.
+/// Parses an `INTERVALS` file as the flat union of all shards (a plain
+/// v1 file is one shard); empty intervals are dropped. Shares one
+/// parser with [`decode_sharded_intervals`], so the documented "the v1
+/// decoder reads a sharded file as the flat union" guarantee holds by
+/// construction.
 pub fn decode_intervals(text: &str) -> Result<Vec<Interval>, CheckpointError> {
+    Ok(decode_sharded_intervals(text)?.concat())
+}
+
+fn parse_ubig(token: Option<&str>, ln: usize) -> Result<UBig, CheckpointError> {
+    let token = token
+        .ok_or_else(|| CheckpointError::Corrupt(format!("missing endpoint on line {}", ln + 2)))?;
+    UBig::from_str(token).map_err(|e| CheckpointError::Corrupt(format!("line {}: {e}", ln + 2)))
+}
+
+const SHARD_MARKER: &str = "# shard ";
+
+/// Serializes per-shard `INTERVALS` (sharded coordination): shard `k`'s
+/// intervals follow a `# shard k` marker line. Markers are comments to
+/// the v1 decoder, so [`decode_intervals`] reads a sharded file as the
+/// flat union — a single-coordinator restore of a sharded checkpoint
+/// just works. With exactly one shard the output is byte-identical to
+/// [`encode_intervals`]: at `S = 1` the sharded format *is* the
+/// single-shard format.
+pub fn encode_sharded_intervals(shards: &[Vec<Interval>]) -> String {
+    if shards.len() == 1 {
+        return encode_intervals(&shards[0]);
+    }
+    let mut out = String::from(INTERVALS_HEADER);
+    out.push('\n');
+    for (k, intervals) in shards.iter().enumerate() {
+        let _ = writeln!(out, "{SHARD_MARKER}{k}");
+        for i in intervals {
+            let _ = writeln!(out, "{} {}", i.begin(), i.end());
+        }
+    }
+    out
+}
+
+/// Parses an `INTERVALS` file into per-shard sets. A file without shard
+/// markers — any v1 single-coordinator checkpoint — decodes as one
+/// shard, so old checkpoints restore into a sharded router unchanged.
+/// Markers must be sequential (`# shard 0`, `# shard 1`, ...); empty
+/// intervals are dropped, empty shards are preserved.
+pub fn decode_sharded_intervals(text: &str) -> Result<Vec<Vec<Interval>>, CheckpointError> {
     let mut lines = text.lines();
     match lines.next() {
         Some(h) if h.trim() == INTERVALS_HEADER => {}
@@ -79,11 +122,36 @@ pub fn decode_intervals(text: &str) -> Result<Vec<Interval>, CheckpointError> {
             )))
         }
     }
-    let mut intervals = Vec::new();
+    let mut shards: Vec<Vec<Interval>> = Vec::new();
     for (ln, line) in lines.enumerate() {
         let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
             continue;
+        }
+        // A `# shard N` line is a marker only when N is an integer; any
+        // other `#` line — including prose that happens to start with
+        // "# shard" — keeps its v1 meaning of a comment, so old
+        // annotated checkpoints still load.
+        if let Some(index) = line
+            .strip_prefix(SHARD_MARKER)
+            .and_then(|rest| rest.trim().parse::<usize>().ok())
+        {
+            if index != shards.len() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "shard marker {index} out of order on line {} (expected {})",
+                    ln + 2,
+                    shards.len()
+                )));
+            }
+            shards.push(Vec::new());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        if shards.is_empty() {
+            // Markerless v1 file: everything belongs to one shard.
+            shards.push(Vec::new());
         }
         let mut parts = line.split_whitespace();
         let begin = parse_ubig(parts.next(), ln)?;
@@ -96,16 +164,13 @@ pub fn decode_intervals(text: &str) -> Result<Vec<Interval>, CheckpointError> {
         }
         let interval = Interval::new(begin, end);
         if !interval.is_empty() {
-            intervals.push(interval);
+            shards.last_mut().expect("shard bucket").push(interval);
         }
     }
-    Ok(intervals)
-}
-
-fn parse_ubig(token: Option<&str>, ln: usize) -> Result<UBig, CheckpointError> {
-    let token = token
-        .ok_or_else(|| CheckpointError::Corrupt(format!("missing endpoint on line {}", ln + 2)))?;
-    UBig::from_str(token).map_err(|e| CheckpointError::Corrupt(format!("line {}: {e}", ln + 2)))
+    if shards.is_empty() {
+        shards.push(Vec::new());
+    }
+    Ok(shards)
 }
 
 /// Serializes `SOLUTION`.
@@ -201,6 +266,24 @@ impl CheckpointStore {
         Ok((decode_intervals(&itext)?, decode_solution(&stext)?))
     }
 
+    /// Saves a sharded router's state atomically (both files). At
+    /// `S = 1` the output is indistinguishable from
+    /// [`CheckpointStore::save`].
+    pub fn save_sharded(&self, router: &crate::ShardRouter) -> Result<(), CheckpointError> {
+        let (shards, solution) = router.snapshot();
+        write_atomic(&self.intervals_path, &encode_sharded_intervals(&shards))?;
+        write_atomic(&self.solution_path, &encode_solution(solution.as_ref()))?;
+        Ok(())
+    }
+
+    /// Loads `(per-shard intervals, solution)`; a markerless v1 file
+    /// decodes as a single shard.
+    pub fn load_sharded(&self) -> Result<(Vec<Vec<Interval>>, Option<Solution>), CheckpointError> {
+        let itext = fs::read_to_string(&self.intervals_path)?;
+        let stext = fs::read_to_string(&self.solution_path)?;
+        Ok((decode_sharded_intervals(&itext)?, decode_solution(&stext)?))
+    }
+
     /// `true` iff both files exist (a prior checkpoint is available).
     pub fn exists(&self) -> bool {
         self.intervals_path.exists() && self.solution_path.exists()
@@ -254,6 +337,60 @@ mod tests {
         assert!(decode_intervals(&text).is_err());
         let text = format!("{INTERVALS_HEADER}\n12\n");
         assert!(decode_intervals(&text).is_err());
+    }
+
+    #[test]
+    fn sharded_intervals_round_trip() {
+        let shards = vec![vec![iv(0, 120), iv(200, 300)], vec![], vec![iv(840, 5040)]];
+        let text = encode_sharded_intervals(&shards);
+        assert_eq!(decode_sharded_intervals(&text).unwrap(), shards);
+        // The v1 decoder reads the same file as the flat union.
+        assert_eq!(
+            decode_intervals(&text).unwrap(),
+            vec![iv(0, 120), iv(200, 300), iv(840, 5040)]
+        );
+    }
+
+    #[test]
+    fn single_shard_encoding_is_the_v1_format() {
+        let intervals = vec![iv(0, 120), iv(840, 5040)];
+        let sharded = encode_sharded_intervals(std::slice::from_ref(&intervals));
+        assert_eq!(sharded, encode_intervals(&intervals));
+        assert_eq!(decode_sharded_intervals(&sharded).unwrap(), vec![intervals]);
+    }
+
+    #[test]
+    fn markerless_v1_file_decodes_as_one_shard() {
+        let text = encode_intervals(&[iv(7, 9), iv(20, 40)]);
+        assert_eq!(
+            decode_sharded_intervals(&text).unwrap(),
+            vec![vec![iv(7, 9), iv(20, 40)]]
+        );
+        // An empty v1 file is one empty shard, not zero shards.
+        assert_eq!(
+            decode_sharded_intervals(&encode_intervals(&[])).unwrap(),
+            vec![vec![]]
+        );
+    }
+
+    #[test]
+    fn sharded_markers_must_be_sequential() {
+        let text = format!("{INTERVALS_HEADER}\n# shard 1\n1 2\n");
+        assert!(decode_sharded_intervals(&text).is_err());
+        let text = format!("{INTERVALS_HEADER}\n# shard 0\n1 2\n# shard 2\n3 4\n");
+        assert!(decode_sharded_intervals(&text).is_err());
+    }
+
+    #[test]
+    fn non_integer_shard_prefixed_lines_stay_v1_comments() {
+        // "# shard x" is not a marker — v1 files with such annotations
+        // must keep loading.
+        let text = format!("{INTERVALS_HEADER}\n# shard x\n# shard count was 4 on host A\n1 2\n");
+        assert_eq!(
+            decode_sharded_intervals(&text).unwrap(),
+            vec![vec![iv(1, 2)]]
+        );
+        assert_eq!(decode_intervals(&text).unwrap(), vec![iv(1, 2)]);
     }
 
     #[test]

@@ -79,11 +79,14 @@ pub struct CoordinatorConfig {
     pub initial_upper_bound: Option<u64>,
 }
 
-/// A rejected [`CoordinatorConfig`] (see [`CoordinatorConfig::validate`]).
+/// A rejected [`CoordinatorConfig`] (see [`CoordinatorConfig::validate`])
+/// or shard layout (see [`crate::ShardRouter::new`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConfigError {
     /// `duplication_threshold` was zero (documented contract: ≥ 1).
     ZeroDuplicationThreshold,
+    /// A shard router was asked for zero shards (contract: ≥ 1).
+    ZeroShards,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -92,6 +95,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroDuplicationThreshold => {
                 write!(f, "duplication_threshold must be ≥ 1 (got 0)")
             }
+            ConfigError::ZeroShards => write!(f, "shard count must be ≥ 1 (got 0)"),
         }
     }
 }
@@ -182,6 +186,28 @@ pub struct CoordinatorStats {
     pub terminations_sent: u64,
     /// Holders expired as presumed dead.
     pub holders_expired: u64,
+    /// Intervals donated to a draining peer shard (work stealing).
+    pub steals_donated: u64,
+    /// Intervals adopted from a peer shard (work stealing).
+    pub steals_adopted: u64,
+}
+
+impl CoordinatorStats {
+    /// Adds `other` field-wise — used to aggregate per-shard counters
+    /// into the router-level view.
+    pub fn merge(&mut self, other: &CoordinatorStats) {
+        self.work_allocations += other.work_allocations;
+        self.partitions += other.partitions;
+        self.duplications += other.duplications;
+        self.full_assignments += other.full_assignments;
+        self.updates += other.updates;
+        self.solution_reports += other.solution_reports;
+        self.improvements += other.improvements;
+        self.terminations_sent += other.terminations_sent;
+        self.holders_expired += other.holders_expired;
+        self.steals_donated += other.steals_donated;
+        self.steals_adopted += other.steals_adopted;
+    }
 }
 
 /// Selection priority of one entry under the power-normalized rule:
@@ -684,6 +710,113 @@ impl Coordinator {
         self.attach_holder(idx, holder);
         self.stats.duplications += 1;
         Response::Work { interval, cutoff }
+    }
+
+    // ------------------------------------------------------------------
+    // Work stealing (sharded coordination)
+    // ------------------------------------------------------------------
+
+    /// Donates an interval to a draining peer shard: the returned range
+    /// leaves this coordinator entirely (no copy is kept, preserving
+    /// cross-shard disjointness). Donation tiers, strictly in order —
+    /// an undisturbed donation always beats a bigger disturbing one:
+    ///
+    /// 1. the whole of the longest unassigned entry (nobody's
+    ///    exploration is disturbed, no redundancy is created);
+    /// 2. only when nothing is unassigned, the back half of the longest
+    ///    held entry of length ≥ 2 — exactly like the partitioning
+    ///    operator, the holder keeps the front and learns of the shrink
+    ///    at its next update (the holder's stale tail may be briefly
+    ///    re-explored, the usual shrink-lag redundancy).
+    ///
+    /// An active holder is never detached: stealing a held entry out
+    /// from under its holder would let the same interval ping-pong
+    /// between drained shards faster than anyone completes it. When all
+    /// entries are held and too short to split, this returns `None` and
+    /// the router answers the requester with [`Response::Retry`] — the
+    /// holders (or, for crashed holders, expiry followed by a tier-1
+    /// steal) finish the endgame. Also `None` when `INTERVALS` is empty.
+    /// O(n) scan — stealing only happens when a peer shard drains,
+    /// never on the contact path.
+    pub fn steal_largest(&mut self) -> Option<Interval> {
+        // (tier, donated length, entry) of the best candidate so far —
+        // tier-major, so an unassigned donation of any size wins over a
+        // holder-disturbing split.
+        let mut best: Option<(u8, UBig, usize)> = None;
+        for (idx, e) in self.entries.iter().enumerate() {
+            let len = e.interval.length();
+            let (tier, donated) = if e.holders.is_empty() {
+                (2u8, len)
+            } else if len > UBig::one() {
+                (1u8, len.div_rem_u64(2).0)
+            } else {
+                continue; // held and unsplittable: leave it to its holder
+            };
+            let better = match &best {
+                None => true,
+                Some((b_tier, b_len, _)) => match tier.cmp(b_tier) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => donated > *b_len,
+                    Ordering::Less => false,
+                },
+            };
+            if better {
+                best = Some((tier, donated, idx));
+            }
+        }
+        let (tier, donated, idx) = best?;
+        let stolen = if tier == 1 {
+            // Split: holders keep the front, the back half is donated.
+            let cut = self.entries[idx].interval.end().saturating_sub(&donated);
+            let (keep, give) = self.entries[idx].interval.split_at(&cut);
+            debug_assert!(!keep.is_empty() && !give.is_empty());
+            self.remaining = self.remaining.saturating_sub(&donated);
+            self.with_entry(idx, |e| e.interval = keep);
+            give
+        } else {
+            let interval = self.entries[idx].interval.clone();
+            self.remove_entry(idx);
+            interval
+        };
+        self.stats.steals_donated += 1;
+        Some(stolen)
+    }
+
+    /// Adopts a stolen interval as a new unassigned entry — the
+    /// receiving side of [`Coordinator::steal_largest`]. The interval
+    /// must lie within this coordinator's root range and be disjoint
+    /// from every current entry (guaranteed when it came from a peer
+    /// shard administering the same root). Empty intervals are ignored.
+    pub fn adopt(&mut self, interval: Interval) {
+        if interval.is_empty() {
+            return;
+        }
+        debug_assert!(
+            self.root.contains_interval(&interval),
+            "adopted interval escapes the root range"
+        );
+        self.remaining += &interval.length();
+        self.entries.push(IntervalEntry {
+            interval,
+            holders: Vec::new(),
+        });
+        self.index_insert(self.entries.len() - 1);
+        self.stats.steals_adopted += 1;
+    }
+
+    /// Merges an externally found solution (cross-shard solution
+    /// sharing): adopts it iff it strictly improves the current cutoff.
+    /// Unlike [`Request::ReportSolution`] this is not a protocol contact,
+    /// so no counter moves. Returns whether the solution was adopted.
+    pub fn merge_solution(&mut self, solution: &Solution) -> bool {
+        let improves = match self.cutoff() {
+            Some(c) => solution.cost < c,
+            None => true,
+        };
+        if improves {
+            self.solution = Some(solution.clone());
+        }
+        improves
     }
 
     // ------------------------------------------------------------------

@@ -16,11 +16,18 @@
 //! (the computation is over exactly when `INTERVALS` becomes empty) and
 //! **solution sharing** (the three rules of §4.4).
 //!
-//! Two executors drive the same coordinator:
+//! Above the single coordinator sits the [`ShardRouter`]: the root
+//! range partitioned across `S` independent coordinators with
+//! WorkerId-hash routing, cross-shard work stealing and O(1) global
+//! termination detection — the same protocol surface, multiplied
+//! contact throughput (see the [`mod@shard`] module docs).
 //!
-//! * [`runtime`] — a real multi-threaded farmer–worker runtime built on
-//!   crossbeam channels following the pull model (workers always
-//!   initiate), with optional fault injection;
+//! Two executors drive the same coordinator (sharded or not):
+//!
+//! * [`runtime`] — a real multi-threaded farmer–worker runtime
+//!   following the pull model (workers always initiate), with optional
+//!   fault injection: one farmer thread behind crossbeam channels at
+//!   `shards = 1`, direct per-shard contacts at `shards > 1`;
 //! * the discrete-event grid simulator in `gridbnb-grid`, which replays
 //!   the identical protocol over thousands of simulated volatile hosts to
 //!   reproduce the paper's Table 2 and Figure 7.
@@ -32,11 +39,13 @@ pub mod checkpoint;
 mod coordinator;
 mod protocol;
 pub mod runtime;
+pub mod shard;
 
 pub use coordinator::{
     ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
 };
-pub use protocol::{Request, Response, WorkerId};
+pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
+pub use shard::ShardRouter;
 
 pub use gridbnb_coding::{Interval, IntervalSet, TreeShape, UBig};
 pub use gridbnb_engine::{Problem, Solution};

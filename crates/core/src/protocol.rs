@@ -19,6 +19,28 @@ impl std::fmt::Display for WorkerId {
     }
 }
 
+/// Identifies one coordinator shard behind a [`crate::ShardRouter`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A request stamped with the shard that must serve it: the shard-aware
+/// envelope of the sharded protocol surface. [`crate::ShardRouter::envelope`]
+/// resolves a worker's home shard once; executors that queue contacts
+/// per shard (instead of re-hashing on every hop) carry this envelope.
+#[derive(Clone, Debug)]
+pub struct ShardEnvelope {
+    /// The home shard the router resolved for the requesting worker.
+    pub shard: ShardId,
+    /// The worker request to serve there.
+    pub request: Request,
+}
+
 /// A worker-initiated message.
 #[derive(Clone, Debug)]
 pub enum Request {
@@ -107,8 +129,17 @@ pub enum Response {
         cutoff: Option<u64>,
     },
     /// `INTERVALS` is empty: the whole tree is explored, resolution over
-    /// (the paper's implicit termination detection, §4.3).
+    /// (the paper's implicit termination detection, §4.3). Under a
+    /// sharded router this means empty *everywhere* — a worker never
+    /// sees `Terminate` while any shard still holds work.
     Terminate,
+    /// Sharded endgame backpressure: the requester's home shard is
+    /// empty and nothing could be stolen right now (the remaining
+    /// intervals are all held and too short to split), but the global
+    /// computation is not over. Ask again shortly; the holders — or
+    /// expiry, for crashed holders — will release the rest. A
+    /// single-shard coordinator never sends this.
+    Retry,
     /// Acknowledges a graceful leave.
     LeaveAck,
 }

@@ -1,11 +1,22 @@
-//! Multi-threaded farmer–worker runtime over crossbeam channels.
+//! Multi-threaded farmer–worker runtime.
 //!
-//! One farmer thread owns the [`Coordinator`]; worker threads run
-//! [`IntervalExplorer`]s and speak the pull-model protocol: every message
-//! is worker-initiated, the farmer only replies. Workers interleave
-//! exploration (`poll_nodes` node visits per slice) with protocol
-//! contacts, exactly like the paper's B&B processes that "regularly
-//! contact the coordinator to update their interval".
+//! With one shard (the default), a farmer thread owns the
+//! [`Coordinator`] and worker threads speak the pull-model protocol over
+//! crossbeam channels: every message is worker-initiated, the farmer
+//! only replies. Workers interleave exploration (`poll_nodes` node
+//! visits per slice) with protocol contacts, exactly like the paper's
+//! B&B processes that "regularly contact the coordinator to update
+//! their interval".
+//!
+//! With [`RuntimeConfig::shards`] > 1, the farmer funnel disappears:
+//! workers contact their home shard of a [`ShardRouter`] directly (each
+//! shard is an independently locked [`Coordinator`]), so contacts to
+//! different shards proceed in parallel instead of serializing through
+//! one channel. A light supervisor thread takes over the farmer's
+//! housekeeping (stale-holder expiry, periodic checkpoints). Work
+//! stealing between shards and the shared non-empty count keep the
+//! exactness guarantee: runs terminate only when every shard's
+//! `INTERVALS` is empty.
 //!
 //! Fault tolerance is exercisable in-process: a [`ChaosConfig`] makes
 //! chosen workers "crash" (silently abandon their explorer, losing all
@@ -17,12 +28,14 @@
 //! assert it.
 
 use crate::checkpoint::CheckpointStore;
-use crate::{Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response, WorkerId};
+use crate::{
+    Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response, ShardRouter, WorkerId,
+};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridbnb_bigint::UBig;
 use gridbnb_coding::Interval;
 use gridbnb_engine::{IntervalExplorer, Problem, SearchStats, Solution};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Periodic farmer checkpointing policy.
@@ -58,6 +71,11 @@ pub struct ChaosConfig {
 pub struct RuntimeConfig {
     /// Number of worker threads.
     pub workers: usize,
+    /// Number of coordinator shards. `1` (the default) runs the classic
+    /// single farmer thread behind a request channel; `> 1` partitions
+    /// the root range across a [`ShardRouter`] that workers contact
+    /// directly, multiplying contact throughput.
+    pub shards: usize,
     /// Node visits explored between two coordinator contacts.
     pub poll_nodes: u64,
     /// Coordinator knobs (threshold, timeout, initial upper bound).
@@ -76,6 +94,7 @@ impl RuntimeConfig {
     pub fn new(workers: usize) -> Self {
         RuntimeConfig {
             workers,
+            shards: 1,
             poll_nodes: 2_000,
             coordinator: CoordinatorConfig::default(),
             worker_powers: vec![100],
@@ -89,6 +108,27 @@ impl RuntimeConfig {
     pub fn with_initial_upper_bound(mut self, ub: u64) -> Self {
         self.coordinator.initial_upper_bound = Some(ub);
         self
+    }
+
+    /// Sets the shard count (see [`RuntimeConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Fails fast on out-of-contract configuration instead of letting
+    /// the coordinator silently clamp it. Every run entry point calls
+    /// this before building any coordinator state.
+    fn assert_valid(&self) {
+        assert!(self.workers > 0, "need at least one worker");
+        assert!(self.shards > 0, "need at least one shard");
+        assert!(
+            !self.worker_powers.is_empty(),
+            "worker_powers must not be empty (it is cycled across workers)"
+        );
+        if let Err(e) = self.coordinator.validate() {
+            panic!("invalid coordinator config: {e}");
+        }
     }
 }
 
@@ -124,8 +164,10 @@ pub struct RunReport {
     /// `min(initial upper bound, best found)`: the proven optimum once
     /// the run completes.
     pub proven_optimum: Option<u64>,
-    /// Farmer-side protocol counters.
+    /// Farmer-side protocol counters (summed over shards when sharded).
     pub coordinator_stats: CoordinatorStats,
+    /// Cross-shard work steals (0 on single-shard runs).
+    pub steals: u64,
     /// Per-worker outcomes.
     pub workers: Vec<WorkerReport>,
     /// Wall-clock duration of the whole run.
@@ -212,20 +254,30 @@ pub fn run<P: Problem>(problem: &P, config: &RuntimeConfig) -> RunReport {
 }
 
 /// Runs on an explicit root interval (used to resume from a checkpoint:
-/// restore the coordinator yourself and call [`run_with_coordinator`]).
+/// restore the coordinator yourself and call [`run_with_coordinator`],
+/// or the router and call [`run_with_router`]).
 pub fn run_on<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -> RunReport {
-    let coordinator = Coordinator::new(root, config.coordinator.clone());
-    run_with_coordinator(problem, coordinator, config)
+    config.assert_valid();
+    if config.shards > 1 {
+        let router = ShardRouter::new(root, config.shards, config.coordinator.clone())
+            .expect("invalid coordinator config");
+        run_with_router(problem, router, config)
+    } else {
+        let coordinator = Coordinator::new(root, config.coordinator.clone());
+        run_with_coordinator(problem, coordinator, config)
+    }
 }
 
 /// Runs with a pre-built coordinator (fresh or restored from a
-/// [`CheckpointStore`]).
+/// [`CheckpointStore`]) behind the classic single farmer thread.
+/// `config.shards` is ignored here — a pre-built coordinator is by
+/// definition one shard.
 pub fn run_with_coordinator<P: Problem>(
     problem: &P,
     coordinator: Coordinator,
     config: &RuntimeConfig,
 ) -> RunReport {
-    assert!(config.workers > 0, "need at least one worker");
+    config.assert_valid();
     let started = Instant::now();
     let root_length = coordinator.root().length();
     let (req_tx, req_rx) = unbounded::<Envelope>();
@@ -240,14 +292,19 @@ pub fn run_with_coordinator<P: Problem>(
         for index in 0..config.workers {
             let req_tx = req_tx.clone();
             let fresh_ids = &fresh_ids;
-            let power = config.worker_powers[index % config.worker_powers.len().max(1)];
+            let power = config.worker_powers[index % config.worker_powers.len()];
             let crash = config
                 .chaos
                 .as_ref()
                 .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
                 .copied();
             handles.push(scope.spawn(move |_| {
-                worker_loop(problem, index, power, crash, req_tx, fresh_ids, config)
+                let (reply_tx, reply_rx) = unbounded::<Response>();
+                let send = move |request: Request| -> Option<Response> {
+                    req_tx.send((request, reply_tx.clone())).ok()?;
+                    reply_rx.recv().ok()
+                };
+                worker_loop(problem, index, power, crash, send, fresh_ids, config)
             }));
         }
         // The farmer's receiver disconnects when every worker sender is
@@ -266,12 +323,143 @@ pub fn run_with_coordinator<P: Problem>(
         proven_optimum: coordinator.cutoff(),
         solution,
         coordinator_stats: *coordinator.stats(),
+        steals: 0,
         workers: worker_reports,
         wall: started.elapsed(),
         farmer_busy,
         farmer_checkpoints,
         root_length,
     }
+}
+
+/// Runs with a pre-built [`ShardRouter`] (fresh, or restored from a
+/// sharded checkpoint via [`CheckpointStore::load_sharded`]). Workers
+/// contact their home shard directly — there is no farmer thread and no
+/// request channel, so contacts to different shards proceed in
+/// parallel. A supervisor thread handles stale-holder expiry and
+/// periodic checkpoints.
+pub fn run_with_router<P: Problem>(
+    problem: &P,
+    router: ShardRouter,
+    config: &RuntimeConfig,
+) -> RunReport {
+    config.assert_valid();
+    let started = Instant::now();
+    let root_length = router.root().length();
+    let fresh_ids = AtomicU64::new(config.workers as u64);
+    let workers_done = AtomicBool::new(false);
+    let router = &router;
+
+    let mut worker_reports: Vec<WorkerReport> = Vec::new();
+    let mut supervisor_out = (Duration::ZERO, 0u64);
+
+    crossbeam::thread::scope(|scope| {
+        let workers_done = &workers_done;
+        let supervisor =
+            scope.spawn(move |_| supervisor_loop(router, config, started, workers_done));
+        let mut handles = Vec::new();
+        for index in 0..config.workers {
+            let fresh_ids = &fresh_ids;
+            let power = config.worker_powers[index % config.worker_powers.len()];
+            let crash = config
+                .chaos
+                .as_ref()
+                .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
+                .copied();
+            handles.push(scope.spawn(move |_| {
+                let send = move |request: Request| -> Option<Response> {
+                    let now_ns = started.elapsed().as_nanos() as u64;
+                    Some(router.handle(request, now_ns))
+                };
+                worker_loop(problem, index, power, crash, send, fresh_ids, config)
+            }));
+        }
+        // Collect panics instead of unwinding immediately: the done
+        // flag must be set either way, or the supervisor (which only
+        // exits on termination or that flag) would block the scope's
+        // implicit join forever — a worker panic would hang the run
+        // instead of propagating. The channel runtime gets this for
+        // free (a panicked worker drops its Sender and disconnects the
+        // farmer); this restores parity.
+        let mut worker_panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(report) => worker_reports.push(report),
+                Err(panic) => worker_panic = Some(panic),
+            }
+        }
+        workers_done.store(true, Ordering::Release);
+        supervisor_out = supervisor.join().expect("supervisor thread panicked");
+        if let Some(panic) = worker_panic {
+            std::panic::resume_unwind(panic);
+        }
+    })
+    .expect("scope panicked");
+
+    let (farmer_busy, farmer_checkpoints) = supervisor_out;
+    RunReport {
+        proven_optimum: router.cutoff(),
+        solution: router.solution(),
+        coordinator_stats: router.stats(),
+        steals: router.steals(),
+        workers: worker_reports,
+        wall: started.elapsed(),
+        farmer_busy,
+        farmer_checkpoints,
+        root_length,
+    }
+}
+
+/// Housekeeping for sharded runs: what the farmer loop did besides
+/// answering requests — expire stale holders (the recovery path for
+/// crashed workers) and write periodic checkpoints. Exits when the run
+/// terminates or every worker thread has returned.
+fn supervisor_loop(
+    router: &ShardRouter,
+    config: &RuntimeConfig,
+    started: Instant,
+    workers_done: &AtomicBool,
+) -> (Duration, u64) {
+    let mut busy = Duration::ZERO;
+    let mut checkpoints = 0u64;
+    let mut last_checkpoint = Instant::now();
+    let tick = config
+        .checkpoint
+        .as_ref()
+        .map(|p| p.every)
+        .unwrap_or(Duration::from_millis(50))
+        .min(Duration::from_millis(50));
+    while !workers_done.load(Ordering::Acquire) && !router.is_terminated() {
+        // Sleep until the earliest holder becomes expirable or the next
+        // housekeeping tick, whichever is sooner.
+        let now_ns = started.elapsed().as_nanos() as u64;
+        let wait = router
+            .next_expiry_at()
+            .map(|t| Duration::from_nanos(t.saturating_sub(now_ns)).max(Duration::from_millis(1)))
+            .unwrap_or(tick)
+            .min(tick);
+        std::thread::sleep(wait);
+        let t0 = Instant::now();
+        router.expire_stale_holders(started.elapsed().as_nanos() as u64);
+        if let Some(policy) = &config.checkpoint {
+            if last_checkpoint.elapsed() >= policy.every {
+                if policy.store.save_sharded(router).is_ok() {
+                    checkpoints += 1;
+                }
+                last_checkpoint = Instant::now();
+            }
+        }
+        busy += t0.elapsed();
+    }
+    // Final checkpoint so a restart sees the terminal state.
+    if let Some(policy) = &config.checkpoint {
+        let t0 = Instant::now();
+        if policy.store.save_sharded(router).is_ok() {
+            checkpoints += 1;
+        }
+        busy += t0.elapsed();
+    }
+    (busy, checkpoints)
 }
 
 fn farmer_loop(
@@ -339,26 +527,23 @@ fn farmer_loop(
     (coordinator, busy, checkpoints)
 }
 
+/// One worker thread: explore slices, contact the coordinator through
+/// `send` — a blocking channel round-trip to the farmer thread, or a
+/// direct call into the worker's home shard of a [`ShardRouter`].
 fn worker_loop<P: Problem>(
     problem: &P,
     index: usize,
     power: u64,
     crash: Option<CrashPlan>,
-    req_tx: Sender<Envelope>,
+    send: impl Fn(Request) -> Option<Response>,
     fresh_ids: &AtomicU64,
     config: &RuntimeConfig,
 ) -> WorkerReport {
     let thread_start = Instant::now();
-    let (reply_tx, reply_rx) = unbounded::<Response>();
     let mut report = WorkerReport::default();
     let mut id = WorkerId(index as u64);
     let mut joining = true;
     let mut crash = crash;
-
-    let send = |req: Request| -> Option<Response> {
-        req_tx.send((req, reply_tx.clone())).ok()?;
-        reply_rx.recv().ok()
-    };
 
     'units: loop {
         let request = if joining {
@@ -373,6 +558,12 @@ fn worker_loop<P: Problem>(
         let (interval, cutoff) = match response {
             Response::Work { interval, cutoff } => (interval, cutoff),
             Response::Terminate => break,
+            Response::Retry => {
+                // Sharded endgame: the remaining intervals are in their
+                // holders' hands. Back off briefly and ask again.
+                std::thread::sleep(Duration::from_micros(200));
+                continue 'units;
+            }
             other => unreachable!("unexpected work response: {other:?}"),
         };
         report.units += 1;

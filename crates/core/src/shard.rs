@@ -1,0 +1,507 @@
+//! Sharded coordination: `S` independent [`Coordinator`]s behind a thin
+//! work-stealing router.
+//!
+//! The paper funnels every worker contact through one farmer, which its
+//! own measurements identify as the scaling bottleneck (~2 M update
+//! operations dominated farmer load). The indexed hot path made a single
+//! coordinator O(log n) per contact; the [`ShardRouter`] multiplies that
+//! throughput by partitioning the root interval range into `S` disjoint
+//! slices, each owned by an independent [`Coordinator`] with its own
+//! holder/priority/heartbeat indexes behind its own lock:
+//!
+//! ```text
+//!            workers (hash of WorkerId picks the home shard)
+//!      w0  w4  w8 ...        w1  w5 ...           w3  w7 ...
+//!        \  |  /               \  |                 \  |
+//!      ┌───────────┐       ┌───────────┐        ┌───────────┐
+//!      │  shard 0  │ ←──── │  shard 1  │  ....  │  shard S-1│
+//!      │ [A0, B0)  │ steal │ [A1, B1)  │        │ [A…, B…)  │
+//!      └───────────┘       └───────────┘        └───────────┘
+//!            router: Request/Response surface unchanged
+//! ```
+//!
+//! * **Routing** — [`ShardRouter::route`] hashes the `WorkerId` to a
+//!   home shard; all of a worker's contacts (join, update, solution
+//!   report, leave) go there, so the per-worker holder state never
+//!   crosses a lock.
+//! * **Work stealing** — when a shard's pool drains while other shards
+//!   still hold work, the router steals the largest donatable interval
+//!   from the most loaded shard ([`Coordinator::steal_largest`]) and
+//!   adopts it into the drained shard, where the ordinary selection +
+//!   partitioning operators re-split it among that shard's workers.
+//!   Intervals move between shards but are never copied across them, so
+//!   the global `INTERVALS` stays duplicate-free.
+//! * **Termination** — a shared atomic count of non-empty shards makes
+//!   global termination (`INTERVALS` empty everywhere, §4.3) an O(1)
+//!   query: `Terminate` is only surfaced to a worker once the count
+//!   reaches zero and a steal attempt found nothing to take.
+//! * **Solution sharing** — an improving [`Request::ReportSolution`] is
+//!   merged into every other shard ([`Coordinator::merge_solution`]),
+//!   so the cutoffs each shard hands out stay globally tight.
+//!
+//! All methods take `&self` (each shard is a `Mutex<Coordinator>`), so
+//! one router can be driven concurrently by many worker threads — the
+//! thread runtime does exactly that — or single-threadedly by the
+//! discrete-event grid simulator. At `S = 1` the router is
+//! response-identical to a bare [`Coordinator`] (pinned by a property
+//! test).
+
+use crate::{
+    ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response,
+    ShardEnvelope, ShardId, WorkerId,
+};
+use gridbnb_coding::{Interval, UBig};
+use gridbnb_engine::Solution;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// One unit of the packed non-empty count (high half of
+/// [`ShardRouter::state`]); the low half counts steals in flight.
+const NON_EMPTY_UNIT: u64 = 1 << 32;
+
+/// `S` coordinators over disjoint slices of one root range, plus the
+/// routing, stealing and termination logic that makes them answer the
+/// single-coordinator [`Request`]/[`Response`] protocol surface.
+#[derive(Debug)]
+pub struct ShardRouter {
+    root: Interval,
+    shards: Vec<Mutex<Coordinator>>,
+    /// Packed `(non-empty shards) << 32 | (steals in flight)` — the
+    /// shared termination count. The two live in one atomic so a single
+    /// load answers global termination (`state == 0`) consistently: a
+    /// mid-flight steal holds an in-flight unit from before its victim
+    /// is counted empty until after its destination is counted
+    /// non-empty, so the whole word never transiently reads 0 while an
+    /// interval is between shards. Each half is maintained under the
+    /// owning shard's lock on every transition.
+    state: AtomicU64,
+    /// Held for reading across each steal (concurrent steals are fine)
+    /// and for writing by [`ShardRouter::snapshot`], `clone` and
+    /// [`ShardRouter::check_invariants`]: while the write side is held,
+    /// no interval can be in flight between shards, so walking the
+    /// shards one lock at a time still yields a loss-free union.
+    /// Ordering: the gate is always taken before any shard lock, never
+    /// while holding one.
+    steal_gate: RwLock<()>,
+    /// Successful cross-shard steals.
+    steals: AtomicU64,
+}
+
+impl Clone for ShardRouter {
+    fn clone(&self) -> Self {
+        // Hold the steal gate so no interval is between shards while
+        // the per-shard states are copied one lock at a time.
+        let _gate = self.steal_gate.write().expect("poisoned steal gate");
+        let shards: Vec<Mutex<Coordinator>> = self
+            .shards
+            .iter()
+            .map(|m| Mutex::new(m.lock().expect("poisoned shard").clone()))
+            .collect();
+        // Recompute the packed word from what was actually cloned: a
+        // contact may empty a shard between its copy and a load of the
+        // original's counter (the gate stops steals, not contacts), and
+        // under the write gate no steal is in flight.
+        let non_empty = shards
+            .iter()
+            .filter(|m| !m.lock().expect("poisoned shard").is_terminated())
+            .count() as u64;
+        ShardRouter {
+            root: self.root.clone(),
+            shards,
+            state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
+            steal_gate: RwLock::new(()),
+            steals: AtomicU64::new(self.steals.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl ShardRouter {
+    /// A router over `shards` coordinators, the root range partitioned
+    /// into equal contiguous slices (the last absorbs the remainder).
+    /// Validates the coordinator config — invalid configs fail fast
+    /// here instead of being silently clamped.
+    pub fn new(
+        root: Interval,
+        shards: usize,
+        config: CoordinatorConfig,
+    ) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        let len = root.length();
+        let slices = (0..shards)
+            .map(|k| {
+                let lo = root
+                    .begin()
+                    .add(&len.mul_div_floor(k as u64, shards as u64));
+                let hi = root
+                    .begin()
+                    .add(&len.mul_div_floor(k as u64 + 1, shards as u64));
+                vec![Interval::new(lo, hi)]
+            })
+            .collect();
+        Self::restore(root, slices, None, config)
+    }
+
+    /// Rebuilds a router from checkpointed per-shard interval sets (see
+    /// [`crate::checkpoint::decode_sharded_intervals`]): shard `k` owns
+    /// `shard_intervals[k]`, all entries unassigned, every shard seeded
+    /// with the checkpointed `SOLUTION`. A single-shard checkpoint
+    /// restores as `S = 1`. Empty intervals are dropped; empty shards
+    /// are legal (they start terminated and refill by stealing).
+    pub fn restore(
+        root: Interval,
+        shard_intervals: Vec<Vec<Interval>>,
+        solution: Option<Solution>,
+        config: CoordinatorConfig,
+    ) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if shard_intervals.is_empty() {
+            return Err(ConfigError::ZeroShards);
+        }
+        let shards: Vec<Mutex<Coordinator>> = shard_intervals
+            .into_iter()
+            .map(|intervals| {
+                Mutex::new(Coordinator::restore(
+                    root.clone(),
+                    intervals,
+                    solution.clone(),
+                    config.clone(),
+                ))
+            })
+            .collect();
+        let non_empty = shards
+            .iter()
+            .filter(|m| !m.lock().expect("poisoned shard").is_terminated())
+            .count() as u64;
+        Ok(ShardRouter {
+            root,
+            shards,
+            state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
+            steal_gate: RwLock::new(()),
+            steals: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The root range the shards jointly administer.
+    pub fn root(&self) -> &Interval {
+        &self.root
+    }
+
+    /// The home shard of `worker` (Fibonacci multiplicative hash): every
+    /// contact of one worker lands on the same shard.
+    pub fn route(&self, worker: WorkerId) -> ShardId {
+        let mixed = worker.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ShardId(((mixed >> 32) % self.shards.len() as u64) as u32)
+    }
+
+    /// Stamps a request with its home shard — the shard-aware envelope
+    /// executors can queue per shard.
+    pub fn envelope(&self, request: Request) -> ShardEnvelope {
+        ShardEnvelope {
+            shard: self.route(request.worker()),
+            request,
+        }
+    }
+
+    /// Routes and serves one worker request at injected time `now_ns` —
+    /// the sharded equivalent of [`Coordinator::handle`].
+    pub fn handle(&self, request: Request, now_ns: u64) -> Response {
+        let envelope = self.envelope(request);
+        self.handle_envelope(envelope, now_ns)
+    }
+
+    /// Serves an already-routed envelope. A local `Terminate` (the home
+    /// shard drained) is never surfaced while other shards hold work:
+    /// the router steals into the home shard and retries the request,
+    /// so a worker only sees [`Response::Terminate`] at global
+    /// termination. When nothing is stealable yet (every remaining
+    /// interval is held and too short to split) the worker gets
+    /// [`Response::Retry`] instead of a false `Terminate`.
+    pub fn handle_envelope(&self, envelope: ShardEnvelope, now_ns: u64) -> Response {
+        let ShardEnvelope { shard, request } = envelope;
+        let home = shard.0 as usize;
+        assert!(home < self.shards.len(), "envelope for unknown shard");
+        match request {
+            // Only work requests can draw a local Terminate and loop
+            // through the steal path; re-issuing one costs two u64
+            // copies. Everything else goes through by value, so the hot
+            // update path never clones its Interval.
+            request @ (Request::Join { .. } | Request::RequestWork { .. }) => loop {
+                let response = self.handle_on(home, request.clone(), now_ns);
+                if let Response::Terminate = response {
+                    if self.is_terminated() {
+                        return Response::Terminate;
+                    }
+                    if self.steal_into(home) {
+                        continue;
+                    }
+                    // Nothing stealable: either the work we saw finished
+                    // concurrently (termination) or the endgame intervals
+                    // are all in their holders' hands (retry shortly).
+                    return if self.is_terminated() {
+                        Response::Terminate
+                    } else {
+                        Response::Retry
+                    };
+                }
+                return response;
+            },
+            Request::ReportSolution { worker, solution } => {
+                let broadcast = solution.clone();
+                let response =
+                    self.handle_on(home, Request::ReportSolution { worker, solution }, now_ns);
+                self.broadcast_solution(home, &broadcast);
+                response
+            }
+            request => self.handle_on(home, request, now_ns),
+        }
+    }
+
+    /// `true` iff every shard's `INTERVALS` is empty and no steal is in
+    /// flight: global implicit termination (§4.3), answered from one
+    /// load of the shared packed count.
+    pub fn is_terminated(&self) -> bool {
+        self.state.load(Ordering::Acquire) == 0
+    }
+
+    /// Total interval count across shards.
+    pub fn cardinality(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|m| m.lock().expect("poisoned shard").cardinality())
+            .sum()
+    }
+
+    /// Total not-yet-explored length across shards.
+    pub fn size(&self) -> UBig {
+        let mut total = UBig::zero();
+        for m in &self.shards {
+            total += &m.lock().expect("poisoned shard").size();
+        }
+        total
+    }
+
+    /// Successful cross-shard steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Protocol counters aggregated over all shards.
+    pub fn stats(&self) -> CoordinatorStats {
+        let mut total = CoordinatorStats::default();
+        for m in &self.shards {
+            total.merge(m.lock().expect("poisoned shard").stats());
+        }
+        total
+    }
+
+    /// The best solution across shards (they stay in sync through the
+    /// report broadcast, but a restored router may briefly differ).
+    pub fn solution(&self) -> Option<Solution> {
+        let mut best: Option<Solution> = None;
+        for m in &self.shards {
+            if let Some(s) = m.lock().expect("poisoned shard").solution() {
+                if best.as_ref().is_none_or(|b| s.cost < b.cost) {
+                    best = Some(s.clone());
+                }
+            }
+        }
+        best
+    }
+
+    /// The tightest cutoff any shard would hand out.
+    pub fn cutoff(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|m| m.lock().expect("poisoned shard").cutoff())
+            .min()
+    }
+
+    /// Earliest instant at which some holder on some shard becomes
+    /// expirable.
+    pub fn next_expiry_at(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|m| m.lock().expect("poisoned shard").next_expiry_at())
+            .min()
+    }
+
+    /// Expires stale holders on every shard; returns the number expired.
+    /// Expiry only detaches holders (intervals stay), so it never
+    /// changes the non-empty count.
+    pub fn expire_stale_holders(&self, now_ns: u64) -> u64 {
+        self.shards
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .expect("poisoned shard")
+                    .expire_stale_holders(now_ns)
+            })
+            .sum()
+    }
+
+    /// Per-shard interval snapshot plus the best solution — the input to
+    /// [`crate::checkpoint::encode_sharded_intervals`]. Holds the steal
+    /// gate for the whole walk: intervals cannot migrate between shards
+    /// mid-snapshot, so the written union can never silently miss an
+    /// in-flight steal (a checkpoint that loses search space would make
+    /// a later restore "prove" an optimum it never searched). Requests
+    /// keep flowing during the walk; an entry completed after its shard
+    /// was visited merely leaves the snapshot conservatively large,
+    /// which a restore re-explores — redundant, never wrong.
+    pub fn snapshot(&self) -> (Vec<Vec<Interval>>, Option<Solution>) {
+        let _gate = self.steal_gate.write().expect("poisoned steal gate");
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut best: Option<Solution> = None;
+        for m in &self.shards {
+            let coordinator = m.lock().expect("poisoned shard");
+            shards.push(
+                coordinator
+                    .entries()
+                    .iter()
+                    .map(|e| e.interval.clone())
+                    .collect(),
+            );
+            if let Some(s) = coordinator.solution() {
+                if best.as_ref().is_none_or(|b| s.cost < b.cost) {
+                    best = Some(s.clone());
+                }
+            }
+        }
+        (shards, best)
+    }
+
+    /// Verifies every shard's structural invariants plus the global
+    /// ones — entries are pairwise disjoint *across* shards, no steal is
+    /// in flight, and the packed non-empty count matches reality.
+    /// O(n²) over all entries; for tests, never on the contact path.
+    /// Holds the steal gate, so concurrent steals are excluded; callers
+    /// should still quiesce request drivers for a meaningful answer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let _gate = self.steal_gate.write().expect("poisoned steal gate");
+        let mut all: Vec<Interval> = Vec::new();
+        let mut live = 0u64;
+        for (k, m) in self.shards.iter().enumerate() {
+            let coordinator = m.lock().expect("poisoned shard");
+            coordinator
+                .check_invariants()
+                .map_err(|e| format!("shard {k}: {e}"))?;
+            if !coordinator.is_terminated() {
+                live += 1;
+            }
+            all.extend(coordinator.entries().iter().map(|e| e.interval.clone()));
+        }
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                if a.overlaps(b) {
+                    return Err(format!("entries overlap across shards: {a} and {b}"));
+                }
+            }
+        }
+        let state = self.state.load(Ordering::Acquire);
+        if !state.is_multiple_of(NON_EMPTY_UNIT) {
+            return Err(format!(
+                "steal in flight ({}) despite the held gate",
+                state % NON_EMPTY_UNIT
+            ));
+        }
+        if state / NON_EMPTY_UNIT != live {
+            return Err(format!(
+                "non-empty count {} diverged from actual {live}",
+                state / NON_EMPTY_UNIT
+            ));
+        }
+        Ok(())
+    }
+
+    /// Serves `request` on shard `idx`, keeping the non-empty count in
+    /// step with any empty↔non-empty transition (all under the shard's
+    /// lock).
+    fn handle_on(&self, idx: usize, request: Request, now_ns: u64) -> Response {
+        let mut coordinator = self.shards[idx].lock().expect("poisoned shard");
+        let was_live = !coordinator.is_terminated();
+        let response = coordinator.handle(request, now_ns);
+        if was_live && coordinator.is_terminated() {
+            self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
+        }
+        response
+    }
+
+    /// Steals the largest donatable interval from the most loaded other
+    /// shard into `dest`. Locks are taken one shard at a time (scan,
+    /// steal, adopt), so no lock ordering issues arise; the price is
+    /// that a concurrent completion can void the scan, in which case
+    /// this returns `false` and the caller re-checks termination.
+    ///
+    /// While the stolen interval is between shards it is represented by
+    /// an in-flight unit in [`ShardRouter::state`] — taken *before* the
+    /// victim can be counted empty, released *after* the destination is
+    /// counted non-empty — so termination never misfires mid-steal; and
+    /// the whole move holds the read side of the steal gate, so
+    /// snapshots (write side) can never observe the interval in neither
+    /// shard.
+    fn steal_into(&self, dest: usize) -> bool {
+        let _gate = self.steal_gate.read().expect("poisoned steal gate");
+        let mut victim: Option<(usize, UBig)> = None;
+        for (i, m) in self.shards.iter().enumerate() {
+            if i == dest {
+                continue;
+            }
+            let coordinator = m.lock().expect("poisoned shard");
+            if coordinator.is_terminated() {
+                continue;
+            }
+            let size = coordinator.size();
+            if victim.as_ref().is_none_or(|(_, s)| size > *s) {
+                victim = Some((i, size));
+            }
+        }
+        let Some((victim, _)) = victim else {
+            return false;
+        };
+        let stolen = {
+            let mut coordinator = self.shards[victim].lock().expect("poisoned shard");
+            let was_live = !coordinator.is_terminated();
+            let stolen = coordinator.steal_largest();
+            if stolen.is_some() {
+                // In-flight unit first, so the word stays non-zero even
+                // if the next line empties the victim.
+                self.state.fetch_add(1, Ordering::AcqRel);
+            }
+            if was_live && coordinator.is_terminated() {
+                self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
+            }
+            stolen
+        };
+        let Some(interval) = stolen else {
+            return false;
+        };
+        let mut coordinator = self.shards[dest].lock().expect("poisoned shard");
+        let was_terminated = coordinator.is_terminated();
+        coordinator.adopt(interval);
+        if was_terminated {
+            self.state.fetch_add(NON_EMPTY_UNIT, Ordering::AcqRel);
+        }
+        // Release the in-flight unit only now that the destination is
+        // counted.
+        self.state.fetch_sub(1, Ordering::AcqRel);
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Merges an improving solution into every shard but `home` (which
+    /// already adopted it through the regular report path).
+    fn broadcast_solution(&self, home: usize, solution: &Solution) {
+        for (i, m) in self.shards.iter().enumerate() {
+            if i != home {
+                m.lock().expect("poisoned shard").merge_solution(solution);
+            }
+        }
+    }
+}

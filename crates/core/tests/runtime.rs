@@ -146,6 +146,133 @@ fn all_workers_crash_then_rejoin_still_completes() {
 }
 
 #[test]
+fn sharded_runtime_matches_sequential() {
+    let problem = small_flowshop(55);
+    let expected = solve(&problem, None).best_cost;
+    for shards in [2usize, 4, 8] {
+        let config = fast_config(4).with_shards(shards);
+        let report = run(&problem, &config);
+        assert_eq!(report.proven_optimum, expected, "{shards} shards diverged");
+        // Under heavy test-host load one worker may finish the tiny
+        // instance before the rest even join, so only ≥ 1 is guaranteed.
+        assert!(report.coordinator_stats.work_allocations >= 1);
+        // Stealing bookkeeping is symmetric: every donation is adopted.
+        assert_eq!(
+            report.coordinator_stats.steals_donated,
+            report.coordinator_stats.steals_adopted
+        );
+        assert_eq!(report.coordinator_stats.steals_donated, report.steals);
+    }
+}
+
+#[test]
+fn sharded_runtime_with_more_shards_than_workers_steals_to_finish() {
+    // One worker, eight shards: seven slices can only be reached through
+    // the work-stealing path, and the run must still be exact.
+    let problem = small_flowshop(66);
+    let expected = solve(&problem, None).best_cost;
+    let config = fast_config(1).with_shards(8);
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    assert!(
+        report.steals >= 7,
+        "expected ≥7 steals, saw {}",
+        report.steals
+    );
+}
+
+#[test]
+fn sharded_runtime_survives_crashes() {
+    let problem = FullEnumeration::new(8);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(4).with_shards(4);
+    config.poll_nodes = 200;
+    config.chaos = Some(ChaosConfig {
+        crashes: vec![
+            CrashPlan {
+                worker_index: 0,
+                after_nodes: 2_000,
+                rejoin: true,
+            },
+            CrashPlan {
+                worker_index: 2,
+                after_nodes: 5_000,
+                rejoin: false,
+            },
+        ],
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected, "sharded crashes lost work");
+    let crashes: u64 = report.workers.iter().map(|w| w.crashes).sum();
+    assert_eq!(crashes, 2);
+}
+
+#[test]
+fn sharded_heterogeneous_powers_still_exact() {
+    let problem = small_flowshop(77);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(4).with_shards(3);
+    config.worker_powers = vec![20, 100, 350, 1000];
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+}
+
+#[test]
+fn sharded_checkpoint_written_and_restorable() {
+    use gridbnb_core::ShardRouter;
+    let dir = std::env::temp_dir().join(format!("gridbnb-rt-shckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::new(dir.join("intervals.txt"), dir.join("solution.txt"));
+
+    let problem = small_flowshop(88);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(3).with_shards(3);
+    config.checkpoint = Some(CheckpointPolicy {
+        store: store.clone(),
+        every: Duration::from_millis(5),
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    assert!(report.farmer_checkpoints >= 1);
+    // The final checkpoint reflects termination and restores cleanly
+    // into a fresh router.
+    let (shards, solution) = store.load_sharded().unwrap();
+    assert!(shards.iter().all(|s| s.is_empty()));
+    assert_eq!(solution.as_ref().map(|s| s.cost), expected);
+    let shape = problem.shape();
+    let restored =
+        ShardRouter::restore(shape.root_range(), shards, solution, config.coordinator).unwrap();
+    assert!(restored.is_terminated());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+#[should_panic(expected = "invalid coordinator config")]
+fn invalid_config_fails_fast_instead_of_clamping() {
+    let problem = small_flowshop(11);
+    let mut config = fast_config(1);
+    config.coordinator.duplication_threshold = UBig::zero();
+    let _ = run(&problem, &config);
+}
+
+#[test]
+#[should_panic(expected = "at least one shard")]
+fn zero_shards_fails_fast() {
+    let problem = small_flowshop(11);
+    let config = fast_config(1).with_shards(0);
+    let _ = run(&problem, &config);
+}
+
+#[test]
+#[should_panic(expected = "worker_powers must not be empty")]
+fn empty_worker_powers_fails_fast() {
+    let problem = small_flowshop(11);
+    let mut config = fast_config(2);
+    config.worker_powers = Vec::new();
+    let _ = run(&problem, &config);
+}
+
+#[test]
 fn works_on_tsp_too() {
     let instance = TspInstance::random_euclidean(9, 123);
     let expected = instance.brute_optimum();

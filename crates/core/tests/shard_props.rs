@@ -1,0 +1,323 @@
+//! Property tests pinning the sharded router to the single-coordinator
+//! oracle.
+//!
+//! Two guarantees make sharding safe:
+//!
+//! * **response identity at S = 1** — a one-shard router is
+//!   indistinguishable from a bare [`Coordinator`] for any request
+//!   sequence (same responses, same counters, same remaining size);
+//! * **exact coverage at any S** — for any request sequence driven to
+//!   termination, the union of intervals handed out across shards is
+//!   exactly the root range, i.e. exactly what the single merged
+//!   coordinator hands out: nothing lost in routing or stealing, and
+//!   the cross-shard `INTERVALS` stays duplicate-free throughout
+//!   (disjointness is re-checked after every step).
+
+use gridbnb_core::{
+    Coordinator, CoordinatorConfig, Interval, IntervalSet, Request, Response, ShardRouter,
+    Solution, UBig, WorkerId,
+};
+use proptest::prelude::*;
+
+const WORKERS: u64 = 6;
+
+fn config(threshold: u64) -> CoordinatorConfig {
+    CoordinatorConfig {
+        duplication_threshold: UBig::from(threshold),
+        holder_timeout_ns: 50,
+        initial_upper_bound: Some(10_000),
+    }
+}
+
+/// Symbolic protocol step: (op, worker, power, fraction-ppm).
+type Step = (u8, u8, u16, u32);
+
+fn arb_steps(max: usize) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0u8..6, 0u8..WORKERS as u8, 1u16..500, 0u32..1_000_000u32),
+        1..max,
+    )
+}
+
+/// Applies one step to `target`, mirroring a live worker's view in
+/// `models` (the live interval each worker believes it holds). Returns
+/// the handed-out interval, if the step produced one.
+fn apply<H: FnMut(Request, u64) -> Response>(
+    handle: &mut H,
+    models: &mut [Option<Interval>],
+    step: Step,
+    now: u64,
+    allow_disturbance: bool,
+) -> Option<Interval> {
+    let (op, worker, power, frac_ppm) = step;
+    let w = WorkerId(worker as u64);
+    let slot = &mut models[worker as usize];
+    match op {
+        // Join (allowed only in disturbance mode: it re-keys holders and
+        // is covered by the identity test; the coverage test keeps the
+        // runtime's contract that RequestWork completes the unit).
+        0 if allow_disturbance => {
+            *slot = None;
+            match handle(
+                Request::Join {
+                    worker: w,
+                    power: power as u64,
+                },
+                now,
+            ) {
+                Response::Work { interval, .. } => {
+                    *slot = Some(interval.clone());
+                    Some(interval)
+                }
+                _ => None,
+            }
+        }
+        // RequestWork: the worker finishes its unit first.
+        0 | 1 => {
+            *slot = None;
+            match handle(
+                Request::RequestWork {
+                    worker: w,
+                    power: power as u64,
+                },
+                now,
+            ) {
+                Response::Work { interval, .. } => {
+                    *slot = Some(interval.clone());
+                    Some(interval)
+                }
+                _ => None,
+            }
+        }
+        // Progress: advance the live begin by a fraction and report.
+        2 | 3 => {
+            if let Some(live) = slot.as_mut() {
+                let adv = live
+                    .length()
+                    .mul_div_floor(frac_ppm.min(1_000_000) as u64, 1_000_000);
+                let begin = live.begin().add(&adv);
+                live.advance_begin(&begin);
+                let reported = live.clone();
+                match handle(
+                    Request::Update {
+                        worker: w,
+                        interval: reported,
+                    },
+                    now,
+                ) {
+                    Response::UpdateAck { interval, .. } => {
+                        if interval.is_empty() {
+                            *slot = None;
+                        } else {
+                            live.retreat_end(interval.end());
+                            if live.is_empty() {
+                                *slot = None;
+                            }
+                        }
+                    }
+                    other => panic!("unexpected update response {other:?}"),
+                }
+            }
+            None
+        }
+        4 if allow_disturbance => {
+            *slot = None;
+            handle(Request::Leave { worker: w }, now);
+            None
+        }
+        _ if allow_disturbance => {
+            handle(
+                Request::ReportSolution {
+                    worker: w,
+                    solution: Solution::new(1 + (frac_ppm % 5_000) as u64, vec![0]),
+                },
+                now,
+            );
+            None
+        }
+        // In coverage mode the remaining ops fold into progress.
+        _ => apply(handle, models, (2, worker, power, frac_ppm), now, false),
+    }
+}
+
+/// Keeps issuing `RequestWork` round-robin until every worker has seen
+/// `Terminate`; returns all intervals handed out during the drain.
+fn drain<H: FnMut(Request, u64) -> Response>(
+    handle: &mut H,
+    models: &mut [Option<Interval>],
+    now: &mut u64,
+) -> Result<Vec<Interval>, TestCaseError> {
+    let mut handed = Vec::new();
+    let mut live: Vec<bool> = models.iter().map(|_| true).collect();
+    let mut guard = 0u64;
+    while live.iter().any(|&l| l) {
+        for worker in 0..models.len() {
+            if !live[worker] {
+                continue;
+            }
+            *now += 1;
+            guard += 1;
+            prop_assert!(guard < 500_000, "drain did not converge");
+            models[worker] = None;
+            match handle(
+                Request::RequestWork {
+                    worker: WorkerId(worker as u64),
+                    power: 10,
+                },
+                *now,
+            ) {
+                Response::Work { interval, .. } => handed.push(interval),
+                Response::Terminate => live[worker] = false,
+                // Endgame: another holder in the round-robin finishes it.
+                Response::Retry => {}
+                other => prop_assert!(false, "unexpected drain response {other:?}"),
+            }
+        }
+    }
+    Ok(handed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A one-shard router must be response-identical to a bare
+    /// coordinator for arbitrary request sequences — joins, leaves,
+    /// stale updates, solution reports, expiries and all.
+    #[test]
+    fn router_at_s1_is_response_identical_to_a_bare_coordinator(
+        steps in arb_steps(150),
+        threshold in 1u64..300,
+        total in 50u64..50_000,
+    ) {
+        let root = Interval::new(UBig::zero(), UBig::from(total));
+        let mut coordinator = Coordinator::new(root.clone(), config(threshold));
+        let router = ShardRouter::new(root, 1, config(threshold)).unwrap();
+        let mut now = 0u64;
+        let mut coordinator_models: Vec<Option<Interval>> =
+            (0..WORKERS).map(|_| None).collect();
+        let mut router_models: Vec<Option<Interval>> = (0..WORKERS).map(|_| None).collect();
+        for step in steps {
+            now += 1;
+            if step.0 == 5 {
+                // Expiry sweep on both sides (jump past the timeout).
+                now += 1_000;
+                let a = coordinator.expire_stale_holders(now);
+                let b = router.expire_stale_holders(now);
+                prop_assert_eq!(a, b, "expiry count diverged");
+                continue;
+            }
+            let mut responses = Vec::with_capacity(2);
+            {
+                let mut h = |request: Request, t: u64| {
+                    let response = coordinator.handle(request, t);
+                    responses.push(format!("{response:?}"));
+                    response
+                };
+                apply(&mut h, &mut coordinator_models, step, now, true);
+            }
+            {
+                let mut h = |request: Request, t: u64| {
+                    let response = router.handle(request, t);
+                    responses.push(format!("{response:?}"));
+                    response
+                };
+                apply(&mut h, &mut router_models, step, now, true);
+            }
+            if responses.len() == 2 {
+                prop_assert_eq!(&responses[0], &responses[1], "responses diverged");
+            }
+            prop_assert_eq!(coordinator.size(), router.size(), "sizes diverged");
+            prop_assert_eq!(
+                coordinator.is_terminated(),
+                router.is_terminated(),
+                "termination diverged"
+            );
+            router.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("router invariant violated: {e}"))
+            })?;
+        }
+        let a = coordinator.stats();
+        let b = router.stats();
+        prop_assert_eq!(a.work_allocations, b.work_allocations);
+        prop_assert_eq!(a.partitions, b.partitions);
+        prop_assert_eq!(a.duplications, b.duplications);
+        prop_assert_eq!(a.updates, b.updates);
+        prop_assert_eq!(a.terminations_sent, b.terminations_sent);
+        prop_assert_eq!(router.steals(), 0, "S=1 must never steal");
+    }
+
+    /// For any request sequence driven to termination, the union of
+    /// intervals the shards hand out is exactly the root range — the
+    /// same set the single merged coordinator (S = 1) hands out for the
+    /// same sequence — and the cross-shard `INTERVALS` stays disjoint
+    /// at every step. Threshold 1 disables duplication, so coverage is
+    /// achieved without redundant copies.
+    #[test]
+    fn sharded_handouts_cover_exactly_what_a_single_coordinator_covers(
+        steps in arb_steps(100),
+        shards in 1usize..=4,
+        total in 50u64..20_000,
+    ) {
+        let root = Interval::new(UBig::zero(), UBig::from(total));
+        let router = ShardRouter::new(root.clone(), shards, config(1)).unwrap();
+        let mut single = Coordinator::new(root.clone(), config(1));
+
+        let mut router_handed: Vec<Interval> = Vec::new();
+        let mut single_handed: Vec<Interval> = Vec::new();
+        let mut router_models: Vec<Option<Interval>> = (0..WORKERS).map(|_| None).collect();
+        let mut single_models: Vec<Option<Interval>> = (0..WORKERS).map(|_| None).collect();
+        let mut now = 0u64;
+
+        for step in steps {
+            now += 1;
+            {
+                let mut h = |request: Request, t: u64| router.handle(request, t);
+                if let Some(interval) =
+                    apply(&mut h, &mut router_models, step, now, false)
+                {
+                    router_handed.push(interval);
+                }
+            }
+            {
+                let mut h = |request: Request, t: u64| single.handle(request, t);
+                if let Some(interval) =
+                    apply(&mut h, &mut single_models, step, now, false)
+                {
+                    single_handed.push(interval);
+                }
+            }
+            router.check_invariants().map_err(|e| {
+                TestCaseError::fail(format!("cross-shard invariant violated: {e}"))
+            })?;
+        }
+
+        {
+            let mut h = |request: Request, t: u64| router.handle(request, t);
+            router_handed.extend(drain(&mut h, &mut router_models, &mut now)?);
+        }
+        {
+            let mut h = |request: Request, t: u64| single.handle(request, t);
+            single_handed.extend(drain(&mut h, &mut single_models, &mut now)?);
+        }
+        prop_assert!(router.is_terminated());
+        prop_assert!(single.is_terminated());
+
+        let mut router_union = IntervalSet::new();
+        for interval in router_handed {
+            router_union.insert(interval);
+        }
+        let mut single_union = IntervalSet::new();
+        for interval in single_handed {
+            single_union.insert(interval);
+        }
+        // Handouts never escape the root, so covering the root with
+        // equal total size pins both unions to exactly the root range.
+        prop_assert!(router_union.covers(&root), "sharded handouts miss part of the root");
+        prop_assert!(single_union.covers(&root), "oracle handouts miss part of the root");
+        prop_assert_eq!(router_union.size(), root.length());
+        prop_assert_eq!(router_union.size(), single_union.size());
+        router.check_invariants().map_err(|e| {
+            TestCaseError::fail(format!("final invariant violated: {e}"))
+        })?;
+    }
+}

@@ -18,7 +18,7 @@ use crate::pool::GridPool;
 use crate::volatility::{AvailabilitySampler, VolatilityModel};
 use crate::workload::WorkloadModel;
 use gridbnb_core::{
-    Coordinator, CoordinatorConfig, CoordinatorStats, Interval, Request, Response, WorkerId,
+    CoordinatorConfig, CoordinatorStats, Interval, Request, Response, ShardRouter, WorkerId,
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -47,6 +47,10 @@ pub struct SimConfig {
     pub farmer_checkpoint_cost_s: f64,
     /// Coordinator knobs (duplication threshold, holder timeout).
     pub coordinator: CoordinatorConfig,
+    /// Coordinator shards: the root range is partitioned across this
+    /// many independent coordinators with work stealing between them
+    /// (1 = the paper's single farmer).
+    pub shards: usize,
     /// Metrics sampling period (Figure 7 resolution).
     pub sample_period_s: f64,
     /// RNG seed for availability.
@@ -68,6 +72,7 @@ impl SimConfig {
             farmer_checkpoint_period_s: 30.0 * 60.0,
             farmer_checkpoint_cost_s: 0.5,
             coordinator: CoordinatorConfig::default(),
+            shards: 1,
             sample_period_s: 3_600.0,
             seed: 2006,
             max_sim_days: 400.0,
@@ -114,8 +119,10 @@ pub struct SimReport {
     pub redundant_ratio: f64,
     /// Figure 7 series.
     pub samples: Vec<Sample>,
-    /// Raw coordinator counters.
+    /// Raw coordinator counters (summed over shards when sharded).
     pub coordinator_stats: CoordinatorStats,
+    /// Cross-shard work steals (0 when `shards` is 1).
+    pub steals: u64,
     /// Whether the exploration completed (vs hit `max_sim_days`).
     pub completed: bool,
 }
@@ -181,10 +188,14 @@ struct SimWorker {
 pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
     let procs = config.pool.processors();
     let mut sampler = AvailabilitySampler::new(config.seed);
-    let mut coordinator = Coordinator::new(
+    // Invalid configs fail fast here (satisfying CoordinatorConfig's
+    // documented contract) instead of being silently clamped.
+    let coordinator = ShardRouter::new(
         Interval::new(gridbnb_core::UBig::zero(), workload.root_length().clone()),
+        config.shards,
         config.coordinator.clone(),
-    );
+    )
+    .expect("invalid sim coordinator config");
 
     let mut queue: BinaryHeap<HeapItem> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -385,6 +396,9 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
                         worker.online = false;
                         continue;
                     }
+                    // Sharded endgame backpressure: no unit, so the
+                    // no-unit branch below re-asks after a beat.
+                    Response::Retry => {}
                     Response::SolutionAck { .. } | Response::LeaveAck => {}
                 }
                 // 5. Schedule the next slice end.
@@ -493,7 +507,8 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
         explored_nodes,
         redundant_ratio,
         samples,
-        coordinator_stats: *coordinator.stats(),
+        coordinator_stats: coordinator.stats(),
+        steals: coordinator.steals(),
         completed: completed || coordinator.is_terminated(),
     }
 }

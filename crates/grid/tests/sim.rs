@@ -91,6 +91,52 @@ fn samples_track_volatility() {
 }
 
 #[test]
+fn sharded_sim_completes_with_stealing() {
+    let (mut config, workload) = small_sim(2e8, 42);
+    config.shards = 4;
+    let report = simulate(&config, &workload);
+    assert!(report.completed, "sharded run did not terminate");
+    assert!(
+        report.explored_nodes >= workload.total_nodes() * 0.999,
+        "sharded run lost work: {} < {}",
+        report.explored_nodes,
+        workload.total_nodes()
+    );
+    // Stealing bookkeeping is symmetric across the shard set.
+    assert_eq!(
+        report.coordinator_stats.steals_donated,
+        report.coordinator_stats.steals_adopted
+    );
+    assert_eq!(report.coordinator_stats.steals_donated, report.steals);
+    // The efficiency shape survives sharding.
+    assert!(
+        report.worker_exploitation > 0.80,
+        "worker exploitation too low: {}",
+        report.worker_exploitation
+    );
+}
+
+#[test]
+fn sharded_sim_is_deterministic_given_seed() {
+    let (mut config, workload) = small_sim(1e8, 5);
+    config.shards = 3;
+    let a = simulate(&config, &workload);
+    let b = simulate(&config, &workload);
+    assert_eq!(a.work_allocations, b.work_allocations);
+    assert_eq!(a.steals, b.steals);
+    assert!((a.wall_s - b.wall_s).abs() < 1e-9);
+    assert!((a.explored_nodes - b.explored_nodes).abs() < 1.0);
+}
+
+#[test]
+#[should_panic(expected = "invalid sim coordinator config")]
+fn invalid_sim_config_fails_fast() {
+    let (mut config, workload) = small_sim(1e8, 5);
+    config.coordinator.duplication_threshold = UBig::zero();
+    let _ = simulate(&config, &workload);
+}
+
+#[test]
 fn deterministic_given_seed() {
     let (config, workload) = small_sim(1e8, 5);
     let a = simulate(&config, &workload);
