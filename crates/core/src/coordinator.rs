@@ -229,14 +229,81 @@ impl Ord for SelectionKey {
             (0, 0) => Ordering::Equal,
             (0, _) => Ordering::Greater,
             (_, 0) => Ordering::Less,
-            // len_a / hp_a  vs  len_b / hp_b  ⇔  len_a·hp_b  vs  len_b·hp_a
-            (hp_a, hp_b) => self.len.mul_u64(hp_b).cmp(&other.len.mul_u64(hp_a)),
+            (hp_a, hp_b) => compare_len_per_power(&self.len, hp_a, &other.len, hp_b),
         };
         ratio
             .then_with(|| self.len.cmp(&other.len))
             // Lower index ranks higher so `last()` is deterministic.
             .then_with(|| other.idx.cmp(&self.idx))
     }
+}
+
+/// Compares `len_a / hp_a` with `len_b / hp_b` (powers must be ≥ 1) —
+/// the rational comparison at the heart of every priority-set insert,
+/// remove and lookup. Equivalent to cross-multiplying
+/// `len_a·hp_b  vs  len_b·hp_a`, but tries three allocation-free fast
+/// paths before falling back to the exact `UBig` products
+/// ([`compare_len_per_power_exact`], whose two temporaries dominated
+/// the per-comparison cost):
+///
+/// 1. **bit-length screen** — `bits(x·y) ∈ [bits x + bits y − 1,
+///    bits x + bits y]`, so products whose bit-length estimates differ
+///    by ≥ 2 cannot compare the other way;
+/// 2. **u128 widening** — both lengths fit `u64`, so the 128-bit
+///    products are exact;
+/// 3. **`f64` approximation with a conservative margin** — `to_f64` is
+///    a few ulps off at worst (≲ 10⁻¹³ relative even for huge limb
+///    counts), so a relative gap above 10⁻⁹ decides the comparison;
+///    near-ties fall through.
+///
+/// Every path is decided only when mathematically certain, so the
+/// result is *identical* to the exact comparator — pinned by a property
+/// test — which `BTreeSet` correctness requires.
+pub fn compare_len_per_power(len_a: &UBig, hp_a: u64, len_b: &UBig, hp_b: u64) -> Ordering {
+    debug_assert!(hp_a >= 1 && hp_b >= 1, "holder powers are clamped to ≥ 1");
+    let (bits_a, bits_b) = (len_a.bit_len(), len_b.bit_len());
+    if bits_a == 0 || bits_b == 0 {
+        // A zero length makes its product zero (entries are never empty,
+        // but the comparator stays total anyway).
+        return bits_a.cmp(&bits_b);
+    }
+    let bits = |x: u64| 64 - x.leading_zeros() as usize;
+    // (1) Bit-length screen on the products len_a·hp_b vs len_b·hp_a.
+    let (pa_bits, pb_bits) = (bits_a + bits(hp_b), bits_b + bits(hp_a));
+    if pa_bits >= pb_bits + 2 {
+        return Ordering::Greater;
+    }
+    if pb_bits >= pa_bits + 2 {
+        return Ordering::Less;
+    }
+    // (2) Exact u128 widening when both lengths fit a limb.
+    if bits_a <= 64 && bits_b <= 64 {
+        let pa = len_a.to_u64().expect("bit_len ≤ 64") as u128 * hp_b as u128;
+        let pb = len_b.to_u64().expect("bit_len ≤ 64") as u128 * hp_a as u128;
+        return pa.cmp(&pb);
+    }
+    // (3) f64 products with a margin far above the conversion error.
+    let pa = len_a.to_f64() * hp_b as f64;
+    let pb = len_b.to_f64() * hp_a as f64;
+    if pa.is_finite() && pb.is_finite() {
+        let margin = pa.max(pb) * 1e-9;
+        if (pa - pb).abs() > margin {
+            return if pa > pb {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            };
+        }
+    }
+    // (4) Exact fallback for genuine near-ties.
+    compare_len_per_power_exact(len_a, hp_a, len_b, hp_b)
+}
+
+/// Reference comparison of `len_a / hp_a` vs `len_b / hp_b` by exact
+/// cross-multiplication (allocates two `UBig` products). The property
+/// tests pin [`compare_len_per_power`] to this.
+pub fn compare_len_per_power_exact(len_a: &UBig, hp_a: u64, len_b: &UBig, hp_b: u64) -> Ordering {
+    len_a.mul_u64(hp_b).cmp(&len_b.mul_u64(hp_a))
 }
 
 impl PartialOrd for SelectionKey {

@@ -42,7 +42,8 @@ pub mod runtime;
 pub mod shard;
 
 pub use coordinator::{
-    ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
+    compare_len_per_power, compare_len_per_power_exact, ConfigError, Coordinator,
+    CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
 };
 pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
 pub use shard::ShardRouter;

@@ -4,7 +4,8 @@
 //! nonsensical ones.
 
 use gridbnb_core::{
-    Coordinator, CoordinatorConfig, Interval, Request, Response, Solution, UBig, WorkerId,
+    compare_len_per_power, compare_len_per_power_exact, Coordinator, CoordinatorConfig, Interval,
+    Request, Response, Solution, UBig, WorkerId,
 };
 use proptest::prelude::*;
 
@@ -285,6 +286,45 @@ proptest! {
                 TestCaseError::fail(format!("invariant violated: {e}"))
             })?;
         }
+    }
+
+    /// The approximate-first selection-key comparator must agree with
+    /// the exact cross-multiplication on *every* input — `BTreeSet`
+    /// correctness depends on the order being identical, not merely
+    /// close. Random magnitudes exercise the bit-length screen and the
+    /// u128/f64 paths; the crafted scaled pair (`len·s ± jitter` against
+    /// `power·s`) manufactures exact ties and one-off near-ties that
+    /// must fall through to the exact comparator.
+    #[test]
+    fn fast_ratio_comparator_matches_exact(
+        limbs_a in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..5),
+        limbs_b in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 1..5),
+        hp_a in 1u64..u64::MAX,
+        hp_b in 1u64..u64::MAX,
+        small_hp in 1u64..(1u64 << 31),
+        scale in 1u64..(1u64 << 31),
+        jitter in 0u64..3,
+    ) {
+        let len_a = UBig::from_limbs(limbs_a);
+        let len_b = UBig::from_limbs(limbs_b);
+        let fast = compare_len_per_power(&len_a, hp_a, &len_b, hp_b);
+        let exact = compare_len_per_power_exact(&len_a, hp_a, &len_b, hp_b);
+        prop_assert_eq!(fast, exact, "diverged on random magnitudes");
+        // Antisymmetry of the fast path (required for a total order).
+        prop_assert_eq!(
+            compare_len_per_power(&len_b, hp_b, &len_a, hp_a),
+            exact.reverse()
+        );
+        // Crafted near-tie: len_a·scale ± jitter per power small_hp·scale
+        // vs len_a per small_hp — ratios equal (jitter 0) or one part in
+        // ~2^250 apart, far below the f64 margin.
+        let len_c = len_a.mul_u64(scale).add(&UBig::from(jitter));
+        let hp_c = small_hp * scale;
+        prop_assert_eq!(
+            compare_len_per_power(&len_c, hp_c, &len_a, small_hp),
+            compare_len_per_power_exact(&len_c, hp_c, &len_a, small_hp),
+            "diverged on a crafted near-tie"
+        );
     }
 
     #[test]

@@ -261,7 +261,7 @@ impl<'p, P: Problem> IntervalExplorer<'p, P> {
             self.advance_to(child_hi);
         } else {
             self.stats.bound_calls += 1;
-            let bound = self.problem.lower_bound(&child_state);
+            let bound = self.problem.lower_bound_against(&child_state, self.cutoff);
             if bound >= self.cutoff {
                 // Elimination operator: the whole subtree is fathomed;
                 // its un-explored numbers [position, child_hi) are done.

@@ -38,6 +38,22 @@ pub trait Problem: Send + Sync {
     /// inadmissible bounds lose optimality proofs.
     fn lower_bound(&self, state: &Self::State) -> u64;
 
+    /// Cutoff-aware variant of [`Problem::lower_bound`]: the explorer
+    /// passes the current elimination threshold so that **tiered**
+    /// bounding operators can stop at the cheapest tier that already
+    /// proves `bound >= cutoff` (the subtree is eliminated either way,
+    /// so computing a stronger bound would be wasted work).
+    ///
+    /// The returned value must still be admissible — it only ever
+    /// replaces `lower_bound` in the elimination test, never in an
+    /// optimality claim. The default ignores the cutoff and delegates
+    /// to [`Problem::lower_bound`], which is correct for single-tier
+    /// bounds.
+    fn lower_bound_against(&self, state: &Self::State, cutoff: u64) -> u64 {
+        let _ = cutoff;
+        self.lower_bound(state)
+    }
+
     /// The exact cost of a complete (leaf-depth) state.
     fn leaf_cost(&self, state: &Self::State) -> u64;
 }

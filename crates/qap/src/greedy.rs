@@ -1,0 +1,233 @@
+//! Upper-bound heuristics: a greedy constructive placement plus a
+//! pairwise-exchange local search — the QAP counterpart of the flowshop
+//! crate's NEH + iterated greedy, supplying the initial upper bound the
+//! campaign's exact runs start from (the paper seeded Ta056 with the
+//! iterated-greedy 3681).
+
+use crate::instance::QapInstance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Multi-start parameters for [`greedy_upper_bound`].
+#[derive(Clone, Debug)]
+pub struct GreedyParams {
+    /// Number of restarts (restart 0 uses the deterministic flow-order
+    /// construction; later restarts shuffle the facility order).
+    pub restarts: u32,
+    /// RNG seed for the shuffled restarts.
+    pub seed: u64,
+}
+
+impl Default for GreedyParams {
+    fn default() -> Self {
+        GreedyParams {
+            restarts: 16,
+            seed: 0x9A7,
+        }
+    }
+}
+
+/// Greedy constructive placement: facilities in the given order, each
+/// assigned the free location minimizing its interaction cost with the
+/// facilities already placed (ties broken toward the location with the
+/// smallest total distance, then the lowest index, so construction is
+/// deterministic). Returns `(placement, cost)` with
+/// `placement[facility] = location`.
+pub fn greedy_construct_in_order(instance: &QapInstance, order: &[usize]) -> (Vec<usize>, u64) {
+    let n = instance.n();
+    debug_assert_eq!(order.len(), n);
+    let centrality: Vec<u64> = (0..n)
+        .map(|a| {
+            (0..n)
+                .map(|b| instance.dist(a, b) + instance.dist(b, a))
+                .sum()
+        })
+        .collect();
+    let mut placement = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    for &facility in order {
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (location, &taken) in used.iter().enumerate() {
+            if taken {
+                continue;
+            }
+            let mut here = instance.flow(facility, facility) * instance.dist(location, location);
+            for (other, &loc) in placement.iter().enumerate() {
+                if loc == usize::MAX {
+                    continue;
+                }
+                here += instance.flow(other, facility) * instance.dist(loc, location)
+                    + instance.flow(facility, other) * instance.dist(location, loc);
+            }
+            let key = (here, centrality[location], location);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
+        }
+        let (_, _, location) = best.expect("a free location always remains");
+        placement[facility] = location;
+        used[location] = true;
+    }
+    let cost = instance.cost(&placement);
+    (placement, cost)
+}
+
+/// Deterministic greedy construction: facilities ordered by decreasing
+/// total flow (the busiest facility claims the most central cheap spot
+/// first), then [`greedy_construct_in_order`].
+pub fn greedy_construct(instance: &QapInstance) -> (Vec<usize>, u64) {
+    let n = instance.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    let total_flow = |i: usize| -> u64 {
+        (0..n)
+            .map(|j| instance.flow(i, j) + instance.flow(j, i))
+            .sum()
+    };
+    order.sort_by_key(|&i| (std::cmp::Reverse(total_flow(i)), i));
+    greedy_construct_in_order(instance, &order)
+}
+
+/// Pairwise-exchange local search: repeatedly swaps the locations of
+/// the best improving facility pair (steepest descent, O(n) delta per
+/// pair) until no swap improves. Mutates `placement` in place and
+/// returns the final cost.
+pub fn pairwise_exchange(instance: &QapInstance, placement: &mut [usize]) -> u64 {
+    let n = instance.n();
+    let mut cost = instance.cost(placement);
+    loop {
+        let mut best: Option<(i128, usize, usize)> = None;
+        for x in 0..n {
+            for y in x + 1..n {
+                let delta = swap_delta(instance, placement, x, y);
+                if delta < 0 && best.is_none_or(|(d, _, _)| delta < d) {
+                    best = Some((delta, x, y));
+                }
+            }
+        }
+        let Some((delta, x, y)) = best else {
+            return cost;
+        };
+        placement.swap(x, y);
+        cost = (cost as i128 + delta) as u64;
+        debug_assert_eq!(cost, instance.cost(placement));
+    }
+}
+
+/// Exact cost change of swapping the locations of facilities `x` and
+/// `y` in `placement`, in O(n).
+fn swap_delta(instance: &QapInstance, placement: &[usize], x: usize, y: usize) -> i128 {
+    let (a, b) = (placement[x], placement[y]);
+    if a == b {
+        return 0;
+    }
+    let d = |p: usize, q: usize| instance.dist(p, q) as i128;
+    let f = |i: usize, j: usize| instance.flow(i, j) as i128;
+    let mut delta = 0i128;
+    for (k, &loc) in placement.iter().enumerate() {
+        if k == x || k == y {
+            continue;
+        }
+        delta += f(x, k) * (d(b, loc) - d(a, loc)) + f(k, x) * (d(loc, b) - d(loc, a));
+        delta += f(y, k) * (d(a, loc) - d(b, loc)) + f(k, y) * (d(loc, a) - d(loc, b));
+    }
+    delta += f(x, y) * (d(b, a) - d(a, b)) + f(y, x) * (d(a, b) - d(b, a));
+    delta += f(x, x) * (d(b, b) - d(a, a)) + f(y, y) * (d(a, a) - d(b, b));
+    delta
+}
+
+/// Multi-start greedy + exchange: the campaign's upper-bound pipeline.
+/// Returns the best `(placement, cost)` over all restarts.
+pub fn greedy_upper_bound(instance: &QapInstance, params: &GreedyParams) -> (Vec<usize>, u64) {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let (mut best, mut best_cost) = {
+        let (mut placement, _) = greedy_construct(instance);
+        let cost = pairwise_exchange(instance, &mut placement);
+        (placement, cost)
+    };
+    let mut order: Vec<usize> = (0..instance.n()).collect();
+    for _ in 1..params.restarts.max(1) {
+        order.shuffle(&mut rng);
+        let (mut placement, _) = greedy_construct_in_order(instance, &order);
+        let cost = pairwise_exchange(instance, &mut placement);
+        if cost < best_cost {
+            best = placement;
+            best_cost = cost;
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_is_permutation(placement: &[usize], n: usize) {
+        let mut sorted = placement.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn construct_yields_valid_placement() {
+        let inst = QapInstance::nugent_style(3, 3, 42);
+        let (placement, cost) = greedy_construct(&inst);
+        assert_is_permutation(&placement, 9);
+        assert_eq!(cost, inst.cost(&placement));
+    }
+
+    #[test]
+    fn exchange_never_worsens_and_reaches_a_local_optimum() {
+        let inst = QapInstance::random(8, 17);
+        let (mut placement, greedy_cost) = greedy_construct(&inst);
+        let cost = pairwise_exchange(&inst, &mut placement);
+        assert!(cost <= greedy_cost);
+        assert_is_permutation(&placement, 8);
+        // Local optimality: no single swap improves.
+        for x in 0..8 {
+            for y in x + 1..8 {
+                assert!(swap_delta(&inst, &placement, x, y) >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn swap_delta_matches_recomputation() {
+        let inst = QapInstance::random(7, 4);
+        let placement: Vec<usize> = vec![3, 0, 6, 2, 5, 1, 4];
+        for x in 0..7 {
+            for y in x + 1..7 {
+                let mut swapped = placement.clone();
+                swapped.swap(x, y);
+                let expected = inst.cost(&swapped) as i128 - inst.cost(&placement) as i128;
+                assert_eq!(swap_delta(&inst, &placement, x, y), expected, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bound_bounds_the_optimum_tightly_on_small_instances() {
+        for seed in [1u64, 9, 23] {
+            let inst = QapInstance::nugent_style(2, 4, seed);
+            let (placement, cost) = greedy_upper_bound(&inst, &GreedyParams::default());
+            assert_is_permutation(&placement, 8);
+            let optimum = inst.brute_optimum();
+            assert!(cost >= optimum);
+            // Greedy+exchange is strong at this size: allow 10% excess.
+            assert!(
+                cost as f64 <= optimum as f64 * 1.10,
+                "UB {cost} too far from optimum {optimum} (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn upper_bound_is_deterministic() {
+        let inst = QapInstance::nugent_style(3, 3, 77);
+        let params = GreedyParams::default();
+        assert_eq!(
+            greedy_upper_bound(&inst, &params),
+            greedy_upper_bound(&inst, &params)
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! QAP instances: flow/distance matrices, validation, and the two
+//! generator families the campaign tests and benches draw from.
+
+use std::fmt;
+
+/// Largest supported instance (locations are tracked in a `u64` bitmask
+/// and permutation trees beyond 24! dwarf anything exactly solvable).
+pub const MAX_N: usize = 24;
+
+/// A rejected matrix pair (see [`QapInstance::try_new`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InstanceError {
+    /// `n` outside `2 ..= MAX_N`.
+    BadSize {
+        /// The rejected facility count.
+        n: usize,
+    },
+    /// The flow matrix is not `n × n`.
+    FlowShape {
+        /// `n * n`.
+        expected: usize,
+        /// `flow.len()` as passed.
+        got: usize,
+    },
+    /// The distance matrix is not `n × n`.
+    DistShape {
+        /// `n * n`.
+        expected: usize,
+        /// `dist.len()` as passed.
+        got: usize,
+    },
+    /// `n² · max_flow · max_dist` overflows `u64`, so assignment costs
+    /// (and therefore bounds) could silently wrap during the search.
+    CostOverflow,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::BadSize { n } => {
+                write!(f, "need 2 ≤ n ≤ {MAX_N} facilities (got {n})")
+            }
+            InstanceError::FlowShape { expected, got } => {
+                write!(f, "flow matrix must hold {expected} entries (got {got})")
+            }
+            InstanceError::DistShape { expected, got } => {
+                write!(
+                    f,
+                    "distance matrix must hold {expected} entries (got {got})"
+                )
+            }
+            InstanceError::CostOverflow => {
+                write!(f, "n² · max_flow · max_dist overflows u64 cost arithmetic")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// A QAP instance: `n` facilities to place on `n` locations, minimizing
+/// `Σ_{i,j} flow(i,j) · dist(π(i), π(j))`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QapInstance {
+    n: usize,
+    /// `flow[i * n + j]`: traffic between facilities `i` and `j`.
+    flow: Vec<u64>,
+    /// `dist[a * n + b]`: distance between locations `a` and `b`.
+    dist: Vec<u64>,
+}
+
+impl QapInstance {
+    /// Builds an instance from row-major flow and distance matrices,
+    /// rejecting malformed input (shape, size, or cost arithmetic that
+    /// could overflow `u64` during the search) — the fail-fast
+    /// counterpart of [`QapInstance::new`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InstanceError`].
+    pub fn try_new(n: usize, flow: Vec<u64>, dist: Vec<u64>) -> Result<Self, InstanceError> {
+        if !(2..=MAX_N).contains(&n) {
+            return Err(InstanceError::BadSize { n });
+        }
+        if flow.len() != n * n {
+            return Err(InstanceError::FlowShape {
+                expected: n * n,
+                got: flow.len(),
+            });
+        }
+        if dist.len() != n * n {
+            return Err(InstanceError::DistShape {
+                expected: n * n,
+                got: dist.len(),
+            });
+        }
+        let max_flow = flow.iter().copied().max().unwrap_or(0);
+        let max_dist = dist.iter().copied().max().unwrap_or(0);
+        // Every cost the search computes is a sum of ≤ n² flow·dist
+        // products; bounding the worst case keeps all of them exact.
+        let worst = (n as u128) * (n as u128) * (max_flow as u128) * (max_dist as u128);
+        if worst > u64::MAX as u128 {
+            return Err(InstanceError::CostOverflow);
+        }
+        Ok(QapInstance { n, flow, dist })
+    }
+
+    /// Builds an instance from row-major flow and distance matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`QapInstance::try_new`] would return an error.
+    pub fn new(n: usize, flow: Vec<u64>, dist: Vec<u64>) -> Self {
+        match QapInstance::try_new(n, flow, dist) {
+            Ok(instance) => instance,
+            Err(e) => panic!("invalid QAP instance: {e}"),
+        }
+    }
+
+    /// A deterministic pseudo-random instance (SplitMix64): symmetric
+    /// flows in `0..10`, locations on a line (distance = index gap), the
+    /// classic easy-to-state hard-to-solve family.
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut next = splitmix(seed);
+        let mut flow = vec![0u64; n * n];
+        for i in 0..n {
+            for j in 0..i {
+                let f = next() % 10;
+                flow[i * n + j] = f;
+                flow[j * n + i] = f;
+            }
+        }
+        let mut dist = vec![0u64; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                dist[a * n + b] = (a as i64 - b as i64).unsigned_abs();
+            }
+        }
+        QapInstance::new(n, flow, dist)
+    }
+
+    /// A Nugent-style instance: `rows × cols` locations on a rectangular
+    /// grid with rectilinear (Manhattan) distances — the geometry of the
+    /// Nugent–Vollmann–Ruml suite whose 30-location member (Nug30) is
+    /// the paper's Table 3 QAP milestone — and symmetric integer flows
+    /// in `0..10` with a zero diagonal, drawn from SplitMix64 on `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ rows · cols ≤ MAX_N`.
+    pub fn nugent_style(rows: usize, cols: usize, seed: u64) -> Self {
+        let n = rows * cols;
+        let mut next = splitmix(seed ^ 0x4E75_6730); // "Nug0"
+        let mut flow = vec![0u64; n * n];
+        for i in 0..n {
+            for j in 0..i {
+                let f = next() % 10;
+                flow[i * n + j] = f;
+                flow[j * n + i] = f;
+            }
+        }
+        let mut dist = vec![0u64; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                let (ar, ac) = (a / cols, a % cols);
+                let (br, bc) = (b / cols, b % cols);
+                dist[a * n + b] = (ar.abs_diff(br) + ac.abs_diff(bc)) as u64;
+            }
+        }
+        QapInstance::new(n, flow, dist)
+    }
+
+    /// Number of facilities (= locations).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Flow between two facilities.
+    #[inline]
+    pub fn flow(&self, i: usize, j: usize) -> u64 {
+        self.flow[i * self.n + j]
+    }
+
+    /// Distance between two locations.
+    #[inline]
+    pub fn dist(&self, a: usize, b: usize) -> u64 {
+        self.dist[a * self.n + b]
+    }
+
+    /// `true` iff the flow matrix is symmetric.
+    pub fn flow_symmetric(&self) -> bool {
+        (0..self.n).all(|i| (0..i).all(|j| self.flow(i, j) == self.flow(j, i)))
+    }
+
+    /// `true` iff the distance matrix is symmetric.
+    pub fn dist_symmetric(&self) -> bool {
+        (0..self.n).all(|a| (0..a).all(|b| self.dist(a, b) == self.dist(b, a)))
+    }
+
+    /// Cost of a complete assignment (`placement[facility] = location`).
+    pub fn cost(&self, placement: &[usize]) -> u64 {
+        let mut total = 0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                total += self.flow(i, j) * self.dist(placement[i], placement[j]);
+            }
+        }
+        total
+    }
+
+    /// Brute-force optimum (`n ≤ 9`).
+    pub fn brute_optimum(&self) -> u64 {
+        assert!(self.n <= 9, "brute force needs a small instance");
+        let mut locs: Vec<usize> = (0..self.n).collect();
+        let mut best = u64::MAX;
+        fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+            if k == items.len() {
+                visit(items);
+                return;
+            }
+            for i in k..items.len() {
+                items.swap(k, i);
+                permute(items, k + 1, visit);
+                items.swap(k, i);
+            }
+        }
+        permute(&mut locs, 0, &mut |p| best = best.min(self.cost(p)));
+        best
+    }
+}
+
+/// SplitMix64 stream seeded at `seed` — the deterministic source both
+/// generator families share.
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_accepts_valid() {
+        let inst = QapInstance::try_new(2, vec![0, 1, 1, 0], vec![0, 3, 3, 0]).unwrap();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.cost(&[0, 1]), 6);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_sizes() {
+        assert_eq!(
+            QapInstance::try_new(1, vec![0], vec![0]),
+            Err(InstanceError::BadSize { n: 1 })
+        );
+        assert_eq!(
+            QapInstance::try_new(25, vec![0; 625], vec![0; 625]),
+            Err(InstanceError::BadSize { n: 25 })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_shapes() {
+        assert_eq!(
+            QapInstance::try_new(2, vec![0; 3], vec![0; 4]),
+            Err(InstanceError::FlowShape {
+                expected: 4,
+                got: 3
+            })
+        );
+        assert_eq!(
+            QapInstance::try_new(2, vec![0; 4], vec![0; 5]),
+            Err(InstanceError::DistShape {
+                expected: 4,
+                got: 5
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_cost_overflow() {
+        let huge = u64::MAX / 2;
+        assert_eq!(
+            QapInstance::try_new(2, vec![0, huge, huge, 0], vec![0, huge, huge, 0]),
+            Err(InstanceError::CostOverflow)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid QAP instance")]
+    fn new_panics_on_invalid() {
+        let _ = QapInstance::new(3, vec![0; 8], vec![0; 9]);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = QapInstance::try_new(1, vec![], vec![]).unwrap_err();
+        assert!(e.to_string().contains("got 1"));
+    }
+
+    #[test]
+    fn nugent_style_is_a_grid() {
+        let inst = QapInstance::nugent_style(3, 4, 7);
+        assert_eq!(inst.n(), 12);
+        assert!(inst.flow_symmetric());
+        assert!(inst.dist_symmetric());
+        // Zero diagonals.
+        for i in 0..12 {
+            assert_eq!(inst.flow(i, i), 0);
+            assert_eq!(inst.dist(i, i), 0);
+        }
+        // Manhattan metric spot checks on the 3×4 grid: location 0 is
+        // (0,0), location 5 is (1,1), location 11 is (2,3).
+        assert_eq!(inst.dist(0, 5), 2);
+        assert_eq!(inst.dist(0, 11), 5);
+        assert_eq!(inst.dist(5, 11), 3);
+        // Triangle inequality holds for a grid metric.
+        for a in 0..12 {
+            for b in 0..12 {
+                for c in 0..12 {
+                    assert!(inst.dist(a, c) <= inst.dist(a, b) + inst.dist(b, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_and_seed_sensitive() {
+        assert_eq!(
+            QapInstance::nugent_style(3, 3, 1),
+            QapInstance::nugent_style(3, 3, 1)
+        );
+        assert_ne!(
+            QapInstance::nugent_style(3, 3, 1),
+            QapInstance::nugent_style(3, 3, 2)
+        );
+        assert_eq!(QapInstance::random(6, 5), QapInstance::random(6, 5));
+        assert_ne!(QapInstance::random(6, 5), QapInstance::random(6, 6));
+    }
+}

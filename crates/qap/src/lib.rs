@@ -1,278 +1,44 @@
-//! Quadratic assignment on a permutation tree — the third `Problem`
-//! implementation.
+//! Quadratic assignment substrate for the grid-enabled branch and bound
+//! — the campaign counterpart of the flowshop crate, proving the
+//! interval-coded engine/coordinator/shard stack is problem-agnostic.
 //!
 //! The paper's Table 3 lists Nug30, the milestone QAP resolution of
-//! Anstreicher et al. on a computational grid, directly above and below
-//! the TSP records. This crate shows the interval-coded machinery
-//! solving (small) QAPs unchanged: depth `d` of the tree assigns
-//! facility `d` to the `rank`-th still-free location.
+//! Anstreicher et al. on a computational grid, directly beside the TSP
+//! and flowshop records. This crate provides everything a (laptop-scale)
+//! QAP campaign needs from the application side:
 //!
-//! The objective is `Σ_{i,j} flow(i,j) · dist(π(i), π(j))`. The lower
-//! bound decomposes the cost into three admissible parts:
-//!
-//! * placed–placed interactions — exact;
-//! * placed–unplaced — for each unplaced facility, the cheapest free
-//!   location with respect to the placed ones only (ignoring conflicts
-//!   can only under-count);
-//! * unplaced–unplaced — the rearrangement-inequality bound: ascending
-//!   remaining flows dotted with descending remaining distances
-//!   (Gilmore–Lawler's outer bound).
+//! * [`QapInstance`] — flow/distance matrices with fail-fast validation
+//!   ([`QapInstance::try_new`]), plus two generator families: the
+//!   Nugent-style rectangular-grid family
+//!   ([`QapInstance::nugent_style`]) and the seeded random line family
+//!   ([`QapInstance::random`]);
+//! * [`lap`] — an O(n³) Hungarian solver for the linear assignment
+//!   problem, the engine of the real bound;
+//! * [`bounds`] — the bounding tiers: the cheap rearrangement
+//!   [`bounds::screen_bound`] and the true Gilmore–Lawler
+//!   [`bounds::gilmore_lawler_bound`] (per-pair rearrangement products
+//!   fed into the LAP), selected via [`Bound`];
+//! * [`greedy`] — greedy constructive placement + pairwise-exchange
+//!   local search, the QAP analogue of NEH + iterated greedy, supplying
+//!   initial upper bounds;
+//! * [`QapProblem`] — the `gridbnb_engine::Problem` implementation
+//!   wiring the tiered bounds to the permutation tree (depth `d`
+//!   assigns facility `d` to the `rank`-th still-free location).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use gridbnb_coding::TreeShape;
-use gridbnb_engine::Problem;
+pub mod bounds;
+pub mod greedy;
+mod instance;
+pub mod lap;
+mod problem;
 
-/// A QAP instance: `n` facilities to place on `n` locations.
-#[derive(Clone, Debug)]
-pub struct QapInstance {
-    n: usize,
-    /// `flow[i * n + j]`: traffic between facilities `i` and `j`.
-    flow: Vec<u64>,
-    /// `dist[a * n + b]`: distance between locations `a` and `b`.
-    dist: Vec<u64>,
-}
+pub use bounds::Bound;
+pub use instance::{InstanceError, QapInstance, MAX_N};
+pub use problem::{QapProblem, QapState};
 
-impl QapInstance {
-    /// Builds an instance from row-major flow and distance matrices.
-    ///
-    /// # Panics
-    ///
-    /// Panics unless both matrices are `n × n` with `2 ≤ n ≤ 24`.
-    pub fn new(n: usize, flow: Vec<u64>, dist: Vec<u64>) -> Self {
-        assert!((2..=24).contains(&n), "2 ≤ n ≤ 24 facilities");
-        assert_eq!(flow.len(), n * n, "flow shape");
-        assert_eq!(dist.len(), n * n, "distance shape");
-        QapInstance { n, flow, dist }
-    }
-
-    /// A deterministic pseudo-random instance (SplitMix64): flows in
-    /// `0..10`, locations on a line (distance = index gap), the classic
-    /// easy-to-state hard-to-solve family.
-    pub fn random(n: usize, seed: u64) -> Self {
-        let mut s = seed;
-        let mut next = move || {
-            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = s;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
-        let mut flow = vec![0u64; n * n];
-        for i in 0..n {
-            for j in 0..i {
-                let f = next() % 10;
-                flow[i * n + j] = f;
-                flow[j * n + i] = f;
-            }
-        }
-        let mut dist = vec![0u64; n * n];
-        for a in 0..n {
-            for b in 0..n {
-                dist[a * n + b] = (a as i64 - b as i64).unsigned_abs();
-            }
-        }
-        QapInstance::new(n, flow, dist)
-    }
-
-    /// Number of facilities (= locations).
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// Flow between two facilities.
-    #[inline]
-    pub fn flow(&self, i: usize, j: usize) -> u64 {
-        self.flow[i * self.n + j]
-    }
-
-    /// Distance between two locations.
-    #[inline]
-    pub fn dist(&self, a: usize, b: usize) -> u64 {
-        self.dist[a * self.n + b]
-    }
-
-    /// Cost of a complete assignment (`placement[facility] = location`).
-    pub fn cost(&self, placement: &[usize]) -> u64 {
-        let mut total = 0;
-        for i in 0..self.n {
-            for j in 0..self.n {
-                total += self.flow(i, j) * self.dist(placement[i], placement[j]);
-            }
-        }
-        total
-    }
-
-    /// Brute-force optimum (`n ≤ 9`).
-    pub fn brute_optimum(&self) -> u64 {
-        assert!(self.n <= 9, "brute force needs a small instance");
-        let mut locs: Vec<usize> = (0..self.n).collect();
-        let mut best = u64::MAX;
-        fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
-            if k == items.len() {
-                visit(items);
-                return;
-            }
-            for i in k..items.len() {
-                items.swap(k, i);
-                permute(items, k + 1, visit);
-                items.swap(k, i);
-            }
-        }
-        permute(&mut locs, 0, &mut |p| best = best.min(self.cost(p)));
-        best
-    }
-}
-
-/// The QAP as a [`Problem`].
-#[derive(Clone, Debug)]
-pub struct QapProblem {
-    instance: QapInstance,
-}
-
-/// Search state: partial placement and running interaction cost.
-#[derive(Clone, Debug)]
-pub struct QapState {
-    /// `placement[i]` for facilities `i < depth`.
-    placement: Vec<u16>,
-    /// Bitmask of used locations.
-    used: u64,
-    /// Exact cost of placed–placed interactions.
-    cost: u64,
-}
-
-impl QapProblem {
-    /// Wraps an instance.
-    pub fn new(instance: QapInstance) -> Self {
-        QapProblem { instance }
-    }
-
-    /// The wrapped instance.
-    pub fn instance(&self) -> &QapInstance {
-        &self.instance
-    }
-
-    /// Decodes engine ranks into a placement vector.
-    pub fn decode_ranks(&self, ranks: &[u64]) -> Vec<usize> {
-        let mut used = 0u64;
-        ranks
-            .iter()
-            .map(|&r| {
-                let loc = nth_free(self.instance.n, used, r);
-                used |= 1 << loc;
-                loc
-            })
-            .collect()
-    }
-}
-
-fn nth_free(n: usize, used: u64, rank: u64) -> usize {
-    let mut seen = 0;
-    for l in 0..n {
-        if used & (1 << l) == 0 {
-            if seen == rank {
-                return l;
-            }
-            seen += 1;
-        }
-    }
-    unreachable!("rank exceeds free location count")
-}
-
-impl Problem for QapProblem {
-    type State = QapState;
-
-    fn shape(&self) -> TreeShape {
-        TreeShape::permutation(self.instance.n)
-    }
-
-    fn root_state(&self) -> QapState {
-        QapState {
-            placement: Vec::new(),
-            used: 0,
-            cost: 0,
-        }
-    }
-
-    fn branch(&self, state: &QapState, rank: u64) -> QapState {
-        let n = self.instance.n;
-        let facility = state.placement.len();
-        let location = nth_free(n, state.used, rank);
-        let mut cost = state.cost;
-        for (other, &loc) in state.placement.iter().enumerate() {
-            let d = self.instance.dist(loc as usize, location);
-            // Both directions of the (symmetric or not) flow matrix.
-            cost += self.instance.flow(other, facility) * d
-                + self.instance.flow(facility, other) * self.instance.dist(location, loc as usize);
-        }
-        let mut placement = state.placement.clone();
-        placement.push(location as u16);
-        QapState {
-            placement,
-            used: state.used | (1 << location),
-            cost,
-        }
-    }
-
-    fn lower_bound(&self, state: &QapState) -> u64 {
-        let n = self.instance.n;
-        let placed = state.placement.len();
-        let mut bound = state.cost;
-
-        // placed–unplaced: cheapest free location per unplaced facility,
-        // counting only interactions with placed facilities.
-        for facility in placed..n {
-            let mut cheapest = u64::MAX;
-            for location in 0..n {
-                if state.used & (1 << location) != 0 {
-                    continue;
-                }
-                let mut here = 0;
-                for (other, &loc) in state.placement.iter().enumerate() {
-                    here += self.instance.flow(other, facility)
-                        * self.instance.dist(loc as usize, location)
-                        + self.instance.flow(facility, other)
-                            * self.instance.dist(location, loc as usize);
-                }
-                cheapest = cheapest.min(here);
-            }
-            if cheapest != u64::MAX {
-                bound += cheapest;
-            }
-        }
-
-        // unplaced–unplaced: rearrangement bound over the remaining
-        // flow and distance multisets.
-        let mut flows: Vec<u64> = Vec::new();
-        for i in placed..n {
-            for j in placed..n {
-                if i != j {
-                    flows.push(self.instance.flow(i, j));
-                }
-            }
-        }
-        let mut dists: Vec<u64> = Vec::new();
-        for a in 0..n {
-            if state.used & (1 << a) != 0 {
-                continue;
-            }
-            for b in 0..n {
-                if b != a && state.used & (1 << b) == 0 {
-                    dists.push(self.instance.dist(a, b));
-                }
-            }
-        }
-        flows.sort_unstable();
-        dists.sort_unstable_by(|x, y| y.cmp(x));
-        bound + flows.iter().zip(&dists).map(|(f, d)| f * d).sum::<u64>()
-    }
-
-    fn leaf_cost(&self, state: &QapState) -> u64 {
-        debug_assert_eq!(state.placement.len(), self.instance.n);
-        state.cost
-    }
-}
+pub use gridbnb_engine::{Problem, Solution};
 
 #[cfg(test)]
 mod tests {
@@ -294,13 +60,15 @@ mod tests {
     }
 
     #[test]
-    fn bnb_matches_brute_force() {
-        for seed in 0..6 {
-            let inst = QapInstance::random(7, seed);
+    fn bnb_matches_brute_force_under_every_bound_tier() {
+        for seed in 0..4 {
+            let inst = QapInstance::random(6, seed);
             let expected = inst.brute_optimum();
-            let problem = QapProblem::new(inst);
-            let report = solve(&problem, None);
-            assert_eq!(report.best_cost, Some(expected), "seed {seed}");
+            for bound in [Bound::Screen, Bound::GilmoreLawler, Bound::Tiered] {
+                let problem = QapProblem::new(inst.clone(), bound);
+                let report = solve(&problem, None);
+                assert_eq!(report.best_cost, Some(expected), "seed {seed} {bound:?}");
+            }
         }
     }
 
@@ -308,20 +76,37 @@ mod tests {
     fn bound_admissible_at_root_and_prunes() {
         let inst = QapInstance::random(8, 3);
         let optimum = {
-            let i2 = inst.clone();
-            let problem = QapProblem::new(i2);
+            let problem = QapProblem::with_default_bound(inst.clone());
             solve(&problem, None).best_cost.unwrap()
         };
-        let problem = QapProblem::new(inst);
+        let problem = QapProblem::with_default_bound(inst);
         assert!(problem.lower_bound(&problem.root_state()) <= optimum);
         let report = solve(&problem, None);
         assert!(report.stats.pruned > 0, "bound should prune");
     }
 
     #[test]
+    fn gilmore_lawler_explores_fewer_nodes_than_screen() {
+        let inst = QapInstance::nugent_style(2, 4, 2);
+        let screen = solve(&QapProblem::new(inst.clone(), Bound::Screen), None);
+        let gl = solve(&QapProblem::new(inst.clone(), Bound::GilmoreLawler), None);
+        let tiered = solve(&QapProblem::new(inst, Bound::Tiered), None);
+        assert_eq!(screen.best_cost, gl.best_cost);
+        assert_eq!(screen.best_cost, tiered.best_cost);
+        assert!(
+            gl.stats.explored < screen.stats.explored,
+            "GL {} nodes vs screen {} nodes",
+            gl.stats.explored,
+            screen.stats.explored
+        );
+        // Tiered prunes exactly like GL (same strongest tier).
+        assert_eq!(tiered.stats.explored, gl.stats.explored);
+    }
+
+    #[test]
     fn decode_ranks_is_valid_placement() {
         let inst = QapInstance::random(6, 9);
-        let problem = QapProblem::new(inst.clone());
+        let problem = QapProblem::with_default_bound(inst.clone());
         let report = solve(&problem, None);
         let sol = report.best.unwrap();
         let placement = problem.decode_ranks(&sol.leaf_ranks);
@@ -332,6 +117,19 @@ mod tests {
     }
 
     #[test]
+    fn encode_placement_inverts_decode() {
+        let inst = QapInstance::nugent_style(2, 3, 13);
+        let problem = QapProblem::with_default_bound(inst);
+        let placement = vec![4usize, 0, 5, 2, 1, 3];
+        let ranks = problem.encode_placement(&placement);
+        assert_eq!(problem.decode_ranks(&ranks), placement);
+        // Ranks must be feasible (rank r at depth d satisfies r < n-d).
+        for (d, &r) in ranks.iter().enumerate() {
+            assert!(r < (6 - d) as u64);
+        }
+    }
+
+    #[test]
     fn asymmetric_flows_supported() {
         // flow(0→1) = 7, flow(1→0) = 1; dist symmetric.
         let flow = vec![0, 7, 1, 0];
@@ -339,7 +137,21 @@ mod tests {
         let inst = QapInstance::new(2, flow, dist);
         assert_eq!(inst.cost(&[0, 1]), 16);
         assert_eq!(inst.cost(&[1, 0]), 16);
-        let problem = QapProblem::new(inst);
+        let problem = QapProblem::with_default_bound(inst);
         assert_eq!(solve(&problem, None).best_cost, Some(16));
+    }
+
+    #[test]
+    fn nonzero_flow_diagonal_is_accounted() {
+        // Facility 0 has self-flow 5; locations 0 and 1 have self-dists
+        // 2 and 0 — the optimum parks facility 0 on location 1.
+        let flow = vec![5, 0, 0, 0];
+        let dist = vec![2, 1, 1, 0];
+        let inst = QapInstance::new(2, flow, dist);
+        assert_eq!(inst.cost(&[0, 1]), 10);
+        assert_eq!(inst.cost(&[1, 0]), 0);
+        let problem = QapProblem::with_default_bound(inst);
+        let report = solve(&problem, None);
+        assert_eq!(report.best_cost, Some(0));
     }
 }

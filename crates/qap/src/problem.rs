@@ -1,0 +1,166 @@
+//! The `Problem` implementation binding the QAP substrate to the
+//! interval-coded search tree: depth `d` of the permutation tree assigns
+//! facility `d` to the `rank`-th still-free location.
+
+use crate::bounds::{gilmore_lawler_bound, screen_bound, Bound};
+use crate::instance::QapInstance;
+use gridbnb_coding::TreeShape;
+use gridbnb_engine::Problem;
+
+/// The QAP as a [`Problem`] with a selectable bounding tier.
+#[derive(Clone, Debug)]
+pub struct QapProblem {
+    instance: QapInstance,
+    bound: Bound,
+}
+
+/// Search state: partial placement and running interaction cost.
+#[derive(Clone, Debug)]
+pub struct QapState {
+    /// `placement[i]` for facilities `i < depth`.
+    placement: Vec<u16>,
+    /// Bitmask of used locations.
+    used: u64,
+    /// Exact cost of placed–placed interactions.
+    cost: u64,
+}
+
+impl QapProblem {
+    /// Binds an instance with the given bounding tier.
+    pub fn new(instance: QapInstance, bound: Bound) -> Self {
+        QapProblem { instance, bound }
+    }
+
+    /// Binds with the default (Gilmore–Lawler) bound.
+    pub fn with_default_bound(instance: QapInstance) -> Self {
+        QapProblem::new(instance, Bound::default())
+    }
+
+    /// The wrapped instance.
+    pub fn instance(&self) -> &QapInstance {
+        &self.instance
+    }
+
+    /// The bounding tier in use.
+    pub fn bound_mode(&self) -> Bound {
+        self.bound
+    }
+
+    /// Decodes engine ranks into a placement vector.
+    pub fn decode_ranks(&self, ranks: &[u64]) -> Vec<usize> {
+        let mut used = 0u64;
+        ranks
+            .iter()
+            .map(|&r| {
+                let loc = nth_free(self.instance.n(), used, r);
+                used |= 1 << loc;
+                loc
+            })
+            .collect()
+    }
+
+    /// Encodes a placement into branch ranks — the inverse of
+    /// [`QapProblem::decode_ranks`]. Useful to locate a heuristic
+    /// solution (e.g. the greedy upper bound) in the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placement` is not a permutation of `0..n`.
+    pub fn encode_placement(&self, placement: &[usize]) -> Vec<u64> {
+        let n = self.instance.n();
+        assert_eq!(placement.len(), n, "not a permutation");
+        let mut used = 0u64;
+        placement
+            .iter()
+            .map(|&loc| {
+                assert!(loc < n && used & (1 << loc) == 0, "not a permutation");
+                let rank = (0..loc).filter(|l| used & (1 << l) == 0).count() as u64;
+                used |= 1 << loc;
+                rank
+            })
+            .collect()
+    }
+}
+
+fn nth_free(n: usize, used: u64, rank: u64) -> usize {
+    let mut seen = 0;
+    for l in 0..n {
+        if used & (1 << l) == 0 {
+            if seen == rank {
+                return l;
+            }
+            seen += 1;
+        }
+    }
+    unreachable!("rank exceeds free location count")
+}
+
+impl Problem for QapProblem {
+    type State = QapState;
+
+    fn shape(&self) -> TreeShape {
+        TreeShape::permutation(self.instance.n())
+    }
+
+    fn root_state(&self) -> QapState {
+        QapState {
+            placement: Vec::new(),
+            used: 0,
+            cost: 0,
+        }
+    }
+
+    fn branch(&self, state: &QapState, rank: u64) -> QapState {
+        let n = self.instance.n();
+        let facility = state.placement.len();
+        let location = nth_free(n, state.used, rank);
+        let mut cost = state.cost
+            + self.instance.flow(facility, facility) * self.instance.dist(location, location);
+        for (other, &loc) in state.placement.iter().enumerate() {
+            // Both directions of the (symmetric or not) flow matrix.
+            cost += self.instance.flow(other, facility)
+                * self.instance.dist(loc as usize, location)
+                + self.instance.flow(facility, other) * self.instance.dist(location, loc as usize);
+        }
+        let mut placement = state.placement.clone();
+        placement.push(location as u16);
+        QapState {
+            placement,
+            used: state.used | (1 << location),
+            cost,
+        }
+    }
+
+    fn lower_bound(&self, state: &QapState) -> u64 {
+        match self.bound {
+            Bound::Screen => screen_bound(&self.instance, &state.placement, state.used, state.cost),
+            // Without a cutoff there is nothing to screen against, so
+            // the tiered bound degenerates to its strongest tier.
+            Bound::GilmoreLawler | Bound::Tiered => {
+                gilmore_lawler_bound(&self.instance, &state.placement, state.used, state.cost)
+            }
+        }
+    }
+
+    fn lower_bound_against(&self, state: &QapState, cutoff: u64) -> u64 {
+        match self.bound {
+            Bound::Screen => screen_bound(&self.instance, &state.placement, state.used, state.cost),
+            Bound::GilmoreLawler => {
+                gilmore_lawler_bound(&self.instance, &state.placement, state.used, state.cost)
+            }
+            Bound::Tiered => {
+                let screen = screen_bound(&self.instance, &state.placement, state.used, state.cost);
+                if screen >= cutoff {
+                    // The cheap tier already eliminates the subtree.
+                    return screen;
+                }
+                gilmore_lawler_bound(&self.instance, &state.placement, state.used, state.cost)
+            }
+        }
+    }
+
+    fn leaf_cost(&self, state: &QapState) -> u64 {
+        debug_assert_eq!(state.placement.len(), self.instance.n());
+        state.cost
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the QAP campaign substrate: the LAP solver
+//! against a permutation-enumeration oracle, and the bound tiers'
+//! admissibility and dominance contracts at arbitrary partial states.
+
+use gridbnb_qap::bounds::{gilmore_lawler_bound, screen_bound};
+use gridbnb_qap::lap::solve_lap;
+use gridbnb_qap::QapInstance;
+use proptest::prelude::*;
+
+/// SplitMix64 — the tests' own deterministic stream.
+fn splitmix(seed: u64) -> impl FnMut() -> u64 {
+    let mut s = seed;
+    move || {
+        s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+/// Minimum assignment cost by exhaustive enumeration.
+fn brute_lap(n: usize, cost: &[u64]) -> u64 {
+    let mut cols: Vec<usize> = (0..n).collect();
+    let mut best = u64::MAX;
+    permute(&mut cols, 0, &mut |p| {
+        best = best.min(
+            p.iter()
+                .enumerate()
+                .map(|(row, &col)| cost[row * n + col])
+                .sum(),
+        );
+    });
+    best
+}
+
+/// A random placement prefix of `len` facilities (deterministic in
+/// `seed`) plus the matching used-location mask and exact placed cost.
+fn random_prefix(instance: &QapInstance, len: usize, seed: u64) -> (Vec<u16>, u64, u64) {
+    let n = instance.n();
+    let mut next = splitmix(seed);
+    let mut locations: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        locations.swap(i, j);
+    }
+    let placement: Vec<u16> = locations[..len].iter().map(|&l| l as u16).collect();
+    let used = placement.iter().fold(0u64, |m, &p| m | (1 << p));
+    let mut base = 0;
+    for (i, &a) in placement.iter().enumerate() {
+        for (j, &b) in placement.iter().enumerate() {
+            base += instance.flow(i, j) * instance.dist(a as usize, b as usize);
+        }
+    }
+    (placement, used, base)
+}
+
+/// Best completion of a placement prefix, by brute force.
+fn best_completion(instance: &QapInstance, placement: &[u16]) -> u64 {
+    let n = instance.n();
+    let mut free: Vec<usize> = (0..n)
+        .filter(|l| !placement.iter().any(|&p| p as usize == *l))
+        .collect();
+    let mut best = u64::MAX;
+    permute(&mut free, 0, &mut |tail| {
+        let full: Vec<usize> = placement
+            .iter()
+            .map(|&p| p as usize)
+            .chain(tail.iter().copied())
+            .collect();
+        best = best.min(instance.cost(&full));
+    });
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Hungarian solver must match exhaustive enumeration exactly,
+    /// and its reported assignment must be a permutation evaluating to
+    /// the reported total.
+    #[test]
+    fn lap_matches_permutation_oracle(
+        n in 2usize..6,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let mut next = splitmix(seed);
+        let cost: Vec<u64> = (0..n * n).map(|_| next() % 10_000).collect();
+        let solution = solve_lap(n, &cost);
+        prop_assert_eq!(solution.total, brute_lap(n, &cost));
+        let mut sorted = solution.assignment.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        let evaluated: u64 = solution
+            .assignment
+            .iter()
+            .enumerate()
+            .map(|(row, &col)| cost[row * n + col])
+            .sum();
+        prop_assert_eq!(evaluated, solution.total);
+    }
+
+    /// Gilmore–Lawler is admissible at the root: it never exceeds the
+    /// brute-force optimum (n ≤ 7 keeps 7! enumerable).
+    #[test]
+    fn gilmore_lawler_admissible_at_root(
+        n in 4usize..8,
+        seed in proptest::arbitrary::any::<u64>(),
+        grid in proptest::arbitrary::any::<bool>(),
+    ) {
+        let instance = if grid && n == 6 {
+            QapInstance::nugent_style(2, 3, seed)
+        } else {
+            QapInstance::random(n, seed)
+        };
+        let optimum = instance.brute_optimum();
+        let gl = gilmore_lawler_bound(&instance, &[], 0, 0);
+        prop_assert!(gl <= optimum, "GL {} > optimum {}", gl, optimum);
+    }
+
+    /// At arbitrary partial states: both bounds stay below the best
+    /// completion, and Gilmore–Lawler dominates (or equals) the screen.
+    #[test]
+    fn bounds_admissible_and_gl_dominates_screen_at_partial_states(
+        n in 4usize..7,
+        depth_frac in 0u8..4,
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let instance = QapInstance::random(n, seed);
+        let depth = (n * depth_frac as usize) / 4;
+        let (placement, used, base) = random_prefix(&instance, depth, seed ^ 0xABCD);
+        let exact = best_completion(&instance, &placement);
+        let screen = screen_bound(&instance, &placement, used, base);
+        let gl = gilmore_lawler_bound(&instance, &placement, used, base);
+        prop_assert!(screen <= exact, "screen {} > exact {}", screen, exact);
+        prop_assert!(gl <= exact, "GL {} > exact {}", gl, exact);
+        prop_assert!(gl >= screen, "GL {} below screen {}", gl, screen);
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`engine`] | `gridbnb-engine` | `Problem` trait + interval-restricted DFS explorer |
 //! | [`flowshop`] | `gridbnb-flowshop` | Taillard instances, makespan, bounds, NEH, iterated greedy |
 //! | [`tsp`] | `gridbnb-tsp` | TSP as a second `Problem` |
+//! | [`qap`] | `gridbnb-qap` | QAP campaign: Nugent-style instances, LAP, Gilmore–Lawler bounds, greedy |
 //! | [`core`] | `gridbnb-core` | coordinator, pull protocol, checkpoints, thread runtime |
 //! | [`grid`] | `gridbnb-grid` | discrete-event simulator of the paper's grid |
 //!
@@ -37,6 +38,30 @@
 //!     report.coordinator_stats.work_allocations,
 //! );
 //! assert!(report.proven_optimum.is_some());
+//! ```
+//!
+//! ## QAP campaign quickstart
+//!
+//! The same engine/coordinator/shard stack solves a third problem
+//! unchanged — here a Nugent-style quadratic assignment instance,
+//! upper-bounded by greedy + pairwise exchange and proven optimal
+//! through a sharded run:
+//!
+//! ```
+//! use gridbnb::core::runtime::{run, RuntimeConfig};
+//! use gridbnb::qap::greedy::{greedy_upper_bound, GreedyParams};
+//! use gridbnb::qap::{Bound, QapInstance, QapProblem};
+//!
+//! // Six facilities on a 2×3 grid with Manhattan distances.
+//! let instance = QapInstance::nugent_style(2, 3, 42);
+//! let (_, ub) = greedy_upper_bound(&instance, &GreedyParams::default());
+//! let problem = QapProblem::new(instance, Bound::GilmoreLawler);
+//! let config = RuntimeConfig::new(2)
+//!     .with_shards(2)
+//!     .with_initial_upper_bound(ub + 1);
+//! let report = run(&problem, &config);
+//! let optimum = report.proven_optimum.expect("greedy+1 bounds the space");
+//! assert!(optimum <= ub);
 //! ```
 
 pub use gridbnb_bigint as bigint;
