@@ -166,7 +166,7 @@ pub struct Holder {
 }
 
 /// Protocol and bookkeeping counters (feeds the Table 2 reproduction).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoordinatorStats {
     /// Work units handed out (paper: "work allocations", 129 958).
     pub work_allocations: u64,
@@ -210,6 +210,46 @@ impl CoordinatorStats {
     }
 }
 
+/// Result of [`Coordinator::apply_batch`]: the responses produced so
+/// far, plus the point at which the batch stalled (if it did).
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// One response per processed request, in request order. When the
+    /// batch stalled, the stalled request has **no** entry here — its
+    /// response is whatever the caller's recovery (steal-and-retry, or
+    /// accepting the `Terminate`) produces.
+    pub responses: Vec<Response>,
+    /// `Some((request, rest))` iff a work request ([`Request::Join`] /
+    /// [`Request::RequestWork`]) drew [`Response::Terminate`] because
+    /// this coordinator drained: `request` is that work request (its
+    /// unit completion and the `terminations_sent` counter have already
+    /// been applied) and `rest` the unprocessed tail of the batch. A
+    /// sharded caller steals into this coordinator, retries `request`,
+    /// and feeds `rest` back through [`Coordinator::apply_batch`]; a
+    /// single-coordinator caller answers `Terminate` (final — there is
+    /// nobody to steal from) and continues with `rest` the same way.
+    pub stalled: Option<(Request, Vec<Request>)>,
+}
+
+/// Deferred index maintenance accumulated across one
+/// [`Coordinator::apply_batch`] call (see the batch section there).
+#[derive(Debug, Default)]
+struct BatchDefer {
+    /// Entry index → the selection key physically in `by_priority`
+    /// (recorded before the entry's first in-batch mutation; the live
+    /// entry may have shrunk several times since).
+    stale_keys: HashMap<usize, SelectionKey>,
+    /// Worker → the heartbeat stamp physically in `heartbeats`
+    /// (the holder struct already carries the refreshed stamp).
+    stale_beats: HashMap<WorkerId, u64>,
+}
+
+impl BatchDefer {
+    fn is_empty(&self) -> bool {
+        self.stale_keys.is_empty() && self.stale_beats.is_empty()
+    }
+}
+
 /// Selection priority of one entry under the power-normalized rule:
 /// ordered by `len / holder_power` (exact rational comparison via
 /// cross-multiplication; `holder_power == 0` compares as +∞), then by
@@ -235,6 +275,18 @@ impl Ord for SelectionKey {
             .then_with(|| self.len.cmp(&other.len))
             // Lower index ranks higher so `last()` is deterministic.
             .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+/// The selection key of `entries[idx]` as a free function, so batch
+/// maintenance can recompute keys while another field of the
+/// coordinator is mutably borrowed.
+fn priority_key_of(entries: &[IntervalEntry], idx: usize) -> SelectionKey {
+    let e = &entries[idx];
+    SelectionKey {
+        len: e.interval.length(),
+        holder_power: e.holder_power(),
+        idx,
     }
 }
 
@@ -425,9 +477,191 @@ impl Coordinator {
                 worker: _,
                 solution,
             } => self.report_solution(solution),
+            Request::UpdateAndReport {
+                worker,
+                interval,
+                solution,
+            } => {
+                // Exactly ReportSolution-then-Update, folded into one
+                // contact: the ack's cutoff reflects the merged report.
+                if let Some(solution) = solution {
+                    let _ = self.report_solution(solution);
+                }
+                self.update(worker, interval, now_ns)
+            }
             Request::Leave { worker } => {
                 self.detach_worker(worker);
                 Response::LeaveAck
+            }
+        }
+    }
+
+    /// Handles a whole batch of requests at injected time `now_ns` —
+    /// the amortized entry point behind one lock acquisition of a
+    /// sharded or funneled executor.
+    ///
+    /// Semantically this is exactly `requests.map(|r| handle(r, now))`
+    /// (same responses, same final state, same counters — pinned by a
+    /// property test), but the auxiliary indexes are maintained **per
+    /// batch, not per op**: a run of interval-shrinking updates defers
+    /// its priority-set re-keys and heartbeat refreshes, paying one
+    /// `BTreeSet` remove+insert per *touched entry / worker* instead of
+    /// one per request. The paper's dominant load — the ~2 M tiny
+    /// update operations — collapses to interval arithmetic plus O(1)
+    /// map probes per op.
+    ///
+    /// Deferred state is flushed before any operation that consults or
+    /// restructures the indexes (selection for `Join`/`RequestWork`,
+    /// entry removal on an empty intersection or unit completion,
+    /// holder detach on `Leave`), so every response is computed against
+    /// exactly the state sequential handling would see.
+    ///
+    /// When a work request finds this coordinator drained it returns
+    /// [`Response::Terminate`]; a sharded caller must get a chance to
+    /// steal before the rest of the batch runs, so the batch **stalls**:
+    /// see [`BatchOutcome::stalled`].
+    pub fn apply_batch(&mut self, requests: Vec<Request>, now_ns: u64) -> BatchOutcome {
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut defer = BatchDefer::default();
+        let mut queue = requests.into_iter();
+        while let Some(request) = queue.next() {
+            match request {
+                Request::Update { worker, interval } => {
+                    responses.push(self.batched_update(worker, interval, now_ns, &mut defer));
+                }
+                Request::UpdateAndReport {
+                    worker,
+                    interval,
+                    solution,
+                } => {
+                    if let Some(solution) = solution {
+                        let _ = self.report_solution(solution);
+                    }
+                    responses.push(self.batched_update(worker, interval, now_ns, &mut defer));
+                }
+                // A solution report touches only `SOLUTION` and its
+                // counters — no index interaction, nothing to flush.
+                request @ Request::ReportSolution { .. } => {
+                    responses.push(self.handle(request, now_ns));
+                }
+                request @ Request::Leave { .. } => {
+                    self.flush_batch(&mut defer);
+                    responses.push(self.handle(request, now_ns));
+                }
+                request @ (Request::Join { .. } | Request::RequestWork { .. }) => {
+                    self.flush_batch(&mut defer);
+                    let response = self.handle(request.clone(), now_ns);
+                    if matches!(response, Response::Terminate) {
+                        return BatchOutcome {
+                            responses,
+                            stalled: Some((request, queue.collect())),
+                        };
+                    }
+                    responses.push(response);
+                }
+            }
+        }
+        self.flush_batch(&mut defer);
+        BatchOutcome {
+            responses,
+            stalled: None,
+        }
+    }
+
+    /// The batched twin of [`Coordinator::update`]: same response, same
+    /// interval/size arithmetic, but the priority re-key and heartbeat
+    /// refresh are deferred into `defer` (coalescing repeats on the
+    /// same entry/worker). The two removal paths flush first, so they
+    /// run on clean indexes.
+    fn batched_update(
+        &mut self,
+        worker: WorkerId,
+        reported: Interval,
+        now_ns: u64,
+        defer: &mut BatchDefer,
+    ) -> Response {
+        self.stats.updates += 1;
+        let cutoff = self.cutoff();
+        let Some(&idx) = self.holder_of.get(&worker) else {
+            return Response::UpdateAck {
+                interval: Interval::empty(),
+                cutoff,
+            };
+        };
+        // Record the physical heartbeat stamp once, then refresh the
+        // holder in place — the set itself is fixed up at flush time.
+        {
+            let h = self.entries[idx]
+                .holders
+                .iter_mut()
+                .find(|h| h.worker == worker)
+                .expect("holder map pointed at an entry without the holder");
+            defer.stale_beats.entry(worker).or_insert(h.last_contact_ns);
+            h.last_contact_ns = now_ns;
+        }
+        let met = self.entries[idx].interval.intersect(&reported);
+        if met.is_empty() {
+            // Removal restructures the entry vector and every index:
+            // re-sync them first, then take the sequential path.
+            self.flush_batch(defer);
+            self.remove_entry(idx);
+            return Response::UpdateAck {
+                interval: Interval::empty(),
+                cutoff,
+            };
+        }
+        if met == self.entries[idx].interval {
+            // Heartbeat-only update: nothing moved, nothing to re-key.
+            return Response::UpdateAck {
+                interval: met,
+                cutoff,
+            };
+        }
+        // Shrink in place; the selection key physically in the set is
+        // recorded (once) so the flush can retire it.
+        defer
+            .stale_keys
+            .entry(idx)
+            .or_insert_with(|| priority_key_of(&self.entries, idx));
+        let old_len = self.entries[idx].interval.length();
+        self.remaining += &met.length();
+        self.remaining = self.remaining.saturating_sub(&old_len);
+        let result = met.clone();
+        self.entries[idx].interval = met;
+        Response::UpdateAck {
+            interval: result,
+            cutoff,
+        }
+    }
+
+    /// Applies the deferred maintenance of one batch: every dirty entry
+    /// gets exactly one priority-set remove+insert, every touched
+    /// worker exactly one heartbeat remove+insert — however many times
+    /// the batch hit them.
+    fn flush_batch(&mut self, defer: &mut BatchDefer) {
+        if defer.is_empty() {
+            return;
+        }
+        for (idx, stale) in defer.stale_keys.drain() {
+            let removed = self.by_priority.remove(&stale);
+            debug_assert!(removed, "deferred key for entry {idx} not in the set");
+            let inserted = self.by_priority.insert(priority_key_of(&self.entries, idx));
+            debug_assert!(inserted, "duplicate refreshed key for entry {idx}");
+        }
+        for (worker, stale) in defer.stale_beats.drain() {
+            let idx = *self
+                .holder_of
+                .get(&worker)
+                .expect("deferred heartbeat for a detached worker");
+            let current = self.entries[idx]
+                .holders
+                .iter()
+                .find(|h| h.worker == worker)
+                .expect("holder map pointed at an entry without the holder")
+                .last_contact_ns;
+            if current != stale {
+                self.heartbeats.remove(&(stale, worker));
+                self.heartbeats.insert((current, worker));
             }
         }
     }
@@ -613,12 +847,7 @@ impl Coordinator {
     /// the key is a pure function of the entry, so remove-before-mutate /
     /// insert-after-mutate pairs stay symmetric).
     fn priority_key(&self, idx: usize) -> SelectionKey {
-        let e = &self.entries[idx];
-        SelectionKey {
-            len: e.interval.length(),
-            holder_power: e.holder_power(),
-            idx,
-        }
+        priority_key_of(&self.entries, idx)
     }
 
     fn index_insert(&mut self, idx: usize) {

@@ -42,7 +42,7 @@ pub mod runtime;
 pub mod shard;
 
 pub use coordinator::{
-    compare_len_per_power, compare_len_per_power_exact, ConfigError, Coordinator,
+    compare_len_per_power, compare_len_per_power_exact, BatchOutcome, ConfigError, Coordinator,
     CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
 };
 pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};

@@ -78,6 +78,21 @@ pub enum Request {
         /// The improving solution.
         solution: Solution,
     },
+    /// Combined checkpoint + solution report: exactly equivalent to a
+    /// [`Request::ReportSolution`] (when `solution` is `Some`) followed
+    /// by a [`Request::Update`], but one contact instead of two — the
+    /// paper's dominant operation pair at the end of every slice that
+    /// found an improvement. Answered by [`Response::UpdateAck`] whose
+    /// cutoff already reflects the merged solution.
+    UpdateAndReport {
+        /// The contacting worker.
+        worker: WorkerId,
+        /// The worker's live interval `[position, end)`.
+        interval: Interval,
+        /// An improving solution found during the slice, if any (`None`
+        /// makes this identical to a plain [`Request::Update`]).
+        solution: Option<Solution>,
+    },
     /// Graceful departure (cycle stealing reclaimed the host). The
     /// worker's interval copy stays in `INTERVALS` and becomes
     /// immediately reassignable.
@@ -95,6 +110,7 @@ impl Request {
             | Request::RequestWork { worker, .. }
             | Request::Update { worker, .. }
             | Request::ReportSolution { worker, .. }
+            | Request::UpdateAndReport { worker, .. }
             | Request::Leave { worker } => *worker,
         }
     }

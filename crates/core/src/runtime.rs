@@ -66,6 +66,31 @@ pub struct ChaosConfig {
     pub crashes: Vec<CrashPlan>,
 }
 
+/// Contact-coalescing policy: how many exploration slices a worker
+/// folds into one coordinator contact.
+///
+/// With no policy a worker contacts the coordinator after **every**
+/// `poll_nodes` slice (the paper's behavior — which is exactly how its
+/// farmer ended up handling ~2 M update operations). With a policy, the
+/// worker keeps exploring and ships one combined checkpoint per
+/// `slices_per_contact` slices; an improving solution still flushes
+/// immediately (solution sharing rule 2) as a single
+/// [`Request::UpdateAndReport`], and termination-sensitive requests
+/// (`RequestWork`, `Join`, `Leave`) always flush the buffer — carrying
+/// any unreported solution in the same bundle.
+#[derive(Clone, Debug)]
+pub struct CoalescePolicy {
+    /// Exploration slices folded into one periodic contact (≥ 1; 1 is
+    /// the classic one-contact-per-slice behavior).
+    pub slices_per_contact: u64,
+    /// Deadline flush: a worker holding work never stays silent longer
+    /// than this, whatever the slice count says — it must keep beating
+    /// the coordinator's holder timeout or coalescing would get healthy
+    /// workers expired. Keep it well below
+    /// [`CoordinatorConfig::holder_timeout_ns`].
+    pub max_silence: Duration,
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -78,6 +103,8 @@ pub struct RuntimeConfig {
     pub shards: usize,
     /// Node visits explored between two coordinator contacts.
     pub poll_nodes: u64,
+    /// Optional contact coalescing (`None` = contact every slice).
+    pub coalesce: Option<CoalescePolicy>,
     /// Coordinator knobs (threshold, timeout, initial upper bound).
     pub coordinator: CoordinatorConfig,
     /// Relative worker powers (cycled if shorter than `workers`);
@@ -96,6 +123,7 @@ impl RuntimeConfig {
             workers,
             shards: 1,
             poll_nodes: 2_000,
+            coalesce: None,
             coordinator: CoordinatorConfig::default(),
             worker_powers: vec![100],
             checkpoint: None,
@@ -116,6 +144,24 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables contact coalescing at `slices_per_contact` slices per
+    /// periodic contact, with a deadline flush at a quarter of the
+    /// holder timeout (so coalescing can never starve the heartbeat
+    /// that keeps this worker un-expired).
+    pub fn with_coalescing(mut self, slices_per_contact: u64) -> Self {
+        // Strictly proportional — no absolute floor: a floor could meet
+        // or exceed a very short holder timeout, and a worker that used
+        // its whole allowed silence would then be expired as dead. A
+        // tiny quotient just degenerates to contact-every-slice, which
+        // is always safe.
+        let max_silence = Duration::from_nanos((self.coordinator.holder_timeout_ns / 4).max(1));
+        self.coalesce = Some(CoalescePolicy {
+            slices_per_contact: slices_per_contact.max(1),
+            max_silence,
+        });
+        self
+    }
+
     /// Fails fast on out-of-contract configuration instead of letting
     /// the coordinator silently clamp it. Every run entry point calls
     /// this before building any coordinator state.
@@ -126,6 +172,21 @@ impl RuntimeConfig {
             !self.worker_powers.is_empty(),
             "worker_powers must not be empty (it is cycled across workers)"
         );
+        if let Some(policy) = &self.coalesce {
+            assert!(
+                policy.slices_per_contact >= 1,
+                "coalesce.slices_per_contact must be ≥ 1"
+            );
+            // The documented invariant behind the silence deadline: a
+            // worker that uses its whole allowed silence must still be
+            // comfortably inside the holder timeout, or coalescing gets
+            // healthy workers expired (and their work redone) every
+            // window.
+            assert!(
+                (policy.max_silence.as_nanos() as u64) < self.coordinator.holder_timeout_ns,
+                "coalesce.max_silence must stay below coordinator.holder_timeout_ns"
+            );
+        }
         if let Err(e) = self.coordinator.validate() {
             panic!("invalid coordinator config: {e}");
         }
@@ -139,8 +200,14 @@ pub struct WorkerReport {
     pub units: u64,
     /// Search counters summed over its units.
     pub stats: SearchStats,
-    /// Update (checkpoint) messages it sent.
+    /// Update (checkpoint) messages it sent — counting the update op
+    /// inside a combined [`Request::UpdateAndReport`] too.
     pub checkpoint_ops: u64,
+    /// Coordinator contacts this thread made: one per request or
+    /// request bundle sent, whatever it carried. With coalescing this
+    /// grows markedly slower than `checkpoint_ops + units` — the
+    /// amortization the batched protocol buys, pinned by a test.
+    pub contacts: u64,
     /// Crashes it simulated.
     pub crashes: u64,
     /// Node visits presumed redundant: explored in slices whose update
@@ -184,6 +251,12 @@ impl RunReport {
     /// Total nodes explored by all workers.
     pub fn total_explored(&self) -> u64 {
         self.workers.iter().map(|w| w.stats.explored).sum()
+    }
+
+    /// Total coordinator contacts made by all workers (bundles count
+    /// once however many requests they carry).
+    pub fn total_contacts(&self) -> u64 {
+        self.workers.iter().map(|w| w.contacts).sum()
     }
 
     /// Total worker busy time.
@@ -241,7 +314,11 @@ impl RunReport {
     }
 }
 
-type Envelope = (Request, Sender<Response>);
+/// One farmer-channel contact: a request bundle and the reply slot. A
+/// classic single request is a bundle of one; the farmer folds the
+/// whole bundle through [`Coordinator::apply_batch`] and answers all of
+/// it in one round-trip.
+type Envelope = (Vec<Request>, Sender<Vec<Response>>);
 
 /// Runs the grid-enabled B&B on `problem` with real threads.
 ///
@@ -299,9 +376,9 @@ pub fn run_with_coordinator<P: Problem>(
                 .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
                 .copied();
             handles.push(scope.spawn(move |_| {
-                let (reply_tx, reply_rx) = unbounded::<Response>();
-                let send = move |request: Request| -> Option<Response> {
-                    req_tx.send((request, reply_tx.clone())).ok()?;
+                let (reply_tx, reply_rx) = unbounded::<Vec<Response>>();
+                let send = move |requests: Vec<Request>| -> Option<Vec<Response>> {
+                    req_tx.send((requests, reply_tx.clone())).ok()?;
                     reply_rx.recv().ok()
                 };
                 worker_loop(problem, index, power, crash, send, fresh_ids, config)
@@ -367,9 +444,21 @@ pub fn run_with_router<P: Problem>(
                 .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
                 .copied();
             handles.push(scope.spawn(move |_| {
-                let send = move |request: Request| -> Option<Response> {
+                let send = move |mut requests: Vec<Request>| -> Option<Vec<Response>> {
                     let now_ns = started.elapsed().as_nanos() as u64;
-                    Some(router.handle(request, now_ns))
+                    if requests.len() == 1 {
+                        let request = requests.pop().expect("one request");
+                        Some(vec![router.handle(request, now_ns)])
+                    } else {
+                        let bundle = requests.into_iter().map(|r| router.envelope(r)).collect();
+                        Some(
+                            router
+                                .handle_bundle(bundle, now_ns)
+                                .into_iter()
+                                .map(|(_, response)| response)
+                                .collect(),
+                        )
+                    }
                 };
                 worker_loop(problem, index, power, crash, send, fresh_ids, config)
             }));
@@ -488,13 +577,30 @@ fn farmer_loop(
             .unwrap_or(tick)
             .min(tick);
         match req_rx.recv_timeout(wait) {
-            Ok((request, reply_tx)) => {
+            Ok((requests, reply_tx)) => {
                 let t0 = Instant::now();
                 let now_ns = started.elapsed().as_nanos() as u64;
-                let response = coordinator.handle(request, now_ns);
+                let mut responses = Vec::with_capacity(requests.len());
+                let mut pending = requests;
+                loop {
+                    let outcome = coordinator.apply_batch(pending, now_ns);
+                    responses.extend(outcome.responses);
+                    match outcome.stalled {
+                        None => break,
+                        Some((_, rest)) => {
+                            // Single coordinator: nobody to steal from,
+                            // the local Terminate is the global one.
+                            responses.push(Response::Terminate);
+                            if rest.is_empty() {
+                                break;
+                            }
+                            pending = rest;
+                        }
+                    }
+                }
                 busy += t0.elapsed();
                 // A dropped worker (crash between send and reply) is fine.
-                let _ = reply_tx.send(response);
+                let _ = reply_tx.send(responses);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -529,13 +635,18 @@ fn farmer_loop(
 
 /// One worker thread: explore slices, contact the coordinator through
 /// `send` — a blocking channel round-trip to the farmer thread, or a
-/// direct call into the worker's home shard of a [`ShardRouter`].
+/// direct call into the worker's home shard of a [`ShardRouter`]. Every
+/// `send` is a request *bundle* (usually of one); with
+/// [`RuntimeConfig::coalesce`] set, periodic checkpoints are folded
+/// across slices, an improvement ships as one combined
+/// [`Request::UpdateAndReport`], and a spent unit's unreported solution
+/// rides the `RequestWork` bundle.
 fn worker_loop<P: Problem>(
     problem: &P,
     index: usize,
     power: u64,
     crash: Option<CrashPlan>,
-    send: impl Fn(Request) -> Option<Response>,
+    send: impl Fn(Vec<Request>) -> Option<Vec<Response>>,
     fresh_ids: &AtomicU64,
     config: &RuntimeConfig,
 ) -> WorkerReport {
@@ -544,16 +655,46 @@ fn worker_loop<P: Problem>(
     let mut id = WorkerId(index as u64);
     let mut joining = true;
     let mut crash = crash;
+    // A solution found on the last slice of a spent unit, awaiting the
+    // next work request's bundle.
+    let mut pending_solution: Option<Solution> = None;
 
     'units: loop {
-        let request = if joining {
+        let work_request = if joining {
             Request::Join { worker: id, power }
         } else {
             Request::RequestWork { worker: id, power }
         };
         joining = false;
-        let Some(response) = send(request) else {
-            break;
+        // Termination-sensitive flush: the work request always goes out
+        // now; an unreported solution shares the contact.
+        report.contacts += 1;
+        let response = match pending_solution.take() {
+            Some(solution) => {
+                let Some(mut responses) = send(vec![
+                    Request::ReportSolution {
+                        worker: id,
+                        solution,
+                    },
+                    work_request,
+                ]) else {
+                    break;
+                };
+                debug_assert_eq!(responses.len(), 2, "two responses for a two-request bundle");
+                let Some(response) = responses.pop() else {
+                    break;
+                };
+                response
+            }
+            None => {
+                let Some(mut responses) = send(vec![work_request]) else {
+                    break;
+                };
+                let Some(response) = responses.pop() else {
+                    break;
+                };
+                response
+            }
         };
         let (interval, cutoff) = match response {
             Response::Work { interval, cutoff } => (interval, cutoff),
@@ -569,25 +710,42 @@ fn worker_loop<P: Problem>(
         report.units += 1;
         let mut explorer = IntervalExplorer::new(problem, &interval, cutoff);
         let unit_start_position = explorer.position().clone();
+        let mut slices_since_contact = 0u64;
+        let mut last_contact = Instant::now();
 
         loop {
             let t0 = Instant::now();
             explorer.run(config.poll_nodes);
             report.busy += t0.elapsed();
+            slices_since_contact += 1;
+            let mut contacted_this_slice = false;
 
-            // Solution sharing rule 2: report improvements immediately.
-            if let Some(solution) = explorer.take_fresh_best() {
-                if let Some(Response::SolutionAck { cutoff: Some(c) }) =
-                    send(Request::ReportSolution {
-                        worker: id,
-                        solution,
-                    })
-                {
-                    explorer.observe_external_cutoff(c);
+            // Solution sharing rule 2: report improvements immediately —
+            // folded with this slice's checkpoint into one combined
+            // contact. On a spent unit the update would be vacuous, so
+            // the solution waits (a few microseconds) for the work
+            // request's bundle instead.
+            let mut fresh = explorer.take_fresh_best();
+            if fresh.is_some() && !explorer.is_exhausted() {
+                report.contacts += 1;
+                let Some(mut responses) = send(vec![Request::UpdateAndReport {
+                    worker: id,
+                    interval: explorer.current_interval(),
+                    solution: fresh.take(),
+                }]) else {
+                    break 'units;
+                };
+                report.checkpoint_ops += 1;
+                if !adopt_update_ack(responses.pop(), &mut explorer) {
+                    break 'units;
                 }
+                slices_since_contact = 0;
+                last_contact = Instant::now();
+                contacted_this_slice = true;
             }
 
-            // Scripted crash: silently lose everything.
+            // Scripted crash: silently lose everything — including a
+            // solution still waiting for the work-request bundle.
             if let Some(plan) = crash {
                 if report.stats.explored + explorer.stats().explored >= plan.after_nodes {
                     crash = None;
@@ -604,28 +762,38 @@ fn worker_loop<P: Problem>(
             }
 
             if explorer.is_exhausted() {
+                pending_solution = fresh.take();
                 break;
             }
 
             // Pull-model checkpoint: report the live interval, adopt the
             // intersection, refresh the cutoff (solution sharing rule 3).
-            let Some(ack) = send(Request::Update {
+            // Under a coalescing policy only every `slices_per_contact`-th
+            // slice contacts (or the silence deadline forces it).
+            let due = !contacted_this_slice
+                && match &config.coalesce {
+                    None => true,
+                    Some(policy) => {
+                        slices_since_contact >= policy.slices_per_contact
+                            || last_contact.elapsed() >= policy.max_silence
+                    }
+                };
+            if !due {
+                continue;
+            }
+            report.contacts += 1;
+            let Some(mut responses) = send(vec![Request::Update {
                 worker: id,
                 interval: explorer.current_interval(),
-            }) else {
+            }]) else {
                 break 'units;
             };
             report.checkpoint_ops += 1;
-            match ack {
-                Response::UpdateAck { interval, cutoff } => {
-                    explorer.intersect_with(&interval);
-                    if let Some(c) = cutoff {
-                        explorer.observe_external_cutoff(c);
-                    }
-                }
-                Response::Terminate => break 'units,
-                other => unreachable!("unexpected update response: {other:?}"),
+            if !adopt_update_ack(responses.pop(), &mut explorer) {
+                break 'units;
             }
+            slices_since_contact = 0;
+            last_contact = Instant::now();
         }
 
         report.consumed += &explorer.position().saturating_sub(&unit_start_position);
@@ -633,4 +801,24 @@ fn worker_loop<P: Problem>(
     }
     report.wall = thread_start.elapsed();
     report
+}
+
+/// Folds an update-style ack into the explorer: adopt the intersected
+/// interval, observe the cutoff. `false` means the unit loop must end
+/// (termination reply, or the transport died).
+fn adopt_update_ack<P: Problem>(
+    response: Option<Response>,
+    explorer: &mut IntervalExplorer<'_, P>,
+) -> bool {
+    match response {
+        Some(Response::UpdateAck { interval, cutoff }) => {
+            explorer.intersect_with(&interval);
+            if let Some(c) = cutoff {
+                explorer.observe_external_cutoff(c);
+            }
+            true
+        }
+        Some(Response::Terminate) | None => false,
+        Some(other) => unreachable!("unexpected update response: {other:?}"),
+    }
 }

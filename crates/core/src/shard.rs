@@ -75,6 +75,12 @@ pub struct ShardRouter {
     /// interval is between shards. Each half is maintained under the
     /// owning shard's lock on every transition.
     state: AtomicU64,
+    /// Lock-acquiring coordinator contacts served: one per
+    /// [`ShardRouter::handle`] call, one per shard *run* of a
+    /// [`ShardRouter::handle_bundle`] call (however many requests the
+    /// run folded), one per steal-retry re-contact. `contacts` versus
+    /// `stats().updates + …` is exactly the amortization batching buys.
+    contacts: AtomicU64,
     /// Held for reading across each steal (concurrent steals are fine)
     /// and for writing by [`ShardRouter::snapshot`], `clone` and
     /// [`ShardRouter::check_invariants`]: while the write side is held,
@@ -109,6 +115,7 @@ impl Clone for ShardRouter {
             root: self.root.clone(),
             shards,
             state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
+            contacts: AtomicU64::new(self.contacts.load(Ordering::Relaxed)),
             steal_gate: RwLock::new(()),
             steals: AtomicU64::new(self.steals.load(Ordering::Relaxed)),
         }
@@ -178,6 +185,7 @@ impl ShardRouter {
             root,
             shards,
             state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
+            contacts: AtomicU64::new(0),
             steal_gate: RwLock::new(()),
             steals: AtomicU64::new(0),
         })
@@ -227,31 +235,20 @@ impl ShardRouter {
         let ShardEnvelope { shard, request } = envelope;
         let home = shard.0 as usize;
         assert!(home < self.shards.len(), "envelope for unknown shard");
+        self.contacts.fetch_add(1, Ordering::Relaxed);
         match request {
             // Only work requests can draw a local Terminate and loop
             // through the steal path; re-issuing one costs two u64
             // copies. Everything else goes through by value, so the hot
             // update path never clones its Interval.
-            request @ (Request::Join { .. } | Request::RequestWork { .. }) => loop {
+            request @ (Request::Join { .. } | Request::RequestWork { .. }) => {
                 let response = self.handle_on(home, request.clone(), now_ns);
                 if let Response::Terminate = response {
-                    if self.is_terminated() {
-                        return Response::Terminate;
-                    }
-                    if self.steal_into(home) {
-                        continue;
-                    }
-                    // Nothing stealable: either the work we saw finished
-                    // concurrently (termination) or the endgame intervals
-                    // are all in their holders' hands (retry shortly).
-                    return if self.is_terminated() {
-                        Response::Terminate
-                    } else {
-                        Response::Retry
-                    };
+                    self.resolve_drained(home, request, now_ns)
+                } else {
+                    response
                 }
-                return response;
-            },
+            }
             Request::ReportSolution { worker, solution } => {
                 let broadcast = solution.clone();
                 let response =
@@ -259,8 +256,135 @@ impl ShardRouter {
                 self.broadcast_solution(home, &broadcast);
                 response
             }
+            Request::UpdateAndReport {
+                worker,
+                interval,
+                solution,
+            } => {
+                let broadcast = solution.clone();
+                let response = self.handle_on(
+                    home,
+                    Request::UpdateAndReport {
+                        worker,
+                        interval,
+                        solution,
+                    },
+                    now_ns,
+                );
+                if let Some(solution) = broadcast {
+                    self.broadcast_solution(home, &solution);
+                }
+                response
+            }
             request => self.handle_on(home, request, now_ns),
         }
+    }
+
+    /// Serves an already-routed **bundle** in one pass: the envelopes
+    /// are grouped by home shard (stably — per-shard request order is
+    /// bundle order) and each shard's group is folded through
+    /// [`Coordinator::apply_batch`] under **one lock acquisition per
+    /// shard per bundle** (plus one re-acquisition per drained-shard
+    /// steal, a rare endgame event). Responses come back **in input
+    /// order**, each stamped with the shard that served it.
+    ///
+    /// Semantics are pinned by a property test: the outcome — responses
+    /// *and* coordinator state — is identical to delivering the
+    /// bundle's requests one at a time through
+    /// [`ShardRouter::handle_envelope`] in grouped order (ascending
+    /// shard, per-shard bundle order). At `S = 1` grouping is the
+    /// identity, so a bundle is exactly its sequential replay.
+    /// [`Response::Retry`] can appear inside a bundle reply exactly
+    /// where sequential delivery would produce it: a work request whose
+    /// home shard drained mid-bundle while every other shard's
+    /// remaining interval is held and unsplittable.
+    ///
+    /// Solutions carried by the bundle ([`Request::ReportSolution`] /
+    /// [`Request::UpdateAndReport`]) are merged into their home shard
+    /// in place and broadcast to the other shards between shard runs,
+    /// so every later-run shard hands out cutoffs at least as tight as
+    /// sequential delivery would.
+    pub fn handle_bundle(
+        &self,
+        bundle: Vec<ShardEnvelope>,
+        now_ns: u64,
+    ) -> Vec<(ShardId, Response)> {
+        let total = bundle.len();
+        let mut groups: Vec<Vec<(usize, Request)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, envelope) in bundle.into_iter().enumerate() {
+            let home = envelope.shard.0 as usize;
+            assert!(home < self.shards.len(), "envelope for unknown shard");
+            groups[home].push((pos, envelope.request));
+        }
+        let mut out: Vec<Option<(ShardId, Response)>> = (0..total).map(|_| None).collect();
+        for (home, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let shard = ShardId(home as u32);
+            // The best solution the group carries, for the cross-shard
+            // broadcast after the run (merging only the minimum is
+            // state-equivalent to broadcasting each in turn).
+            let mut best_report: Option<Solution> = None;
+            for (_, request) in &group {
+                let solution = match request {
+                    Request::ReportSolution { solution, .. } => Some(solution),
+                    Request::UpdateAndReport {
+                        solution: Some(solution),
+                        ..
+                    } => Some(solution),
+                    _ => None,
+                };
+                if let Some(s) = solution {
+                    if best_report.as_ref().is_none_or(|b| s.cost < b.cost) {
+                        best_report = Some(s.clone());
+                    }
+                }
+            }
+            let (mut positions, requests): (Vec<usize>, Vec<Request>) = group.into_iter().unzip();
+            positions.reverse(); // pop() yields original order
+            let mut pending = requests;
+            loop {
+                self.contacts.fetch_add(1, Ordering::Relaxed);
+                let outcome = {
+                    let mut coordinator = self.shards[home].lock().expect("poisoned shard");
+                    let was_live = !coordinator.is_terminated();
+                    let outcome = coordinator.apply_batch(pending, now_ns);
+                    // An apply_batch can empty the shard (completions,
+                    // empty intersections) but never refill it, so the
+                    // whole run is at most one live→empty transition.
+                    if was_live && coordinator.is_terminated() {
+                        self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
+                    }
+                    outcome
+                };
+                for response in outcome.responses {
+                    let pos = positions.pop().expect("a position per response");
+                    out[pos] = Some((shard, response));
+                }
+                match outcome.stalled {
+                    None => break,
+                    Some((request, rest)) => {
+                        // The home shard drained mid-bundle: steal and
+                        // retry exactly like sequential delivery, then
+                        // resume the tail under a fresh lock.
+                        let response = self.resolve_drained(home, request, now_ns);
+                        let pos = positions.pop().expect("a position for the stalled request");
+                        out[pos] = Some((shard, response));
+                        if rest.is_empty() {
+                            break;
+                        }
+                        pending = rest;
+                    }
+                }
+            }
+            if let Some(solution) = best_report {
+                self.broadcast_solution(home, &solution);
+            }
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("a response for every envelope"))
+            .collect()
     }
 
     /// `true` iff every shard's `INTERVALS` is empty and no steal is in
@@ -290,6 +414,17 @@ impl ShardRouter {
     /// Successful cross-shard steals so far.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Lock-acquiring coordinator contacts served so far: single
+    /// requests count one each, a bundle counts one **per shard it
+    /// touches** (plus one per drained-shard steal retry). With
+    /// batching, `contacts()` grows far slower than the per-op protocol
+    /// counters in [`ShardRouter::stats`] — that gap is the amortized
+    /// lock traffic, and tests pin it (a bundle of N updates to one
+    /// shard moves `contacts` by exactly 1 and `updates` by N).
+    pub fn contacts(&self) -> u64 {
+        self.contacts.load(Ordering::Relaxed)
     }
 
     /// Protocol counters aggregated over all shards.
@@ -431,6 +566,36 @@ impl ShardRouter {
             self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
         }
         response
+    }
+
+    /// Continuation of a work request whose home shard answered
+    /// `Terminate`: steal into the shard and retry until the request is
+    /// served, the computation is globally over, or nothing is
+    /// stealable right now (endgame backpressure). Shared by the
+    /// single-request path and the bundle path, so a mid-bundle drain
+    /// resolves exactly like sequential delivery.
+    fn resolve_drained(&self, home: usize, request: Request, now_ns: u64) -> Response {
+        loop {
+            if self.is_terminated() {
+                return Response::Terminate;
+            }
+            if !self.steal_into(home) {
+                // Nothing stealable: either the work we saw finished
+                // concurrently (termination) or the endgame intervals
+                // are all in their holders' hands (retry shortly).
+                return if self.is_terminated() {
+                    Response::Terminate
+                } else {
+                    Response::Retry
+                };
+            }
+            self.contacts.fetch_add(1, Ordering::Relaxed);
+            let response = self.handle_on(home, request.clone(), now_ns);
+            match response {
+                Response::Terminate => continue,
+                response => return response,
+            }
+        }
     }
 
     /// Steals the largest donatable interval from the most loaded other

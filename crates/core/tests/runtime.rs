@@ -49,7 +49,11 @@ fn many_workers_match_sequential() {
             report.proven_optimum, expected,
             "{workers} workers diverged"
         );
-        assert!(report.coordinator_stats.work_allocations >= workers as u64);
+        // Under heavy test-host load (and with the combined
+        // update-and-report contact shaving per-slice round-trips) one
+        // worker may finish the tiny instance before the rest even
+        // join, so only ≥ 1 is guaranteed — as in the sharded sibling.
+        assert!(report.coordinator_stats.work_allocations >= 1);
     }
 }
 
@@ -143,6 +147,79 @@ fn all_workers_crash_then_rejoin_still_completes() {
     assert_eq!(report.proven_optimum, expected);
     let crashes: u64 = report.workers.iter().map(|w| w.crashes).sum();
     assert_eq!(crashes, 3);
+}
+
+#[test]
+fn coalescing_strictly_reduces_contacts() {
+    // One worker, fixed workload: the exploration is deterministic, so
+    // the per-slice contact count is too. Folding 8 slices per contact
+    // must strictly cut worker contacts while the proof stays exact.
+    let problem = FullEnumeration::new(8);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(1);
+    config.poll_nodes = 100;
+    let per_slice = run(&problem, &config);
+    let coalesced_config = config.clone().with_coalescing(8);
+    let coalesced = run(&problem, &coalesced_config);
+    assert_eq!(per_slice.proven_optimum, expected);
+    assert_eq!(coalesced.proven_optimum, expected);
+    assert!(
+        coalesced.total_contacts() < per_slice.total_contacts(),
+        "coalescing must reduce contacts: {} vs {}",
+        coalesced.total_contacts(),
+        per_slice.total_contacts()
+    );
+    // Sanity on the counters themselves: contacts include every unit
+    // request and every checkpoint contact.
+    assert!(per_slice.total_contacts() > per_slice.coordinator_stats.work_allocations);
+}
+
+#[test]
+fn coalesced_sharded_runtime_stays_exact() {
+    // Coalescing + combined update-and-report + work-request bundles
+    // across the direct-shard transport: the proof must stay exact and
+    // worker-side update counting must still match the coordinator's.
+    let problem = small_flowshop(55);
+    let expected = solve(&problem, None).best_cost;
+    for shards in [1usize, 4] {
+        let config = fast_config(4).with_shards(shards).with_coalescing(4);
+        let report = run(&problem, &config);
+        assert_eq!(
+            report.proven_optimum, expected,
+            "{shards} shards with coalescing diverged"
+        );
+        let updates: u64 = report.workers.iter().map(|w| w.checkpoint_ops).sum();
+        assert_eq!(updates, report.coordinator_stats.updates);
+    }
+}
+
+#[test]
+fn coalesced_runtime_survives_crashes() {
+    let problem = FullEnumeration::new(8);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(4).with_shards(4).with_coalescing(6);
+    config.poll_nodes = 200;
+    config.chaos = Some(ChaosConfig {
+        crashes: vec![
+            CrashPlan {
+                worker_index: 0,
+                after_nodes: 2_000,
+                rejoin: true,
+            },
+            CrashPlan {
+                worker_index: 2,
+                after_nodes: 5_000,
+                rejoin: false,
+            },
+        ],
+    });
+    let report = run(&problem, &config);
+    assert_eq!(
+        report.proven_optimum, expected,
+        "coalesced crashes lost work"
+    );
+    let crashes: u64 = report.workers.iter().map(|w| w.crashes).sum();
+    assert_eq!(crashes, 2);
 }
 
 #[test]

@@ -51,6 +51,19 @@ pub struct SimConfig {
     /// many independent coordinators with work stealing between them
     /// (1 = the paper's single farmer).
     pub shards: usize,
+    /// Checkpoint (update) operations delivered per coordinator
+    /// contact. At 1 (the paper's behavior) every periodic update is
+    /// its own simulator event and its own farmer contact; at `B > 1` a
+    /// worker explores `B` update periods per event and delivers the
+    /// `B` interval snapshots as **one** batched contact
+    /// ([`gridbnb_core::ShardRouter::handle_bundle`]) — the coordinator
+    /// still processes the paper's per-op contact *rates* (the
+    /// `updates` counter is comparable), but the simulator pays one
+    /// event and the farmer one lock acquisition per batch. The
+    /// effective batch is clamped so a worker's silence never exceeds
+    /// half the holder timeout (a longer window would get every healthy
+    /// batched worker expired mid-window by the sweep).
+    pub contact_batch: usize,
     /// Metrics sampling period (Figure 7 resolution).
     pub sample_period_s: f64,
     /// RNG seed for availability.
@@ -73,6 +86,7 @@ impl SimConfig {
             farmer_checkpoint_cost_s: 0.5,
             coordinator: CoordinatorConfig::default(),
             shards: 1,
+            contact_batch: 1,
             sample_period_s: 3_600.0,
             seed: 2006,
             max_sim_days: 400.0,
@@ -109,6 +123,11 @@ pub struct SimReport {
     /// Worker-side checkpoint (update) operations (paper: 4 094 176 in
     /// total with ~2 M by B&B processes).
     pub checkpoint_ops: u64,
+    /// Total coordinator contacts (lock-acquiring request or bundle
+    /// deliveries). At `contact_batch = 1` every protocol op is its own
+    /// contact; with batching this is the amortized — much smaller —
+    /// number the farmer actually serves.
+    pub contacts: u64,
     /// Farmer file checkpoints written.
     pub farmer_checkpoints: u64,
     /// Work allocations (paper: 129 958).
@@ -334,40 +353,91 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
                 if worker.done || !worker.online || worker.epoch != epoch {
                     continue;
                 }
-                // 1. Account the exploration slice that just ended.
+                // 1. Account the exploration slice that just ended,
+                //    keeping the pre-slice position so a batched
+                //    contact can reconstruct its periodic snapshots.
+                let prev_begin = worker.unit.as_ref().map(|u| u.live.begin().clone());
                 if worker.unit.is_some() {
                     let spent = apply_exploration(worker, workload, now);
                     explored_nodes += spent;
                 }
-                // 2. Choose the message.
+                // 2. Choose the message(s). Join and RequestWork are
+                //    termination-sensitive and always go out alone;
+                //    periodic checkpoints coalesce `contact_batch`
+                //    update periods into one batched contact.
                 let exhausted = match &worker.unit {
                     Some(u) => workload.nodes_between(u.u_pos, u.u_end) <= 0.0 || u.live.is_empty(),
                     None => true,
                 };
-                let request = if !worker.joined {
-                    Request::Join {
-                        worker: worker.id,
-                        power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
-                    }
-                } else if exhausted {
-                    Request::RequestWork {
-                        worker: worker.id,
-                        power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
-                    }
-                } else {
-                    checkpoint_ops += 1;
-                    Request::Update {
-                        worker: worker.id,
-                        interval: worker.unit.as_ref().expect("unit").live.clone(),
-                    }
-                };
-                worker.joined = true;
+                // Cap the batch so the extended silence stays within
+                // half the holder timeout — otherwise every batched
+                // worker would be expired mid-window by the sweep and
+                // its whole window of snapshots would hit empty acks
+                // (the runtime's max_silence clamp, sim-side).
+                let max_batch = (config.coordinator.holder_timeout_ns / 2)
+                    .checked_div(update_period_ns)
+                    .unwrap_or(1)
+                    .max(1);
+                let batch = (config.contact_batch.max(1) as u64).min(max_batch);
                 // 3. Farmer handles after the one-way latency.
                 let handle_at = now + worker.latency_ns;
-                farmer_busy_ns += service_ns;
-                let response = coordinator.handle(request, handle_at);
+                let service_total;
+                let response = if !worker.joined || exhausted {
+                    let request = if !worker.joined {
+                        Request::Join {
+                            worker: worker.id,
+                            power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
+                        }
+                    } else {
+                        Request::RequestWork {
+                            worker: worker.id,
+                            power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
+                        }
+                    };
+                    service_total = service_ns;
+                    coordinator.handle(request, handle_at)
+                } else if batch > 1 {
+                    // The slice spanned `batch` update periods; deliver
+                    // the periodic snapshots it would have sent — begin
+                    // interpolated from pre-slice to current position —
+                    // as one bundle: per-op farmer load is unchanged
+                    // (the paper's contact *rates* stay comparable),
+                    // but the simulator pays one event and the farmer
+                    // one lock acquisition.
+                    checkpoint_ops += batch;
+                    service_total = service_ns * batch;
+                    let unit = worker.unit.as_ref().expect("unit");
+                    let prev = prev_begin.expect("pre-slice begin of a held unit");
+                    let advanced = unit.live.begin().saturating_sub(&prev);
+                    let end = unit.live.end().clone();
+                    let bundle: Vec<_> = (1..=batch)
+                        .map(|i| {
+                            let begin = prev.add(&advanced.mul_div_floor(i, batch));
+                            coordinator.envelope(Request::Update {
+                                worker: worker.id,
+                                interval: Interval::new(begin, end.clone()),
+                            })
+                        })
+                        .collect();
+                    let mut responses = coordinator.handle_bundle(bundle, handle_at);
+                    // The last ack reflects the final snapshot — the
+                    // worker's authoritative post-contact state.
+                    responses.pop().expect("a response per envelope").1
+                } else {
+                    checkpoint_ops += 1;
+                    service_total = service_ns;
+                    coordinator.handle(
+                        Request::Update {
+                            worker: worker.id,
+                            interval: worker.unit.as_ref().expect("unit").live.clone(),
+                        },
+                        handle_at,
+                    )
+                };
+                worker.joined = true;
+                farmer_busy_ns += service_total;
                 // 4. Worker resumes after the reply latency.
-                let resume_at = handle_at + service_ns + worker.latency_ns;
+                let resume_at = handle_at + service_total + worker.latency_ns;
                 match response {
                     Response::Work { interval, .. } => {
                         let u_pos = workload.frac_of(interval.begin());
@@ -407,7 +477,12 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
                     Some(u) => {
                         let available = workload.nodes_between(u.u_pos, u.u_end);
                         let need_s = available / worker.rate_nodes_per_s.max(1e-9);
-                        ((need_s * 1e9) as u64).min(update_period_ns).max(1)
+                        // With batching the worker stays silent for
+                        // `batch` update periods and reports them all
+                        // at the next contact.
+                        ((need_s * 1e9) as u64)
+                            .min(update_period_ns.saturating_mul(batch))
+                            .max(1)
                     }
                     // No unit (fully stolen): ask again immediately.
                     None => 1,
@@ -502,6 +577,7 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
             0.0
         },
         checkpoint_ops,
+        contacts: coordinator.contacts(),
         farmer_checkpoints,
         work_allocations: coordinator.stats().work_allocations,
         explored_nodes,

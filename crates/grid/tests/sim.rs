@@ -129,6 +129,57 @@ fn sharded_sim_is_deterministic_given_seed() {
 }
 
 #[test]
+fn batched_contacts_strictly_reduce_contacts() {
+    // Same pool, same workload, same seed: delivering checkpoints in
+    // batches of 4 must strictly cut the number of coordinator contacts
+    // while the run still terminates and covers the whole workload.
+    let (config, workload) = small_sim(2e8, 42);
+    let per_request = simulate(&config, &workload);
+    let mut batched_config = config;
+    batched_config.contact_batch = 4;
+    let batched = simulate(&batched_config, &workload);
+    assert!(per_request.completed && batched.completed);
+    assert!(
+        batched.explored_nodes >= workload.total_nodes() * 0.999,
+        "batched run lost work"
+    );
+    assert!(
+        batched.contacts < per_request.contacts,
+        "batching must reduce contacts: {} vs {}",
+        batched.contacts,
+        per_request.contacts
+    );
+    // The per-op update load the farmer processes stays in the paper's
+    // regime (each batched contact still carries its period's updates),
+    // so batching amortizes contacts without hiding protocol work.
+    assert!(batched.checkpoint_ops > 0);
+    assert!(
+        batched.contacts < batched.checkpoint_ops + batched.work_allocations,
+        "contacts should undercut per-op traffic: {} vs {}",
+        batched.contacts,
+        batched.checkpoint_ops + batched.work_allocations
+    );
+}
+
+#[test]
+fn batched_sharded_sim_completes() {
+    let (mut config, workload) = small_sim(2e8, 42);
+    config.shards = 4;
+    config.contact_batch = 8;
+    let report = simulate(&config, &workload);
+    assert!(report.completed, "batched sharded run did not terminate");
+    assert!(
+        report.explored_nodes >= workload.total_nodes() * 0.999,
+        "batched sharded run lost work"
+    );
+    assert_eq!(
+        report.coordinator_stats.steals_donated,
+        report.coordinator_stats.steals_adopted
+    );
+    assert!(report.contacts < report.coordinator_stats.updates + report.work_allocations);
+}
+
+#[test]
 #[should_panic(expected = "invalid sim coordinator config")]
 fn invalid_sim_config_fails_fast() {
     let (mut config, workload) = small_sim(1e8, 5);

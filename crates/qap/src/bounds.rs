@@ -128,15 +128,13 @@ pub fn gilmore_lawler_bound(
 ) -> u64 {
     let n = instance.n();
     let placed = placement.len();
-    let u = n - placed;
-    if u == 0 {
+    if placed == n {
         return base_cost;
     }
-    let free: Vec<usize> = (0..n).filter(|l| used & (1 << l) == 0).collect();
-    debug_assert_eq!(free.len(), u);
-
-    // Sorted out-flow rows (ascending), one per unplaced facility.
-    let mut flow_rows: Vec<Vec<u64>> = Vec::with_capacity(u);
+    // Sorted out-flow rows (ascending), one per unplaced facility —
+    // the reference (re-sorting) construction of what [`GlRowCache`]
+    // precomputes; a property test pins the two bounds identical.
+    let mut flow_rows: Vec<Vec<u64>> = Vec::with_capacity(n - placed);
     for i in placed..n {
         let mut row: Vec<u64> = (placed..n)
             .filter(|&j| j != i)
@@ -145,7 +143,89 @@ pub fn gilmore_lawler_bound(
         row.sort_unstable();
         flow_rows.push(row);
     }
-    // Sorted distance rows (descending), one per free location.
+    gl_with_rows(instance, placement, used, base_cost, &flow_rows)
+}
+
+/// Per-depth, per-facility ascending-sorted out-flow rows, computed
+/// **once** per instance ([`GlRowCache::new`]) and reused by every
+/// Gilmore–Lawler evaluation — instead of re-sorting the same flow
+/// rows at every node of the search.
+///
+/// The cache keys on the search's placement convention: facility `d`
+/// is placed at depth `d`, so the unplaced set at depth `d` is always
+/// the suffix `d..n` and the row a GL evaluation needs for facility
+/// `i ≥ d` is `sort↑(flow(i, ·) over (d..n) ∖ {i})` — a pure function
+/// of `(d, i)`. For `n ≤ 24` the whole table is ≤ ~106 KiB.
+#[derive(Clone, Debug)]
+pub struct GlRowCache {
+    /// `rows[d][i - d]` = the sorted out-flow row of facility `i` at
+    /// depth `d` (length `n - d - 1`).
+    rows: Vec<Vec<Vec<u64>>>,
+}
+
+impl GlRowCache {
+    /// Precomputes every depth's rows for `instance`.
+    pub fn new(instance: &QapInstance) -> Self {
+        let n = instance.n();
+        let rows = (0..n)
+            .map(|d| {
+                (d..n)
+                    .map(|i| {
+                        let mut row: Vec<u64> = (d..n)
+                            .filter(|&j| j != i)
+                            .map(|j| instance.flow(i, j))
+                            .collect();
+                        row.sort_unstable();
+                        row
+                    })
+                    .collect()
+            })
+            .collect();
+        GlRowCache { rows }
+    }
+}
+
+/// [`gilmore_lawler_bound`] drawing its sorted out-flow rows from a
+/// [`GlRowCache`] instead of re-sorting them — identical values
+/// (property-tested), O(u² log u) less sorting per node. `placement`
+/// must follow the cache's convention: facility `d` placed at depth
+/// `d` (the search's invariant).
+pub fn gilmore_lawler_bound_cached(
+    instance: &QapInstance,
+    cache: &GlRowCache,
+    placement: &[u16],
+    used: u64,
+    base_cost: u64,
+) -> u64 {
+    let placed = placement.len();
+    if placed == instance.n() {
+        return base_cost;
+    }
+    // The cached rows go in borrowed as-is: no per-node adapter
+    // allocation on the search's hottest path.
+    gl_with_rows(instance, placement, used, base_cost, &cache.rows[placed])
+}
+
+/// The shared Gilmore–Lawler core: distance rows, the per-pair cost
+/// matrix and the LAP solve, over caller-provided sorted out-flow rows
+/// (`flow_rows[k]` belongs to unplaced facility `placed + k`).
+fn gl_with_rows<R: AsRef<[u64]>>(
+    instance: &QapInstance,
+    placement: &[u16],
+    used: u64,
+    base_cost: u64,
+    flow_rows: &[R],
+) -> u64 {
+    let n = instance.n();
+    let placed = placement.len();
+    let u = n - placed;
+    debug_assert_eq!(flow_rows.len(), u);
+    let free: Vec<usize> = (0..n).filter(|l| used & (1 << l) == 0).collect();
+    debug_assert_eq!(free.len(), u);
+
+    // Sorted distance rows (descending), one per free location. These
+    // depend on the free-location *subset* (2ⁿ possibilities), so they
+    // are rebuilt per node — the out-flow rows were the cacheable half.
     let mut dist_rows: Vec<Vec<u64>> = Vec::with_capacity(u);
     for &a in &free {
         let mut row: Vec<u64> = free
@@ -166,6 +246,7 @@ pub fn gilmore_lawler_bound(
                     + instance.flow(i, k) * instance.dist(a, loc as usize);
             }
             c += flow_rows[ii]
+                .as_ref()
                 .iter()
                 .zip(&dist_rows[aa])
                 .map(|(f, d)| f * d)

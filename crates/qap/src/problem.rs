@@ -2,7 +2,7 @@
 //! interval-coded search tree: depth `d` of the permutation tree assigns
 //! facility `d` to the `rank`-th still-free location.
 
-use crate::bounds::{gilmore_lawler_bound, screen_bound, Bound};
+use crate::bounds::{gilmore_lawler_bound_cached, screen_bound, Bound, GlRowCache};
 use crate::instance::QapInstance;
 use gridbnb_coding::TreeShape;
 use gridbnb_engine::Problem;
@@ -12,6 +12,10 @@ use gridbnb_engine::Problem;
 pub struct QapProblem {
     instance: QapInstance,
     bound: Bound,
+    /// Per-depth sorted out-flow rows, precomputed once so no GL
+    /// evaluation ever re-sorts a flow row (the search places facility
+    /// `d` at depth `d`, which is exactly the cache's convention).
+    gl_rows: GlRowCache,
 }
 
 /// Search state: partial placement and running interaction cost.
@@ -28,7 +32,12 @@ pub struct QapState {
 impl QapProblem {
     /// Binds an instance with the given bounding tier.
     pub fn new(instance: QapInstance, bound: Bound) -> Self {
-        QapProblem { instance, bound }
+        let gl_rows = GlRowCache::new(&instance);
+        QapProblem {
+            instance,
+            bound,
+            gl_rows,
+        }
     }
 
     /// Binds with the default (Gilmore–Lawler) bound.
@@ -136,25 +145,39 @@ impl Problem for QapProblem {
             Bound::Screen => screen_bound(&self.instance, &state.placement, state.used, state.cost),
             // Without a cutoff there is nothing to screen against, so
             // the tiered bound degenerates to its strongest tier.
-            Bound::GilmoreLawler | Bound::Tiered => {
-                gilmore_lawler_bound(&self.instance, &state.placement, state.used, state.cost)
-            }
+            Bound::GilmoreLawler | Bound::Tiered => gilmore_lawler_bound_cached(
+                &self.instance,
+                &self.gl_rows,
+                &state.placement,
+                state.used,
+                state.cost,
+            ),
         }
     }
 
     fn lower_bound_against(&self, state: &QapState, cutoff: u64) -> u64 {
         match self.bound {
             Bound::Screen => screen_bound(&self.instance, &state.placement, state.used, state.cost),
-            Bound::GilmoreLawler => {
-                gilmore_lawler_bound(&self.instance, &state.placement, state.used, state.cost)
-            }
+            Bound::GilmoreLawler => gilmore_lawler_bound_cached(
+                &self.instance,
+                &self.gl_rows,
+                &state.placement,
+                state.used,
+                state.cost,
+            ),
             Bound::Tiered => {
                 let screen = screen_bound(&self.instance, &state.placement, state.used, state.cost);
                 if screen >= cutoff {
                     // The cheap tier already eliminates the subtree.
                     return screen;
                 }
-                gilmore_lawler_bound(&self.instance, &state.placement, state.used, state.cost)
+                gilmore_lawler_bound_cached(
+                    &self.instance,
+                    &self.gl_rows,
+                    &state.placement,
+                    state.used,
+                    state.cost,
+                )
             }
         }
     }

@@ -2,7 +2,9 @@
 //! against a permutation-enumeration oracle, and the bound tiers'
 //! admissibility and dominance contracts at arbitrary partial states.
 
-use gridbnb_qap::bounds::{gilmore_lawler_bound, screen_bound};
+use gridbnb_qap::bounds::{
+    gilmore_lawler_bound, gilmore_lawler_bound_cached, screen_bound, GlRowCache,
+};
 use gridbnb_qap::lap::solve_lap;
 use gridbnb_qap::QapInstance;
 use proptest::prelude::*;
@@ -147,5 +149,32 @@ proptest! {
         prop_assert!(screen <= exact, "screen {} > exact {}", screen, exact);
         prop_assert!(gl <= exact, "GL {} > exact {}", gl, exact);
         prop_assert!(gl >= screen, "GL {} below screen {}", gl, screen);
+    }
+
+    /// The precomputed-row Gilmore–Lawler (what the search runs) is
+    /// value-identical to the re-sorting reference at every depth of
+    /// arbitrary instances — grid and line families alike.
+    #[test]
+    fn cached_gl_rows_give_identical_bounds(
+        n in 4usize..9,
+        seed in proptest::arbitrary::any::<u64>(),
+        grid in proptest::arbitrary::any::<bool>(),
+    ) {
+        let instance = if grid && n >= 6 {
+            QapInstance::nugent_style(2, n / 2, seed)
+        } else {
+            QapInstance::random(n, seed)
+        };
+        let cache = GlRowCache::new(&instance);
+        let n = instance.n();
+        for depth in 0..=n {
+            let (placement, used, base) = random_prefix(&instance, depth, seed ^ 0x6C0B);
+            let fresh = gilmore_lawler_bound(&instance, &placement, used, base);
+            let cached = gilmore_lawler_bound_cached(&instance, &cache, &placement, used, base);
+            prop_assert_eq!(
+                fresh, cached,
+                "cached GL diverged at depth {} of {:?}", depth, placement
+            );
+        }
     }
 }
