@@ -1,0 +1,312 @@
+//! Cross-worker contact gateway: many workers' request batches merged
+//! into shared per-shard bundles.
+//!
+//! PR 4's coalescing lets one worker fold its *own* requests into a
+//! bundle, but every worker still pays its own
+//! [`ShardRouter::handle_bundle`] call — one lock acquisition per shard
+//! it touches. With `W` workers and `S ≪ W` shards, the same shard's
+//! lock is taken up to `W/S` times per contact window for work that
+//! [`crate::Coordinator::apply_batch`] could fold in one pass (it
+//! already accepts mixed-worker groups). The [`ContactGateway`] adds the
+//! missing collection tier:
+//!
+//! ```text
+//!   w0 ─┐                                  ┌─ shard 0 (1 lock/flush)
+//!   w1 ─┤   submit(Vec<Request>)           ├─ shard 1 (1 lock/flush)
+//!   ..  ├─► gateway buffer ──── flush ────►│     ...
+//!   w15─┘   (size / deadline /             └─ shard S-1
+//!            termination-sensitive)
+//! ```
+//!
+//! * **Submission** — [`ContactGateway::submit`] stamps each request
+//!   with its home shard and appends the batch to a shared buffer; the
+//!   calling worker blocks until a flush serves it. Because a worker's
+//!   requests all hash to the same home shard, a submission never
+//!   straddles shards.
+//! * **Flush triggers** — a flush fires when the buffer reaches the
+//!   policy's fan-in (size), when the oldest submission has waited
+//!   longer than the policy's delay ([`ContactGateway::flush_stale`],
+//!   driven by the runtime's supervisor), when a submission carries a
+//!   termination-sensitive request (`Join` / `RequestWork` / `Leave` —
+//!   deferring one could stall the endgame behind an idle deadline), or
+//!   when the router is already terminated (never strand a late
+//!   submitter). Empty flushes are free: no router contact, no work.
+//! * **Flush execution** — the buffered submissions are concatenated
+//!   (arrival order, each submission's internal order preserved) into
+//!   one [`ShardRouter::handle_bundle`] call: one lock acquisition per
+//!   *touched shard* per flush, however many workers contributed. The
+//!   responses come back in input order and are routed to each
+//!   submitting worker over its reply channel, in its request order.
+//!
+//! Semantics are pinned by the property oracle in
+//! `tests/gateway_props.rs`: a flush's outcome — every worker's
+//! responses and the router state left behind — is identical to
+//! replaying each submission through its own `handle_bundle` call,
+//! submissions ordered by (home shard ascending, arrival order). That
+//! replay order is exactly the grouped order `handle_bundle` already
+//! guarantees for one combined bundle, so the gateway inherits the
+//! batch oracle's guarantees (steal-and-retry at the sequential point,
+//! endgame `Retry` in place, best-of-group solution broadcasts between
+//! shard runs) without new coordinator code.
+//!
+//! The same aggregation exists event-driven in the grid simulator
+//! (`SimConfig::gateway_fan_in`): per-shard queues collect many
+//! simulated workers' update snapshots and deliver each queue as one
+//! shared bundle per flush event.
+
+use crate::{Request, Response, ShardEnvelope, ShardRouter};
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Mutex;
+
+/// Fan-in policy of a [`ContactGateway`].
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayPolicy {
+    /// Buffered request (envelope) count that triggers a size flush —
+    /// the fan-in the gateway tries to aggregate per shared bundle.
+    /// Clamped to ≥ 1 (1 degenerates to per-submission delivery).
+    pub fan_in: usize,
+    /// Deadline flush: the oldest buffered submission never waits
+    /// longer than this (injected-clock nanoseconds). A submitting
+    /// worker is silent towards the coordinator while it waits, so this
+    /// must stay well below
+    /// [`crate::CoordinatorConfig::holder_timeout_ns`] — the runtime
+    /// asserts it.
+    pub max_delay_ns: u64,
+}
+
+impl GatewayPolicy {
+    /// A policy flushing at `fan_in` buffered requests or after
+    /// `max_delay_ns`, whichever comes first.
+    pub fn new(fan_in: usize, max_delay_ns: u64) -> Self {
+        GatewayPolicy {
+            fan_in: fan_in.max(1),
+            max_delay_ns: max_delay_ns.max(1),
+        }
+    }
+}
+
+/// Aggregation counters of one [`ContactGateway`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Worker batches submitted.
+    pub submissions: u64,
+    /// Requests those batches carried.
+    pub requests: u64,
+    /// Non-empty flushes executed (empty flushes are free and not
+    /// counted — there is nothing they could have amortized).
+    pub flushes: u64,
+    /// Flushes triggered by the fan-in size threshold.
+    pub size_flushes: u64,
+    /// Flushes forced by a termination-sensitive request.
+    pub sensitive_flushes: u64,
+    /// Flushes forced by the deadline ([`ContactGateway::flush_stale`]).
+    pub deadline_flushes: u64,
+    /// Unconditional flushes ([`ContactGateway::flush_now`], and
+    /// submissions arriving after global termination).
+    pub forced_flushes: u64,
+    /// Requests in the largest shared bundle flushed so far.
+    pub largest_bundle: u64,
+}
+
+/// Why a flush fired (internal; tallied into [`GatewayStats`]).
+#[derive(Clone, Copy, Debug)]
+enum FlushCause {
+    Size,
+    Sensitive,
+    Deadline,
+    Forced,
+}
+
+/// One worker's buffered batch, with the channel its responses go back
+/// over.
+#[derive(Debug)]
+struct PendingSubmission {
+    envelopes: Vec<ShardEnvelope>,
+    reply: Sender<Vec<Response>>,
+}
+
+#[derive(Debug, Default)]
+struct Buffer {
+    pending: Vec<PendingSubmission>,
+    /// Total envelopes across `pending`.
+    buffered: usize,
+    /// Injected-clock stamp of the oldest pending submission.
+    oldest_ns: u64,
+    stats: GatewayStats,
+}
+
+/// The shared collection tier in front of a [`ShardRouter`]: many
+/// workers submit request batches, the gateway flushes them as combined
+/// bundles (see the module docs for triggers and semantics).
+///
+/// All methods take `&self`; the buffer lives behind one mutex that is
+/// held across the flush's `handle_bundle` call, so a submission can
+/// never slip in between the buffer swap and the router contact and be
+/// silently skipped by a final flush. Submitters that don't trigger a
+/// flush only hold the lock long enough to append.
+#[derive(Debug)]
+pub struct ContactGateway<'r> {
+    router: &'r ShardRouter,
+    policy: GatewayPolicy,
+    inner: Mutex<Buffer>,
+}
+
+impl<'r> ContactGateway<'r> {
+    /// A gateway collecting contacts for `router` under `policy`.
+    pub fn new(router: &'r ShardRouter, policy: GatewayPolicy) -> Self {
+        ContactGateway {
+            router,
+            policy: GatewayPolicy::new(policy.fan_in, policy.max_delay_ns),
+            inner: Mutex::new(Buffer::default()),
+        }
+    }
+
+    /// The router this gateway flushes into.
+    pub fn router(&self) -> &ShardRouter {
+        self.router
+    }
+
+    /// The active fan-in policy.
+    pub fn policy(&self) -> &GatewayPolicy {
+        &self.policy
+    }
+
+    /// Requests currently buffered (waiting for a flush).
+    pub fn buffered(&self) -> usize {
+        self.inner.lock().expect("poisoned gateway").buffered
+    }
+
+    /// A copy of the aggregation counters.
+    pub fn stats(&self) -> GatewayStats {
+        self.inner.lock().expect("poisoned gateway").stats
+    }
+
+    /// Submits one worker's request batch at injected time `now_ns` and
+    /// blocks until a flush serves it, returning one response per
+    /// request in request order. An empty batch returns an empty reply
+    /// without touching the buffer.
+    ///
+    /// The calling thread itself executes the flush when its submission
+    /// trips a trigger; otherwise it parks on its reply channel until a
+    /// later submitter, the deadline sweep ([`ContactGateway::flush_stale`])
+    /// or a final [`ContactGateway::flush_now`] serves it.
+    pub fn submit(&self, requests: Vec<Request>, now_ns: u64) -> Vec<Response> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let sensitive = requests.iter().any(|r| {
+            matches!(
+                r,
+                Request::Join { .. } | Request::RequestWork { .. } | Request::Leave { .. }
+            )
+        });
+        let envelopes: Vec<ShardEnvelope> = requests
+            .into_iter()
+            .map(|r| self.router.envelope(r))
+            .collect();
+        let count = envelopes.len();
+        let (tx, rx) = unbounded::<Vec<Response>>();
+        {
+            let mut buffer = self.inner.lock().expect("poisoned gateway");
+            if buffer.pending.is_empty() {
+                buffer.oldest_ns = now_ns;
+            }
+            buffer.stats.submissions += 1;
+            buffer.stats.requests += count as u64;
+            buffer.buffered += count;
+            buffer.pending.push(PendingSubmission {
+                envelopes,
+                reply: tx,
+            });
+            // Trigger order mirrors urgency: a termination-sensitive
+            // request must go out now whatever the buffer holds; a full
+            // buffer flushes by size; a terminated router never buffers
+            // (nobody may come along later to flush a late straggler).
+            let cause = if sensitive {
+                Some(FlushCause::Sensitive)
+            } else if buffer.buffered >= self.policy.fan_in {
+                Some(FlushCause::Size)
+            } else if self.router.is_terminated() {
+                Some(FlushCause::Forced)
+            } else {
+                None
+            };
+            if let Some(cause) = cause {
+                self.flush_locked(&mut buffer, now_ns, cause);
+            }
+        }
+        // A closed channel means the gateway was torn down with the
+        // submission unflushed; answer like a dead transport (the
+        // worker loop treats an empty reply as termination).
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Flushes iff the oldest buffered submission has waited at least
+    /// the policy delay at `now_ns` — the deadline trigger, driven
+    /// periodically by the runtime's supervisor thread. Returns whether
+    /// a flush happened. An empty buffer is free: no lock beyond the
+    /// check, no router contact.
+    pub fn flush_stale(&self, now_ns: u64) -> bool {
+        let mut buffer = self.inner.lock().expect("poisoned gateway");
+        if buffer.pending.is_empty()
+            || now_ns.saturating_sub(buffer.oldest_ns) < self.policy.max_delay_ns
+        {
+            return false;
+        }
+        self.flush_locked(&mut buffer, now_ns, FlushCause::Deadline)
+    }
+
+    /// Unconditionally flushes whatever is buffered (the supervisor's
+    /// final sweep before it exits, so no blocked submitter is ever
+    /// stranded). Returns whether anything was flushed; an empty buffer
+    /// is free.
+    pub fn flush_now(&self, now_ns: u64) -> bool {
+        let mut buffer = self.inner.lock().expect("poisoned gateway");
+        self.flush_locked(&mut buffer, now_ns, FlushCause::Forced)
+    }
+
+    /// Concatenates the pending submissions into one shared bundle,
+    /// serves it through the router, and routes each slice of the reply
+    /// back to its submitter. Called with the buffer lock held, so a
+    /// concurrent submission either made it into this flush or observes
+    /// the emptied buffer — never neither.
+    fn flush_locked(&self, buffer: &mut Buffer, now_ns: u64, cause: FlushCause) -> bool {
+        if buffer.pending.is_empty() {
+            // An empty flush is free: no contact is counted anywhere
+            // (pinned by a unit test alongside the router's own
+            // empty-bundle guard).
+            return false;
+        }
+        let pending = std::mem::take(&mut buffer.pending);
+        let mut bundle = Vec::with_capacity(buffer.buffered);
+        buffer.buffered = 0;
+        let mut splits: Vec<(usize, Sender<Vec<Response>>)> = Vec::with_capacity(pending.len());
+        let mut total = 0usize;
+        for submission in pending {
+            total += submission.envelopes.len();
+            splits.push((submission.envelopes.len(), submission.reply));
+            bundle.extend(submission.envelopes);
+        }
+        let mut responses = self.router.handle_bundle(bundle, now_ns).into_iter();
+        for (len, reply) in splits {
+            let slice: Vec<Response> = responses
+                .by_ref()
+                .take(len)
+                .map(|(_, response)| response)
+                .collect();
+            debug_assert_eq!(slice.len(), len, "a response per submitted request");
+            // A dropped receiver (the submitter crashed between send
+            // and reply) is fine — the coordinator effects stand.
+            let _ = reply.send(slice);
+        }
+        buffer.stats.flushes += 1;
+        buffer.stats.largest_bundle = buffer.stats.largest_bundle.max(total as u64);
+        match cause {
+            FlushCause::Size => buffer.stats.size_flushes += 1,
+            FlushCause::Sensitive => buffer.stats.sensitive_flushes += 1,
+            FlushCause::Deadline => buffer.stats.deadline_flushes += 1,
+            FlushCause::Forced => buffer.stats.forced_flushes += 1,
+        }
+        true
+    }
+}

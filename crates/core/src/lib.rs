@@ -20,7 +20,11 @@
 //! range partitioned across `S` independent coordinators with
 //! WorkerId-hash routing, cross-shard work stealing and O(1) global
 //! termination detection — the same protocol surface, multiplied
-//! contact throughput (see the [`mod@shard`] module docs).
+//! contact throughput (see the [`mod@shard`] module docs). In front of
+//! the router, the optional [`ContactGateway`] aggregates *many*
+//! workers' request batches into shared per-shard bundles (see the
+//! [`mod@gateway`] module docs), so at `W ≫ S` the per-shard lock is
+//! taken once per flush instead of once per worker.
 //!
 //! Two executors drive the same coordinator (sharded or not):
 //!
@@ -37,6 +41,7 @@
 
 pub mod checkpoint;
 mod coordinator;
+pub mod gateway;
 mod protocol;
 pub mod runtime;
 pub mod shard;
@@ -45,6 +50,7 @@ pub use coordinator::{
     compare_len_per_power, compare_len_per_power_exact, BatchOutcome, ConfigError, Coordinator,
     CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
 };
+pub use gateway::{ContactGateway, GatewayPolicy, GatewayStats};
 pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
 pub use shard::ShardRouter;
 

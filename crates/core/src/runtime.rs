@@ -29,7 +29,8 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::{
-    Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response, ShardRouter, WorkerId,
+    ContactGateway, Coordinator, CoordinatorConfig, CoordinatorStats, GatewayPolicy, GatewayStats,
+    Request, Response, ShardRouter, WorkerId,
 };
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridbnb_bigint::UBig;
@@ -105,6 +106,16 @@ pub struct RuntimeConfig {
     pub poll_nodes: u64,
     /// Optional contact coalescing (`None` = contact every slice).
     pub coalesce: Option<CoalescePolicy>,
+    /// Optional cross-worker contact gateway (`None` = every worker
+    /// contacts its home shard directly). With a policy, workers submit
+    /// their request batches to a shared [`ContactGateway`] that merges
+    /// many workers' contacts into one bundle per flush — one lock
+    /// acquisition per *touched shard* per flush instead of one per
+    /// worker. Orthogonal to [`RuntimeConfig::coalesce`] (which folds
+    /// one worker's slices); the two compose. A gateway at `shards = 1`
+    /// runs through a single-shard [`ShardRouter`] (response-identical
+    /// to the bare coordinator, property-pinned).
+    pub gateway: Option<GatewayPolicy>,
     /// Coordinator knobs (threshold, timeout, initial upper bound).
     pub coordinator: CoordinatorConfig,
     /// Relative worker powers (cycled if shorter than `workers`);
@@ -124,6 +135,7 @@ impl RuntimeConfig {
             shards: 1,
             poll_nodes: 2_000,
             coalesce: None,
+            gateway: None,
             coordinator: CoordinatorConfig::default(),
             worker_powers: vec![100],
             checkpoint: None,
@@ -162,6 +174,19 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables the cross-worker contact gateway at `fan_in` buffered
+    /// requests per flush, with a deadline at an eighth of the holder
+    /// timeout. A worker waiting in the gateway is silent towards the
+    /// coordinator, so — like the coalescing deadline — the delay is
+    /// strictly proportional to the timeout: even stacked on a
+    /// coalescing window of a quarter timeout, total worker silence
+    /// stays well inside the expiry horizon.
+    pub fn with_gateway(mut self, fan_in: usize) -> Self {
+        let max_delay_ns = (self.coordinator.holder_timeout_ns / 8).max(1);
+        self.gateway = Some(GatewayPolicy::new(fan_in, max_delay_ns));
+        self
+    }
+
     /// Fails fast on out-of-contract configuration instead of letting
     /// the coordinator silently clamp it. Every run entry point calls
     /// this before building any coordinator state.
@@ -185,6 +210,17 @@ impl RuntimeConfig {
             assert!(
                 (policy.max_silence.as_nanos() as u64) < self.coordinator.holder_timeout_ns,
                 "coalesce.max_silence must stay below coordinator.holder_timeout_ns"
+            );
+        }
+        if let Some(policy) = &self.gateway {
+            assert!(policy.fan_in >= 1, "gateway.fan_in must be ≥ 1");
+            // A worker blocked in the gateway is not heartbeating; its
+            // wait must never approach the expiry horizon, or routing
+            // contacts through the gateway would get healthy workers
+            // expired (and their work redone) every flush window.
+            assert!(
+                policy.max_delay_ns < self.coordinator.holder_timeout_ns,
+                "gateway.max_delay_ns must stay below coordinator.holder_timeout_ns"
             );
         }
         if let Err(e) = self.coordinator.validate() {
@@ -235,6 +271,14 @@ pub struct RunReport {
     pub coordinator_stats: CoordinatorStats,
     /// Cross-shard work steals (0 on single-shard runs).
     pub steals: u64,
+    /// Lock-acquiring router contacts actually served
+    /// ([`ShardRouter::contacts`]); 0 on classic single-farmer runs
+    /// (the farmer channel has no shard locks to count). With a
+    /// gateway this is the amortized number — far below the workers'
+    /// own submission count ([`RunReport::total_contacts`]).
+    pub router_contacts: u64,
+    /// Gateway aggregation counters, when a gateway was configured.
+    pub gateway: Option<GatewayStats>,
     /// Per-worker outcomes.
     pub workers: Vec<WorkerReport>,
     /// Wall-clock duration of the whole run.
@@ -335,7 +379,10 @@ pub fn run<P: Problem>(problem: &P, config: &RuntimeConfig) -> RunReport {
 /// or the router and call [`run_with_router`]).
 pub fn run_on<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -> RunReport {
     config.assert_valid();
-    if config.shards > 1 {
+    // The gateway aggregates in front of a ShardRouter, so a gateway
+    // run at shards = 1 still takes the router path (response-identical
+    // to the bare coordinator, property-pinned).
+    if config.shards > 1 || config.gateway.is_some() {
         let router = ShardRouter::new(root, config.shards, config.coordinator.clone())
             .expect("invalid coordinator config");
         run_with_router(problem, router, config)
@@ -401,6 +448,8 @@ pub fn run_with_coordinator<P: Problem>(
         solution,
         coordinator_stats: *coordinator.stats(),
         steals: 0,
+        router_contacts: 0,
+        gateway: None,
         workers: worker_reports,
         wall: started.elapsed(),
         farmer_busy,
@@ -426,6 +475,10 @@ pub fn run_with_router<P: Problem>(
     let fresh_ids = AtomicU64::new(config.workers as u64);
     let workers_done = AtomicBool::new(false);
     let router = &router;
+    let gateway = config
+        .gateway
+        .map(|policy| ContactGateway::new(router, policy));
+    let gateway = gateway.as_ref();
 
     let mut worker_reports: Vec<WorkerReport> = Vec::new();
     let mut supervisor_out = (Duration::ZERO, 0u64);
@@ -433,7 +486,7 @@ pub fn run_with_router<P: Problem>(
     crossbeam::thread::scope(|scope| {
         let workers_done = &workers_done;
         let supervisor =
-            scope.spawn(move |_| supervisor_loop(router, config, started, workers_done));
+            scope.spawn(move |_| supervisor_loop(router, gateway, config, started, workers_done));
         let mut handles = Vec::new();
         for index in 0..config.workers {
             let fresh_ids = &fresh_ids;
@@ -446,6 +499,14 @@ pub fn run_with_router<P: Problem>(
             handles.push(scope.spawn(move |_| {
                 let send = move |mut requests: Vec<Request>| -> Option<Vec<Response>> {
                     let now_ns = started.elapsed().as_nanos() as u64;
+                    if let Some(gateway) = gateway {
+                        // The gateway merges this batch with other
+                        // workers' into a shared bundle; the call
+                        // blocks until a flush serves it. An empty
+                        // reply means the gateway was torn down —
+                        // worker_loop treats it like a dead transport.
+                        return Some(gateway.submit(requests, now_ns));
+                    }
                     if requests.len() == 1 {
                         let request = requests.pop().expect("one request");
                         Some(vec![router.handle(request, now_ns)])
@@ -491,6 +552,8 @@ pub fn run_with_router<P: Problem>(
         solution: router.solution(),
         coordinator_stats: router.stats(),
         steals: router.steals(),
+        router_contacts: router.contacts(),
+        gateway: gateway.map(|g| g.stats()),
         workers: worker_reports,
         wall: started.elapsed(),
         farmer_busy,
@@ -501,10 +564,15 @@ pub fn run_with_router<P: Problem>(
 
 /// Housekeeping for sharded runs: what the farmer loop did besides
 /// answering requests — expire stale holders (the recovery path for
-/// crashed workers) and write periodic checkpoints. Exits when the run
-/// terminates or every worker thread has returned.
+/// crashed workers), enforce the gateway's deadline flush (the trigger
+/// that guarantees liveness when every submitter is parked below the
+/// fan-in), and write periodic checkpoints. Exits when the run
+/// terminates or every worker thread has returned — after one final
+/// gateway flush, so no submitter blocked at that instant is stranded
+/// (later submitters see the terminated router and flush themselves).
 fn supervisor_loop(
     router: &ShardRouter,
+    gateway: Option<&ContactGateway>,
     config: &RuntimeConfig,
     started: Instant,
     workers_done: &AtomicBool,
@@ -512,12 +580,19 @@ fn supervisor_loop(
     let mut busy = Duration::ZERO;
     let mut checkpoints = 0u64;
     let mut last_checkpoint = Instant::now();
-    let tick = config
+    let mut tick = config
         .checkpoint
         .as_ref()
         .map(|p| p.every)
         .unwrap_or(Duration::from_millis(50))
         .min(Duration::from_millis(50));
+    if let Some(gateway) = gateway {
+        // Poll at least twice per gateway deadline, so a lone buffered
+        // submission waits at most ~1.5 deadlines in the worst case.
+        let poll =
+            Duration::from_nanos(gateway.policy().max_delay_ns / 2).max(Duration::from_millis(1));
+        tick = tick.min(poll);
+    }
     while !workers_done.load(Ordering::Acquire) && !router.is_terminated() {
         // Sleep until the earliest holder becomes expirable or the next
         // housekeeping tick, whichever is sooner.
@@ -529,6 +604,9 @@ fn supervisor_loop(
             .min(tick);
         std::thread::sleep(wait);
         let t0 = Instant::now();
+        if let Some(gateway) = gateway {
+            gateway.flush_stale(started.elapsed().as_nanos() as u64);
+        }
         router.expire_stale_holders(started.elapsed().as_nanos() as u64);
         if let Some(policy) = &config.checkpoint {
             if last_checkpoint.elapsed() >= policy.every {
@@ -538,6 +616,14 @@ fn supervisor_loop(
                 last_checkpoint = Instant::now();
             }
         }
+        busy += t0.elapsed();
+    }
+    // Final gateway sweep: whoever is parked in the buffer right now
+    // gets served; anyone submitting after this observes the
+    // terminated router inside `submit` and flushes inline.
+    if let Some(gateway) = gateway {
+        let t0 = Instant::now();
+        gateway.flush_now(started.elapsed().as_nanos() as u64);
         busy += t0.elapsed();
     }
     // Final checkpoint so a restart sees the terminal state.

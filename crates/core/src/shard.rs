@@ -309,6 +309,12 @@ impl ShardRouter {
         bundle: Vec<ShardEnvelope>,
         now_ns: u64,
     ) -> Vec<(ShardId, Response)> {
+        // An empty bundle — a gateway or coalescing tier flushing an
+        // empty buffer — is free: no shard is contacted, no contact is
+        // counted, nothing is allocated (pinned by a unit test).
+        if bundle.is_empty() {
+            return Vec::new();
+        }
         let total = bundle.len();
         let mut groups: Vec<Vec<(usize, Request)>> = vec![Vec::new(); self.shards.len()];
         for (pos, envelope) in bundle.into_iter().enumerate() {

@@ -1,0 +1,479 @@
+//! Unit tests of the cross-worker contact gateway: flush triggers,
+//! contact accounting of shared bundles, response routing, and the
+//! empty-flush guarantee.
+
+use gridbnb_core::{
+    ContactGateway, Coordinator, CoordinatorConfig, GatewayPolicy, Interval, Request, Response,
+    ShardRouter, Solution, UBig, WorkerId,
+};
+use std::time::{Duration, Instant};
+
+fn config() -> CoordinatorConfig {
+    CoordinatorConfig {
+        duplication_threshold: UBig::one(),
+        holder_timeout_ns: u64::MAX / 4, // expiry never interferes here
+        initial_upper_bound: Some(10_000),
+    }
+}
+
+fn router(total: u64, shards: usize) -> ShardRouter {
+    ShardRouter::new(
+        Interval::new(UBig::zero(), UBig::from(total)),
+        shards,
+        config(),
+    )
+    .unwrap()
+}
+
+/// The first `count` worker ids homed on `shard` (the Fibonacci-hash
+/// routing is deterministic, so scanning ids is exact).
+fn workers_on_shard(router: &ShardRouter, shard: u32, count: usize) -> Vec<WorkerId> {
+    (0..10_000u64)
+        .map(WorkerId)
+        .filter(|&w| router.route(w).0 == shard)
+        .take(count)
+        .collect()
+}
+
+/// Joins `worker` directly (not through the gateway) and returns its
+/// assigned interval.
+fn join(router: &ShardRouter, worker: WorkerId) -> Interval {
+    match router.handle(Request::Join { worker, power: 10 }, 0) {
+        Response::Work { interval, .. } => interval,
+        other => panic!("join failed: {other:?}"),
+    }
+}
+
+/// Spins until `cond` holds (5 s cap — generous for a couple of thread
+/// wake-ups, tiny against the suite).
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let t0 = Instant::now();
+    while !cond() {
+        assert!(t0.elapsed() < Duration::from_secs(5), "timed out: {what}");
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn empty_bundles_and_empty_flushes_are_free() {
+    let router = router(1_000, 3);
+    let w = workers_on_shard(&router, 0, 1)[0];
+    let live = join(&router, w);
+    let before = router.contacts();
+
+    // An empty bundle contacts no shard and counts no contact.
+    assert!(router.handle_bundle(Vec::new(), 5).is_empty());
+    assert_eq!(router.contacts(), before, "empty bundle counted a contact");
+
+    // An empty gateway flush — deadline sweep or final sweep with
+    // nothing buffered — is equally free. (Fan-in 1, so the later
+    // lone submission flushes itself instead of parking forever.)
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(1, 1_000));
+    assert!(!gateway.flush_stale(u64::MAX / 2));
+    assert!(!gateway.flush_now(9));
+    assert_eq!(router.contacts(), before, "empty flush counted a contact");
+    assert_eq!(gateway.stats().flushes, 0, "empty flushes must not count");
+
+    // A real flush afterwards still works and counts exactly once.
+    let responses = gateway.submit(
+        vec![Request::Update {
+            worker: w,
+            interval: live,
+        }],
+        10,
+    );
+    assert_eq!(responses.len(), 1);
+    assert_eq!(router.contacts(), before + 1);
+    assert_eq!(gateway.stats().flushes, 1);
+}
+
+#[test]
+fn shared_flush_counts_one_contact_per_touched_shard() {
+    let router = router(100_000, 2);
+    let on_zero = workers_on_shard(&router, 0, 3);
+    let on_one = workers_on_shard(&router, 1, 2);
+    let all: Vec<WorkerId> = on_zero.iter().chain(&on_one).copied().collect();
+    let intervals: Vec<Interval> = all.iter().map(|&w| join(&router, w)).collect();
+    let contacts_before = router.contacts();
+    let updates_before = router.stats().updates;
+
+    // Five workers, one update each, one gateway flush: the shared
+    // bundle touches two shards, so exactly two lock-acquiring
+    // contacts serve all five updates — the mixed-worker amortization
+    // per-worker bundling cannot reach (it would pay five).
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(5, u64::MAX / 2));
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (k, (&w, live)) in all.iter().zip(&intervals).enumerate() {
+            let gateway = &gateway;
+            let live = live.clone();
+            handles.push(scope.spawn(move || {
+                gateway.submit(
+                    vec![Request::Update {
+                        worker: w,
+                        interval: live,
+                    }],
+                    7,
+                )
+            }));
+            if k + 1 < all.len() {
+                wait_until("submission buffered", || gateway.buffered() == k + 1);
+            }
+        }
+        for handle in handles {
+            let responses = handle.join().unwrap();
+            assert_eq!(responses.len(), 1);
+            assert!(matches!(responses[0], Response::UpdateAck { .. }));
+        }
+    });
+    assert_eq!(
+        router.contacts(),
+        contacts_before + 2,
+        "one contact per touched shard"
+    );
+    assert_eq!(router.stats().updates, updates_before + 5);
+    let stats = gateway.stats();
+    assert_eq!(stats.submissions, 5);
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.flushes, 1);
+    assert_eq!(stats.size_flushes, 1);
+    assert_eq!(stats.largest_bundle, 5);
+}
+
+#[test]
+fn sensitive_submission_flushes_the_whole_buffer_immediately() {
+    let router = router(100_000, 2);
+    let updater = workers_on_shard(&router, 0, 1)[0];
+    let live = join(&router, updater);
+    let requester = workers_on_shard(&router, 1, 1)[0];
+
+    // Fan-in far above what arrives: only the termination-sensitive
+    // RequestWork can trigger the flush, and it must carry the parked
+    // update along.
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(1_000, u64::MAX / 2));
+    std::thread::scope(|scope| {
+        let parked = scope.spawn(|| {
+            gateway.submit(
+                vec![Request::Update {
+                    worker: updater,
+                    interval: live.clone(),
+                }],
+                3,
+            )
+        });
+        wait_until("update parked", || gateway.buffered() == 1);
+        let work = gateway.submit(
+            vec![Request::RequestWork {
+                worker: requester,
+                power: 10,
+            }],
+            3,
+        );
+        assert_eq!(work.len(), 1);
+        assert!(matches!(work[0], Response::Work { .. }));
+        let acks = parked.join().unwrap();
+        assert!(matches!(acks[0], Response::UpdateAck { .. }));
+    });
+    let stats = gateway.stats();
+    assert_eq!(stats.flushes, 1);
+    assert_eq!(stats.sensitive_flushes, 1);
+    assert_eq!(stats.largest_bundle, 2);
+}
+
+#[test]
+fn deadline_flush_releases_a_lone_submitter() {
+    let router = router(100_000, 1);
+    let w = workers_on_shard(&router, 0, 1)[0];
+    let live = join(&router, w);
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(1_000, 500));
+    std::thread::scope(|scope| {
+        let parked = scope.spawn(|| {
+            gateway.submit(
+                vec![Request::Update {
+                    worker: w,
+                    interval: live.clone(),
+                }],
+                1_000,
+            )
+        });
+        wait_until("update parked", || gateway.buffered() == 1);
+        // One tick before the deadline: nothing may flush.
+        assert!(!gateway.flush_stale(1_499));
+        assert_eq!(gateway.buffered(), 1);
+        // At the deadline the sweep delivers the parked submission.
+        assert!(gateway.flush_stale(1_500));
+        let acks = parked.join().unwrap();
+        assert!(matches!(acks[0], Response::UpdateAck { .. }));
+    });
+    let stats = gateway.stats();
+    assert_eq!(stats.flushes, 1);
+    assert_eq!(stats.deadline_flushes, 1);
+}
+
+#[test]
+fn submissions_after_termination_are_served_inline() {
+    let router = router(64, 1);
+    let w = workers_on_shard(&router, 0, 1)[0];
+    let live = join(&router, w);
+    // Drain the whole range directly: report the live interval as
+    // fully explored, then ask for more until Terminate.
+    let _ = router.handle(
+        Request::Update {
+            worker: w,
+            interval: Interval::new(live.end().clone(), live.end().clone()),
+        },
+        1,
+    );
+    assert!(matches!(
+        router.handle(
+            Request::RequestWork {
+                worker: w,
+                power: 10
+            },
+            2
+        ),
+        Response::Terminate
+    ));
+    assert!(router.is_terminated());
+
+    // A straggler submitting after global termination must not park
+    // (nobody is left to flush it): the gateway serves it inline.
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(1_000, u64::MAX / 2));
+    let responses = gateway.submit(
+        vec![Request::Update {
+            worker: w,
+            interval: live,
+        }],
+        3,
+    );
+    assert_eq!(responses.len(), 1);
+    assert!(matches!(
+        &responses[0],
+        Response::UpdateAck { interval, .. } if interval.is_empty()
+    ));
+    assert_eq!(gateway.stats().forced_flushes, 1);
+}
+
+#[test]
+fn multi_request_submissions_get_their_replies_in_request_order() {
+    let router = router(100_000, 2);
+    let a = workers_on_shard(&router, 0, 1)[0];
+    let b = workers_on_shard(&router, 1, 1)[0];
+    let live_a = join(&router, a);
+    let live_b = join(&router, b);
+
+    // Each worker ships a two-request batch: a solution report then an
+    // update (the coalesced [ReportSolution, Update] wire shape). Each
+    // must get exactly its own two replies, in its own order, even
+    // though the shared bundle interleaves the two workers.
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(4, u64::MAX / 2));
+    let (acks_a, acks_b) = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| {
+            gateway.submit(
+                vec![
+                    Request::ReportSolution {
+                        worker: a,
+                        solution: Solution::new(900, vec![0]),
+                    },
+                    Request::Update {
+                        worker: a,
+                        interval: live_a.clone(),
+                    },
+                ],
+                5,
+            )
+        });
+        wait_until("first batch parked", || gateway.buffered() == 2);
+        let hb = scope.spawn(|| {
+            gateway.submit(
+                vec![
+                    Request::ReportSolution {
+                        worker: b,
+                        solution: Solution::new(800, vec![1]),
+                    },
+                    Request::Update {
+                        worker: b,
+                        interval: live_b.clone(),
+                    },
+                ],
+                5,
+            )
+        });
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    for acks in [&acks_a, &acks_b] {
+        assert_eq!(acks.len(), 2);
+        assert!(matches!(acks[0], Response::SolutionAck { .. }));
+        assert!(matches!(acks[1], Response::UpdateAck { .. }));
+    }
+    // Worker a's shard ran first and already knew a's 900; b's report
+    // (800) reached shard 1 within the same bundle, so b's ack carries
+    // the tighter cutoff and the router converged on 800 everywhere.
+    assert!(matches!(
+        acks_b[1],
+        Response::UpdateAck {
+            cutoff: Some(800),
+            ..
+        }
+    ));
+    assert_eq!(router.cutoff(), Some(800));
+    assert_eq!(router.solution().map(|s| s.cost), Some(800));
+}
+
+#[test]
+fn update_and_report_equals_split_pair_from_two_workers_through_the_gateway() {
+    // The mixed-worker merge identity: worker `reporter` submitting the
+    // ReportSolution and worker `updater` submitting the Update —
+    // interleaved through one gateway flush — must leave exactly the
+    // state (and give the updater exactly the ack) of the updater
+    // folding both into one UpdateAndReport. Holds whenever the
+    // reporter's home shard does not run after the updater's (here:
+    // same-shard reporter, and a lower-shard reporter).
+    for reporter_shard in [1u32, 0] {
+        let combined = router(100_000, 2);
+        let split = router(100_000, 2);
+        let updater = workers_on_shard(&combined, 1, 1)[0];
+        let reporter = workers_on_shard(&combined, reporter_shard, 2)[1];
+        assert_ne!(updater, reporter);
+        for r in [&combined, &split] {
+            let _ = join(r, updater);
+            let _ = join(r, reporter);
+        }
+        let live = match combined.handle(
+            Request::Update {
+                worker: updater,
+                interval: Interval::new(UBig::zero(), UBig::from(100_000u64)),
+            },
+            1,
+        ) {
+            Response::UpdateAck { interval, .. } => interval,
+            other => panic!("probe failed: {other:?}"),
+        };
+        let _ = split.handle(
+            Request::Update {
+                worker: updater,
+                interval: Interval::new(UBig::zero(), UBig::from(100_000u64)),
+            },
+            1,
+        );
+        let reported = Interval::new(live.begin().add(&UBig::from(3u64)), live.end().clone());
+        let solution = Solution::new(777, vec![2]);
+
+        // Combined: one submission, one flush.
+        let gateway = ContactGateway::new(&combined, GatewayPolicy::new(1, u64::MAX / 2));
+        let combined_acks = gateway.submit(
+            vec![Request::UpdateAndReport {
+                worker: updater,
+                interval: reported.clone(),
+                solution: Some(solution.clone()),
+            }],
+            9,
+        );
+        // Split: the reporter's and updater's submissions merge into
+        // one shared flush (fan-in 2), reporter arriving first.
+        let gateway = ContactGateway::new(&split, GatewayPolicy::new(2, u64::MAX / 2));
+        let split_acks = std::thread::scope(|scope| {
+            let report = scope.spawn(|| {
+                gateway.submit(
+                    vec![Request::ReportSolution {
+                        worker: reporter,
+                        solution: solution.clone(),
+                    }],
+                    9,
+                )
+            });
+            wait_until("report parked", || gateway.buffered() == 1);
+            let acks = gateway.submit(
+                vec![Request::Update {
+                    worker: updater,
+                    interval: reported.clone(),
+                }],
+                9,
+            );
+            report.join().unwrap();
+            acks
+        });
+        assert_eq!(
+            format!("{:?}", combined_acks.last().unwrap()),
+            format!("{:?}", split_acks.last().unwrap()),
+            "ack diverged (reporter shard {reporter_shard})"
+        );
+        assert_eq!(combined.cutoff(), split.cutoff());
+        assert_eq!(combined.size(), split.size());
+        assert_eq!(
+            combined.solution().map(|s| s.cost),
+            split.solution().map(|s| s.cost)
+        );
+        let stats_a = combined.stats();
+        let stats_b = split.stats();
+        assert_eq!(stats_a.updates, stats_b.updates);
+        assert_eq!(stats_a.solution_reports, stats_b.solution_reports);
+        assert_eq!(stats_a.improvements, stats_b.improvements);
+    }
+}
+
+#[test]
+fn gateway_at_s1_matches_a_bare_coordinator() {
+    // One shard, several workers, one shared flush: the router behind
+    // the gateway must do exactly what a bare coordinator fed the same
+    // requests in arrival order does.
+    let total = 50_000u64;
+    let router = router(total, 1);
+    let mut bare = Coordinator::new(Interval::new(UBig::zero(), UBig::from(total)), config());
+    let workers: Vec<WorkerId> = (0..4).map(WorkerId).collect();
+    let mut intervals = Vec::new();
+    for &w in &workers {
+        let live = join(&router, w);
+        let bare_live = match bare.handle(
+            Request::Join {
+                worker: w,
+                power: 10,
+            },
+            0,
+        ) {
+            Response::Work { interval, .. } => interval,
+            other => panic!("bare join failed: {other:?}"),
+        };
+        assert_eq!(format!("{live}"), format!("{bare_live}"));
+        intervals.push(live);
+    }
+    let gateway = ContactGateway::new(&router, GatewayPolicy::new(4, u64::MAX / 2));
+    let gateway_acks = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (k, (&w, live)) in workers.iter().zip(&intervals).enumerate() {
+            let gateway = &gateway;
+            let reported = Interval::new(live.begin().add(&UBig::one()), live.end().clone());
+            handles.push(scope.spawn(move || {
+                gateway.submit(
+                    vec![Request::Update {
+                        worker: w,
+                        interval: reported,
+                    }],
+                    4,
+                )
+            }));
+            if k + 1 < workers.len() {
+                wait_until("buffered", || gateway.buffered() == k + 1);
+            }
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    for (&w, (live, acks)) in workers.iter().zip(intervals.iter().zip(&gateway_acks)) {
+        let reported = Interval::new(live.begin().add(&UBig::one()), live.end().clone());
+        let expected = bare.handle(
+            Request::Update {
+                worker: w,
+                interval: reported,
+            },
+            4,
+        );
+        assert_eq!(format!("{:?}", acks[0]), format!("{expected:?}"));
+    }
+    assert_eq!(router.size(), bare.size());
+    assert_eq!(router.stats(), *bare.stats());
+    router.check_invariants().unwrap();
+    bare.check_invariants().unwrap();
+}

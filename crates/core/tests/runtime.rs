@@ -4,7 +4,8 @@
 
 use gridbnb_core::checkpoint::CheckpointStore;
 use gridbnb_core::runtime::{
-    run, run_with_coordinator, ChaosConfig, CheckpointPolicy, CrashPlan, RuntimeConfig,
+    run, run_with_coordinator, run_with_router, ChaosConfig, CheckpointPolicy, CrashPlan,
+    RuntimeConfig,
 };
 use gridbnb_core::{Coordinator, CoordinatorConfig, UBig};
 use gridbnb_engine::toy::FullEnumeration;
@@ -321,6 +322,161 @@ fn sharded_checkpoint_written_and_restorable() {
         ShardRouter::restore(shape.root_range(), shards, solution, config.coordinator).unwrap();
     assert!(restored.is_terminated());
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coalesced_sharded_mid_run_checkpoint_restores_without_losing_intervals() {
+    // The coalesce × checkpoint corner: a sharded checkpoint taken
+    // mid-run, while workers hold units and their progress arrived
+    // through coalesced bundles (UpdateAndReport, mixed-worker
+    // groups), must restore into a router that (a) lost no interval
+    // length and (b) resumes under coalescing to the globally exact
+    // optimum. Driven deterministically: each worker's explored prefix
+    // is solved sequentially and reported, so the checkpoint state plus
+    // the reports is a faithful mid-run snapshot.
+    use gridbnb_core::{Request, Response, ShardRouter, WorkerId};
+    use gridbnb_engine::Solution;
+    let dir = std::env::temp_dir().join(format!("gridbnb-rt-coalesce-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::new(dir.join("intervals.txt"), dir.join("solution.txt"));
+
+    let problem = small_flowshop(123);
+    let shape = problem.shape();
+    let root = shape.root_range();
+    let expected = solve(&problem, None).best_cost;
+    let coordinator_config = CoordinatorConfig {
+        duplication_threshold: UBig::from(32u64),
+        holder_timeout_ns: 20_000_000,
+        initial_upper_bound: None,
+    };
+    let router = ShardRouter::new(root.clone(), 4, coordinator_config.clone()).unwrap();
+    let mut pending_report: Option<Solution> = None;
+    for w in 0..3u64 {
+        let worker = WorkerId(w);
+        let live = match router.handle(Request::Join { worker, power: 100 }, w + 1) {
+            Response::Work { interval, .. } => interval,
+            other => panic!("join failed: {other:?}"),
+        };
+        // Explore the first third of the unit sequentially, then ship
+        // the progress the way a coalescing worker would: a combined
+        // UpdateAndReport bundle — for the last worker, a mixed-worker
+        // bundle pairing its Update with the previous prefix's report.
+        let cut = live.begin().add(&live.length().div_rem_u64(3).0);
+        let (prefix, rest) = live.split_at(&cut);
+        let prefix_best = solve_interval(&problem, &prefix, None).best;
+        let bundle = if w < 2 {
+            pending_report = prefix_best.clone();
+            vec![router.envelope(Request::UpdateAndReport {
+                worker,
+                interval: rest.clone(),
+                solution: prefix_best,
+            })]
+        } else {
+            let mut bundle = Vec::new();
+            if let Some(solution) = pending_report.take() {
+                bundle.push(router.envelope(Request::ReportSolution {
+                    worker: WorkerId(1),
+                    solution,
+                }));
+            }
+            bundle.push(router.envelope(Request::UpdateAndReport {
+                worker,
+                interval: rest.clone(),
+                solution: prefix_best,
+            }));
+            bundle
+        };
+        for (_, response) in router.handle_bundle(bundle, w + 10) {
+            assert!(!matches!(response, Response::Terminate));
+        }
+    }
+
+    // Mid-run sharded save: holders attached, progress applied.
+    store.save_sharded(&router).unwrap();
+    let size_at_save = router.size();
+    assert!(!size_at_save.is_zero(), "checkpoint must be mid-run");
+    let (shards, solution) = store.load_sharded().unwrap();
+    assert_eq!(shards.len(), 4);
+    let restored = ShardRouter::restore(root, shards, solution, coordinator_config).unwrap();
+    // No lost intervals: the restored unexplored length is exactly the
+    // live router's (the snapshot is taken under the steal gate, so no
+    // in-flight interval can be missed).
+    assert_eq!(restored.size(), size_at_save);
+
+    // Resume under coalescing + shards: the proof must complete to the
+    // global optimum (explored prefixes are covered by the reported
+    // solutions the checkpoint carried).
+    let config = fast_config(4).with_shards(4).with_coalescing(4);
+    let report = run_with_router(&problem, restored, &config);
+    assert_eq!(report.proven_optimum, expected, "resumed proof diverged");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn coalesced_sharded_checkpoint_files_written_and_restorable() {
+    // End-to-end variant: a live coalesced + sharded run checkpointing
+    // on a short period; the final file restores to the terminal state
+    // with the proven solution.
+    use gridbnb_core::ShardRouter;
+    let dir = std::env::temp_dir().join(format!("gridbnb-rt-coalesce-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = CheckpointStore::new(dir.join("intervals.txt"), dir.join("solution.txt"));
+
+    let problem = small_flowshop(88);
+    let expected = solve(&problem, None).best_cost;
+    let mut config = fast_config(3).with_shards(3).with_coalescing(4);
+    config.checkpoint = Some(CheckpointPolicy {
+        store: store.clone(),
+        every: Duration::from_millis(5),
+    });
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    assert!(report.farmer_checkpoints >= 1);
+    let (shards, solution) = store.load_sharded().unwrap();
+    assert!(shards.iter().all(|s| s.is_empty()));
+    assert_eq!(solution.as_ref().map(|s| s.cost), expected);
+    let shape = problem.shape();
+    let restored =
+        ShardRouter::restore(shape.root_range(), shards, solution, config.coordinator).unwrap();
+    assert!(restored.is_terminated());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gateway_sharded_runtime_stays_exact_and_routes_all_contacts() {
+    // Gateway + coalescing + shards end-to-end: exact proof, every
+    // worker contact routed through the gateway, and the router's
+    // lock-acquiring contact count bounded by the submission count.
+    let problem = small_flowshop(55);
+    let expected = solve(&problem, None).best_cost;
+    for shards in [1usize, 4] {
+        let config = fast_config(4)
+            .with_shards(shards)
+            .with_coalescing(4)
+            .with_gateway(6);
+        let report = run(&problem, &config);
+        assert_eq!(
+            report.proven_optimum, expected,
+            "{shards} shards with a gateway diverged"
+        );
+        let stats = report.gateway.expect("gateway stats");
+        assert_eq!(stats.submissions, report.total_contacts());
+        assert!(report.router_contacts > 0);
+        let updates: u64 = report.workers.iter().map(|w| w.checkpoint_ops).sum();
+        assert_eq!(updates, report.coordinator_stats.updates);
+    }
+}
+
+#[test]
+#[should_panic(expected = "gateway.max_delay_ns must stay below")]
+fn gateway_delay_at_or_above_holder_timeout_fails_fast() {
+    let problem = small_flowshop(11);
+    let mut config = fast_config(2);
+    config.gateway = Some(gridbnb_core::GatewayPolicy::new(
+        4,
+        config.coordinator.holder_timeout_ns,
+    ));
+    let _ = run(&problem, &config);
 }
 
 #[test]

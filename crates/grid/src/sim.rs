@@ -18,7 +18,8 @@ use crate::pool::GridPool;
 use crate::volatility::{AvailabilitySampler, VolatilityModel};
 use crate::workload::WorkloadModel;
 use gridbnb_core::{
-    CoordinatorConfig, CoordinatorStats, Interval, Request, Response, ShardRouter, WorkerId,
+    CoordinatorConfig, CoordinatorStats, Interval, Request, Response, ShardEnvelope, ShardRouter,
+    WorkerId,
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -64,6 +65,23 @@ pub struct SimConfig {
     /// half the holder timeout (a longer window would get every healthy
     /// batched worker expired mid-window by the sweep).
     pub contact_batch: usize,
+    /// Cross-worker contact gateway fan-in (0 disables — the default).
+    /// At `F ≥ 1` a worker's periodic update snapshots are no longer
+    /// delivered at its own Step event: they are queued on the home
+    /// shard's gateway queue, and a queue is delivered as **one shared
+    /// [`gridbnb_core::ShardRouter::handle_bundle`] bundle** once it
+    /// holds `F` snapshots (size trigger) — one farmer lock acquisition
+    /// for many workers' traffic. A recurring flush event sweeps queues
+    /// whose oldest snapshot has aged one batch window (the deadline
+    /// trigger), and a worker's termination-sensitive contacts (`Join`
+    /// / `RequestWork`) first *purge* its own still-queued snapshots of
+    /// the current incarnation — the completed unit subsumes them, and
+    /// delivering them after the next allocation could shrink the new
+    /// unit with stale ranges. Acks are applied to each contributing
+    /// worker at flush time (skipped if the host went down in between).
+    /// Composes with [`SimConfig::contact_batch`]: a worker queues `B`
+    /// snapshots per event, the gateway merges workers.
+    pub gateway_fan_in: usize,
     /// Metrics sampling period (Figure 7 resolution).
     pub sample_period_s: f64,
     /// RNG seed for availability.
@@ -87,6 +105,7 @@ impl SimConfig {
             coordinator: CoordinatorConfig::default(),
             shards: 1,
             contact_batch: 1,
+            gateway_fan_in: 0,
             sample_period_s: 3_600.0,
             seed: 2006,
             max_sim_days: 400.0,
@@ -142,6 +161,10 @@ pub struct SimReport {
     pub coordinator_stats: CoordinatorStats,
     /// Cross-shard work steals (0 when `shards` is 1).
     pub steals: u64,
+    /// The proven best cost at the end of the run — the router's cutoff
+    /// (the initial upper bound, tightened by any reported solution).
+    /// Batching and gateway modes must leave it untouched; tests pin it.
+    pub best_cost: Option<u64>,
     /// Whether the exploration completed (vs hit `max_sim_days`).
     pub completed: bool,
 }
@@ -152,6 +175,11 @@ enum EventKind {
     HostDown(usize, u64),
     /// Worker finished an exploration slice and contacts the farmer.
     Step(usize, u64),
+    /// Deadline sweep of the gateway queues (gateway mode only): every
+    /// non-empty per-shard queue is delivered as one shared bundle, so
+    /// a queue that never reaches the fan-in still drains within one
+    /// update period.
+    GatewayFlush,
     Sweep,
     Checkpoint,
     Sample,
@@ -274,6 +302,35 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
     let update_period_ns = (config.update_period_s * 1e9).max(1.0) as u64;
     let service_ns = (config.farmer_service_us * 1e3) as u64;
 
+    // Gateway mode: per-shard FIFO queues of (worker index, epoch,
+    // enqueue stamp, snapshot envelope) awaiting a shared-bundle
+    // delivery; the head entry is always the oldest. The deadline
+    // sweep only delivers queues whose head has aged one worker batch
+    // window — flushing every queue every period would re-create the
+    // per-worker contact rate the gateway exists to amortize. By the
+    // batch clamp that window is at most half the holder timeout, so
+    // queued-but-unflushed snapshots can never get their healthy
+    // senders expired.
+    let gateway_fan_in = config.gateway_fan_in;
+    let effective_batch = (config.contact_batch.max(1) as u64).min(
+        (config.coordinator.holder_timeout_ns / 2)
+            .checked_div(update_period_ns)
+            .unwrap_or(1)
+            .max(1),
+    );
+    let gateway_deadline_ns = update_period_ns.saturating_mul(effective_batch);
+    let mut gateway_queues: Vec<Vec<(usize, u64, u64, ShardEnvelope)>> = if gateway_fan_in >= 1 {
+        push(
+            &mut queue,
+            &mut seq,
+            update_period_ns,
+            EventKind::GatewayFlush,
+        );
+        vec![Vec::new(); config.shards]
+    } else {
+        Vec::new()
+    };
+
     let mut farmer_busy_ns = 0u64;
     let mut farmer_checkpoints = 0u64;
     let mut checkpoint_ops = 0u64;
@@ -349,129 +406,208 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
                 );
             }
             EventKind::Step(w, epoch) => {
-                let worker = &mut workers[w];
-                if worker.done || !worker.online || worker.epoch != epoch {
-                    continue;
-                }
-                // 1. Account the exploration slice that just ended,
-                //    keeping the pre-slice position so a batched
-                //    contact can reconstruct its periodic snapshots.
-                let prev_begin = worker.unit.as_ref().map(|u| u.live.begin().clone());
-                if worker.unit.is_some() {
-                    let spent = apply_exploration(worker, workload, now);
-                    explored_nodes += spent;
-                }
-                // 2. Choose the message(s). Join and RequestWork are
-                //    termination-sensitive and always go out alone;
+                // 1. Account the exploration slice that just ended and
+                //    choose the message(s), under a scoped borrow of
+                //    the stepping worker (a gateway flush needs the
+                //    whole worker set afterwards). Join and RequestWork
+                //    are termination-sensitive and always go out alone
+                //    (in gateway mode they drain the home queue first);
                 //    periodic checkpoints coalesce `contact_batch`
-                //    update periods into one batched contact.
-                let exhausted = match &worker.unit {
-                    Some(u) => workload.nodes_between(u.u_pos, u.u_end) <= 0.0 || u.live.is_empty(),
-                    None => true,
-                };
-                // Cap the batch so the extended silence stays within
-                // half the holder timeout — otherwise every batched
-                // worker would be expired mid-window by the sweep and
-                // its whole window of snapshots would hit empty acks
-                // (the runtime's max_silence clamp, sim-side).
-                let max_batch = (config.coordinator.holder_timeout_ns / 2)
-                    .checked_div(update_period_ns)
-                    .unwrap_or(1)
-                    .max(1);
-                let batch = (config.contact_batch.max(1) as u64).min(max_batch);
-                // 3. Farmer handles after the one-way latency.
-                let handle_at = now + worker.latency_ns;
-                let service_total;
-                let response = if !worker.joined || exhausted {
-                    let request = if !worker.joined {
-                        Request::Join {
-                            worker: worker.id,
-                            power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
+                //    update periods into one batched contact or gateway
+                //    enqueue. The pre-slice position is kept so the
+                //    batched snapshots can be reconstructed.
+                let (work_request, snapshots, handle_at, batch) = {
+                    let worker = &mut workers[w];
+                    if worker.done || !worker.online || worker.epoch != epoch {
+                        continue;
+                    }
+                    let prev_begin = worker.unit.as_ref().map(|u| u.live.begin().clone());
+                    if worker.unit.is_some() {
+                        let spent = apply_exploration(worker, workload, now);
+                        explored_nodes += spent;
+                    }
+                    let exhausted = match &worker.unit {
+                        Some(u) => {
+                            workload.nodes_between(u.u_pos, u.u_end) <= 0.0 || u.live.is_empty()
                         }
-                    } else {
-                        Request::RequestWork {
-                            worker: worker.id,
-                            power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
-                        }
+                        None => true,
                     };
-                    service_total = service_ns;
-                    coordinator.handle(request, handle_at)
-                } else if batch > 1 {
-                    // The slice spanned `batch` update periods; deliver
-                    // the periodic snapshots it would have sent — begin
-                    // interpolated from pre-slice to current position —
-                    // as one bundle: per-op farmer load is unchanged
-                    // (the paper's contact *rates* stay comparable),
-                    // but the simulator pays one event and the farmer
-                    // one lock acquisition.
-                    checkpoint_ops += batch;
-                    service_total = service_ns * batch;
-                    let unit = worker.unit.as_ref().expect("unit");
-                    let prev = prev_begin.expect("pre-slice begin of a held unit");
-                    let advanced = unit.live.begin().saturating_sub(&prev);
-                    let end = unit.live.end().clone();
-                    let bundle: Vec<_> = (1..=batch)
-                        .map(|i| {
-                            let begin = prev.add(&advanced.mul_div_floor(i, batch));
-                            coordinator.envelope(Request::Update {
+                    // Cap the batch so the extended silence stays within
+                    // half the holder timeout — otherwise every batched
+                    // worker would be expired mid-window by the sweep and
+                    // its whole window of snapshots would hit empty acks
+                    // (the runtime's max_silence clamp, sim-side).
+                    let max_batch = (config.coordinator.holder_timeout_ns / 2)
+                        .checked_div(update_period_ns)
+                        .unwrap_or(1)
+                        .max(1);
+                    let batch = (config.contact_batch.max(1) as u64).min(max_batch);
+                    // Farmer handles after the one-way latency.
+                    let handle_at = now + worker.latency_ns;
+                    if !worker.joined || exhausted {
+                        let request = if !worker.joined {
+                            Request::Join {
                                 worker: worker.id,
-                                interval: Interval::new(begin, end.clone()),
+                                power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
+                            }
+                        } else {
+                            Request::RequestWork {
+                                worker: worker.id,
+                                power: (worker.rate_nodes_per_s / 100.0).max(1.0) as u64,
+                            }
+                        };
+                        (Some(request), Vec::new(), handle_at, batch)
+                    } else if batch > 1 {
+                        // The slice spanned `batch` update periods;
+                        // reconstruct the periodic snapshots it would
+                        // have sent — begin interpolated from pre-slice
+                        // to current position. Per-op farmer load is
+                        // unchanged (the paper's contact *rates* stay
+                        // comparable), but the simulator pays one event
+                        // and the farmer one lock acquisition.
+                        let unit = worker.unit.as_ref().expect("unit");
+                        let prev = prev_begin.expect("pre-slice begin of a held unit");
+                        let advanced = unit.live.begin().saturating_sub(&prev);
+                        let end = unit.live.end().clone();
+                        let snapshots: Vec<Interval> = (1..=batch)
+                            .map(|i| {
+                                Interval::new(
+                                    prev.add(&advanced.mul_div_floor(i, batch)),
+                                    end.clone(),
+                                )
+                            })
+                            .collect();
+                        (None, snapshots, handle_at, batch)
+                    } else {
+                        let live = worker.unit.as_ref().expect("unit").live.clone();
+                        (None, vec![live], handle_at, batch)
+                    }
+                };
+                // 2. Deliver: a synchronous contact (work requests and
+                //    direct update delivery), or a one-way gateway
+                //    enqueue whose ack arrives at flush time.
+                let response = if let Some(request) = work_request {
+                    if gateway_fan_in >= 1 {
+                        // Purge this worker's own queued snapshots of
+                        // the current epoch: they describe the unit the
+                        // work request is about to complete (or the
+                        // identity a Join resets), so delivering them
+                        // later could cross a unit boundary and shrink
+                        // the *next* unit with stale ranges. Dropping
+                        // them is exactly the completion subsuming
+                        // them; other workers' queued traffic keeps
+                        // aggregating toward the fan-in. Snapshots from
+                        // a previous epoch (a crashed incarnation) stay
+                        // queued on purpose — their old worker id still
+                        // maps to the old entry, so late delivery only
+                        // applies progress that genuinely happened.
+                        let home = coordinator.route(request.worker()).0 as usize;
+                        gateway_queues[home].retain(|(qw, qe, _, _)| !(*qw == w && *qe == epoch));
+                    }
+                    let served = coordinator.handle(request, handle_at);
+                    workers[w].joined = true;
+                    Some((served, service_ns))
+                } else if gateway_fan_in >= 1 {
+                    // Gateway mode: queue the snapshots on the home
+                    // shard and keep exploring — many workers' queued
+                    // snapshots are delivered as one shared bundle when
+                    // the queue reaches the fan-in (or at the deadline
+                    // sweep), and the acks are applied then.
+                    checkpoint_ops += batch;
+                    let id = workers[w].id;
+                    let home = coordinator.route(id).0 as usize;
+                    for snapshot in snapshots {
+                        gateway_queues[home].push((
+                            w,
+                            epoch,
+                            now,
+                            coordinator.envelope(Request::Update {
+                                worker: id,
+                                interval: snapshot,
+                            }),
+                        ));
+                    }
+                    if gateway_queues[home].len() >= gateway_fan_in {
+                        farmer_busy_ns += flush_gateway_queue(
+                            &coordinator,
+                            &mut gateway_queues,
+                            home,
+                            &mut workers,
+                            workload,
+                            handle_at,
+                            service_ns,
+                        );
+                    }
+                    None
+                } else if batch > 1 {
+                    checkpoint_ops += batch;
+                    let id = workers[w].id;
+                    let bundle: Vec<_> = snapshots
+                        .into_iter()
+                        .map(|interval| {
+                            coordinator.envelope(Request::Update {
+                                worker: id,
+                                interval,
                             })
                         })
                         .collect();
                     let mut responses = coordinator.handle_bundle(bundle, handle_at);
                     // The last ack reflects the final snapshot — the
                     // worker's authoritative post-contact state.
-                    responses.pop().expect("a response per envelope").1
+                    let served = responses.pop().expect("a response per envelope").1;
+                    Some((served, service_ns * batch))
                 } else {
                     checkpoint_ops += 1;
-                    service_total = service_ns;
-                    coordinator.handle(
+                    let id = workers[w].id;
+                    let interval = snapshots.into_iter().next().expect("one snapshot");
+                    let served = coordinator.handle(
                         Request::Update {
-                            worker: worker.id,
-                            interval: worker.unit.as_ref().expect("unit").live.clone(),
+                            worker: id,
+                            interval,
                         },
                         handle_at,
-                    )
+                    );
+                    Some((served, service_ns))
                 };
-                worker.joined = true;
-                farmer_busy_ns += service_total;
-                // 4. Worker resumes after the reply latency.
-                let resume_at = handle_at + service_total + worker.latency_ns;
-                match response {
-                    Response::Work { interval, .. } => {
-                        let u_pos = workload.frac_of(interval.begin());
-                        let u_end = workload.frac_of(interval.end());
-                        worker.unit = Some(Unit {
-                            live: interval,
-                            u_pos,
-                            u_end,
-                        });
-                    }
-                    Response::UpdateAck { interval, .. } => {
-                        let unit = worker.unit.as_mut().expect("update with unit");
-                        if interval.is_empty() {
-                            worker.unit = None;
-                        } else {
-                            unit.live.retreat_end(interval.end());
-                            unit.u_end = workload.frac_of(unit.live.end());
-                            if unit.live.is_empty() {
-                                worker.unit = None;
+                // 3. Apply the reply (if any) and schedule the next
+                //    slice end. A gateway enqueue is one-way: the
+                //    worker resumes immediately, no round-trip paid.
+                let worker = &mut workers[w];
+                let resume_at = match response {
+                    Some((response, service_total)) => {
+                        farmer_busy_ns += service_total;
+                        let resume_at = handle_at + service_total + worker.latency_ns;
+                        match response {
+                            Response::Work { interval, .. } => {
+                                let u_pos = workload.frac_of(interval.begin());
+                                let u_end = workload.frac_of(interval.end());
+                                worker.unit = Some(Unit {
+                                    live: interval,
+                                    u_pos,
+                                    u_end,
+                                });
                             }
+                            Response::UpdateAck { interval, .. } => {
+                                assert!(worker.unit.is_some(), "update with unit");
+                                apply_update_ack(worker, workload, &interval);
+                            }
+                            Response::Terminate => {
+                                worker.done = true;
+                                worker.online_ns +=
+                                    resume_at.saturating_sub(worker.online_since_ns);
+                                worker.online = false;
+                                continue;
+                            }
+                            // Sharded endgame backpressure: no unit, so
+                            // the no-unit branch below re-asks after a
+                            // beat.
+                            Response::Retry => {}
+                            Response::SolutionAck { .. } | Response::LeaveAck => {}
                         }
+                        resume_at
                     }
-                    Response::Terminate => {
-                        worker.done = true;
-                        worker.online_ns += resume_at.saturating_sub(worker.online_since_ns);
-                        worker.online = false;
-                        continue;
-                    }
-                    // Sharded endgame backpressure: no unit, so the
-                    // no-unit branch below re-asks after a beat.
-                    Response::Retry => {}
-                    Response::SolutionAck { .. } | Response::LeaveAck => {}
-                }
-                // 5. Schedule the next slice end.
+                    None => now,
+                };
                 worker.slice_start_ns = resume_at;
                 let slice_ns = match &worker.unit {
                     Some(u) => {
@@ -492,6 +628,36 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
                     &mut seq,
                     resume_at + slice_ns,
                     EventKind::Step(w, epoch),
+                );
+            }
+            EventKind::GatewayFlush => {
+                // Deadline sweep: only queues whose oldest snapshot has
+                // aged one batch window are delivered — a fresher queue
+                // keeps filling towards the fan-in (flushing everything
+                // every period would re-create the per-worker contact
+                // rate the gateway exists to amortize).
+                for shard in 0..gateway_queues.len() {
+                    let stale = gateway_queues[shard]
+                        .first()
+                        .is_some_and(|&(_, _, t, _)| now.saturating_sub(t) >= gateway_deadline_ns);
+                    if !stale {
+                        continue;
+                    }
+                    farmer_busy_ns += flush_gateway_queue(
+                        &coordinator,
+                        &mut gateway_queues,
+                        shard,
+                        &mut workers,
+                        workload,
+                        now,
+                        service_ns,
+                    );
+                }
+                push(
+                    &mut queue,
+                    &mut seq,
+                    now + update_period_ns,
+                    EventKind::GatewayFlush,
                 );
             }
             EventKind::Sweep => {
@@ -585,7 +751,69 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
         samples,
         coordinator_stats: coordinator.stats(),
         steals: coordinator.steals(),
+        best_cost: coordinator.cutoff(),
         completed: completed || coordinator.is_terminated(),
+    }
+}
+
+/// Delivers one gateway queue as a single shared bundle (gateway mode):
+/// every queued snapshot of every contributing worker goes through one
+/// [`ShardRouter::handle_bundle`] call — one farmer lock acquisition —
+/// and each ack is applied to its worker, skipped when the host went
+/// down or rejoined since enqueueing (a new epoch means the snapshot
+/// belongs to a dead incarnation; the coordinator-side shrink stands
+/// either way, since the exploration it reports really happened).
+/// Returns the farmer CPU time spent; an empty queue is free.
+fn flush_gateway_queue(
+    router: &ShardRouter,
+    queues: &mut [Vec<(usize, u64, u64, ShardEnvelope)>],
+    shard: usize,
+    workers: &mut [SimWorker],
+    workload: &WorkloadModel,
+    now: u64,
+    service_ns: u64,
+) -> u64 {
+    let queued = std::mem::take(&mut queues[shard]);
+    if queued.is_empty() {
+        return 0;
+    }
+    let ops = queued.len() as u64;
+    let mut tags = Vec::with_capacity(queued.len());
+    let mut bundle = Vec::with_capacity(queued.len());
+    for (w, epoch, _, envelope) in queued {
+        tags.push((w, epoch));
+        bundle.push(envelope);
+    }
+    let responses = router.handle_bundle(bundle, now);
+    for ((w, epoch), (_, response)) in tags.into_iter().zip(responses) {
+        let worker = &mut workers[w];
+        if worker.done || !worker.online || worker.epoch != epoch {
+            continue;
+        }
+        if let Response::UpdateAck { interval, .. } = response {
+            apply_update_ack(worker, workload, &interval);
+        }
+    }
+    service_ns * ops
+}
+
+/// Applies an `UpdateAck`'s intersected interval to a worker's live
+/// unit — shared by the synchronous Step reply path and the gateway
+/// flush, so the two delivery modes cannot diverge: an empty
+/// intersection drops the unit (completed or fully stolen elsewhere);
+/// otherwise the end retreats and the workload fraction is refreshed.
+fn apply_update_ack(worker: &mut SimWorker, workload: &WorkloadModel, interval: &Interval) {
+    let Some(unit) = worker.unit.as_mut() else {
+        return;
+    };
+    if interval.is_empty() {
+        worker.unit = None;
+    } else {
+        unit.live.retreat_end(interval.end());
+        unit.u_end = workload.frac_of(unit.live.end());
+        if unit.live.is_empty() {
+            worker.unit = None;
+        }
     }
 }
 
