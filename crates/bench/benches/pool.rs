@@ -1,0 +1,132 @@
+//! Pooled-bounding benchmarks: one `lower_bound_batch` call over a
+//! sibling pool vs the scalar `lower_bound_against` loop over the same
+//! children — the amortization the pooled explorer buys at every
+//! internal node. CI gates on the flowshop pair (pooled must bound the
+//! pool ≥ 1.5× faster than the scalar loop); the end-to-end explorer
+//! numbers are informational.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridbnb_engine::IntervalExplorer;
+use gridbnb_flowshop::neh::neh;
+use gridbnb_flowshop::taillard::generate;
+use gridbnb_flowshop::{BoundMode, FlowshopProblem, Problem};
+use gridbnb_qap::{greedy, Bound, QapInstance, QapProblem};
+use std::hint::black_box;
+
+/// All children of the state reached by branching `prefix_ranks` from
+/// the root — exactly the pool the pooled explorer fills at that frame.
+fn sibling_pool<P: Problem>(problem: &P, prefix_ranks: &[u64]) -> Vec<P::State> {
+    let mut state = problem.root_state();
+    for &r in prefix_ranks {
+        state = problem.branch(&state, r);
+    }
+    let arity = problem.shape().arity_at(prefix_ranks.len());
+    (0..arity).map(|r| problem.branch(&state, r)).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool");
+
+    // Flowshop: a near-root pool on a mid-size Taillard instance with a
+    // realistic NEH incumbent — the gated pair. The prefix follows the
+    // NEH schedule itself so the pool is mixed: some children are
+    // eliminated by the one-machine screen, the rest pay the Johnson
+    // pass, exactly the workload an explorer frame sees on the
+    // trajectory towards the optimum.
+    let instance = generate(14, 5, 873654221);
+    let (schedule, ub) = neh(&instance);
+    let cutoff = ub; // elimination threshold a real search would hold
+    let problem = FlowshopProblem::new(instance, BoundMode::default());
+    let ranks = problem.encode_schedule(&schedule);
+    let pool = sibling_pool(&problem, &ranks[..2]);
+    let label = format!("14x5_w{}", pool.len());
+    group.bench_with_input(
+        BenchmarkId::new("flowshop_scalar", &label),
+        &(&problem, &pool),
+        |b, (problem, pool)| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for s in pool.iter() {
+                    acc ^= problem.lower_bound_against(black_box(s), cutoff);
+                }
+                acc
+            })
+        },
+    );
+    let mut out = Vec::new();
+    group.bench_with_input(
+        BenchmarkId::new("flowshop_pooled", &label),
+        &(&problem, &pool),
+        |b, (problem, pool)| {
+            b.iter(|| {
+                problem.lower_bound_batch(black_box(pool), cutoff, &mut out);
+                out.iter().fold(0u64, |a, &x| a ^ x)
+            })
+        },
+    );
+
+    // QAP: same shape on a 12-facility grid instance with a greedy
+    // incumbent (informational — the screen/GL split dominates).
+    let instance = QapInstance::nugent_style(3, 4, 2007);
+    let (_, ub) = greedy::greedy_construct(&instance);
+    let cutoff = ub;
+    let problem = QapProblem::new(instance, Bound::Tiered);
+    let pool = sibling_pool(&problem, &[0, 1]);
+    let label = format!("nug12_w{}", pool.len());
+    group.bench_with_input(
+        BenchmarkId::new("qap_scalar", &label),
+        &(&problem, &pool),
+        |b, (problem, pool)| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for s in pool.iter() {
+                    acc ^= problem.lower_bound_against(black_box(s), cutoff);
+                }
+                acc
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("qap_pooled", &label),
+        &(&problem, &pool),
+        |b, (problem, pool)| {
+            b.iter(|| {
+                problem.lower_bound_batch(black_box(pool), cutoff, &mut out);
+                out.iter().fold(0u64, |a, &x| a ^ x)
+            })
+        },
+    );
+
+    group.finish();
+}
+
+fn bench_explorer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_solve");
+    group.sample_size(10);
+
+    // End-to-end: the same full optimality proof, pooled vs scalar.
+    let instance = generate(9, 4, 873654221);
+    let (_, ub) = neh(&instance);
+    let problem = FlowshopProblem::new(instance, BoundMode::default());
+    let interval = problem.shape().root_range();
+    for (label, pooled) in [("pooled", true), ("scalar", false)] {
+        group.bench_with_input(
+            BenchmarkId::new(label, "9x4"),
+            &(&problem, &interval),
+            |b, (problem, interval)| {
+                b.iter(|| {
+                    let mut explorer =
+                        IntervalExplorer::with_pooling(*problem, interval, Some(ub + 1), pooled);
+                    explorer.run(u64::MAX);
+                    assert!(explorer.is_exhausted());
+                    explorer.stats().nodes_bounded
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_explorer);
+criterion_main!(benches);

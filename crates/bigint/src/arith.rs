@@ -31,6 +31,47 @@ impl UBig {
         out
     }
 
+    /// `self += small` for a double-limb addend.
+    ///
+    /// The pooled explorer tracks sibling offsets as `u128` deltas against
+    /// a per-frame `UBig` base; this is how a delta is folded back in
+    /// without materializing it as a temporary `UBig`.
+    pub fn add_assign_u128(&mut self, small: u128) {
+        let (lo, hi) = (small as u64, (small >> 64) as u64);
+        if hi == 0 {
+            self.add_assign_u64(lo);
+            return;
+        }
+        if self.limbs.len() < 2 {
+            self.limbs.resize(2, 0);
+        }
+        let (s0, c0) = self.limbs[0].overflowing_add(lo);
+        self.limbs[0] = s0;
+        let (s1, c1) = self.limbs[1].overflowing_add(hi);
+        let (s1, c2) = s1.overflowing_add(u64::from(c0));
+        self.limbs[1] = s1;
+        let mut carry = u64::from(c1) + u64::from(c2);
+        for limb in self.limbs.iter_mut().skip(2) {
+            if carry == 0 {
+                break;
+            }
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            carry = u64::from(c);
+        }
+        if carry > 0 {
+            self.limbs.push(carry);
+        }
+        self.normalize();
+    }
+
+    /// `self + small` for a double-limb addend, without consuming `self`.
+    pub fn add_u128(&self, small: u128) -> UBig {
+        let mut out = self.clone();
+        out.add_assign_u128(small);
+        out
+    }
+
     /// `self += small`.
     pub fn add_assign_u64(&mut self, small: u64) {
         let mut carry = small;

@@ -11,6 +11,15 @@ impl UBig {
     /// Panics if `d == 0`.
     pub fn div_rem_u64(&self, d: u64) -> (UBig, u64) {
         assert!(d != 0, "UBig division by zero");
+        // Values that fit a `u128` divide natively in one instruction pair
+        // instead of the per-limb loop (and skip the quotient allocation
+        // when the quotient fits one limb). This is the fold/unfold hot
+        // path: permutation-tree weights are factorials, which stay below
+        // 2^128 for every n ≤ 34.
+        if let Some(v) = self.to_u128() {
+            let d = u128::from(d);
+            return (UBig::from(v / d), (v % d) as u64);
+        }
         let mut quot = vec![0u64; self.limbs.len()];
         let mut rem = 0u64;
         for (i, &limb) in self.limbs.iter().enumerate().rev() {
@@ -39,6 +48,25 @@ impl UBig {
             let (q, r) = self.div_rem_u64(divisor.limbs[0]);
             return (q, UBig::from(r));
         }
+        // Both operands fit a `u128`: one native division. (The dividend
+        // is the larger one thanks to the `self < divisor` early return.)
+        if let (Some(a), Some(b)) = (self.to_u128(), divisor.to_u128()) {
+            return (UBig::from(a / b), UBig::from(a % b));
+        }
+        self.div_rem_binary(divisor)
+    }
+
+    /// Reference binary long division, unconditionally bit-at-a-time.
+    ///
+    /// This is the algorithm [`UBig::div_rem`] falls back to once its fast
+    /// paths don't apply; it is public so property tests can pin the
+    /// `u128` fast paths against it on inputs where both are defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_binary(&self, divisor: &UBig) -> (UBig, UBig) {
+        assert!(!divisor.is_zero(), "UBig division by zero");
         let bits = self.bit_len();
         let mut quot = UBig::zero();
         let mut rem = UBig::zero();

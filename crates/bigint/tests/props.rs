@@ -93,6 +93,36 @@ proptest! {
     }
 
     #[test]
+    fn div_rem_fast_paths_match_binary_reference(a in arb_ubig(), b in arb_ubig()) {
+        prop_assume!(!b.is_zero());
+        // `div_rem` picks the u128 fast path whenever operands fit; the
+        // binary long division is the reference it must agree with.
+        let (q, r) = a.div_rem(&b);
+        let (qr, rr) = a.div_rem_binary(&b);
+        prop_assert_eq!(q, qr);
+        prop_assert_eq!(r, rr);
+    }
+
+    #[test]
+    fn div_rem_u64_u128_fast_path_matches_binary(a in any::<u128>(), d in 1u64..) {
+        // Dividend fits u128 → `div_rem_u64` takes the native-division
+        // fast path (the fold/unfold hot case). Pin it to the reference.
+        let a = UBig::from(a);
+        let (q, r) = a.div_rem_u64(d);
+        let (qr, rr) = a.div_rem_binary(&UBig::from(d));
+        prop_assert_eq!(q, qr);
+        prop_assert_eq!(UBig::from(r), rr);
+    }
+
+    #[test]
+    fn add_u128_matches_ubig_add(a in arb_ubig(), v in any::<u128>()) {
+        prop_assert_eq!(a.add_u128(v), &a + &UBig::from(v));
+        let mut b = a.clone();
+        b.add_assign_u128(v);
+        prop_assert_eq!(b, a.add_u128(v));
+    }
+
+    #[test]
     fn mul_div_floor_bounds(a in arb_ubig(), num in 0u64.., den in 1u64..) {
         let got = a.mul_div_floor(num, den);
         // got <= a*num/den < got+1, i.e. got*den <= a*num < (got+1)*den

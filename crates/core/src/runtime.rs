@@ -125,6 +125,13 @@ pub struct RuntimeConfig {
     pub checkpoint: Option<CheckpointPolicy>,
     /// Optional fault injection.
     pub chaos: Option<ChaosConfig>,
+    /// Pooled frontier exploration (the default): workers expand whole
+    /// sibling pools and bound them through one
+    /// [`Problem::lower_bound_batch`] call per pool instead of one
+    /// scalar call per node. Decision-equivalent to scalar exploration
+    /// (property-pinned), so this only changes throughput, never the
+    /// search. `false` restores the node-at-a-time explorer.
+    pub pooling: bool,
 }
 
 impl RuntimeConfig {
@@ -140,7 +147,15 @@ impl RuntimeConfig {
             worker_powers: vec![100],
             checkpoint: None,
             chaos: None,
+            pooling: true,
         }
+    }
+
+    /// Enables or disables pooled frontier exploration (see
+    /// [`RuntimeConfig::pooling`]; on by default).
+    pub fn with_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
+        self
     }
 
     /// Sets the initial upper bound (from a heuristic, like the paper's
@@ -295,6 +310,35 @@ impl RunReport {
     /// Total nodes explored by all workers.
     pub fn total_explored(&self) -> u64 {
         self.workers.iter().map(|w| w.stats.explored).sum()
+    }
+
+    /// Total states evaluated by the bounding operator across all
+    /// workers — at fill time in pooled mode, so under steals this can
+    /// exceed [`RunReport::total_bound_calls`] (bounds truncated away
+    /// with the un-consumed pool tail were still computed).
+    pub fn total_nodes_bounded(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.nodes_bounded).sum()
+    }
+
+    /// Total bound results consumed by the elimination test (equals
+    /// branched + pruned in both explorer modes).
+    pub fn total_bound_calls(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.bound_calls).sum()
+    }
+
+    /// Total `lower_bound_batch` invocations (0 when pooling is off).
+    pub fn total_bound_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.bound_batches).sum()
+    }
+
+    /// Bounding throughput: states bounded per second of worker busy
+    /// time — the number the pool benchmarks gate on.
+    pub fn nodes_bounded_per_sec(&self) -> f64 {
+        let busy = self.worker_busy().as_secs_f64();
+        if busy == 0.0 {
+            return 0.0;
+        }
+        self.total_nodes_bounded() as f64 / busy
     }
 
     /// Total coordinator contacts made by all workers (bundles count
@@ -794,7 +838,8 @@ fn worker_loop<P: Problem>(
             other => unreachable!("unexpected work response: {other:?}"),
         };
         report.units += 1;
-        let mut explorer = IntervalExplorer::new(problem, &interval, cutoff);
+        let mut explorer =
+            IntervalExplorer::with_pooling(problem, &interval, cutoff, config.pooling);
         let unit_start_position = explorer.position().clone();
         let mut slices_since_contact = 0u64;
         let mut last_contact = Instant::now();

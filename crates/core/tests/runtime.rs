@@ -59,6 +59,23 @@ fn many_workers_match_sequential() {
 }
 
 #[test]
+fn pooling_toggle_is_exact_and_counted() {
+    let problem = small_flowshop(55);
+    let expected = solve(&problem, None).best_cost;
+    let pooled = run(&problem, &fast_config(2));
+    let scalar = run(&problem, &fast_config(2).with_pooling(false));
+    assert_eq!(pooled.proven_optimum, expected);
+    assert_eq!(scalar.proven_optimum, expected);
+    // Pooled workers batch their bounds; scalar workers never do.
+    assert!(pooled.total_bound_batches() > 0, "no pools were filled");
+    assert_eq!(scalar.total_bound_batches(), 0);
+    // Fill-time counting can only over-count relative to consumption.
+    assert!(pooled.total_nodes_bounded() >= pooled.total_bound_calls());
+    assert_eq!(scalar.total_nodes_bounded(), scalar.total_bound_calls());
+    assert!(pooled.nodes_bounded_per_sec() > 0.0);
+}
+
+#[test]
 fn heterogeneous_powers_still_exact() {
     let problem = small_flowshop(33);
     let expected = solve(&problem, None).best_cost;

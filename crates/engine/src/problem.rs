@@ -54,6 +54,34 @@ pub trait Problem: Send + Sync {
         self.lower_bound(state)
     }
 
+    /// Batched form of [`Problem::lower_bound_against`]: evaluate a pool
+    /// of states against one cutoff, appending one bound per state to
+    /// `out` (in order; `out` is cleared first).
+    ///
+    /// The pooled explorer calls this once per sibling pool, so problems
+    /// can override it with a flat kernel that shares work across the
+    /// pool (parent-level precomputation, SoA scratch, screen-then-
+    /// escalate). Two contracts beyond admissibility:
+    ///
+    /// * exactly `states.len()` values are produced, aligned by index;
+    /// * for every state, the returned bound must make the *same*
+    ///   elimination decision as `lower_bound_against(state, c)` for any
+    ///   `c ≤ cutoff` — i.e. `batch[i] ≥ c ⇔ scalar_i ≥ c`. Since cutoffs
+    ///   only decrease as incumbents improve, this keeps a pooled search
+    ///   node-for-node identical to the scalar one even though the pool
+    ///   was bounded against an older (larger) cutoff. Tiered operators
+    ///   satisfy it automatically when the cheap tier is dominated by the
+    ///   strong tier (as Gilmore–Lawler dominates the QAP screen).
+    ///
+    /// The default loops the scalar operator.
+    fn lower_bound_batch(&self, states: &[Self::State], cutoff: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(states.len());
+        for state in states {
+            out.push(self.lower_bound_against(state, cutoff));
+        }
+    }
+
     /// The exact cost of a complete (leaf-depth) state.
     fn leaf_cost(&self, state: &Self::State) -> u64;
 }

@@ -20,8 +20,18 @@ pub struct SearchStats {
     pub leaves: u64,
     /// Evaluated leaves that improved the incumbent.
     pub improvements: u64,
-    /// Calls to the lower-bound operator.
+    /// Bound results consumed by the elimination test — one per internal
+    /// node visit, so `bound_calls == branched + pruned` in both the
+    /// scalar and the pooled explorer.
     pub bound_calls: u64,
+    /// States actually evaluated by the bounding operator. Equals
+    /// `bound_calls` in scalar mode; in pooled mode it counts pool fills,
+    /// which may exceed consumption when `shrink_end` truncates a pool's
+    /// un-consumed tail.
+    pub nodes_bounded: u64,
+    /// Invocations of [`crate::Problem::lower_bound_batch`] (pooled mode
+    /// only; each fill evaluates a whole sibling pool in one call).
+    pub bound_batches: u64,
 }
 
 impl AddAssign for SearchStats {
@@ -32,6 +42,8 @@ impl AddAssign for SearchStats {
         self.leaves += rhs.leaves;
         self.improvements += rhs.improvements;
         self.bound_calls += rhs.bound_calls;
+        self.nodes_bounded += rhs.nodes_bounded;
+        self.bound_batches += rhs.bound_batches;
     }
 }
 

@@ -1,0 +1,109 @@
+//! Pooled ≡ scalar equivalence on the toy problems: random instances,
+//! random sub-intervals, budgeted slices, mid-run steals and external
+//! incumbents. The flowshop and QAP crates run the same harness against
+//! their overridden batch kernels; here the default scalar-looping
+//! `lower_bound_batch` is under test, which pins the *explorer* half of
+//! the equivalence.
+
+use gridbnb_engine::equivalence::{
+    assert_pooled_matches_scalar, assert_pooled_matches_scalar_simple, permille_interval,
+    Interference,
+};
+use gridbnb_engine::toy::{FullEnumeration, TableAssignment};
+use gridbnb_engine::{solve, Problem};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pooled_matches_scalar_on_random_tables(
+        n in 4usize..8,
+        seed in 0u64..1000,
+        a in 0u64..1001,
+        b in 0u64..1001,
+    ) {
+        let problem = TableAssignment::random(n, seed);
+        let total = problem.shape().root_range().end().clone();
+        let interval = permille_interval(&total, a, b);
+        assert_pooled_matches_scalar_simple(&problem, &interval, None);
+    }
+
+    #[test]
+    fn pooled_matches_scalar_under_slices_and_shrinks(
+        n in 4usize..8,
+        seed in 0u64..1000,
+        slice in 1u64..40,
+        period in 1usize..6,
+        keep in 1u64..=4,
+    ) {
+        let problem = TableAssignment::random(n, seed);
+        let interval = problem.shape().root_range();
+        assert_pooled_matches_scalar(
+            &problem,
+            &interval,
+            None,
+            slice,
+            Interference {
+                shrink_period: period,
+                keep_num: keep,
+                keep_den: 4,
+                external_cutoff: u64::MAX,
+            },
+        );
+    }
+
+    #[test]
+    fn pooled_matches_scalar_with_initial_and_external_cutoffs(
+        n in 4usize..8,
+        seed in 0u64..1000,
+        slack in 0u64..30,
+        slice in 1u64..60,
+    ) {
+        let problem = TableAssignment::random(n, seed);
+        let optimum = solve(&problem, None).best_cost.unwrap();
+        let interval = problem.shape().root_range();
+        assert_pooled_matches_scalar(
+            &problem,
+            &interval,
+            Some(optimum + slack),
+            slice,
+            Interference {
+                external_cutoff: optimum + slack / 2,
+                ..Interference::default()
+            },
+        );
+    }
+
+    #[test]
+    fn pooled_matches_scalar_without_pruning(
+        n in 3usize..7,
+        a in 0u64..1001,
+        b in 0u64..1001,
+        slice in 1u64..50,
+    ) {
+        // FullEnumeration never prunes: every pool survives intact, the
+        // pure branch-everything path.
+        let problem = FullEnumeration::new(n);
+        let total = problem.shape().root_range().end().clone();
+        let interval = permille_interval(&total, a, b);
+        assert_pooled_matches_scalar(
+            &problem,
+            &interval,
+            None,
+            slice,
+            Interference::default(),
+        );
+    }
+}
+
+#[test]
+fn pooled_batches_cover_consumed_bounds() {
+    // Deterministic sanity on the batch counters themselves: a pooled
+    // exhaustive run fills at least one batch, and never consumes more
+    // bounds than it evaluated.
+    let problem = TableAssignment::diagonal(7);
+    let stats = assert_pooled_matches_scalar_simple(&problem, &problem.shape().root_range(), None);
+    assert!(stats.bound_batches > 0);
+    assert!(stats.nodes_bounded >= stats.bound_calls);
+}

@@ -248,6 +248,182 @@ impl JohnsonBound {
     }
 }
 
+/// Shared per-pool aggregates for the one-machine bound.
+///
+/// Sibling children of one search node share the parent's remaining set
+/// `union`; each child schedules exactly one job `t` out of it, so the
+/// per-machine load and min-tail over the child's set `union \ {t}` are
+/// derivable in O(1) from aggregates over `union` (a sum delta and a
+/// top-2 minimum). Aggregation is O(|union| · M) once per pool; each
+/// child evaluation is O(M) instead of O(|union| · M).
+pub struct OneMachinePool {
+    /// `Σ_{j ∈ union} p(j, m)` per machine.
+    loads: Vec<u64>,
+    /// Per machine: the job with the smallest `tail_after`, that tail,
+    /// and the smallest tail among the remaining jobs.
+    min_tails: Vec<(usize, u64, u64)>,
+    /// The job with the largest end-to-end total, that total, and the
+    /// runner-up total (the job-based bound term).
+    max_total: (usize, u64, u64),
+}
+
+impl OneMachinePool {
+    /// Aggregates `union` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `union` has fewer than two jobs (a single-job union has
+    /// no runner-up aggregates; such pools take the scalar path).
+    pub fn new(instance: &Instance, union: JobSet) -> Self {
+        assert!(union.len() >= 2, "pool aggregation needs at least 2 jobs");
+        let m_count = instance.machines();
+        let mut loads = vec![0u64; m_count];
+        let mut min_tails = vec![(usize::MAX, u64::MAX, u64::MAX); m_count];
+        let mut max_total = (usize::MAX, 0u64, 0u64);
+        for j in union.iter() {
+            let total: u64 = instance.job_row(j).iter().map(|&t| u64::from(t)).sum();
+            if total >= max_total.1 {
+                max_total = (j, total, max_total.1);
+            } else if total > max_total.2 {
+                max_total.2 = total;
+            }
+            let mut tail = total;
+            for (m, load) in loads.iter_mut().enumerate() {
+                let p = u64::from(instance.time(j, m));
+                *load += p;
+                tail -= p; // now tail_after(j, m)
+                let mt = &mut min_tails[m];
+                if tail <= mt.1 {
+                    *mt = (j, tail, mt.1);
+                } else if tail < mt.2 {
+                    mt.2 = tail;
+                }
+            }
+        }
+        OneMachinePool {
+            loads,
+            min_tails,
+            max_total,
+        }
+    }
+
+    /// The one-machine bound of the child that scheduled `excluded`
+    /// (which must be in the union) and now sits at machine `heads` —
+    /// exactly `one_machine_bound(instance, heads, union.without(excluded))`.
+    pub fn bound(&self, instance: &Instance, heads: &[u64], excluded: usize) -> u64 {
+        let m_count = heads.len();
+        let mut best = heads[m_count - 1];
+        for (m, &head) in heads.iter().enumerate() {
+            let load = self.loads[m] - u64::from(instance.time(excluded, m));
+            let (jmin, t1, t2) = self.min_tails[m];
+            let min_tail = if jmin == excluded { t2 } else { t1 };
+            best = best.max(head + load + min_tail);
+        }
+        let (jmax, t1, t2) = self.max_total;
+        let max_total = if jmax == excluded { t2 } else { t1 };
+        best.max(heads[0] + max_total)
+    }
+}
+
+/// Filtered per-pool view of the Johnson pair data: every pair's
+/// pre-sorted job order restricted to the pool's shared `union`, with
+/// processing times, lags and tails resolved into flat SoA columns.
+///
+/// A child evaluation is then one allocation-free pass over `|union|`
+/// rows per pair (skipping its single scheduled job) instead of a pass
+/// over all `n` jobs with membership tests and per-job tail recomputation.
+pub struct JohnsonPool {
+    m_count: usize,
+    pairs: Vec<FilteredPair>,
+}
+
+struct FilteredPair {
+    k: usize,
+    l: usize,
+    /// Union jobs in Johnson order.
+    jobs: Vec<u16>,
+    /// `p(j, k)` per row.
+    p_k: Vec<u64>,
+    /// Mitten lag per row.
+    lag: Vec<u64>,
+    /// `p(j, l)` per row.
+    p_l: Vec<u64>,
+    /// (job with the smallest `tail_after(·, l)`, that tail, runner-up).
+    min_tail: (usize, u64, u64),
+}
+
+impl JohnsonBound {
+    /// Restricts every pair's Johnson order to `union` once (O(pairs ·
+    /// n)), for batched evaluation of a sibling pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `union` has fewer than two jobs.
+    pub fn pool(&self, instance: &Instance, union: JobSet) -> JohnsonPool {
+        assert!(union.len() >= 2, "pool aggregation needs at least 2 jobs");
+        let pairs = self
+            .pairs
+            .iter()
+            .map(|pair| {
+                let mut f = FilteredPair {
+                    k: pair.k,
+                    l: pair.l,
+                    jobs: Vec::with_capacity(union.len()),
+                    p_k: Vec::with_capacity(union.len()),
+                    lag: Vec::with_capacity(union.len()),
+                    p_l: Vec::with_capacity(union.len()),
+                    min_tail: (usize::MAX, u64::MAX, u64::MAX),
+                };
+                for &j16 in &pair.order {
+                    let j = j16 as usize;
+                    if !union.contains(j) {
+                        continue;
+                    }
+                    f.jobs.push(j16);
+                    f.p_k.push(u64::from(instance.time(j, pair.k)));
+                    f.lag.push(pair.lags[j]);
+                    f.p_l.push(u64::from(instance.time(j, pair.l)));
+                    let tail = tail_after(instance, j, pair.l);
+                    if tail <= f.min_tail.1 {
+                        f.min_tail = (j, tail, f.min_tail.1);
+                    } else if tail < f.min_tail.2 {
+                        f.min_tail.2 = tail;
+                    }
+                }
+                f
+            })
+            .collect();
+        JohnsonPool {
+            m_count: instance.machines(),
+            pairs,
+        }
+    }
+}
+
+impl JohnsonPool {
+    /// The Johnson bound of the child that scheduled `excluded` (which
+    /// must be in the union) — exactly
+    /// `JohnsonBound::bound(instance, heads, union.without(excluded))`.
+    pub fn bound(&self, heads: &[u64], excluded: usize) -> u64 {
+        let mut best = 0u64;
+        for pair in &self.pairs {
+            let mut c1 = heads[pair.k];
+            let mut c2 = heads[pair.l];
+            for (i, &j16) in pair.jobs.iter().enumerate() {
+                if j16 as usize == excluded {
+                    continue;
+                }
+                c1 += pair.p_k[i];
+                c2 = c2.max(c1 + pair.lag[i]) + pair.p_l[i];
+            }
+            let (jmin, t1, t2) = pair.min_tail;
+            let min_tail = if jmin == excluded { t2 } else { t1 };
+            best = best.max(c2 + min_tail);
+        }
+        best.max(heads[self.m_count - 1])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +588,37 @@ mod tests {
     fn custom_pair_validation() {
         let inst = tiny();
         let _ = JohnsonBound::new(&inst, &PairSelection::Custom(vec![(2, 1)]));
+    }
+
+    #[test]
+    fn pool_kernels_match_scalar_bounds_exactly() {
+        // Every (union, excluded job, heads) combination on a real
+        // instance: the pooled delta evaluation must reproduce the
+        // scalar bounds bit-for-bit, since Johnson/OneMachine pools are
+        // consumed as values (not just prune decisions).
+        let inst = crate::taillard::generate(9, 4, 4242);
+        let johnson = JohnsonBound::new(&inst, &PairSelection::All);
+        for prefix in [vec![], vec![3], vec![7, 1], vec![0, 4, 8, 2]] {
+            let heads_base = heads_of(&inst, &prefix);
+            let union = remaining_of(&inst, &prefix);
+            let ctx = OneMachinePool::new(&inst, union);
+            let jpool = johnson.pool(&inst, union);
+            for t in union.iter() {
+                let mut heads = heads_base.clone();
+                push_job(&inst, &mut heads, t);
+                let child = union.without(t);
+                assert_eq!(
+                    ctx.bound(&inst, &heads, t),
+                    one_machine_bound(&inst, &heads, child),
+                    "one-machine pool mismatch at {prefix:?} + {t}"
+                );
+                assert_eq!(
+                    jpool.bound(&heads, t),
+                    johnson.bound(&inst, &heads, child),
+                    "johnson pool mismatch at {prefix:?} + {t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The `Problem` implementation binding the flowshop substrate to the
 //! interval-coded search tree.
 
-use crate::bounds::{one_machine_bound, JobSet, JohnsonBound, PairSelection};
+use crate::bounds::{one_machine_bound, JobSet, JohnsonBound, OneMachinePool, PairSelection};
 use crate::makespan::push_job;
 use crate::Instance;
 use gridbnb_coding::TreeShape;
@@ -160,6 +160,82 @@ impl Problem for FlowshopProblem {
                     state.remaining,
                 );
                 lb1.max(lb2)
+            }
+        }
+    }
+
+    /// Flat pool kernel. When the pool is a sibling pool — every state's
+    /// remaining set is one shared union minus exactly one job, which is
+    /// how the pooled explorer builds them — the parent-level aggregates
+    /// (per-machine loads, top-2 min-tails, Johnson orders filtered to
+    /// the union) are computed once and every child is evaluated as an
+    /// allocation-free delta. In `Combined` mode the Johnson pass runs
+    /// only on survivors of the one-machine screen: a child the cheap
+    /// bound already eliminates stays eliminated under every future
+    /// (lower) cutoff, because the combined bound dominates it.
+    ///
+    /// `OneMachine` and `Johnson` modes reproduce the scalar bound
+    /// values exactly; `Combined` reproduces the scalar elimination
+    /// decisions exactly (values may report the cheaper tier).
+    fn lower_bound_batch(&self, states: &[FlowshopState], cutoff: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(states.len());
+        let union = JobSet(states.iter().fold(0u64, |acc, s| acc | s.remaining.0));
+        let siblings = union.len() >= 2
+            && states
+                .iter()
+                .all(|s| (union.0 & !s.remaining.0).count_ones() == 1);
+        if !siblings {
+            // Not a recognizable sibling pool (or too small to share
+            // anything): scalar loop.
+            for s in states {
+                out.push(self.lower_bound_against(s, cutoff));
+            }
+            return;
+        }
+        let excluded = |s: &FlowshopState| (union.0 & !s.remaining.0).trailing_zeros() as usize;
+        match &self.mode {
+            BoundMode::OneMachine => {
+                let ctx = OneMachinePool::new(&self.instance, union);
+                for s in states {
+                    out.push(ctx.bound(&self.instance, &s.heads, excluded(s)));
+                }
+            }
+            BoundMode::Johnson(_) => {
+                let johnson = self.johnson.as_ref().expect("johnson precomputed");
+                let pool = johnson.pool(&self.instance, union);
+                for s in states {
+                    out.push(pool.bound(&s.heads, excluded(s)));
+                }
+            }
+            BoundMode::Combined(_) => {
+                let ctx = OneMachinePool::new(&self.instance, union);
+                for s in states {
+                    out.push(ctx.bound(&self.instance, &s.heads, excluded(s)));
+                }
+                let survivors = out.iter().filter(|&&b| b < cutoff).count();
+                if survivors == 0 {
+                    return; // whole pool screened out; Johnson would be wasted
+                }
+                let johnson = self.johnson.as_ref().expect("johnson precomputed");
+                if survivors < 3 {
+                    // Building the filtered-order pool costs several
+                    // allocations; below this it is cheaper to run the
+                    // allocation-free scalar Johnson bound directly.
+                    for (i, s) in states.iter().enumerate() {
+                        if out[i] < cutoff {
+                            out[i] =
+                                out[i].max(johnson.bound(&self.instance, &s.heads, s.remaining));
+                        }
+                    }
+                    return;
+                }
+                let pool = johnson.pool(&self.instance, union);
+                for (i, s) in states.iter().enumerate() {
+                    if out[i] < cutoff {
+                        out[i] = out[i].max(pool.bound(&s.heads, excluded(s)));
+                    }
+                }
             }
         }
     }

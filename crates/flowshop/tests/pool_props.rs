@@ -1,0 +1,73 @@
+//! Pooled ≡ scalar equivalence on random flowshop instances, driving the
+//! overridden `lower_bound_batch` kernel (shared one-machine aggregates,
+//! filtered Johnson orders, screen-then-escalate in `Combined` mode)
+//! through the engine's lockstep harness.
+
+use gridbnb_engine::equivalence::{
+    assert_pooled_matches_scalar, assert_pooled_matches_scalar_simple, permille_interval,
+    Interference,
+};
+use gridbnb_flowshop::bounds::PairSelection;
+use gridbnb_flowshop::{taillard, BoundMode, FlowshopProblem, Problem};
+use proptest::prelude::*;
+
+fn arb_mode() -> impl Strategy<Value = BoundMode> {
+    prop_oneof![
+        Just(BoundMode::OneMachine),
+        Just(BoundMode::Johnson(PairSelection::AdjacentPlusEnds)),
+        Just(BoundMode::Johnson(PairSelection::All)),
+        Just(BoundMode::Combined(PairSelection::AdjacentPlusEnds)),
+        Just(BoundMode::Combined(PairSelection::All)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pooled_matches_scalar_on_random_instances(
+        jobs in 4usize..8,
+        machines in 2usize..5,
+        seed in 1i64..100_000_000,
+        mode in arb_mode(),
+        a in 0u64..1001,
+        b in 0u64..1001,
+    ) {
+        let instance = taillard::generate(jobs, machines, seed);
+        let problem = FlowshopProblem::new(instance, mode);
+        let total = problem.shape().root_range().end().clone();
+        let interval = permille_interval(&total, a, b);
+        assert_pooled_matches_scalar_simple(&problem, &interval, None);
+    }
+
+    #[test]
+    fn pooled_matches_scalar_under_steals_and_cutoffs(
+        jobs in 5usize..8,
+        seed in 1i64..100_000_000,
+        mode in arb_mode(),
+        slice in 1u64..50,
+        period in 1usize..5,
+        initial_ub_slack in 0u64..40,
+    ) {
+        let instance = taillard::generate(jobs, 3, seed);
+        let problem = FlowshopProblem::new(instance, mode);
+        let interval = problem.shape().root_range();
+        // A plausible-but-imperfect incumbent: the identity schedule's
+        // makespan plus slack, so the cutoff moves mid-run and the
+        // Combined screen actually eliminates children at fill time.
+        let identity: Vec<usize> = (0..jobs).collect();
+        let ub = gridbnb_flowshop::makespan::makespan(problem.instance(), &identity);
+        assert_pooled_matches_scalar(
+            &problem,
+            &interval,
+            Some(ub + initial_ub_slack),
+            slice,
+            Interference {
+                shrink_period: period,
+                keep_num: 3,
+                keep_den: 4,
+                external_cutoff: ub,
+            },
+        );
+    }
+}

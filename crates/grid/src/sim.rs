@@ -82,6 +82,13 @@ pub struct SimConfig {
     /// Composes with [`SimConfig::contact_batch`]: a worker queues `B`
     /// snapshots per event, the gateway merges workers.
     pub gateway_fan_in: usize,
+    /// Pooled-bounding width of the simulated B&B processes: how many
+    /// sibling states each worker's explorer bounds per
+    /// `lower_bound_batch` call. The rate model does not re-simulate
+    /// node order, so this only drives the derived
+    /// [`SimReport::bound_batches`] model quantity (and documents the
+    /// engine configuration a campaign would run); 1 = scalar bounding.
+    pub pool_width: usize,
     /// Metrics sampling period (Figure 7 resolution).
     pub sample_period_s: f64,
     /// RNG seed for availability.
@@ -106,6 +113,7 @@ impl SimConfig {
             shards: 1,
             contact_batch: 1,
             gateway_fan_in: 0,
+            pool_width: 1,
             sample_period_s: 3_600.0,
             seed: 2006,
             max_sim_days: 400.0,
@@ -153,6 +161,16 @@ pub struct SimReport {
     pub work_allocations: u64,
     /// Total node visits performed (paper: 6.5·10¹²).
     pub explored_nodes: f64,
+    /// States evaluated by the bounding operator — a *model* quantity:
+    /// the rate simulator does not replay the node order, so this is
+    /// simply [`SimReport::explored_nodes`] (every visit is bounded
+    /// once; fill-time over-count under steals is below the model's
+    /// resolution).
+    pub nodes_bounded: f64,
+    /// `lower_bound_batch` invocations implied by the configured
+    /// [`SimConfig::pool_width`] — a model quantity:
+    /// `nodes_bounded / pool_width`.
+    pub bound_batches: f64,
     /// Fraction of node visits that were redundant (paper: 0.39 %).
     pub redundant_ratio: f64,
     /// Figure 7 series.
@@ -747,6 +765,8 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
         farmer_checkpoints,
         work_allocations: coordinator.stats().work_allocations,
         explored_nodes,
+        nodes_bounded: explored_nodes,
+        bound_batches: explored_nodes / config.pool_width.max(1) as f64,
         redundant_ratio,
         samples,
         coordinator_stats: coordinator.stats(),

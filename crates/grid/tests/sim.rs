@@ -41,6 +41,20 @@ fn simulation_terminates_and_covers_workload() {
 }
 
 #[test]
+fn pool_width_scales_bound_batch_model() {
+    let (mut config, workload) = small_sim(2e8, 42);
+    let scalar = simulate(&config, &workload);
+    config.pool_width = 8;
+    let pooled = simulate(&config, &workload);
+    // The rate model is untouched by pooling; only the derived bound
+    // accounting changes.
+    assert!((scalar.explored_nodes - pooled.explored_nodes).abs() < 1.0);
+    assert!((scalar.nodes_bounded - scalar.explored_nodes).abs() < 1.0);
+    assert!((scalar.bound_batches - scalar.nodes_bounded).abs() < 1.0);
+    assert!((pooled.bound_batches - pooled.nodes_bounded / 8.0).abs() < 1.0);
+}
+
+#[test]
 fn worker_exploitation_high_farmer_low() {
     // The paper's headline efficiency claim: workers ~97 % busy, farmer
     // ~1.7 % busy. The shape must reproduce.

@@ -257,6 +257,124 @@ fn gl_with_rows<R: AsRef<[u64]>>(
     base_cost + solve_lap(u, &cost).total
 }
 
+/// Shared screen context for a pool of sibling children: everything in
+/// [`screen_bound`] that depends only on the *parent* — the placed-part
+/// interaction matrix of every unplaced facility at every candidate
+/// location, the pooled flow multiset (already sorted), and the pooled
+/// distance-pair list over the parent's free locations (already sorted,
+/// with endpoints kept so a child can skip the pairs its own location
+/// consumes) — computed once per pool.
+///
+/// A child evaluation is then O(u·F + F²) with **no allocation and no
+/// sorting** (u unplaced facilities, F parent-free locations), against
+/// the scalar screen's O(u·F·placed + F² log F) — the screen becomes
+/// cheap enough to be worth running on every pool entry before deciding
+/// which entries pay for Gilmore–Lawler.
+pub struct ScreenPool {
+    n: usize,
+    /// Children's placement length (parent prefix + 1).
+    placed_next: usize,
+    /// The parent's free locations (each child's own location plus its
+    /// free set).
+    free: Vec<usize>,
+    /// `here[fi · F + ai]` = interaction of unplaced facility
+    /// `placed_next + fi` at `free[ai]` with the parent prefix.
+    here: Vec<u64>,
+    /// Ascending flows over ordered unplaced-facility pairs.
+    flows: Vec<u64>,
+    /// Descending `(dist, a, b)` over ordered parent-free location pairs.
+    dist_pairs: Vec<(u64, u32, u32)>,
+}
+
+impl ScreenPool {
+    /// Builds the context below a parent `prefix` (facility `d` at
+    /// `prefix[d]`) whose used-location mask is `parent_used`.
+    pub fn new(instance: &QapInstance, prefix: &[u16], parent_used: u64) -> Self {
+        let n = instance.n();
+        let placed_next = prefix.len() + 1;
+        let free: Vec<usize> = (0..n).filter(|l| parent_used & (1 << l) == 0).collect();
+        let fcount = free.len();
+        let mut here = vec![0u64; (n - placed_next) * fcount];
+        for (fi, f) in (placed_next..n).enumerate() {
+            for (ai, &loc) in free.iter().enumerate() {
+                let mut h = 0;
+                for (k, &pl) in prefix.iter().enumerate() {
+                    h += instance.flow(k, f) * instance.dist(pl as usize, loc)
+                        + instance.flow(f, k) * instance.dist(loc, pl as usize);
+                }
+                here[fi * fcount + ai] = h;
+            }
+        }
+        let mut flows: Vec<u64> = Vec::new();
+        for i in placed_next..n {
+            for j in placed_next..n {
+                if i != j {
+                    flows.push(instance.flow(i, j));
+                }
+            }
+        }
+        flows.sort_unstable();
+        let mut dist_pairs: Vec<(u64, u32, u32)> = Vec::with_capacity(fcount * fcount);
+        for &a in &free {
+            for &b in &free {
+                if a != b {
+                    dist_pairs.push((instance.dist(a, b), a as u32, b as u32));
+                }
+            }
+        }
+        dist_pairs.sort_unstable_by_key(|x| std::cmp::Reverse(x.0));
+        ScreenPool {
+            n,
+            placed_next,
+            free,
+            here,
+            flows,
+            dist_pairs,
+        }
+    }
+
+    /// The screen bound of the child that placed the next facility at
+    /// `location` and whose exact placed–placed cost is `child_cost` —
+    /// exactly `screen_bound` of that child state.
+    pub fn bound(&self, instance: &QapInstance, location: usize, child_cost: u64) -> u64 {
+        let fcount = self.free.len();
+        let facility = self.placed_next - 1;
+        let mut bound = child_cost;
+        // placed–unplaced: the parent part is looked up; only the one
+        // new placed facility contributes a fresh term.
+        for (fi, f) in (self.placed_next..self.n).enumerate() {
+            let mut cheapest = u64::MAX;
+            for (ai, &loc) in self.free.iter().enumerate() {
+                if loc == location {
+                    continue;
+                }
+                let h = self.here[fi * fcount + ai]
+                    + instance.flow(facility, f) * instance.dist(location, loc)
+                    + instance.flow(f, facility) * instance.dist(loc, location);
+                cheapest = cheapest.min(h);
+            }
+            if cheapest != u64::MAX {
+                bound += cheapest;
+            }
+        }
+        // unplaced–unplaced rearrangement: walk the pre-sorted distance
+        // pairs, skipping those that touch the child's own location.
+        let mut sum = 0u64;
+        let mut fi = 0usize;
+        for &(d, a, b) in &self.dist_pairs {
+            if fi >= self.flows.len() {
+                break;
+            }
+            if a as usize == location || b as usize == location {
+                continue;
+            }
+            sum += self.flows[fi] * d;
+            fi += 1;
+        }
+        bound + sum
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +488,41 @@ mod tests {
     #[test]
     fn default_bound_is_gilmore_lawler() {
         assert_eq!(Bound::default(), Bound::GilmoreLawler);
+    }
+
+    #[test]
+    fn screen_pool_matches_scalar_screen_exactly() {
+        // Every (parent prefix, child location): the pooled screen must
+        // reproduce `screen_bound` bit-for-bit, because in `Screen` mode
+        // its values are the bound.
+        let inst = QapInstance::nugent_style(2, 3, 7);
+        let n = inst.n();
+        let prefixes: Vec<Vec<u16>> = vec![
+            vec![],
+            vec![4],
+            vec![2, 5],
+            vec![1, 0, 3],
+            vec![3, 4, 1, 5, 0],
+        ];
+        for prefix in prefixes {
+            let parent_used = used_of(&prefix);
+            let parent_cost = placed_cost(&inst, &prefix);
+            let pool = ScreenPool::new(&inst, &prefix, parent_used);
+            for loc in 0..n {
+                if parent_used & (1 << loc) != 0 {
+                    continue;
+                }
+                let mut child = prefix.clone();
+                child.push(loc as u16);
+                let child_used = parent_used | (1 << loc);
+                let child_cost = placed_cost(&inst, &child);
+                assert_eq!(
+                    pool.bound(&inst, loc, child_cost),
+                    screen_bound(&inst, &child, child_used, child_cost),
+                    "screen pool mismatch at {prefix:?} + {loc}"
+                );
+                let _ = parent_cost;
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! interval-coded search tree: depth `d` of the permutation tree assigns
 //! facility `d` to the `rank`-th still-free location.
 
-use crate::bounds::{gilmore_lawler_bound_cached, screen_bound, Bound, GlRowCache};
+use crate::bounds::{gilmore_lawler_bound_cached, screen_bound, Bound, GlRowCache, ScreenPool};
 use crate::instance::QapInstance;
 use gridbnb_coding::TreeShape;
 use gridbnb_engine::Problem;
@@ -179,6 +179,63 @@ impl Problem for QapProblem {
                     state.cost,
                 )
             }
+        }
+    }
+
+    /// Screen-first pool kernel. When the pool is a sibling pool (every
+    /// placement is one shared parent prefix plus a distinct last
+    /// location, which is how the pooled explorer builds them), the
+    /// parent-level screen context — placed-part interaction matrix,
+    /// sorted flow and distance-pair multisets — is built once and the
+    /// cheap screen runs allocation-free over the whole pool; the
+    /// Gilmore–Lawler LAP (with its cached rows) is paid only by the
+    /// survivors. Because GL dominates the screen, children the screen
+    /// eliminates stay eliminated under every future (lower) cutoff, so
+    /// elimination decisions match the scalar operator exactly — this is
+    /// the tiered idea again, but with the screen's cost amortized at
+    /// pool level instead of charged per node.
+    fn lower_bound_batch(&self, states: &[QapState], cutoff: u64, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(states.len());
+        let siblings = states.split_first().and_then(|(first, rest)| {
+            let len = first.placement.len();
+            if len == 0 {
+                return None;
+            }
+            let prefix = &first.placement[..len - 1];
+            let parent_used = first.used & !(1 << first.placement[len - 1]);
+            let ok = rest.iter().all(|s| {
+                s.placement.len() == len
+                    && &s.placement[..len - 1] == prefix
+                    && s.used == parent_used | (1 << s.placement[len - 1])
+            });
+            ok.then_some((prefix, parent_used))
+        });
+        let Some((prefix, parent_used)) = siblings else {
+            for s in states {
+                out.push(self.lower_bound_against(s, cutoff));
+            }
+            return;
+        };
+        let pool = ScreenPool::new(&self.instance, prefix, parent_used);
+        for s in states {
+            let location = *s.placement.last().expect("validated non-empty") as usize;
+            out.push(pool.bound(&self.instance, location, s.cost));
+        }
+        if matches!(self.bound, Bound::Screen) {
+            return;
+        }
+        for (i, s) in states.iter().enumerate() {
+            if out[i] >= cutoff {
+                continue; // the screen already eliminates this child
+            }
+            out[i] = gilmore_lawler_bound_cached(
+                &self.instance,
+                &self.gl_rows,
+                &s.placement,
+                s.used,
+                s.cost,
+            );
         }
     }
 
