@@ -58,12 +58,37 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
+/// Encodes one interval as the codec's `begin end` decimal pair — the
+/// unit every layer shares: checkpoint files write one per line, the
+/// network wire format length-prefixes one per payload slot. Decimal
+/// text keeps big-integer round trips exact with no serialization
+/// dependency.
+pub fn encode_interval_line(interval: &Interval) -> String {
+    format!("{} {}", interval.begin(), interval.end())
+}
+
+/// Decodes a `begin end` decimal pair. Unlike the file loaders this
+/// preserves empty intervals — the wire protocol must round-trip an
+/// `UpdateAck` whose intersected interval came back empty, while a
+/// checkpoint file has no use for them and drops them on load.
+pub fn decode_interval_line(line: &str) -> Result<Interval, CheckpointError> {
+    let mut parts = line.split_whitespace();
+    let begin = parse_ubig(parts.next())?;
+    let end = parse_ubig(parts.next())?;
+    if parts.next().is_some() {
+        return Err(CheckpointError::Corrupt(format!(
+            "trailing tokens in interval {line:?}"
+        )));
+    }
+    Ok(Interval::new(begin, end))
+}
+
 /// Serializes `INTERVALS` (one `begin end` pair per line, decimal).
 pub fn encode_intervals(intervals: &[Interval]) -> String {
     let mut out = String::from(INTERVALS_HEADER);
     out.push('\n');
     for i in intervals {
-        let _ = writeln!(out, "{} {}", i.begin(), i.end());
+        let _ = writeln!(out, "{}", encode_interval_line(i));
     }
     out
 }
@@ -77,10 +102,9 @@ pub fn decode_intervals(text: &str) -> Result<Vec<Interval>, CheckpointError> {
     Ok(decode_sharded_intervals(text)?.concat())
 }
 
-fn parse_ubig(token: Option<&str>, ln: usize) -> Result<UBig, CheckpointError> {
-    let token = token
-        .ok_or_else(|| CheckpointError::Corrupt(format!("missing endpoint on line {}", ln + 2)))?;
-    UBig::from_str(token).map_err(|e| CheckpointError::Corrupt(format!("line {}: {e}", ln + 2)))
+fn parse_ubig(token: Option<&str>) -> Result<UBig, CheckpointError> {
+    let token = token.ok_or_else(|| CheckpointError::Corrupt("missing endpoint".into()))?;
+    UBig::from_str(token).map_err(|e| CheckpointError::Corrupt(format!("bad endpoint: {e}")))
 }
 
 const SHARD_MARKER: &str = "# shard ";
@@ -153,16 +177,13 @@ pub fn decode_sharded_intervals(text: &str) -> Result<Vec<Vec<Interval>>, Checkp
             // Markerless v1 file: everything belongs to one shard.
             shards.push(Vec::new());
         }
-        let mut parts = line.split_whitespace();
-        let begin = parse_ubig(parts.next(), ln)?;
-        let end = parse_ubig(parts.next(), ln)?;
-        if parts.next().is_some() {
-            return Err(CheckpointError::Corrupt(format!(
-                "trailing tokens on line {}",
-                ln + 2
-            )));
-        }
-        let interval = Interval::new(begin, end);
+        let interval = match decode_interval_line(line) {
+            Ok(i) => i,
+            Err(CheckpointError::Corrupt(m)) => {
+                return Err(CheckpointError::Corrupt(format!("line {}: {m}", ln + 2)))
+            }
+            Err(e) => return Err(e),
+        };
         if !interval.is_empty() {
             shards.last_mut().expect("shard bucket").push(interval);
         }
@@ -302,6 +323,21 @@ mod tests {
 
     fn iv(a: u64, b: u64) -> Interval {
         Interval::new(UBig::from(a), UBig::from(b))
+    }
+
+    #[test]
+    fn interval_line_round_trips_including_empty() {
+        for interval in [
+            iv(7, 9),
+            iv(5, 5),
+            Interval::new(UBig::factorial(49), UBig::factorial(50)),
+        ] {
+            let line = encode_interval_line(&interval);
+            assert_eq!(decode_interval_line(&line).unwrap(), interval);
+        }
+        assert!(decode_interval_line("1 2 3").is_err());
+        assert!(decode_interval_line("abc 4").is_err());
+        assert!(decode_interval_line("12").is_err());
     }
 
     #[test]

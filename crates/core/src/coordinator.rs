@@ -79,14 +79,44 @@ pub struct CoordinatorConfig {
     pub initial_upper_bound: Option<u64>,
 }
 
-/// A rejected [`CoordinatorConfig`] (see [`CoordinatorConfig::validate`])
-/// or shard layout (see [`crate::ShardRouter::new`]).
+/// A rejected configuration, anywhere in the stack: coordinator knobs
+/// (see [`CoordinatorConfig::validate`]), shard layout (see
+/// [`crate::ShardRouter::new`]), runtime policies (see
+/// `RuntimeConfig::validate`), or a gateway policy checked against the
+/// coordinator it fronts (see `GatewayPolicy::validate_against`). One
+/// error type means one validated construction path — every entry point
+/// (runtime, sim, the socket server) funnels through the same checks
+/// instead of re-asserting them ad hoc.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ConfigError {
     /// `duplication_threshold` was zero (documented contract: ≥ 1).
     ZeroDuplicationThreshold,
     /// A shard router was asked for zero shards (contract: ≥ 1).
     ZeroShards,
+    /// A runtime was asked for zero worker threads.
+    ZeroWorkers,
+    /// `worker_powers` was empty (it is cycled across workers).
+    EmptyWorkerPowers,
+    /// A coalescing policy with `slices_per_contact` of zero.
+    ZeroCoalesceSlices,
+    /// A coalescing silence window at or above the holder timeout: a
+    /// worker using its whole allowed silence would be expired as dead
+    /// and its work redone every window.
+    CoalesceSilenceTooLong {
+        /// The policy's `max_silence`, nanoseconds.
+        silence_ns: u64,
+        /// The coordinator's `holder_timeout_ns` it must stay below.
+        timeout_ns: u64,
+    },
+    /// A gateway delay at or above the holder timeout: a worker parked
+    /// in the gateway buffer is silent towards the coordinator, so its
+    /// wait must never approach the expiry horizon.
+    GatewayDelayTooLong {
+        /// The policy's `max_delay_ns`.
+        delay_ns: u64,
+        /// The coordinator's `holder_timeout_ns` it must stay below.
+        timeout_ns: u64,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -95,7 +125,31 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroDuplicationThreshold => {
                 write!(f, "duplication_threshold must be ≥ 1 (got 0)")
             }
-            ConfigError::ZeroShards => write!(f, "shard count must be ≥ 1 (got 0)"),
+            ConfigError::ZeroShards => write!(f, "need at least one shard"),
+            ConfigError::ZeroWorkers => write!(f, "need at least one worker"),
+            ConfigError::EmptyWorkerPowers => write!(
+                f,
+                "worker_powers must not be empty (it is cycled across workers)"
+            ),
+            ConfigError::ZeroCoalesceSlices => {
+                write!(f, "coalesce.slices_per_contact must be ≥ 1")
+            }
+            ConfigError::CoalesceSilenceTooLong {
+                silence_ns,
+                timeout_ns,
+            } => write!(
+                f,
+                "coalesce.max_silence must stay below coordinator.holder_timeout_ns \
+                 ({silence_ns} ns ≥ {timeout_ns} ns)"
+            ),
+            ConfigError::GatewayDelayTooLong {
+                delay_ns,
+                timeout_ns,
+            } => write!(
+                f,
+                "gateway.max_delay_ns must stay below coordinator.holder_timeout_ns \
+                 ({delay_ns} ns ≥ {timeout_ns} ns)"
+            ),
         }
     }
 }

@@ -83,6 +83,26 @@ impl GatewayPolicy {
             max_delay_ns: max_delay_ns.max(1),
         }
     }
+
+    /// Checks this policy against the coordinator it would front: the
+    /// flush delay must stay strictly below the holder timeout, or
+    /// routing contacts through the gateway would get healthy workers
+    /// expired (and their work redone) every flush window. Every
+    /// construction path that pairs a gateway with a coordinator — the
+    /// runtime, and the socket server in `gridbnb-net` — funnels
+    /// through this one check.
+    pub fn validate_against(
+        &self,
+        coordinator: &crate::CoordinatorConfig,
+    ) -> Result<(), crate::ConfigError> {
+        if self.max_delay_ns >= coordinator.holder_timeout_ns {
+            return Err(crate::ConfigError::GatewayDelayTooLong {
+                delay_ns: self.max_delay_ns,
+                timeout_ns: coordinator.holder_timeout_ns,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Aggregation counters of one [`ContactGateway`].

@@ -45,6 +45,7 @@ pub mod gateway;
 mod protocol;
 pub mod runtime;
 pub mod shard;
+pub mod transport;
 
 pub use coordinator::{
     compare_len_per_power, compare_len_per_power_exact, BatchOutcome, ConfigError, Coordinator,
@@ -53,6 +54,9 @@ pub use coordinator::{
 pub use gateway::{ContactGateway, GatewayPolicy, GatewayStats};
 pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
 pub use shard::ShardRouter;
+pub use transport::{
+    ChannelTransport, GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError,
+};
 
 pub use gridbnb_coding::{Interval, IntervalSet, TreeShape, UBig};
 pub use gridbnb_engine::{Problem, Solution};

@@ -33,7 +33,7 @@ impl std::fmt::Display for ShardId {
 /// envelope of the sharded protocol surface. [`crate::ShardRouter::envelope`]
 /// resolves a worker's home shard once; executors that queue contacts
 /// per shard (instead of re-hashing on every hop) carry this envelope.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardEnvelope {
     /// The home shard the router resolved for the requesting worker.
     pub shard: ShardId,
@@ -42,7 +42,7 @@ pub struct ShardEnvelope {
 }
 
 /// A worker-initiated message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Request {
     /// First contact of a worker (or re-contact after a simulated
     /// failure): asks for an interval. `power` is the relative speed of
@@ -117,7 +117,7 @@ impl Request {
 }
 
 /// The coordinator's reply.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Response {
     /// A work unit: explore `interval` starting from the current global
     /// cutoff (solution sharing rule 1: initialize the local best from

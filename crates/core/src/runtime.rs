@@ -28,11 +28,15 @@
 //! assert it.
 
 use crate::checkpoint::CheckpointStore;
-use crate::{
-    ContactGateway, Coordinator, CoordinatorConfig, CoordinatorStats, GatewayPolicy, GatewayStats,
-    Request, Response, ShardRouter, WorkerId,
+use crate::transport::{
+    ChannelTransport, Envelope, GatewayTransport, ProtocolError, RouterTransport, Transport,
+    TransportError,
 };
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::{
+    ConfigError, ContactGateway, Coordinator, CoordinatorConfig, CoordinatorStats, GatewayPolicy,
+    GatewayStats, Request, Response, ShardRouter, WorkerId,
+};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
 use gridbnb_bigint::UBig;
 use gridbnb_coding::Interval;
 use gridbnb_engine::{IntervalExplorer, Problem, SearchStats, Solution};
@@ -92,6 +96,34 @@ pub struct CoalescePolicy {
     pub max_silence: Duration,
 }
 
+/// Retry policy for transient transport failures: how a worker reacts
+/// when a contact fails with an error whose
+/// [`TransportError::is_transient`] is `true` (I/O hiccups, timeouts).
+/// The worker re-sends the same bundle after an exponentially growing
+/// backoff; permanent errors ([`TransportError::Closed`], protocol
+/// violations) are never retried. Irrelevant for the in-process
+/// transports, which never fail transiently — this exists for the
+/// socket transport in `gridbnb-net`, where a reconnect between two
+/// attempts is routine.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per contact (the first try included); clamped to
+    /// ≥ 1. The default of 4 rides out a coordinator restart at the
+    /// default backoff without approaching any sane holder timeout.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each further retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -132,6 +164,9 @@ pub struct RuntimeConfig {
     /// (property-pinned), so this only changes throughput, never the
     /// search. `false` restores the node-at-a-time explorer.
     pub pooling: bool,
+    /// How workers retry contacts that fail transiently (see
+    /// [`RetryPolicy`]).
+    pub transport_retry: RetryPolicy,
 }
 
 impl RuntimeConfig {
@@ -148,6 +183,7 @@ impl RuntimeConfig {
             checkpoint: None,
             chaos: None,
             pooling: true,
+            transport_retry: RetryPolicy::default(),
         }
     }
 
@@ -202,44 +238,58 @@ impl RuntimeConfig {
         self
     }
 
-    /// Fails fast on out-of-contract configuration instead of letting
-    /// the coordinator silently clamp it. Every run entry point calls
-    /// this before building any coordinator state.
-    fn assert_valid(&self) {
-        assert!(self.workers > 0, "need at least one worker");
-        assert!(self.shards > 0, "need at least one shard");
-        assert!(
-            !self.worker_powers.is_empty(),
-            "worker_powers must not be empty (it is cycled across workers)"
-        );
+    /// Checks the whole configuration stack — worker/shard counts, the
+    /// coalescing silence window, the gateway delay against the holder
+    /// timeout (via [`GatewayPolicy::validate_against`]), and the
+    /// coordinator knobs — through the one shared [`ConfigError`]
+    /// hierarchy. Every construction path (the run entry points here,
+    /// and the socket server in `gridbnb-net`) funnels through these
+    /// same checks, so no entry point can be started with, e.g., a
+    /// gateway delay at or above the holder timeout.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.worker_powers.is_empty() {
+            return Err(ConfigError::EmptyWorkerPowers);
+        }
         if let Some(policy) = &self.coalesce {
-            assert!(
-                policy.slices_per_contact >= 1,
-                "coalesce.slices_per_contact must be ≥ 1"
-            );
+            if policy.slices_per_contact == 0 {
+                return Err(ConfigError::ZeroCoalesceSlices);
+            }
             // The documented invariant behind the silence deadline: a
             // worker that uses its whole allowed silence must still be
             // comfortably inside the holder timeout, or coalescing gets
             // healthy workers expired (and their work redone) every
             // window.
-            assert!(
-                (policy.max_silence.as_nanos() as u64) < self.coordinator.holder_timeout_ns,
-                "coalesce.max_silence must stay below coordinator.holder_timeout_ns"
-            );
+            let silence_ns = policy.max_silence.as_nanos() as u64;
+            if silence_ns >= self.coordinator.holder_timeout_ns {
+                return Err(ConfigError::CoalesceSilenceTooLong {
+                    silence_ns,
+                    timeout_ns: self.coordinator.holder_timeout_ns,
+                });
+            }
         }
         if let Some(policy) = &self.gateway {
-            assert!(policy.fan_in >= 1, "gateway.fan_in must be ≥ 1");
-            // A worker blocked in the gateway is not heartbeating; its
-            // wait must never approach the expiry horizon, or routing
-            // contacts through the gateway would get healthy workers
-            // expired (and their work redone) every flush window.
-            assert!(
-                policy.max_delay_ns < self.coordinator.holder_timeout_ns,
-                "gateway.max_delay_ns must stay below coordinator.holder_timeout_ns"
-            );
+            policy.validate_against(&self.coordinator)?;
         }
-        if let Err(e) = self.coordinator.validate() {
-            panic!("invalid coordinator config: {e}");
+        self.coordinator.validate()
+    }
+
+    /// Fails fast on out-of-contract configuration instead of letting
+    /// the coordinator silently clamp it. Every run entry point calls
+    /// this before building any coordinator state.
+    fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            match e {
+                ConfigError::ZeroDuplicationThreshold => {
+                    panic!("invalid coordinator config: {e}")
+                }
+                other => panic!("invalid runtime config: {other}"),
+            }
         }
     }
 }
@@ -261,6 +311,15 @@ pub struct WorkerReport {
     pub contacts: u64,
     /// Crashes it simulated.
     pub crashes: u64,
+    /// Contacts re-sent after a transient transport failure (see
+    /// [`RetryPolicy`]); always 0 over the in-process transports.
+    pub transport_retries: u64,
+    /// The transport error that ended this worker's run, if one did:
+    /// `None` means the worker exited cleanly (a `Terminate` reply, a
+    /// scripted crash, or the spent-unit path). A mid-run socket
+    /// failure that exhausted its retries lands here instead of
+    /// panicking the thread.
+    pub transport_failure: Option<TransportError>,
     /// Node visits presumed redundant: explored in slices whose update
     /// ack came back empty (the unit had already been completed
     /// elsewhere) or lost in a crash (someone re-explores them).
@@ -347,6 +406,23 @@ impl RunReport {
         self.workers.iter().map(|w| w.contacts).sum()
     }
 
+    /// Total contacts re-sent after transient transport failures.
+    pub fn total_transport_retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.transport_retries).sum()
+    }
+
+    /// Every worker whose run was ended by a transport error, with the
+    /// error that ended it. Empty on a healthy run — the e2e tests
+    /// assert it, so a socket run that silently lost workers (and leant
+    /// on expiry to stay exact) cannot masquerade as a clean one.
+    pub fn transport_failures(&self) -> Vec<(usize, &TransportError)> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.transport_failure.as_ref().map(|e| (i, e)))
+            .collect()
+    }
+
     /// Total worker busy time.
     pub fn worker_busy(&self) -> Duration {
         self.workers.iter().map(|w| w.busy).sum()
@@ -401,12 +477,6 @@ impl RunReport {
         redundant as f64 / total as f64
     }
 }
-
-/// One farmer-channel contact: a request bundle and the reply slot. A
-/// classic single request is a bundle of one; the farmer folds the
-/// whole bundle through [`Coordinator::apply_batch`] and answers all of
-/// it in one round-trip.
-type Envelope = (Vec<Request>, Sender<Vec<Response>>);
 
 /// Runs the grid-enabled B&B on `problem` with real threads.
 ///
@@ -467,12 +537,10 @@ pub fn run_with_coordinator<P: Problem>(
                 .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
                 .copied();
             handles.push(scope.spawn(move |_| {
-                let (reply_tx, reply_rx) = unbounded::<Vec<Response>>();
-                let send = move |requests: Vec<Request>| -> Option<Vec<Response>> {
-                    req_tx.send((requests, reply_tx.clone())).ok()?;
-                    reply_rx.recv().ok()
-                };
-                worker_loop(problem, index, power, crash, send, fresh_ids, config)
+                let transport = ChannelTransport::new(req_tx);
+                worker_loop(
+                    problem, index, power, crash, &transport, fresh_ids, 0, config,
+                )
             }));
         }
         // The farmer's receiver disconnects when every worker sender is
@@ -541,31 +609,24 @@ pub fn run_with_router<P: Problem>(
                 .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
                 .copied();
             handles.push(scope.spawn(move |_| {
-                let send = move |mut requests: Vec<Request>| -> Option<Vec<Response>> {
-                    let now_ns = started.elapsed().as_nanos() as u64;
-                    if let Some(gateway) = gateway {
-                        // The gateway merges this batch with other
-                        // workers' into a shared bundle; the call
-                        // blocks until a flush serves it. An empty
-                        // reply means the gateway was torn down —
-                        // worker_loop treats it like a dead transport.
-                        return Some(gateway.submit(requests, now_ns));
-                    }
-                    if requests.len() == 1 {
-                        let request = requests.pop().expect("one request");
-                        Some(vec![router.handle(request, now_ns)])
-                    } else {
-                        let bundle = requests.into_iter().map(|r| router.envelope(r)).collect();
-                        Some(
-                            router
-                                .handle_bundle(bundle, now_ns)
-                                .into_iter()
-                                .map(|(_, response)| response)
-                                .collect(),
-                        )
-                    }
+                // The gateway merges a worker's batch with other
+                // workers' into a shared bundle and blocks until a
+                // flush serves it; without one, bundles go straight
+                // into the worker's home shard.
+                let transport: Box<dyn Transport + Send> = match gateway {
+                    Some(gateway) => Box::new(GatewayTransport::new(gateway, started)),
+                    None => Box::new(RouterTransport::new(router, started)),
                 };
-                worker_loop(problem, index, power, crash, send, fresh_ids, config)
+                worker_loop(
+                    problem,
+                    index,
+                    power,
+                    crash,
+                    transport.as_ref(),
+                    fresh_ids,
+                    0,
+                    config,
+                )
             }));
         }
         // Collect panics instead of unwinding immediately: the done
@@ -763,32 +824,132 @@ fn farmer_loop(
     (coordinator, busy, checkpoints)
 }
 
+/// Client-side half of a run: spawns `config.workers` worker threads,
+/// each speaking the protocol over its own [`Transport`] from
+/// `connect`, and returns their reports when every worker is done.
+///
+/// Unlike [`run`], no coordinator state lives in this process — the
+/// coordinator is wherever the transports point (typically a
+/// `gridbnb-net` socket server, possibly on another machine), and it
+/// keeps running after these workers leave. Worker ids are offset by
+/// `id_base` so several client processes can join the same coordinator
+/// without colliding; crash plans and coalescing work exactly as in the
+/// in-process runtime.
+pub fn run_workers<P, T, F>(
+    problem: &P,
+    config: &RuntimeConfig,
+    id_base: u64,
+    connect: F,
+) -> Vec<WorkerReport>
+where
+    P: Problem,
+    T: Transport + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    config.assert_valid();
+    let fresh_ids = AtomicU64::new(id_base + config.workers as u64);
+    let mut worker_reports: Vec<WorkerReport> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let fresh_ids = &fresh_ids;
+        let connect = &connect;
+        let mut handles = Vec::new();
+        for index in 0..config.workers {
+            let power = config.worker_powers[index % config.worker_powers.len()];
+            let crash = config
+                .chaos
+                .as_ref()
+                .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
+                .copied();
+            handles.push(scope.spawn(move |_| {
+                let transport = connect(index);
+                worker_loop(
+                    problem, index, power, crash, &transport, fresh_ids, id_base, config,
+                )
+            }));
+        }
+        for h in handles {
+            worker_reports.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("scope panicked");
+    worker_reports
+}
+
+/// Sends one bundle through the transport, re-sending after a backoff
+/// on transient failures per `policy` (retries are tallied into
+/// `report`). Checks the one-response-per-request contract on success —
+/// a mismatch is a [`ProtocolError::ResponseCount`], never a panic.
+fn contact_with_retry<T: Transport + ?Sized>(
+    transport: &T,
+    requests: Vec<Request>,
+    policy: &RetryPolicy,
+    report: &mut WorkerReport,
+) -> Result<Vec<Response>, TransportError> {
+    let sent = requests.len();
+    let max_attempts = policy.max_attempts.max(1);
+    let mut backoff = policy.base_backoff;
+    let mut attempt = 1u32;
+    loop {
+        match transport.contact(requests.clone()) {
+            Ok(responses) => {
+                if responses.len() != sent {
+                    return Err(ProtocolError::ResponseCount {
+                        sent,
+                        got: responses.len(),
+                    }
+                    .into());
+                }
+                return Ok(responses);
+            }
+            Err(e) if e.is_transient() && attempt < max_attempts => {
+                report.transport_retries += 1;
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// One worker thread: explore slices, contact the coordinator through
-/// `send` — a blocking channel round-trip to the farmer thread, or a
-/// direct call into the worker's home shard of a [`ShardRouter`]. Every
-/// `send` is a request *bundle* (usually of one); with
+/// `transport` — a blocking channel round-trip to the farmer thread, a
+/// direct call into the worker's home shard of a [`ShardRouter`], a
+/// gateway submission, or a socket round-trip to a remote server. Every
+/// contact is a request *bundle* (usually of one); with
 /// [`RuntimeConfig::coalesce`] set, periodic checkpoints are folded
 /// across slices, an improvement ships as one combined
 /// [`Request::UpdateAndReport`], and a spent unit's unreported solution
 /// rides the `RequestWork` bundle.
-fn worker_loop<P: Problem>(
+///
+/// Transient transport failures are retried with backoff
+/// ([`RetryPolicy`]); a permanent failure — or exhausted retries — ends
+/// the run with the error recorded in
+/// [`WorkerReport::transport_failure`] instead of panicking, so one
+/// flaky socket degrades a run (expiry redistributes the worker's
+/// interval) rather than aborting it.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<P: Problem, T: Transport + ?Sized>(
     problem: &P,
     index: usize,
     power: u64,
     crash: Option<CrashPlan>,
-    send: impl Fn(Vec<Request>) -> Option<Vec<Response>>,
+    transport: &T,
     fresh_ids: &AtomicU64,
+    id_base: u64,
     config: &RuntimeConfig,
 ) -> WorkerReport {
     let thread_start = Instant::now();
     let mut report = WorkerReport::default();
-    let mut id = WorkerId(index as u64);
+    let mut id = WorkerId(id_base + index as u64);
     let mut joining = true;
     let mut crash = crash;
     // A solution found on the last slice of a spent unit, awaiting the
     // next work request's bundle.
     let mut pending_solution: Option<Solution> = None;
 
+    // Contact failures land here; the macro-free equivalent of `?` for
+    // a loop that must record the error and fall out of 'units.
     'units: loop {
         let work_request = if joining {
             Request::Join { worker: id, power }
@@ -799,33 +960,24 @@ fn worker_loop<P: Problem>(
         // Termination-sensitive flush: the work request always goes out
         // now; an unreported solution shares the contact.
         report.contacts += 1;
-        let response = match pending_solution.take() {
-            Some(solution) => {
-                let Some(mut responses) = send(vec![
-                    Request::ReportSolution {
-                        worker: id,
-                        solution,
-                    },
-                    work_request,
-                ]) else {
-                    break;
-                };
-                debug_assert_eq!(responses.len(), 2, "two responses for a two-request bundle");
-                let Some(response) = responses.pop() else {
-                    break;
-                };
-                response
-            }
-            None => {
-                let Some(mut responses) = send(vec![work_request]) else {
-                    break;
-                };
-                let Some(response) = responses.pop() else {
-                    break;
-                };
-                response
-            }
+        let bundle = match pending_solution.take() {
+            Some(solution) => vec![
+                Request::ReportSolution {
+                    worker: id,
+                    solution,
+                },
+                work_request,
+            ],
+            None => vec![work_request],
         };
+        let response =
+            match contact_with_retry(transport, bundle, &config.transport_retry, &mut report) {
+                Ok(mut responses) => responses.pop().expect("bundle was non-empty"),
+                Err(e) => {
+                    report.transport_failure = failure_of(e);
+                    break;
+                }
+            };
         let (interval, cutoff) = match response {
             Response::Work { interval, cutoff } => (interval, cutoff),
             Response::Terminate => break,
@@ -835,7 +987,16 @@ fn worker_loop<P: Problem>(
                 std::thread::sleep(Duration::from_micros(200));
                 continue 'units;
             }
-            other => unreachable!("unexpected work response: {other:?}"),
+            other => {
+                report.transport_failure = Some(
+                    ProtocolError::UnexpectedResponse {
+                        expected: "Work, Terminate or Retry",
+                        got: format!("{other:?}"),
+                    }
+                    .into(),
+                );
+                break;
+            }
         };
         report.units += 1;
         let mut explorer =
@@ -859,16 +1020,34 @@ fn worker_loop<P: Problem>(
             let mut fresh = explorer.take_fresh_best();
             if fresh.is_some() && !explorer.is_exhausted() {
                 report.contacts += 1;
-                let Some(mut responses) = send(vec![Request::UpdateAndReport {
+                let bundle = vec![Request::UpdateAndReport {
                     worker: id,
                     interval: explorer.current_interval(),
                     solution: fresh.take(),
-                }]) else {
-                    break 'units;
+                }];
+                let mut responses = match contact_with_retry(
+                    transport,
+                    bundle,
+                    &config.transport_retry,
+                    &mut report,
+                ) {
+                    Ok(responses) => responses,
+                    Err(e) => {
+                        report.transport_failure = failure_of(e);
+                        break 'units;
+                    }
                 };
                 report.checkpoint_ops += 1;
-                if !adopt_update_ack(responses.pop(), &mut explorer) {
-                    break 'units;
+                match adopt_update_ack(
+                    responses.pop().expect("bundle was non-empty"),
+                    &mut explorer,
+                ) {
+                    Ok(true) => {}
+                    Ok(false) => break 'units,
+                    Err(e) => {
+                        report.transport_failure = Some(e.into());
+                        break 'units;
+                    }
                 }
                 slices_since_contact = 0;
                 last_contact = Instant::now();
@@ -913,15 +1092,29 @@ fn worker_loop<P: Problem>(
                 continue;
             }
             report.contacts += 1;
-            let Some(mut responses) = send(vec![Request::Update {
+            let bundle = vec![Request::Update {
                 worker: id,
                 interval: explorer.current_interval(),
-            }]) else {
-                break 'units;
-            };
+            }];
+            let mut responses =
+                match contact_with_retry(transport, bundle, &config.transport_retry, &mut report) {
+                    Ok(responses) => responses,
+                    Err(e) => {
+                        report.transport_failure = failure_of(e);
+                        break 'units;
+                    }
+                };
             report.checkpoint_ops += 1;
-            if !adopt_update_ack(responses.pop(), &mut explorer) {
-                break 'units;
+            match adopt_update_ack(
+                responses.pop().expect("bundle was non-empty"),
+                &mut explorer,
+            ) {
+                Ok(true) => {}
+                Ok(false) => break 'units,
+                Err(e) => {
+                    report.transport_failure = Some(e.into());
+                    break 'units;
+                }
             }
             slices_since_contact = 0;
             last_contact = Instant::now();
@@ -934,22 +1127,36 @@ fn worker_loop<P: Problem>(
     report
 }
 
+/// An orderly teardown — the farmer hung up after terminating, or the
+/// gateway answered a drain sentinel — is a clean end of the run, not a
+/// fault worth surfacing in the report.
+fn failure_of(e: TransportError) -> Option<TransportError> {
+    match e {
+        TransportError::Closed => None,
+        other => Some(other),
+    }
+}
+
 /// Folds an update-style ack into the explorer: adopt the intersected
-/// interval, observe the cutoff. `false` means the unit loop must end
-/// (termination reply, or the transport died).
+/// interval, observe the cutoff. `Ok(false)` means the unit loop must
+/// end cleanly (termination reply); an unexpected variant is a protocol
+/// violation by the coordinator.
 fn adopt_update_ack<P: Problem>(
-    response: Option<Response>,
+    response: Response,
     explorer: &mut IntervalExplorer<'_, P>,
-) -> bool {
+) -> Result<bool, ProtocolError> {
     match response {
-        Some(Response::UpdateAck { interval, cutoff }) => {
+        Response::UpdateAck { interval, cutoff } => {
             explorer.intersect_with(&interval);
             if let Some(c) = cutoff {
                 explorer.observe_external_cutoff(c);
             }
-            true
+            Ok(true)
         }
-        Some(Response::Terminate) | None => false,
-        Some(other) => unreachable!("unexpected update response: {other:?}"),
+        Response::Terminate => Ok(false),
+        other => Err(ProtocolError::UnexpectedResponse {
+            expected: "UpdateAck or Terminate",
+            got: format!("{other:?}"),
+        }),
     }
 }

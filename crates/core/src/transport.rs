@@ -1,0 +1,302 @@
+//! The [`Transport`] abstraction: how a worker's request bundles reach
+//! a coordinator, wherever it lives.
+//!
+//! The paper's workers are remote processes contacting the farmer over
+//! the network; this workspace grew three *in-process* contact paths
+//! first (the farmer channel, direct [`ShardRouter`] calls, and the
+//! [`ContactGateway`]) and a socket path in the `gridbnb-net` crate.
+//! All four implement this one trait, so the runtime's `worker_loop` —
+//! and every exactness test driving it — runs identically over any of
+//! them:
+//!
+//! | impl | where the coordinator lives |
+//! |---|---|
+//! | [`ChannelTransport`] | farmer thread behind a crossbeam channel |
+//! | [`RouterTransport`] | sharded router called directly |
+//! | [`GatewayTransport`] | shared gateway fronting a router |
+//! | `gridbnb_net::SocketTransport` | a TCP server, possibly remote |
+//!
+//! Failures are typed, not sentinel values: a contact returns
+//! [`TransportError`], whose [`TransportError::is_transient`] split
+//! drives the worker loop's retry-with-backoff policy (a flaky socket
+//! is retried; a closed coordinator or a protocol violation is not).
+
+use crate::{ContactGateway, Request, Response, ShardRouter};
+use crossbeam::channel::{Receiver, Sender};
+use std::time::Instant;
+
+/// A violation of the coordinator protocol itself — malformed wire
+/// frames or out-of-contract message sequences. Protocol errors are
+/// never transient: retrying the same exchange cannot repair a peer
+/// that speaks a different dialect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A frame did not start with the expected magic bytes.
+    BadMagic {
+        /// The four bytes actually read.
+        got: [u8; 4],
+    },
+    /// The frame header carried an unsupported codec version.
+    UnsupportedVersion {
+        /// Version byte on the wire.
+        got: u8,
+        /// The one version this build speaks.
+        want: u8,
+    },
+    /// The frame kind byte named no known message type.
+    UnknownKind(u8),
+    /// A declared payload length exceeded the codec's hard cap (a
+    /// corrupt or hostile header; honoring it would allocate the cap).
+    Oversized {
+        /// Declared payload length.
+        len: u64,
+        /// The cap it exceeded.
+        max: u64,
+    },
+    /// The payload ended before its declared structure did, or carried
+    /// values no encoder produces (bad tags, bad decimal digits, ...).
+    BadPayload(String),
+    /// The peer answered a request with a response variant the protocol
+    /// does not allow there (e.g. a `Work` reply to an `Update`).
+    UnexpectedResponse {
+        /// What the request admits.
+        expected: &'static str,
+        /// Debug rendering of what arrived.
+        got: String,
+    },
+    /// A bundle of `sent` requests came back with a different number of
+    /// responses — the one-response-per-request contract is broken.
+    ResponseCount {
+        /// Requests in the bundle.
+        sent: usize,
+        /// Responses received.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BadMagic { got } => write!(f, "bad frame magic {got:?}"),
+            ProtocolError::UnsupportedVersion { got, want } => {
+                write!(
+                    f,
+                    "unsupported wire version {got} (this build speaks {want})"
+                )
+            }
+            ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtocolError::Oversized { len, max } => {
+                write!(
+                    f,
+                    "declared payload of {len} bytes exceeds the {max}-byte cap"
+                )
+            }
+            ProtocolError::BadPayload(m) => write!(f, "bad payload: {m}"),
+            ProtocolError::UnexpectedResponse { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            ProtocolError::ResponseCount { sent, got } => {
+                write!(f, "sent {sent} requests but received {got} responses")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Why a contact failed. The [`TransportError::is_transient`] split is
+/// the retry contract: transient errors are worth re-sending the same
+/// bundle after a backoff; permanent ones end the worker's run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The far side is gone for good: the channel hung up, the gateway
+    /// was torn down, or the server refused further business. This is
+    /// the typed form of the old "dead transport" sentinel — normal at
+    /// the end of a run, fatal in the middle of one.
+    Closed,
+    /// An I/O-level failure (connection reset, refused, interrupted
+    /// write, ...). Transient: the coordinator may well still be there.
+    Io(String),
+    /// The peer did not answer within the configured deadline.
+    /// Transient: a slow coordinator is not a dead one.
+    Timeout,
+    /// The exchange violated the protocol. Permanent.
+    Protocol(ProtocolError),
+}
+
+impl TransportError {
+    /// `true` iff re-sending the same bundle after a backoff could
+    /// plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TransportError::Io(_) | TransportError::Timeout)
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::Io(m) => write!(f, "transport I/O error: {m}"),
+            TransportError::Timeout => write!(f, "transport timed out"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<ProtocolError> for TransportError {
+    fn from(e: ProtocolError) -> Self {
+        TransportError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::Timeout
+            }
+            _ => TransportError::Io(e.to_string()),
+        }
+    }
+}
+
+/// One worker's path to the coordinator: send a request bundle, block
+/// until the matching response bundle arrives.
+///
+/// The contract every implementation honors (and the wire codec's
+/// property tests pin): responses come back **one per request, in
+/// request order**, and a bundle is served atomically with respect to
+/// other bundles on the same coordinator.
+pub trait Transport {
+    /// Sends `requests` as one contact and blocks for the responses.
+    fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError>;
+}
+
+/// One farmer-channel contact: a request bundle and the reply slot. A
+/// classic single request is a bundle of one; the farmer folds the
+/// whole bundle through `Coordinator::apply_batch` and answers all of
+/// it in one round-trip.
+pub(crate) type Envelope = (Vec<Request>, Sender<Vec<Response>>);
+
+/// The classic single-farmer path: bundles go over a crossbeam channel
+/// to the farmer thread, which owns the [`crate::Coordinator`].
+pub struct ChannelTransport {
+    req_tx: Sender<Envelope>,
+    reply_tx: Sender<Vec<Response>>,
+    reply_rx: Receiver<Vec<Response>>,
+}
+
+impl ChannelTransport {
+    /// A transport for one worker, multiplexing onto the farmer's
+    /// request channel with a private reply channel.
+    pub(crate) fn new(req_tx: Sender<Envelope>) -> Self {
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        ChannelTransport {
+            req_tx,
+            reply_tx,
+            reply_rx,
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        self.req_tx
+            .send((requests, self.reply_tx.clone()))
+            .map_err(|_| TransportError::Closed)?;
+        self.reply_rx.recv().map_err(|_| TransportError::Closed)
+    }
+}
+
+/// Direct sharded contacts: each bundle goes straight into the worker's
+/// home shard of a [`ShardRouter`] (no farmer funnel).
+pub struct RouterTransport<'r> {
+    router: &'r ShardRouter,
+    started: Instant,
+}
+
+impl<'r> RouterTransport<'r> {
+    /// A transport calling `router` directly, with contact timestamps
+    /// measured from `started` (the run's injected clock origin).
+    pub fn new(router: &'r ShardRouter, started: Instant) -> Self {
+        RouterTransport { router, started }
+    }
+}
+
+impl Transport for RouterTransport<'_> {
+    fn contact(&self, mut requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        if requests.len() == 1 {
+            let request = requests.pop().expect("one request");
+            return Ok(vec![self.router.handle(request, now_ns)]);
+        }
+        let bundle = requests
+            .into_iter()
+            .map(|r| self.router.envelope(r))
+            .collect();
+        Ok(self
+            .router
+            .handle_bundle(bundle, now_ns)
+            .into_iter()
+            .map(|(_, response)| response)
+            .collect())
+    }
+}
+
+/// Aggregated contacts: bundles are submitted to a shared
+/// [`ContactGateway`] that merges many workers' batches into one
+/// router bundle per flush.
+pub struct GatewayTransport<'g, 'r> {
+    gateway: &'g ContactGateway<'r>,
+    started: Instant,
+}
+
+impl<'g, 'r> GatewayTransport<'g, 'r> {
+    /// A transport submitting to `gateway`, with submission timestamps
+    /// measured from `started`.
+    pub fn new(gateway: &'g ContactGateway<'r>, started: Instant) -> Self {
+        GatewayTransport { gateway, started }
+    }
+}
+
+impl Transport for GatewayTransport<'_, '_> {
+    fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        let sent = requests.len();
+        let now_ns = self.started.elapsed().as_nanos() as u64;
+        let responses = self.gateway.submit(requests, now_ns);
+        if responses.is_empty() && sent > 0 {
+            // The gateway was torn down with this submission unflushed —
+            // the typed form of its empty-reply sentinel.
+            return Err(TransportError::Closed);
+        }
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_split() {
+        assert!(TransportError::Io("reset".into()).is_transient());
+        assert!(TransportError::Timeout.is_transient());
+        assert!(!TransportError::Closed.is_transient());
+        assert!(
+            !TransportError::Protocol(ProtocolError::UnknownKind(9)).is_transient(),
+            "protocol violations must never be retried"
+        );
+    }
+
+    #[test]
+    fn io_error_kinds_map_to_timeout_or_io() {
+        let timed_out: TransportError =
+            std::io::Error::new(std::io::ErrorKind::TimedOut, "slow").into();
+        assert_eq!(timed_out, TransportError::Timeout);
+        let reset: TransportError =
+            std::io::Error::new(std::io::ErrorKind::ConnectionReset, "rst").into();
+        assert!(matches!(reset, TransportError::Io(_)));
+    }
+}

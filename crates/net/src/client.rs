@@ -1,0 +1,449 @@
+//! Client-side transports: the socket implementations of
+//! [`gridbnb_core::Transport`], and helpers to run a whole worker fleet
+//! against a remote coordinator.
+//!
+//! Two wiring modes, same protocol:
+//!
+//! * **Per-connection** ([`SocketTransport`]) — one TCP connection per
+//!   worker, one frame in flight at a time. Simple, and the baseline
+//!   the bench compares against.
+//! * **Multiplexed** ([`MuxClient`]) — one TCP connection shared by
+//!   every worker on the host. Contacts are pipelined: each carries its
+//!   own sequence number, a writer thread drains the outbox in
+//!   single-flush bursts, and one reader thread routes response frames
+//!   back to their waiting workers by sequence number. Bursts of
+//!   contacts arrive back-to-back at the server, which folds them into
+//!   one coordinator bundle — W workers cost one socket, ~one syscall
+//!   pair, and ~one shard lock per burst instead of W of each.
+
+use crate::wire::{
+    self, frame_query, frame_request_bundle, parse_response_bundle, parse_status, read_frame,
+    write_frame, RunStatus,
+};
+use gridbnb_core::runtime::{run_workers, RuntimeConfig, WorkerReport};
+use gridbnb_core::{Problem, ProtocolError, Request, Response, Transport, TransportError};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Socket knobs shared by both client modes.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientOptions {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// How long one contact may wait for its response bundle before it
+    /// counts as [`TransportError::Timeout`] (transient — the worker
+    /// loop's retry policy takes it from there).
+    pub reply_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            connect_timeout: Duration::from_secs(5),
+            reply_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Buffer sizing for the multiplexed connection: a whole fleet's burst
+/// (W frames of a few hundred bytes) should cross in one syscall pair.
+const BURST_BUFFER: usize = 64 * 1024;
+
+/// How many scheduler slices the mux writer donates while gathering a
+/// burst before it flushes what it has. Bounded so a lone contact on an
+/// otherwise idle connection is only a few `yield_now` calls slower.
+const GATHER_YIELDS: usize = 3;
+
+fn connect_stream(addr: SocketAddr, options: &ClientOptions) -> Result<TcpStream, TransportError> {
+    let stream = TcpStream::connect_timeout(&addr, options.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(options.write_timeout))?;
+    Ok(stream)
+}
+
+// ---------------------------------------------------------------------
+// Per-connection transport
+// ---------------------------------------------------------------------
+
+struct SocketConn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    seq: u64,
+}
+
+/// One worker, one TCP connection, one contact in flight at a time.
+pub struct SocketTransport {
+    conn: Mutex<SocketConn>,
+}
+
+impl SocketTransport {
+    /// Connects to a [`crate::NetServer`] at `addr`.
+    pub fn connect(addr: SocketAddr, options: &ClientOptions) -> Result<Self, TransportError> {
+        let stream = connect_stream(addr, options)?;
+        stream.set_read_timeout(Some(options.reply_timeout))?;
+        let reader = BufReader::new(stream.try_clone().map_err(TransportError::from)?);
+        Ok(SocketTransport {
+            conn: Mutex::new(SocketConn {
+                reader,
+                writer: BufWriter::new(stream),
+                seq: 0,
+            }),
+        })
+    }
+}
+
+impl Transport for SocketTransport {
+    fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut conn = self.conn.lock().expect("poisoned socket transport");
+        conn.seq += 1;
+        let seq = conn.seq;
+        write_frame(&mut conn.writer, &frame_request_bundle(seq, &requests))?;
+        conn.writer.flush()?;
+        let frame = read_frame(&mut conn.reader)?;
+        if frame.seq != seq {
+            return Err(ProtocolError::BadPayload(format!(
+                "response for seq {} while awaiting seq {seq}",
+                frame.seq
+            ))
+            .into());
+        }
+        Ok(parse_response_bundle(&frame)?)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multiplexed transport
+// ---------------------------------------------------------------------
+
+type ReplySlot = crossbeam::channel::Sender<Result<wire::Frame, TransportError>>;
+
+/// One encoded frame bound for the shared socket, or the end-of-life
+/// sentinel that retires the writer thread.
+enum WriterJob {
+    Frame(Vec<u8>),
+    Shutdown,
+}
+
+struct MuxShared {
+    /// Contacts enqueue encoded frames here; the writer thread drains
+    /// the queue in bursts — everything queued while the previous write
+    /// was in flight goes out in **one** write + flush, so W concurrent
+    /// workers cost ~one syscall pair per burst instead of one each.
+    /// (The lock guards an in-memory enqueue only, never a syscall.)
+    outbox: Mutex<crossbeam::channel::Sender<WriterJob>>,
+    pending: Mutex<HashMap<u64, ReplySlot>>,
+    seq: AtomicU64,
+    /// Set when the connection died; every later contact fails fast
+    /// with a clone of the fatal error instead of touching the socket.
+    dead: Mutex<Option<TransportError>>,
+    closing: AtomicBool,
+    reply_timeout: Duration,
+}
+
+impl MuxShared {
+    /// Marks the connection dead and fails every parked contact.
+    fn poison(&self, error: TransportError) {
+        {
+            let mut dead = self.dead.lock().expect("poisoned mux state");
+            if dead.is_none() {
+                *dead = Some(error.clone());
+            }
+        }
+        let pending = std::mem::take(&mut *self.pending.lock().expect("poisoned mux state"));
+        for (_, slot) in pending {
+            let _ = slot.send(Err(error.clone()));
+        }
+    }
+}
+
+/// One shared TCP connection multiplexing any number of workers'
+/// contacts. Create once per host, hand each worker a
+/// [`MuxClient::transport`], and [`MuxClient::close`] when the fleet is
+/// done.
+pub struct MuxClient {
+    shared: Arc<MuxShared>,
+    stream: TcpStream,
+    reader: Option<std::thread::JoinHandle<()>>,
+    writer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MuxClient {
+    /// Connects the shared socket and starts the two I/O threads: a
+    /// writer draining the outbox in single-flush bursts, and a reader
+    /// routing response frames to waiting contacts by sequence number.
+    pub fn connect(addr: SocketAddr, options: &ClientOptions) -> Result<Self, TransportError> {
+        let stream = connect_stream(addr, options)?;
+        // The reader polls in short timeouts so `close` is observed
+        // even on an idle connection.
+        stream.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<WriterJob>();
+        let shared = Arc::new(MuxShared {
+            outbox: Mutex::new(job_tx),
+            pending: Mutex::new(HashMap::new()),
+            seq: AtomicU64::new(0),
+            dead: Mutex::new(None),
+            closing: AtomicBool::new(false),
+            reply_timeout: options.reply_timeout,
+        });
+        let writer_shared = Arc::clone(&shared);
+        let writer_stream = stream.try_clone()?;
+        let writer = std::thread::spawn(move || {
+            let mut out = BufWriter::with_capacity(BURST_BUFFER, writer_stream);
+            loop {
+                // Block for the first frame of a burst, then sweep in
+                // everything that queued behind it before flushing once.
+                // When the queue runs dry mid-burst, yield a few slices
+                // first: on a loaded box the workers that are about to
+                // enqueue are runnable but not yet scheduled, and giving
+                // them the core grows the burst — turning W flush
+                // syscalls into one.
+                let first = match job_rx.recv() {
+                    Ok(WriterJob::Frame(bytes)) => bytes,
+                    Ok(WriterJob::Shutdown) | Err(_) => return,
+                };
+                let mut retiring = false;
+                let burst = (|| -> std::io::Result<()> {
+                    out.write_all(&first)?;
+                    let mut yields = 0;
+                    loop {
+                        match job_rx.try_recv() {
+                            Ok(WriterJob::Frame(bytes)) => out.write_all(&bytes)?,
+                            Ok(WriterJob::Shutdown) => {
+                                retiring = true;
+                                break;
+                            }
+                            Err(_) if yields < GATHER_YIELDS => {
+                                yields += 1;
+                                std::thread::yield_now();
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    out.flush()
+                })();
+                if let Err(e) = burst {
+                    writer_shared.poison(e.into());
+                    return;
+                }
+                if retiring {
+                    return;
+                }
+            }
+        });
+        let reader_shared = Arc::clone(&shared);
+        let reader_stream = stream.try_clone()?;
+        let reader = std::thread::spawn(move || {
+            let mut reader = BufReader::with_capacity(BURST_BUFFER, reader_stream);
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(frame) => {
+                        let slot = reader_shared
+                            .pending
+                            .lock()
+                            .expect("poisoned mux state")
+                            .remove(&frame.seq);
+                        // An absent slot is a contact that timed out and
+                        // went away; the response is dropped.
+                        if let Some(slot) = slot {
+                            let _ = slot.send(Ok(frame));
+                        }
+                    }
+                    Err(TransportError::Timeout) => {
+                        if reader_shared.closing.load(Ordering::Acquire) {
+                            reader_shared.poison(TransportError::Closed);
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        reader_shared.poison(e);
+                        return;
+                    }
+                }
+            }
+        });
+        Ok(MuxClient {
+            shared,
+            stream,
+            reader: Some(reader),
+            writer: Some(writer),
+        })
+    }
+
+    /// A [`Transport`] handle sharing this connection. Handles stay
+    /// valid until [`MuxClient::close`]; contacts after that fail with
+    /// [`TransportError::Closed`].
+    pub fn transport(&self) -> MuxTransport {
+        MuxTransport {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Shuts the connection down and joins the reader thread. Parked
+    /// contacts fail with [`TransportError::Closed`].
+    pub fn close(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.closing.store(true, Ordering::Release);
+        let _ = self
+            .shared
+            .outbox
+            .lock()
+            .expect("poisoned mux state")
+            .send(WriterJob::Shutdown);
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+        self.shared.poison(TransportError::Closed);
+    }
+}
+
+impl Drop for MuxClient {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A worker's handle onto a [`MuxClient`] connection.
+pub struct MuxTransport {
+    shared: Arc<MuxShared>,
+}
+
+impl Transport for MuxTransport {
+    fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        if let Some(error) = self.shared.dead.lock().expect("poisoned mux state").clone() {
+            return Err(error);
+        }
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.shared
+            .pending
+            .lock()
+            .expect("poisoned mux state")
+            .insert(seq, tx);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame_request_bundle(seq, &requests))
+            .expect("infallible Vec write");
+        let enqueued = self
+            .shared
+            .outbox
+            .lock()
+            .expect("poisoned mux state")
+            .send(WriterJob::Frame(bytes));
+        if enqueued.is_err() {
+            // The writer thread is gone; report why if the poison
+            // recorded it, otherwise this is an orderly close.
+            self.shared
+                .pending
+                .lock()
+                .expect("poisoned mux state")
+                .remove(&seq);
+            let dead = self.shared.dead.lock().expect("poisoned mux state").clone();
+            return Err(dead.unwrap_or(TransportError::Closed));
+        }
+        match rx.recv_timeout(self.shared.reply_timeout) {
+            Ok(Ok(frame)) => Ok(parse_response_bundle(&frame)?),
+            Ok(Err(e)) => Err(e),
+            Err(_) => {
+                // Timed out: withdraw so a late response is dropped
+                // instead of leaking a slot.
+                self.shared
+                    .pending
+                    .lock()
+                    .expect("poisoned mux state")
+                    .remove(&seq);
+                Err(TransportError::Timeout)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fleet helpers
+// ---------------------------------------------------------------------
+
+/// How a worker fleet shares sockets to the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientMode {
+    /// One TCP connection per worker.
+    PerConnection,
+    /// One TCP connection for the whole fleet (a [`MuxClient`]).
+    Multiplexed,
+}
+
+/// Runs `config.workers` workers against the [`crate::NetServer`] at
+/// `addr` and returns their reports — the socket counterpart of
+/// [`gridbnb_core::runtime::run`], with the coordinator on the far side
+/// of real TCP. Connections are established up front so a dead server
+/// fails fast; `id_base` keeps several client processes collision-free
+/// on one server.
+pub fn run_workers_over_socket<P: Problem>(
+    problem: &P,
+    addr: SocketAddr,
+    config: &RuntimeConfig,
+    id_base: u64,
+    mode: ClientMode,
+    options: &ClientOptions,
+) -> Result<Vec<WorkerReport>, TransportError> {
+    match mode {
+        ClientMode::PerConnection => {
+            let sockets: Vec<Mutex<Option<SocketTransport>>> = (0..config.workers)
+                .map(|_| SocketTransport::connect(addr, options).map(|t| Mutex::new(Some(t))))
+                .collect::<Result<_, _>>()?;
+            Ok(run_workers(problem, config, id_base, |index| {
+                sockets[index]
+                    .lock()
+                    .expect("poisoned connection slot")
+                    .take()
+                    .expect("one pre-opened connection per worker")
+            }))
+        }
+        ClientMode::Multiplexed => {
+            let mux = MuxClient::connect(addr, options)?;
+            let reports = run_workers(problem, config, id_base, |_| mux.transport());
+            mux.close();
+            Ok(reports)
+        }
+    }
+}
+
+/// One-shot status query: connect, ask, disconnect. How an observer —
+/// or a finished client fleet — reads the proven optimum off a server.
+pub fn query_status(
+    addr: SocketAddr,
+    options: &ClientOptions,
+) -> Result<RunStatus, TransportError> {
+    let stream = connect_stream(addr, options)?;
+    stream.set_read_timeout(Some(options.reply_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &frame_query(1))?;
+    writer.flush()?;
+    let frame = read_frame(&mut reader)?;
+    if frame.seq != 1 {
+        return Err(ProtocolError::BadPayload(format!(
+            "status reply for seq {} while awaiting seq 1",
+            frame.seq
+        ))
+        .into());
+    }
+    Ok(parse_status(&frame)?)
+}

@@ -1,0 +1,41 @@
+//! The network service layer: the coordinator protocol of
+//! `gridbnb-core` served over real TCP sockets.
+//!
+//! The paper's deployment is inherently networked — workers on grid
+//! nodes contact the farmer over the wire, pull-model, through
+//! firewalls. The in-process runtime reproduces the *protocol*; this
+//! crate reproduces the *deployment shape*:
+//!
+//! * [`wire`] — a versioned, length-prefixed binary frame codec for
+//!   request/response bundles. Big integers ride as the checkpoint
+//!   codec's decimal text, so disk and wire share one exact format.
+//! * [`NetServer`] — a `std::net::TcpListener` front for a
+//!   [`gridbnb_core::ShardRouter`] (optionally behind a
+//!   [`gridbnb_core::ContactGateway`]): handler thread pool, read/write
+//!   timeouts, holder-expiry supervision, graceful drain on implicit
+//!   termination.
+//! * [`SocketTransport`] / [`MuxClient`] — the client side, both
+//!   implementing [`gridbnb_core::Transport`], so the unchanged worker
+//!   loop (`gridbnb_core::runtime::run_workers`) drives a remote
+//!   coordinator exactly as it drives an in-process one. Per-connection
+//!   mode gives every worker a socket; multiplexed mode pipelines a
+//!   whole fleet over one socket, which the server folds into shared
+//!   coordinator bundles.
+//!
+//! Everything is hand-rolled on `std::net` blocking I/O and threads —
+//! no async runtime, matching the workspace's no-external-dependency
+//! rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{
+    query_status, run_workers_over_socket, ClientMode, ClientOptions, MuxClient, MuxTransport,
+    SocketTransport,
+};
+pub use server::{NetServer, ServerConfig, ServerError, ServerHandle, ServerReport};
+pub use wire::{Frame, RunStatus};

@@ -1,0 +1,553 @@
+//! The socket server: a [`gridbnb_core::ShardRouter`] (optionally
+//! fronted by a [`gridbnb_core::ContactGateway`]) served over real TCP.
+//!
+//! ```text
+//!              ┌────────────────────── NetServer ──────────────────────┐
+//!   workers ──►│ acceptor ─► handler pool ─► [gateway] ─► ShardRouter  │
+//!   (sockets)  │     ▲            │                            ▲       │
+//!              │     └── poke ────┘        supervisor: expiry, flush   │
+//!              └───────────────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Acceptor** — the thread calling [`NetServer::serve`] accepts
+//!   connections (non-blocking, so shutdown and drain conditions are
+//!   observed promptly) and queues them for a fixed pool of handler
+//!   threads. A connection beyond the pool size waits its turn in the
+//!   queue; nothing is refused.
+//! * **Handlers** — one connection at a time per handler: read a frame,
+//!   serve it, write the reply. A connection may carry one worker
+//!   (per-connection mode) or many (a `MuxClient`); the server does not
+//!   care. What it *does* exploit: after the first blocking read, every
+//!   complete frame already buffered on the connection is drained and
+//!   folded into the same coordinator bundle — one
+//!   [`gridbnb_core::ShardRouter::handle_bundle`] call (one lock per
+//!   touched shard) for a burst of frames, which is where multiplexed
+//!   clients beat per-connection ones.
+//! * **Supervisor** — mirrors the in-process runtime's housekeeping:
+//!   expire stale holders (crash recovery for vanished connections) and
+//!   drive the gateway's deadline flush.
+//! * **Drain** — with [`ServerConfig::drain_on_termination`] set (the
+//!   default: one resolution campaign per server, like the paper's
+//!   runs), `serve` returns once the router terminates and the last
+//!   connection closes; [`ServerHandle::stop`] forces the same wind-down
+//!   early. In-flight frames are answered before their connections
+//!   close.
+//!
+//! Misbehaving peers never take the server down: a malformed frame
+//! closes that one connection and bumps
+//! [`ServerReport::protocol_errors`].
+
+use crate::wire::{self, drain_buffered_frames, read_frame, write_frame, Frame, RunStatus};
+use gridbnb_core::{
+    ConfigError, ContactGateway, CoordinatorConfig, CoordinatorStats, GatewayPolicy, GatewayStats,
+    Interval, Request, ShardRouter, TransportError,
+};
+use std::io::{self, BufReader, BufWriter, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Socket buffer sizing for burst traffic: large enough that a
+/// multiplexed client's whole burst (W frames of a few hundred bytes)
+/// crosses in one read fill and one write flush.
+const BURST_BUFFER: usize = 64 * 1024;
+
+/// How a [`NetServer`] is shaped: the coordinator it hosts and the
+/// socket behavior in front of it.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Coordinator shards behind the router (≥ 1).
+    pub shards: usize,
+    /// Per-shard coordinator policy.
+    pub coordinator: CoordinatorConfig,
+    /// Cross-connection aggregation: when set, handler threads submit
+    /// through a shared [`ContactGateway`] instead of calling the
+    /// router directly, merging many connections' bundles per flush.
+    pub aggregate: Option<GatewayPolicy>,
+    /// Handler pool size — the number of connections served
+    /// concurrently (more wait in the accept queue). Must cover the
+    /// expected connection count in per-connection mode, where every
+    /// handler parks on its socket between contacts.
+    pub handler_threads: usize,
+    /// Socket read timeout per blocking read. This is also the
+    /// handler's shutdown poll tick: a quiet connection notices a drain
+    /// within one timeout.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// When `true`, [`NetServer::serve`] returns after the router
+    /// terminates and every connection has closed — one resolution
+    /// campaign per server. When `false` the server keeps listening
+    /// until [`ServerHandle::stop`].
+    pub drain_on_termination: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 1,
+            coordinator: CoordinatorConfig::default(),
+            aggregate: None,
+            handler_threads: 128,
+            read_timeout: Duration::from_millis(20),
+            write_timeout: Duration::from_secs(5),
+            drain_on_termination: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config with `shards` coordinator shards and defaults elsewhere.
+    pub fn new(shards: usize) -> Self {
+        ServerConfig {
+            shards,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// Checks the config the same way the in-process runtime checks
+    /// its own: shard count, coordinator policy, and the gateway delay
+    /// against the holder timeout — a socket server can no more start
+    /// with `max_delay ≥ holder_timeout` than a thread runtime can.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if let Some(policy) = &self.aggregate {
+            policy.validate_against(&self.coordinator)?;
+        }
+        self.coordinator.validate()
+    }
+}
+
+/// Why a server could not start or finish.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The configuration failed [`ServerConfig::validate`].
+    Config(ConfigError),
+    /// Binding or operating the listener failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Config(e) => write!(f, "invalid server config: {e}"),
+            ServerError::Io(e) => write!(f, "server I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<ConfigError> for ServerError {
+    fn from(e: ConfigError) -> Self {
+        ServerError::Config(e)
+    }
+}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// What a finished [`NetServer::serve`] observed.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Best solution when the server wound down.
+    pub solution: Option<gridbnb_core::Solution>,
+    /// The solution's cost iff the router terminated (then the whole
+    /// tree is explored and the best solution is proven optimal).
+    pub proven_optimum: Option<u64>,
+    /// Whether the router reached implicit termination.
+    pub terminated: bool,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request-bundle frames served.
+    pub frames: u64,
+    /// Coordinator bundles those frames were folded into (≤ `frames`;
+    /// the gap is the multiplexing win).
+    pub bundles: u64,
+    /// Frames served piggy-backed on another frame's bundle
+    /// (`frames − bundles`, counted directly).
+    pub batched_frames: u64,
+    /// Worker requests inside all served frames.
+    pub requests: u64,
+    /// Status queries answered.
+    pub queries: u64,
+    /// Connections dropped for violating the protocol.
+    pub protocol_errors: u64,
+    /// Router contacts (bundle deliveries, post-aggregation).
+    pub router_contacts: u64,
+    /// Cross-shard steals.
+    pub steals: u64,
+    /// Aggregate coordinator counters.
+    pub coordinator_stats: CoordinatorStats,
+    /// Gateway counters, when aggregation was on.
+    pub gateway: Option<GatewayStats>,
+    /// Wall time from bind to drain.
+    pub wall: Duration,
+}
+
+/// Counters shared between acceptor and handlers.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    bundles: AtomicU64,
+    batched_frames: AtomicU64,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A clonable remote control for a running server: its address and the
+/// stop switch.
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-chosen port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the server to wind down: stop accepting, answer in-flight
+    /// frames, close connections, return from `serve`.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+}
+
+/// A bound-but-not-yet-serving coordinator server. Construction
+/// validates the config and binds the listener; [`NetServer::serve`]
+/// blocks the calling thread until drain (spawn it where concurrent
+/// clients are needed).
+pub struct NetServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    root: Interval,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl NetServer {
+    /// Validates `config`, binds `addr` (use port 0 for an OS-chosen
+    /// loopback port) and returns the idle server.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        root: Interval,
+        config: ServerConfig,
+    ) -> Result<NetServer, ServerError> {
+        config.validate()?;
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(NetServer {
+            listener,
+            addr,
+            root,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A control handle usable from other threads while `serve` runs.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            addr: self.addr,
+            shutdown: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Runs the server to completion: accept, serve, supervise, drain.
+    pub fn serve(self) -> Result<ServerReport, ServerError> {
+        let started = Instant::now();
+        let router = ShardRouter::new(
+            self.root.clone(),
+            self.config.shards,
+            self.config.coordinator.clone(),
+        )?;
+        let gateway_tier = self
+            .config
+            .aggregate
+            .map(|policy| ContactGateway::new(&router, policy));
+        let counters = Counters::default();
+        let live = AtomicUsize::new(0);
+        let supervising = AtomicBool::new(true);
+        // The accept queue: a single mpsc receiver shared by the pool
+        // behind a mutex (the std-backed channel shim has no
+        // multi-consumer receiver; contention here is one lock per
+        // *connection*, not per frame).
+        let (conn_tx, conn_rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let conn_rx = std::sync::Mutex::new(conn_rx);
+        self.listener.set_nonblocking(true)?;
+
+        crossbeam::thread::scope(|scope| -> Result<(), ServerError> {
+            let router = &router;
+            let counters = &counters;
+            let live = &live;
+            let config = &self.config;
+            let shutdown = self.shutdown.as_ref();
+            let gateway = gateway_tier.as_ref();
+            let conn_rx = &conn_rx;
+            let supervising = &supervising;
+            for _ in 0..config.handler_threads.max(1) {
+                scope.spawn(move |_| loop {
+                    let next = conn_rx.lock().expect("poisoned accept queue").recv();
+                    let Ok(stream) = next else { break };
+                    serve_connection(stream, router, gateway, config, counters, shutdown, started);
+                    live.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+
+            // Supervisor: the same housekeeping the in-process runtime
+            // runs — holder expiry recovers intervals from vanished
+            // connections, the deadline flush keeps gateway submitters
+            // live below the fan-in.
+            scope.spawn(move |_| {
+                let tick = gateway
+                    .map(|g| {
+                        Duration::from_nanos(g.policy().max_delay_ns / 2)
+                            .max(Duration::from_millis(1))
+                    })
+                    .unwrap_or(Duration::from_millis(5))
+                    .min(Duration::from_millis(5));
+                while supervising.load(Ordering::Acquire) {
+                    std::thread::sleep(tick);
+                    let now_ns = started.elapsed().as_nanos() as u64;
+                    if let Some(gateway) = gateway {
+                        gateway.flush_stale(now_ns);
+                    }
+                    router.expire_stale_holders(now_ns);
+                }
+                if let Some(gateway) = gateway {
+                    gateway.flush_now(started.elapsed().as_nanos() as u64);
+                }
+            });
+
+            // Acceptor (this thread). Non-blocking so stop/drain are
+            // observed within one poll tick even with no traffic.
+            loop {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                if config.drain_on_termination
+                    && router.is_terminated()
+                    && live.load(Ordering::Acquire) == 0
+                {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        counters.connections.fetch_add(1, Ordering::Relaxed);
+                        live.fetch_add(1, Ordering::AcqRel);
+                        if conn_tx.send(stream).is_err() {
+                            live.fetch_sub(1, Ordering::AcqRel);
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        supervising.store(false, Ordering::Release);
+                        return Err(ServerError::Io(e));
+                    }
+                }
+            }
+            // Wind-down: no new connections; handlers notice the flag
+            // within one read timeout and close their connections.
+            shutdown.store(true, Ordering::Release);
+            drop(conn_tx);
+            supervising.store(false, Ordering::Release);
+            Ok(())
+        })
+        .expect("server scope panicked")?;
+
+        let terminated = router.is_terminated();
+        let solution = router.solution();
+        Ok(ServerReport {
+            proven_optimum: solution.as_ref().filter(|_| terminated).map(|s| s.cost),
+            solution,
+            terminated,
+            connections: counters.connections.load(Ordering::Relaxed),
+            frames: counters.frames.load(Ordering::Relaxed),
+            bundles: counters.bundles.load(Ordering::Relaxed),
+            batched_frames: counters.batched_frames.load(Ordering::Relaxed),
+            requests: counters.requests.load(Ordering::Relaxed),
+            queries: counters.queries.load(Ordering::Relaxed),
+            protocol_errors: counters.protocol_errors.load(Ordering::Relaxed),
+            router_contacts: router.contacts(),
+            steals: router.steals(),
+            coordinator_stats: router.stats(),
+            gateway: gateway_tier.as_ref().map(|g| g.stats()),
+            wall: started.elapsed(),
+        })
+    }
+}
+
+/// Serves one connection until the peer hangs up, a protocol violation,
+/// or server shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    router: &ShardRouter,
+    gateway: Option<&ContactGateway<'_>>,
+    config: &ServerConfig,
+    counters: &Counters,
+    shutdown: &AtomicBool,
+    started: Instant,
+) {
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // Wide buffers so a multiplexed burst (W frames back-to-back) fits
+    // one fill on the way in and one flush on the way out.
+    let mut reader = BufReader::with_capacity(BURST_BUFFER, read_half);
+    let mut writer = BufWriter::with_capacity(BURST_BUFFER, stream);
+
+    loop {
+        let first = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(TransportError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+            Err(TransportError::Closed) => return,
+            Err(TransportError::Io(_)) => return,
+            Err(TransportError::Protocol(_)) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        // Fold every complete frame already buffered into this service
+        // round: one coordinator bundle for a burst of frames.
+        let mut frames = vec![first];
+        match drain_buffered_frames(&mut reader) {
+            Ok(more) => frames.extend(more),
+            Err(_) => {
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if serve_frames(frames, &mut writer, router, gateway, counters, started).is_err() {
+            return;
+        }
+    }
+}
+
+/// Decodes, executes and answers one burst of frames. Any error — a
+/// malformed frame, a dead socket, a torn-down gateway — ends the
+/// connection.
+fn serve_frames(
+    frames: Vec<Frame>,
+    writer: &mut BufWriter<TcpStream>,
+    router: &ShardRouter,
+    gateway: Option<&ContactGateway<'_>>,
+    counters: &Counters,
+    started: Instant,
+) -> Result<(), ()> {
+    // (seq, request count) per request-bundle frame, for splitting the
+    // combined response run back into per-frame reply frames.
+    let mut slices: Vec<(u64, usize)> = Vec::with_capacity(frames.len());
+    let mut combined: Vec<Request> = Vec::new();
+    let mut replies: Vec<Frame> = Vec::new();
+
+    for frame in &frames {
+        match frame.kind {
+            wire::kind::REQUEST_BUNDLE => {
+                let requests = wire::parse_request_bundle(frame).map_err(|_| {
+                    counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                })?;
+                counters.frames.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .requests
+                    .fetch_add(requests.len() as u64, Ordering::Relaxed);
+                slices.push((frame.seq, requests.len()));
+                combined.extend(requests);
+            }
+            wire::kind::QUERY => {
+                counters.queries.fetch_add(1, Ordering::Relaxed);
+                let status = status_of(router);
+                replies.push(wire::frame_status(frame.seq, &status));
+            }
+            _ => {
+                // A response/status frame from a client is out of
+                // contract.
+                counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(());
+            }
+        }
+    }
+
+    if !combined.is_empty() {
+        counters.bundles.fetch_add(1, Ordering::Relaxed);
+        counters
+            .batched_frames
+            .fetch_add(slices.len() as u64 - 1, Ordering::Relaxed);
+        let now_ns = started.elapsed().as_nanos() as u64;
+        let sent = combined.len();
+        let responses = match gateway {
+            Some(gateway) => {
+                let responses = gateway.submit(combined, now_ns);
+                if responses.is_empty() && sent > 0 {
+                    // Gateway torn down mid-submission (server drain).
+                    return Err(());
+                }
+                responses
+            }
+            None => {
+                let bundle = combined.into_iter().map(|r| router.envelope(r)).collect();
+                router
+                    .handle_bundle(bundle, now_ns)
+                    .into_iter()
+                    .map(|(_, response)| response)
+                    .collect()
+            }
+        };
+        debug_assert_eq!(responses.len(), sent, "one response per request");
+        let mut responses = responses.into_iter();
+        for (seq, count) in slices {
+            let slice: Vec<_> = responses.by_ref().take(count).collect();
+            replies.push(wire::frame_response_bundle(seq, &slice));
+        }
+    }
+
+    for reply in &replies {
+        write_frame(writer, reply).map_err(|_| ())?;
+    }
+    writer.flush().map_err(|_| ())
+}
+
+/// Snapshot of the router for a status reply.
+fn status_of(router: &ShardRouter) -> RunStatus {
+    let solution = router.solution();
+    RunStatus {
+        terminated: router.is_terminated(),
+        cutoff: router.cutoff(),
+        solution,
+        cardinality: router.cardinality() as u64,
+        contacts: router.contacts(),
+        steals: router.steals(),
+    }
+}

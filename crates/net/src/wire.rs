@@ -1,0 +1,760 @@
+//! Length-prefixed binary framing for the coordinator protocol.
+//!
+//! Every message on a socket is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "GBNB"
+//!      4     1  version (currently 1)
+//!      5     1  kind (request bundle / response bundle / query / status)
+//!      6     2  flags, little endian (reserved, must be 0)
+//!      8     8  sequence number, little endian
+//!     16     4  payload length, little endian (≤ 16 MiB)
+//!     20     —  payload
+//! ```
+//!
+//! The sequence number is chosen by the requester and echoed verbatim
+//! by the responder, so many in-flight contacts can share one socket
+//! (see `MuxClient`) and a response is matched to its request without
+//! any ordering assumption.
+//!
+//! Payload scalars are little-endian fixed-width integers. The two
+//! big-integer-bearing types reuse the checkpoint codec's decimal text
+//! (length-prefixed): an interval is exactly the `begin end` line a
+//! checkpoint file would hold, via
+//! [`gridbnb_core::checkpoint::encode_interval_line`] — one codec for
+//! disk and wire, and exact `UBig` round trips at ta056 scale for free.
+//! Unlike the checkpoint *file* loaders, the wire decoder preserves
+//! empty intervals: an [`Response::UpdateAck`] whose intersection came
+//! back empty must survive the trip.
+//!
+//! Decoding is total: every malformed input maps to a
+//! [`ProtocolError`], never a panic — a hostile or corrupt peer can at
+//! worst get its connection closed.
+
+use gridbnb_core::checkpoint::{decode_interval_line, encode_interval_line};
+use gridbnb_core::{ProtocolError, Request, Response, Solution, TransportError, WorkerId};
+use std::io::{self, BufRead, Read, Write};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"GBNB";
+/// The one wire version this build speaks.
+pub const VERSION: u8 = 1;
+/// Bytes before the payload.
+pub const HEADER_LEN: usize = 20;
+/// Hard payload cap: a frame longer than this is rejected before any
+/// allocation, so a corrupt length field cannot balloon memory.
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// Frame kinds (the header's `kind` byte).
+pub mod kind {
+    /// A bundle of worker [`gridbnb_core::Request`]s.
+    pub const REQUEST_BUNDLE: u8 = 1;
+    /// A bundle of coordinator [`gridbnb_core::Response`]s, one per
+    /// request of the frame it echoes.
+    pub const RESPONSE_BUNDLE: u8 = 2;
+    /// Asks the server for its [`super::RunStatus`].
+    pub const QUERY: u8 = 3;
+    /// Answers a [`QUERY`].
+    pub const STATUS: u8 = 4;
+}
+
+/// One decoded frame: validated header plus raw payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame {
+    /// Frame kind (see [`kind`]).
+    pub kind: u8,
+    /// Reserved flag bits (always 0 in version 1).
+    pub flags: u16,
+    /// Requester-chosen sequence number, echoed by responses.
+    pub seq: u64,
+    /// Kind-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// The status a server reports for a [`kind::QUERY`] frame: the
+/// observable end state of a resolution campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunStatus {
+    /// `true` iff `INTERVALS` is empty everywhere — the paper's
+    /// implicit termination: the best solution is the proven optimum.
+    pub terminated: bool,
+    /// Current global cutoff (best known cost).
+    pub cutoff: Option<u64>,
+    /// Best solution found so far.
+    pub solution: Option<Solution>,
+    /// Interval count still outstanding across shards.
+    pub cardinality: u64,
+    /// Router contacts served so far.
+    pub contacts: u64,
+    /// Cross-shard steals so far.
+    pub steals: u64,
+}
+
+// ---------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------
+
+fn encode_header(out: &mut Vec<u8>, kind: u8, flags: u16, seq: u64, payload_len: u32) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&payload_len.to_le_bytes());
+}
+
+/// Validates a 20-byte header, returning `(kind, flags, seq,
+/// payload_len)`.
+fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u16, u64, u32), ProtocolError> {
+    if header[0..4] != MAGIC {
+        let mut got = [0u8; 4];
+        got.copy_from_slice(&header[0..4]);
+        return Err(ProtocolError::BadMagic { got });
+    }
+    if header[4] != VERSION {
+        return Err(ProtocolError::UnsupportedVersion {
+            got: header[4],
+            want: VERSION,
+        });
+    }
+    let k = header[5];
+    if !(kind::REQUEST_BUNDLE..=kind::STATUS).contains(&k) {
+        return Err(ProtocolError::UnknownKind(k));
+    }
+    let flags = u16::from_le_bytes([header[6], header[7]]);
+    let seq = u64::from_le_bytes(header[8..16].try_into().expect("8 header bytes"));
+    let len = u32::from_le_bytes(header[16..20].try_into().expect("4 header bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized {
+            len: len as u64,
+            max: MAX_PAYLOAD as u64,
+        });
+    }
+    Ok((k, flags, seq, len))
+}
+
+/// Writes one frame. The caller flushes (frames are usually batched
+/// into one syscall behind a `BufWriter`).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    debug_assert!(
+        frame.payload.len() <= MAX_PAYLOAD as usize,
+        "oversized frame"
+    );
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    encode_header(
+        &mut header,
+        frame.kind,
+        frame.flags,
+        frame.seq,
+        frame.payload.len() as u32,
+    );
+    w.write_all(&header)?;
+    w.write_all(&frame.payload)
+}
+
+/// Reads one frame, blocking. A peer that closes the socket *between*
+/// frames yields [`TransportError::Closed`] (orderly teardown); one
+/// that closes mid-frame yields an I/O error (truncation is never
+/// silent). A socket read timeout surfaces as
+/// [`TransportError::Timeout`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, TransportError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte decides Closed vs truncated: EOF here is a clean
+    // hang-up, EOF anywhere later is a cut-off frame.
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(TransportError::Closed),
+            Ok(0) => {
+                return Err(TransportError::Io(
+                    "connection closed mid-frame-header".into(),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let (kind, flags, seq, len) = decode_header(&header)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| match e.kind() {
+        io::ErrorKind::UnexpectedEof => {
+            TransportError::Io("connection closed mid-frame-payload".into())
+        }
+        _ => TransportError::from(e),
+    })?;
+    Ok(Frame {
+        kind,
+        flags,
+        seq,
+        payload,
+    })
+}
+
+/// Drains every *complete* frame already sitting in `reader`'s buffer,
+/// without ever blocking on the socket — the server's multiplexing win:
+/// frames that arrived back-to-back from many workers on one connection
+/// are folded into a single coordinator bundle (one lock per touched
+/// shard) instead of one contact each.
+pub fn drain_buffered_frames<R: Read>(
+    reader: &mut io::BufReader<R>,
+) -> Result<Vec<Frame>, TransportError> {
+    let mut frames = Vec::new();
+    loop {
+        let buf = reader.buffer();
+        if buf.len() < HEADER_LEN {
+            return Ok(frames);
+        }
+        let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("checked length");
+        let (kind, flags, seq, len) = decode_header(&header)?;
+        let total = HEADER_LEN + len as usize;
+        if buf.len() < total {
+            return Ok(frames);
+        }
+        frames.push(Frame {
+            kind,
+            flags,
+            seq,
+            payload: buf[HEADER_LEN..total].to_vec(),
+        });
+        reader.consume(total);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload primitives
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                ProtocolError::BadPayload(format!("truncated payload reading {what}"))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ProtocolError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn finish(self, what: &str) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::BadPayload(format!(
+                "{} trailing bytes after {what}",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_interval(out: &mut Vec<u8>, interval: &gridbnb_core::Interval) {
+    let line = encode_interval_line(interval);
+    out.extend_from_slice(&(line.len() as u32).to_le_bytes());
+    out.extend_from_slice(line.as_bytes());
+}
+
+fn get_interval(r: &mut Reader<'_>) -> Result<gridbnb_core::Interval, ProtocolError> {
+    let len = r.u32("interval length")? as usize;
+    let bytes = r.bytes(len, "interval text")?;
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ProtocolError::BadPayload("interval text is not UTF-8".into()))?;
+    decode_interval_line(text)
+        .map_err(|e| ProtocolError::BadPayload(format!("bad interval {text:?}: {e}")))
+}
+
+fn put_solution(out: &mut Vec<u8>, solution: &Solution) {
+    out.extend_from_slice(&solution.cost.to_le_bytes());
+    out.extend_from_slice(&(solution.leaf_ranks.len() as u32).to_le_bytes());
+    for r in &solution.leaf_ranks {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+}
+
+fn get_solution(r: &mut Reader<'_>) -> Result<Solution, ProtocolError> {
+    let cost = r.u64("solution cost")?;
+    let count = r.u32("solution rank count")? as usize;
+    // Bound the allocation by what the payload could actually hold.
+    if count > r.buf.len() / 8 {
+        return Err(ProtocolError::BadPayload(format!(
+            "solution claims {count} ranks in a {}-byte payload",
+            r.buf.len()
+        )));
+    }
+    let mut ranks = Vec::with_capacity(count);
+    for _ in 0..count {
+        ranks.push(r.u64("solution rank")?);
+    }
+    Ok(Solution::new(cost, ranks))
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_opt_u64(r: &mut Reader<'_>, what: &str) -> Result<Option<u64>, ProtocolError> {
+    match r.u8(what)? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64(what)?)),
+        tag => Err(ProtocolError::BadPayload(format!(
+            "bad option tag {tag} for {what}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+const REQ_JOIN: u8 = 1;
+const REQ_REQUEST_WORK: u8 = 2;
+const REQ_UPDATE: u8 = 3;
+const REQ_REPORT_SOLUTION: u8 = 4;
+const REQ_UPDATE_AND_REPORT: u8 = 5;
+const REQ_LEAVE: u8 = 6;
+
+fn put_request(out: &mut Vec<u8>, request: &Request) {
+    match request {
+        Request::Join { worker, power } => {
+            out.push(REQ_JOIN);
+            out.extend_from_slice(&worker.0.to_le_bytes());
+            out.extend_from_slice(&power.to_le_bytes());
+        }
+        Request::RequestWork { worker, power } => {
+            out.push(REQ_REQUEST_WORK);
+            out.extend_from_slice(&worker.0.to_le_bytes());
+            out.extend_from_slice(&power.to_le_bytes());
+        }
+        Request::Update { worker, interval } => {
+            out.push(REQ_UPDATE);
+            out.extend_from_slice(&worker.0.to_le_bytes());
+            put_interval(out, interval);
+        }
+        Request::ReportSolution { worker, solution } => {
+            out.push(REQ_REPORT_SOLUTION);
+            out.extend_from_slice(&worker.0.to_le_bytes());
+            put_solution(out, solution);
+        }
+        Request::UpdateAndReport {
+            worker,
+            interval,
+            solution,
+        } => {
+            out.push(REQ_UPDATE_AND_REPORT);
+            out.extend_from_slice(&worker.0.to_le_bytes());
+            put_interval(out, interval);
+            match solution {
+                Some(s) => {
+                    out.push(1);
+                    put_solution(out, s);
+                }
+                None => out.push(0),
+            }
+        }
+        Request::Leave { worker } => {
+            out.push(REQ_LEAVE);
+            out.extend_from_slice(&worker.0.to_le_bytes());
+        }
+    }
+}
+
+fn get_request(r: &mut Reader<'_>) -> Result<Request, ProtocolError> {
+    let tag = r.u8("request tag")?;
+    let worker = WorkerId(r.u64("worker id")?);
+    Ok(match tag {
+        REQ_JOIN => Request::Join {
+            worker,
+            power: r.u64("power")?,
+        },
+        REQ_REQUEST_WORK => Request::RequestWork {
+            worker,
+            power: r.u64("power")?,
+        },
+        REQ_UPDATE => Request::Update {
+            worker,
+            interval: get_interval(r)?,
+        },
+        REQ_REPORT_SOLUTION => Request::ReportSolution {
+            worker,
+            solution: get_solution(r)?,
+        },
+        REQ_UPDATE_AND_REPORT => {
+            let interval = get_interval(r)?;
+            let solution = match r.u8("solution option tag")? {
+                0 => None,
+                1 => Some(get_solution(r)?),
+                tag => {
+                    return Err(ProtocolError::BadPayload(format!(
+                        "bad solution option tag {tag}"
+                    )))
+                }
+            };
+            Request::UpdateAndReport {
+                worker,
+                interval,
+                solution,
+            }
+        }
+        REQ_LEAVE => Request::Leave { worker },
+        tag => {
+            return Err(ProtocolError::BadPayload(format!(
+                "unknown request tag {tag}"
+            )))
+        }
+    })
+}
+
+/// Encodes a request bundle frame.
+pub fn frame_request_bundle(seq: u64, requests: &[Request]) -> Frame {
+    let mut payload = Vec::with_capacity(16 + requests.len() * 32);
+    payload.extend_from_slice(&(requests.len() as u32).to_le_bytes());
+    for request in requests {
+        put_request(&mut payload, request);
+    }
+    Frame {
+        kind: kind::REQUEST_BUNDLE,
+        flags: 0,
+        seq,
+        payload,
+    }
+}
+
+/// Decodes a request bundle frame's payload.
+pub fn parse_request_bundle(frame: &Frame) -> Result<Vec<Request>, ProtocolError> {
+    if frame.kind != kind::REQUEST_BUNDLE {
+        return Err(ProtocolError::UnknownKind(frame.kind));
+    }
+    let mut r = Reader::new(&frame.payload);
+    let count = r.u32("request count")? as usize;
+    let mut requests = Vec::with_capacity(count.min(frame.payload.len()));
+    for _ in 0..count {
+        requests.push(get_request(&mut r)?);
+    }
+    r.finish("request bundle")?;
+    Ok(requests)
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+const RESP_WORK: u8 = 1;
+const RESP_UPDATE_ACK: u8 = 2;
+const RESP_SOLUTION_ACK: u8 = 3;
+const RESP_TERMINATE: u8 = 4;
+const RESP_RETRY: u8 = 5;
+const RESP_LEAVE_ACK: u8 = 6;
+
+fn put_response(out: &mut Vec<u8>, response: &Response) {
+    match response {
+        Response::Work { interval, cutoff } => {
+            out.push(RESP_WORK);
+            put_interval(out, interval);
+            put_opt_u64(out, *cutoff);
+        }
+        Response::UpdateAck { interval, cutoff } => {
+            out.push(RESP_UPDATE_ACK);
+            put_interval(out, interval);
+            put_opt_u64(out, *cutoff);
+        }
+        Response::SolutionAck { cutoff } => {
+            out.push(RESP_SOLUTION_ACK);
+            put_opt_u64(out, *cutoff);
+        }
+        Response::Terminate => out.push(RESP_TERMINATE),
+        Response::Retry => out.push(RESP_RETRY),
+        Response::LeaveAck => out.push(RESP_LEAVE_ACK),
+    }
+}
+
+fn get_response(r: &mut Reader<'_>) -> Result<Response, ProtocolError> {
+    Ok(match r.u8("response tag")? {
+        RESP_WORK => Response::Work {
+            interval: get_interval(r)?,
+            cutoff: get_opt_u64(r, "work cutoff")?,
+        },
+        RESP_UPDATE_ACK => Response::UpdateAck {
+            interval: get_interval(r)?,
+            cutoff: get_opt_u64(r, "update cutoff")?,
+        },
+        RESP_SOLUTION_ACK => Response::SolutionAck {
+            cutoff: get_opt_u64(r, "solution cutoff")?,
+        },
+        RESP_TERMINATE => Response::Terminate,
+        RESP_RETRY => Response::Retry,
+        RESP_LEAVE_ACK => Response::LeaveAck,
+        tag => {
+            return Err(ProtocolError::BadPayload(format!(
+                "unknown response tag {tag}"
+            )))
+        }
+    })
+}
+
+/// Encodes a response bundle frame echoing `seq`.
+pub fn frame_response_bundle(seq: u64, responses: &[Response]) -> Frame {
+    let mut payload = Vec::with_capacity(16 + responses.len() * 32);
+    payload.extend_from_slice(&(responses.len() as u32).to_le_bytes());
+    for response in responses {
+        put_response(&mut payload, response);
+    }
+    Frame {
+        kind: kind::RESPONSE_BUNDLE,
+        flags: 0,
+        seq,
+        payload,
+    }
+}
+
+/// Decodes a response bundle frame's payload.
+pub fn parse_response_bundle(frame: &Frame) -> Result<Vec<Response>, ProtocolError> {
+    if frame.kind != kind::RESPONSE_BUNDLE {
+        return Err(ProtocolError::UnknownKind(frame.kind));
+    }
+    let mut r = Reader::new(&frame.payload);
+    let count = r.u32("response count")? as usize;
+    let mut responses = Vec::with_capacity(count.min(frame.payload.len()));
+    for _ in 0..count {
+        responses.push(get_response(&mut r)?);
+    }
+    r.finish("response bundle")?;
+    Ok(responses)
+}
+
+// ---------------------------------------------------------------------
+// Query / status
+// ---------------------------------------------------------------------
+
+/// Encodes a status query frame (empty payload).
+pub fn frame_query(seq: u64) -> Frame {
+    Frame {
+        kind: kind::QUERY,
+        flags: 0,
+        seq,
+        payload: Vec::new(),
+    }
+}
+
+/// Encodes a status frame echoing `seq`.
+pub fn frame_status(seq: u64, status: &RunStatus) -> Frame {
+    let mut payload = Vec::with_capacity(64);
+    payload.push(u8::from(status.terminated));
+    put_opt_u64(&mut payload, status.cutoff);
+    match &status.solution {
+        Some(s) => {
+            payload.push(1);
+            put_solution(&mut payload, s);
+        }
+        None => payload.push(0),
+    }
+    payload.extend_from_slice(&status.cardinality.to_le_bytes());
+    payload.extend_from_slice(&status.contacts.to_le_bytes());
+    payload.extend_from_slice(&status.steals.to_le_bytes());
+    Frame {
+        kind: kind::STATUS,
+        flags: 0,
+        seq,
+        payload,
+    }
+}
+
+/// Decodes a status frame's payload.
+pub fn parse_status(frame: &Frame) -> Result<RunStatus, ProtocolError> {
+    if frame.kind != kind::STATUS {
+        return Err(ProtocolError::UnknownKind(frame.kind));
+    }
+    let mut r = Reader::new(&frame.payload);
+    let terminated = match r.u8("terminated flag")? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(ProtocolError::BadPayload(format!(
+                "bad terminated flag {tag}"
+            )))
+        }
+    };
+    let cutoff = get_opt_u64(&mut r, "status cutoff")?;
+    let solution = match r.u8("status solution tag")? {
+        0 => None,
+        1 => Some(get_solution(&mut r)?),
+        tag => {
+            return Err(ProtocolError::BadPayload(format!(
+                "bad solution option tag {tag}"
+            )))
+        }
+    };
+    let cardinality = r.u64("cardinality")?;
+    let contacts = r.u64("contacts")?;
+    let steals = r.u64("steals")?;
+    r.finish("status")?;
+    Ok(RunStatus {
+        terminated,
+        cutoff,
+        solution,
+        cardinality,
+        contacts,
+        steals,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbnb_core::{Interval, UBig};
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(UBig::from(a), UBig::from(b))
+    }
+
+    #[test]
+    fn frame_round_trips_through_a_byte_stream() {
+        let frame = frame_request_bundle(
+            7,
+            &[Request::Join {
+                worker: WorkerId(3),
+                power: 1400,
+            }],
+        );
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let back = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(
+            parse_request_bundle(&back).unwrap(),
+            vec![Request::Join {
+                worker: WorkerId(3),
+                power: 1400
+            }]
+        );
+    }
+
+    #[test]
+    fn clean_eof_is_closed_truncation_is_io() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice()),
+            Err(TransportError::Closed)
+        ));
+        let frame = frame_query(1);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        bytes.pop();
+        bytes.pop();
+        // Mid-header truncation (query has no payload).
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(TransportError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_version_kind_and_oversize_are_rejected() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame_query(1)).unwrap();
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(TransportError::Protocol(ProtocolError::BadMagic { .. }))
+        ));
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(TransportError::Protocol(
+                ProtocolError::UnsupportedVersion { got: 9, .. }
+            ))
+        ));
+        let mut bad = bytes.clone();
+        bad[5] = 200;
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(TransportError::Protocol(ProtocolError::UnknownKind(200)))
+        ));
+        let mut bad = bytes;
+        bad[16..20].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bad.as_slice()),
+            Err(TransportError::Protocol(ProtocolError::Oversized { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_interval_survives_the_wire() {
+        let ack = Response::UpdateAck {
+            interval: iv(5, 5),
+            cutoff: Some(9),
+        };
+        let frame = frame_response_bundle(2, std::slice::from_ref(&ack));
+        assert_eq!(parse_response_bundle(&frame).unwrap(), vec![ack]);
+    }
+
+    #[test]
+    fn status_round_trips() {
+        let status = RunStatus {
+            terminated: true,
+            cutoff: Some(3679),
+            solution: Some(Solution::new(3679, vec![4, 1, 0, 2])),
+            cardinality: 0,
+            contacts: 812,
+            steals: 17,
+        };
+        let frame = frame_status(5, &status);
+        assert_eq!(parse_status(&frame).unwrap(), status);
+    }
+
+    #[test]
+    fn drain_pulls_only_complete_buffered_frames() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame_query(1)).unwrap();
+        write_frame(&mut bytes, &frame_query(2)).unwrap();
+        let partial = frame_request_bundle(
+            3,
+            &[Request::Leave {
+                worker: WorkerId(1),
+            }],
+        );
+        let mut tail = Vec::new();
+        write_frame(&mut tail, &partial).unwrap();
+        bytes.extend_from_slice(&tail[..tail.len() - 3]);
+        let mut reader = io::BufReader::new(bytes.as_slice());
+        let first = read_frame(&mut reader).unwrap();
+        assert_eq!(first.seq, 1);
+        let drained = drain_buffered_frames(&mut reader).unwrap();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].seq, 2);
+    }
+}

@@ -1,0 +1,307 @@
+//! End-to-end exactness over real TCP: flowshop and QAP campaigns
+//! resolved to proven optimality through a loopback [`NetServer`], in
+//! both client modes, at one and four shards, with mid-run worker
+//! crashes and rejoining fleets — plus the server's resilience to a
+//! peer that speaks garbage.
+
+use gridbnb_core::runtime::{ChaosConfig, CrashPlan, RuntimeConfig};
+use gridbnb_core::{CoordinatorConfig, GatewayPolicy, Interval, Problem, UBig};
+use gridbnb_engine::solve;
+use gridbnb_flowshop::bounds::PairSelection;
+use gridbnb_flowshop::{taillard, BoundMode, FlowshopProblem};
+use gridbnb_net::{
+    query_status, run_workers_over_socket, ClientMode, ClientOptions, NetServer, ServerConfig,
+    ServerReport,
+};
+use gridbnb_qap::greedy::{greedy_upper_bound, GreedyParams};
+use gridbnb_qap::{Bound, QapInstance, QapProblem};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+fn flowshop9() -> FlowshopProblem {
+    FlowshopProblem::new(
+        taillard::generate(9, 5, 20_060_707),
+        BoundMode::Johnson(PairSelection::All),
+    )
+}
+
+/// Binds a loopback server for `problem`'s root range and spawns its
+/// serve loop.
+fn spawn_server<P: Problem>(
+    problem: &P,
+    config: ServerConfig,
+) -> (SocketAddr, JoinHandle<ServerReport>) {
+    let root = problem.shape().root_range();
+    let server = NetServer::bind("127.0.0.1:0", root, config).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle)
+}
+
+fn campaign_config(workers: usize) -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(workers);
+    config.poll_nodes = 1_000;
+    config
+}
+
+/// The core exactness matrix: a 9-job flowshop instance solved through
+/// real sockets at S ∈ {1, 4}, in both client modes, W = 8 — every cell
+/// must prove the same optimum the sequential engine computes.
+#[test]
+fn flowshop_exact_over_tcp_across_shards_and_modes() {
+    let problem = flowshop9();
+    let expected = solve(&problem, None).best_cost.expect("finite optimum");
+
+    for shards in [1usize, 4] {
+        for mode in [ClientMode::PerConnection, ClientMode::Multiplexed] {
+            let (addr, server) = spawn_server(&problem, ServerConfig::new(shards));
+            let reports = run_workers_over_socket(
+                &problem,
+                addr,
+                &campaign_config(8),
+                0,
+                mode,
+                &ClientOptions::default(),
+            )
+            .expect("client fleet");
+            assert_eq!(reports.len(), 8);
+            for (index, report) in reports.iter().enumerate() {
+                assert!(
+                    report.transport_failure.is_none(),
+                    "worker {index} failed: {:?} (shards={shards}, mode={mode:?})",
+                    report.transport_failure
+                );
+            }
+            let report = server.join().expect("server thread");
+            assert!(report.terminated, "shards={shards} mode={mode:?}");
+            assert_eq!(
+                report.proven_optimum,
+                Some(expected),
+                "shards={shards} mode={mode:?}"
+            );
+            assert_eq!(report.protocol_errors, 0);
+            // Every worker request was answered through the socket.
+            assert!(report.requests >= 8);
+        }
+    }
+}
+
+/// Same exactness with the server-side aggregation tier on: handler
+/// threads submit through a shared gateway, so many connections' bursts
+/// fold into shared coordinator bundles.
+#[test]
+fn flowshop_exact_over_tcp_with_server_side_aggregation() {
+    let problem = flowshop9();
+    let expected = solve(&problem, None).best_cost.expect("finite optimum");
+    let config = ServerConfig {
+        shards: 4,
+        aggregate: Some(GatewayPolicy::new(8, 2_000_000)), // 2 ms deadline
+        ..ServerConfig::default()
+    };
+    let (addr, server) = spawn_server(&problem, config);
+    let reports = run_workers_over_socket(
+        &problem,
+        addr,
+        &campaign_config(8),
+        0,
+        ClientMode::PerConnection,
+        &ClientOptions::default(),
+    )
+    .expect("client fleet");
+    assert!(reports.iter().all(|r| r.transport_failure.is_none()));
+    let report = server.join().expect("server thread");
+    assert_eq!(report.proven_optimum, Some(expected));
+    let gateway = report.gateway.expect("aggregation stats");
+    assert!(gateway.flushes > 0);
+}
+
+/// QAP through the same socket stack: a 3×3 Nugent-style instance,
+/// heuristic-seeded like the paper's campaign, proven optimal through a
+/// 4-shard server over one multiplexed connection.
+#[test]
+fn qap_campaign_exact_over_tcp() {
+    let instance = QapInstance::nugent_style(3, 3, 2007);
+    let (_, ub) = greedy_upper_bound(&instance, &GreedyParams::default());
+    let problem = QapProblem::new(instance, Bound::GilmoreLawler);
+    let expected = solve(&problem, Some(ub + 1)).best_cost.expect("optimum");
+
+    let config = ServerConfig {
+        shards: 4,
+        coordinator: CoordinatorConfig {
+            initial_upper_bound: Some(ub + 1),
+            ..CoordinatorConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, server) = spawn_server(&problem, config);
+    let reports = run_workers_over_socket(
+        &problem,
+        addr,
+        &campaign_config(8),
+        0,
+        ClientMode::Multiplexed,
+        &ClientOptions::default(),
+    )
+    .expect("client fleet");
+    assert!(reports.iter().all(|r| r.transport_failure.is_none()));
+    let report = server.join().expect("server thread");
+    assert_eq!(report.proven_optimum, Some(expected));
+}
+
+/// Fault tolerance over real sockets: a first fleet crashes mid-run
+/// (connections drop with intervals checked out), the server's expiry
+/// supervision reclaims their work, and a second fleet joining later —
+/// fresh connections, non-overlapping worker ids — finishes the proof.
+#[test]
+fn worker_disconnect_and_rejoin_through_real_sockets() {
+    let problem = flowshop9();
+    let expected = solve(&problem, None).best_cost.expect("finite optimum");
+
+    let config = ServerConfig {
+        shards: 2,
+        coordinator: CoordinatorConfig {
+            // Crashed holders expire fast so the test stays quick.
+            holder_timeout_ns: 50_000_000, // 50 ms
+            ..CoordinatorConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let (addr, server) = spawn_server(&problem, config);
+
+    // Fleet A: two workers, both scripted to crash almost immediately,
+    // holding checked-out intervals as their sockets drop.
+    let mut config_a = campaign_config(2);
+    config_a.chaos = Some(ChaosConfig {
+        crashes: vec![
+            CrashPlan {
+                worker_index: 0,
+                after_nodes: 500,
+                rejoin: false,
+            },
+            CrashPlan {
+                worker_index: 1,
+                after_nodes: 500,
+                rejoin: false,
+            },
+        ],
+    });
+    let reports_a = run_workers_over_socket(
+        &problem,
+        addr,
+        &config_a,
+        0,
+        ClientMode::PerConnection,
+        &ClientOptions::default(),
+    )
+    .expect("fleet A");
+    assert!(
+        reports_a.iter().any(|r| r.crashes > 0),
+        "fleet A must actually crash"
+    );
+
+    // The run is not over: the server still holds (or will reclaim)
+    // fleet A's intervals.
+    let mid = query_status(addr, &ClientOptions::default()).expect("status");
+    assert!(!mid.terminated, "fleet A must not finish the tree");
+
+    // Fleet B: four fresh workers under a disjoint id range finish the
+    // proof — the crashed holders' intervals come back via expiry.
+    let reports_b = run_workers_over_socket(
+        &problem,
+        addr,
+        &campaign_config(4),
+        1_000,
+        ClientMode::Multiplexed,
+        &ClientOptions::default(),
+    )
+    .expect("fleet B");
+    assert!(reports_b.iter().all(|r| r.transport_failure.is_none()));
+
+    let report = server.join().expect("server thread");
+    assert_eq!(report.proven_optimum, Some(expected));
+    // 2 per-connection sockets + 1 status probe + 1 multiplexed socket.
+    assert!(report.connections >= 4);
+}
+
+/// A hostile peer cannot take the server down: garbage bytes close that
+/// one connection (counted as a protocol error) while a concurrent
+/// well-behaved fleet still proves the optimum.
+#[test]
+fn garbage_frames_close_one_connection_not_the_server() {
+    let problem = flowshop9();
+    let expected = solve(&problem, None).best_cost.expect("finite optimum");
+    let (addr, server) = spawn_server(&problem, ServerConfig::new(1));
+
+    // Garbage first: 64 bytes of noise on a raw socket.
+    {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect raw");
+        stream.write_all(&[0xAB; 64]).expect("write garbage");
+        // The server closes on us; reading reaches EOF.
+        use std::io::Read as _;
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    }
+
+    let reports = run_workers_over_socket(
+        &problem,
+        addr,
+        &campaign_config(4),
+        0,
+        ClientMode::Multiplexed,
+        &ClientOptions::default(),
+    )
+    .expect("fleet after garbage");
+    assert!(reports.iter().all(|r| r.transport_failure.is_none()));
+    let report = server.join().expect("server thread");
+    assert_eq!(report.proven_optimum, Some(expected));
+    assert!(report.protocol_errors >= 1, "the garbage was noticed");
+}
+
+/// `ServerHandle::stop` winds a quiet server down without any client
+/// ever connecting — drain must not require termination.
+#[test]
+fn stop_drains_an_idle_server() {
+    let problem = flowshop9();
+    let root = problem.shape().root_range();
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        root,
+        ServerConfig {
+            drain_on_termination: false,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.serve().expect("serve"));
+    handle.stop();
+    let report = thread.join().expect("server thread");
+    assert!(!report.terminated);
+    assert_eq!(report.connections, 0);
+}
+
+/// The server refuses invalid configuration through the same
+/// [`gridbnb_core::ConfigError`] path as the in-process runtime: an
+/// aggregation delay at or above the holder timeout cannot start.
+#[test]
+fn server_rejects_gateway_delay_at_or_above_holder_timeout() {
+    let root = Interval::new(UBig::zero(), UBig::from(1000u64));
+    let config = ServerConfig {
+        coordinator: CoordinatorConfig {
+            holder_timeout_ns: 1_000,
+            ..CoordinatorConfig::default()
+        },
+        aggregate: Some(GatewayPolicy::new(4, 1_000)),
+        ..ServerConfig::default()
+    };
+    let error = NetServer::bind("127.0.0.1:0", root, config)
+        .err()
+        .expect("must not bind");
+    assert!(
+        error
+            .to_string()
+            .contains("gateway.max_delay_ns must stay below"),
+        "got: {error}"
+    );
+}

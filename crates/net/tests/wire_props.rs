@@ -1,0 +1,244 @@
+//! Property tests pinning the wire codec: every protocol variant
+//! round-trips exactly through frame bytes (including ta056-scale big
+//! integers and *empty* intervals), and no corruption of a valid frame
+//! — bit flips, truncation, hostile lengths — can make the decoder
+//! panic or over-allocate.
+
+use gridbnb_core::{
+    Interval, ProtocolError, Request, Response, Solution, TransportError, UBig, WorkerId,
+};
+use gridbnb_net::wire::{
+    self, frame_request_bundle, frame_response_bundle, frame_status, parse_request_bundle,
+    parse_response_bundle, parse_status, read_frame, write_frame, RunStatus, HEADER_LEN,
+};
+use proptest::prelude::*;
+
+/// Symbolic request: (tag, worker, power/cost, interval endpoints,
+/// rank seed, factorial scale).
+type ReqStep = (u8, u8, u16, (u64, u64), u8, u8);
+/// Symbolic response: (tag, interval endpoints, cutoff option seed,
+/// rank seed, factorial scale).
+type RespStep = (u8, (u64, u64), u16, u8, u8);
+
+/// An interval whose endpoints are offset from `scale!` — exercises the
+/// multi-limb decimal path the campaign actually runs at (50! ≈ 3·10⁶⁴)
+/// as well as tiny and *empty* intervals (a == b).
+fn interval_of((a, b): (u64, u64), scale: u8) -> Interval {
+    let base = UBig::factorial(u32::from(scale % 51));
+    Interval::new(&base + &UBig::from(a.min(b)), &base + &UBig::from(a.max(b)))
+}
+
+fn solution_of(cost: u16, rank_seed: u8) -> Solution {
+    let ranks: Vec<u64> = (0..u64::from(rank_seed % 12))
+        .map(|i| i * 7 + u64::from(rank_seed))
+        .collect();
+    Solution::new(u64::from(cost), ranks)
+}
+
+fn request_of((tag, worker, power, endpoints, rank_seed, scale): ReqStep) -> Request {
+    let worker = WorkerId(u64::from(worker));
+    match tag % 6 {
+        0 => Request::Join {
+            worker,
+            power: u64::from(power),
+        },
+        1 => Request::RequestWork {
+            worker,
+            power: u64::from(power),
+        },
+        2 => Request::Update {
+            worker,
+            interval: interval_of(endpoints, scale),
+        },
+        3 => Request::ReportSolution {
+            worker,
+            solution: solution_of(power, rank_seed),
+        },
+        4 => Request::UpdateAndReport {
+            worker,
+            interval: interval_of(endpoints, scale),
+            solution: (rank_seed % 2 == 0).then(|| solution_of(power, rank_seed)),
+        },
+        _ => Request::Leave { worker },
+    }
+}
+
+fn response_of((tag, endpoints, cutoff, _rank_seed, scale): RespStep) -> Response {
+    let cutoff_opt = (cutoff % 3 != 0).then_some(u64::from(cutoff));
+    match tag % 6 {
+        0 => Response::Work {
+            interval: interval_of(endpoints, scale),
+            cutoff: cutoff_opt,
+        },
+        1 => Response::UpdateAck {
+            interval: interval_of(endpoints, scale),
+            cutoff: cutoff_opt,
+        },
+        2 => Response::SolutionAck { cutoff: cutoff_opt },
+        3 => Response::Terminate,
+        4 => Response::Retry,
+        _ => Response::LeaveAck,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Any request bundle — every variant, mixed, empty intervals, 50!-
+    /// scale endpoints — survives encode → byte stream → decode intact.
+    #[test]
+    fn request_bundles_round_trip(
+        steps in proptest::collection::vec(
+            (0u8..6, 0u8..20, 1u16..5000, (0u64..5000, 0u64..5000), 0u8..255, 0u8..255),
+            0..12,
+        ),
+        seq in 0u64..u64::MAX,
+    ) {
+        let requests: Vec<Request> = steps.into_iter().map(request_of).collect();
+        let frame = frame_request_bundle(seq, &requests);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let back = read_frame(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(back.seq, seq);
+        prop_assert_eq!(parse_request_bundle(&back).unwrap(), requests);
+    }
+
+    /// Same for response bundles.
+    #[test]
+    fn response_bundles_round_trip(
+        steps in proptest::collection::vec(
+            (0u8..6, (0u64..5000, 0u64..5000), 0u16..5000, 0u8..255, 0u8..255),
+            0..12,
+        ),
+        seq in 0u64..u64::MAX,
+    ) {
+        let responses: Vec<Response> = steps.into_iter().map(response_of).collect();
+        let frame = frame_response_bundle(seq, &responses);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let back = read_frame(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(parse_response_bundle(&back).unwrap(), responses);
+    }
+
+    /// And for status frames.
+    #[test]
+    fn status_round_trips(
+        terminated in 0u8..2,
+        cutoff in 0u16..5000,
+        rank_seed in 0u8..255,
+        counters in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+    ) {
+        let status = RunStatus {
+            terminated: terminated == 1,
+            cutoff: (cutoff % 3 != 0).then_some(u64::from(cutoff)),
+            solution: (rank_seed % 2 == 0).then(|| solution_of(cutoff, rank_seed)),
+            cardinality: counters.0,
+            contacts: counters.1,
+            steals: counters.2,
+        };
+        let frame = frame_status(7, &status);
+        prop_assert_eq!(parse_status(&frame).unwrap(), status);
+    }
+
+    /// Corrupting one byte of a valid frame never panics the decoder
+    /// and never silently passes truncation: header corruption is a
+    /// typed protocol or I/O error; payload corruption either errors or
+    /// decodes to *some* value (flipping a digit of a decimal endpoint
+    /// legitimately yields a different interval) — but never a panic.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        steps in proptest::collection::vec(
+            (0u8..6, 0u8..20, 1u16..5000, (0u64..5000, 0u64..5000), 0u8..255, 0u8..255),
+            1..6,
+        ),
+        position_seed in 0u64..u64::MAX,
+        xor in 1u8..255,
+    ) {
+        let requests: Vec<Request> = steps.into_iter().map(request_of).collect();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame_request_bundle(3, &requests)).unwrap();
+        let position = (position_seed % bytes.len() as u64) as usize;
+        bytes[position] ^= xor;
+        // Must return — Ok or Err — without panicking.
+        if let Ok(frame) = read_frame(&mut bytes.as_slice()) {
+            let _ = parse_request_bundle(&frame);
+        }
+    }
+
+    /// Truncating a valid frame anywhere is always detected: either a
+    /// clean `Closed` (cut at the very first byte) or a hard error —
+    /// never a successful decode of a shorter bundle.
+    #[test]
+    fn truncation_is_always_detected(
+        steps in proptest::collection::vec(
+            (0u8..6, 0u8..20, 1u16..5000, (0u64..5000, 0u64..5000), 0u8..255, 0u8..255),
+            1..6,
+        ),
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let requests: Vec<Request> = steps.into_iter().map(request_of).collect();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame_request_bundle(3, &requests)).unwrap();
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        match read_frame(&mut bytes[..cut].as_ref()) {
+            Err(TransportError::Closed) => prop_assert_eq!(cut, 0, "Closed only at a frame boundary"),
+            Err(_) => {}
+            Ok(frame) => prop_assert!(
+                false,
+                "truncation at {cut}/{} decoded a frame of {} payload bytes",
+                bytes.len(),
+                frame.payload.len()
+            ),
+        }
+    }
+}
+
+/// A hostile declared length must be rejected before any allocation —
+/// the header says 4 GiB-ish, the decoder answers `Oversized` without
+/// trying to reserve it.
+#[test]
+fn hostile_payload_length_is_rejected_unallocated() {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &wire::frame_query(1)).unwrap();
+    bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        read_frame(&mut bytes.as_slice()),
+        Err(TransportError::Protocol(ProtocolError::Oversized { .. }))
+    ));
+}
+
+/// A solution whose rank count claims more entries than the payload
+/// could hold is rejected before the allocation, not after an OOM.
+#[test]
+fn hostile_rank_count_is_rejected() {
+    let solution = Solution::new(9, vec![1, 2, 3]);
+    let frame = frame_request_bundle(
+        1,
+        &[Request::ReportSolution {
+            worker: WorkerId(1),
+            solution,
+        }],
+    );
+    let mut payload = frame.payload.clone();
+    // The rank count sits after: count u32 | tag u8 | worker u64 | cost
+    // u64 — patch it to a number the 3-rank payload cannot contain.
+    let count_at = 4 + 1 + 8 + 8;
+    payload[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let hostile = wire::Frame { payload, ..frame };
+    assert!(parse_request_bundle(&hostile).is_err());
+}
+
+/// The frame header is exactly the documented 20 bytes — a wire-format
+/// freeze, so independently-built peers agree.
+#[test]
+fn header_layout_is_frozen() {
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &wire::frame_query(0x0102_0304_0506_0708)).unwrap();
+    assert_eq!(bytes.len(), HEADER_LEN);
+    assert_eq!(&bytes[0..4], b"GBNB");
+    assert_eq!(bytes[4], wire::VERSION);
+    assert_eq!(bytes[5], wire::kind::QUERY);
+    assert_eq!(&bytes[6..8], &[0, 0]);
+    assert_eq!(bytes[8..16], 0x0102_0304_0506_0708u64.to_le_bytes());
+    assert_eq!(&bytes[16..20], &[0, 0, 0, 0]);
+}

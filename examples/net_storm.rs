@@ -1,0 +1,214 @@
+//! Load generator for the network service layer: a worker storm (W far
+//! above the host's core count, the paper's farmer regime) hammering a
+//! loopback [`NetServer`] with heartbeat contacts, reporting sustained
+//! contacts/sec and the latency tail per client wiring mode.
+//!
+//! ```sh
+//! cargo run --release --example net_storm -- \
+//!     [--workers 64] [--contacts 100] [--shards 4] \
+//!     [--mode per|mux|both] [--json PATH]
+//! ```
+//!
+//! Each worker joins (checking a real interval out of the sharded
+//! coordinator), then fires `--contacts` heartbeat updates of that
+//! interval, timing every round trip. Per-connection mode gives each
+//! worker its own socket; multiplexed mode pipelines the whole storm
+//! over one socket, which the server folds into shared coordinator
+//! bundles — the mode the `net` bench gates in CI.
+
+use gridbnb::core::{Interval, Request, Response, Transport, UBig, WorkerId};
+use gridbnb::net::{
+    ClientMode, ClientOptions, MuxClient, NetServer, ServerConfig, SocketTransport,
+};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+struct Args {
+    workers: usize,
+    contacts: u64,
+    shards: usize,
+    modes: Vec<ClientMode>,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 64,
+        contacts: 100,
+        shards: 4,
+        modes: vec![ClientMode::PerConnection, ClientMode::Multiplexed],
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--workers" => args.workers = value().parse().expect("--workers N"),
+            "--contacts" => args.contacts = value().parse().expect("--contacts M"),
+            "--shards" => args.shards = value().parse().expect("--shards S"),
+            "--mode" => {
+                args.modes = match value().as_str() {
+                    "per" => vec![ClientMode::PerConnection],
+                    "mux" => vec![ClientMode::Multiplexed],
+                    "both" => vec![ClientMode::PerConnection, ClientMode::Multiplexed],
+                    other => panic!("--mode must be per, mux or both, not {other}"),
+                }
+            }
+            "--json" => args.json = Some(value()),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// One mode's aggregate: every contact latency, plus the storm's wall
+/// time from first to last contact.
+struct StormResult {
+    mode: &'static str,
+    contacts: u64,
+    wall_s: f64,
+    latencies_ns: Vec<u64>,
+}
+
+impl StormResult {
+    fn contacts_per_sec(&self) -> f64 {
+        self.contacts as f64 / self.wall_s
+    }
+
+    /// `q` in [0, 1] over the sorted latency sample.
+    fn quantile_us(&self, q: f64) -> f64 {
+        let index = ((self.latencies_ns.len() - 1) as f64 * q).round() as usize;
+        self.latencies_ns[index] as f64 / 1_000.0
+    }
+}
+
+fn mode_name(mode: ClientMode) -> &'static str {
+    match mode {
+        ClientMode::PerConnection => "per_connection",
+        ClientMode::Multiplexed => "multiplexed",
+    }
+}
+
+/// Joins as `worker`, then times `contacts` heartbeat updates.
+fn storm_worker(transport: Box<dyn Transport + Send>, worker: WorkerId, contacts: u64) -> Vec<u64> {
+    let responses = transport
+        .contact(vec![Request::Join { worker, power: 100 }])
+        .expect("join contact");
+    let interval = match responses.into_iter().next() {
+        Some(Response::Work { interval, .. }) => interval,
+        other => panic!("join answered {other:?}"),
+    };
+    let mut latencies = Vec::with_capacity(contacts as usize);
+    for _ in 0..contacts {
+        let t0 = Instant::now();
+        let responses = transport
+            .contact(vec![Request::Update {
+                worker,
+                interval: interval.clone(),
+            }])
+            .expect("heartbeat contact");
+        latencies.push(t0.elapsed().as_nanos() as u64);
+        assert!(
+            matches!(responses.first(), Some(Response::UpdateAck { .. })),
+            "heartbeat answered {responses:?}"
+        );
+    }
+    latencies
+}
+
+fn run_storm(args: &Args, mode: ClientMode) -> StormResult {
+    let root = Interval::new(UBig::zero(), UBig::factorial(50));
+    let server = NetServer::bind("127.0.0.1:0", root, ServerConfig::new(args.shards))
+        .expect("bind loopback");
+    let addr: SocketAddr = server.local_addr();
+    let handle = server.handle();
+    let server = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let options = ClientOptions::default();
+    let mux = match mode {
+        ClientMode::PerConnection => None,
+        ClientMode::Multiplexed => Some(MuxClient::connect(addr, &options).expect("connect mux")),
+    };
+    let started = Instant::now();
+    let workers: Vec<_> = (0..args.workers)
+        .map(|index| {
+            let transport: Box<dyn Transport + Send> = match &mux {
+                None => Box::new(SocketTransport::connect(addr, &options).expect("connect")),
+                Some(mux) => Box::new(mux.transport()),
+            };
+            let contacts = args.contacts;
+            std::thread::spawn(move || storm_worker(transport, WorkerId(index as u64), contacts))
+        })
+        .collect();
+    let mut latencies_ns: Vec<u64> = Vec::with_capacity(args.workers * args.contacts as usize);
+    for worker in workers {
+        latencies_ns.extend(worker.join().expect("storm worker"));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    if let Some(mux) = mux {
+        mux.close();
+    }
+    handle.stop();
+    server.join().expect("server thread");
+
+    latencies_ns.sort_unstable();
+    StormResult {
+        mode: mode_name(mode),
+        contacts: args.workers as u64 * args.contacts,
+        wall_s,
+        latencies_ns,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "net storm: {} workers x {} contacts, {} shards, loopback TCP",
+        args.workers, args.contacts, args.shards
+    );
+    println!(
+        "{:<16} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "mode", "contacts/sec", "p50 us", "p90 us", "p99 us", "max us"
+    );
+    let results: Vec<StormResult> = args.modes.iter().map(|&m| run_storm(&args, m)).collect();
+    for r in &results {
+        println!(
+            "{:<16} {:>14.0} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            r.mode,
+            r.contacts_per_sec(),
+            r.quantile_us(0.50),
+            r.quantile_us(0.90),
+            r.quantile_us(0.99),
+            r.quantile_us(1.0),
+        );
+    }
+    if results.len() == 2 {
+        println!(
+            "multiplexed / per_connection contacts/sec: {:.2}x",
+            results[1].contacts_per_sec() / results[0].contacts_per_sec()
+        );
+    }
+    if let Some(path) = &args.json {
+        let rows: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"mode\": \"{}\", \"workers\": {}, \"contacts\": {}, \"wall_s\": {:.4}, \
+                     \"contacts_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
+                     \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
+                    r.mode,
+                    args.workers,
+                    r.contacts,
+                    r.wall_s,
+                    r.contacts_per_sec(),
+                    r.quantile_us(0.50),
+                    r.quantile_us(0.90),
+                    r.quantile_us(0.99),
+                    r.quantile_us(1.0),
+                )
+            })
+            .collect();
+        std::fs::write(path, format!("[\n{}\n]\n", rows.join(",\n"))).expect("write json");
+        println!("wrote {path}");
+    }
+}

@@ -18,6 +18,7 @@
 //! | [`tsp`] | `gridbnb-tsp` | TSP as a second `Problem` |
 //! | [`qap`] | `gridbnb-qap` | QAP campaign: Nugent-style instances, LAP, Gilmore–Lawler bounds, greedy |
 //! | [`core`] | `gridbnb-core` | coordinator, pull protocol, checkpoints, thread runtime |
+//! | [`net`] | `gridbnb-net` | the protocol over real TCP: wire codec, socket server, client transports |
 //! | [`grid`] | `gridbnb-grid` | discrete-event simulator of the paper's grid |
 //!
 //! ## Quickstart
@@ -70,5 +71,6 @@ pub use gridbnb_core as core;
 pub use gridbnb_engine as engine;
 pub use gridbnb_flowshop as flowshop;
 pub use gridbnb_grid as grid;
+pub use gridbnb_net as net;
 pub use gridbnb_qap as qap;
 pub use gridbnb_tsp as tsp;
