@@ -1,0 +1,107 @@
+//! The cost of being observed: the registry's hot-path primitives
+//! against the raw atomic they wrap, plus the scrape-side operations a
+//! live server pays per metrics query.
+//!
+//! Hot path (per recording site, ×1024 per iteration):
+//!
+//! * `atomic_add_x1024` — a bare relaxed `AtomicU64::fetch_add`, the
+//!   floor any shared counter pays;
+//! * `counter_inc_x1024` — the same add through a registered
+//!   [`Counter`] handle (one `Arc` deref on top of the atomic);
+//! * `histogram_observe_x1024` — a [`Histogram`] observation: linear
+//!   bucket scan (9 latency bounds) plus three relaxed atomics.
+//!
+//! Scrape path (per query, against a 100-series registry shaped like a
+//! live server's):
+//!
+//! * `snapshot_100_series` — consistent read of every cell;
+//! * `render_text_100_series` — full Prometheus-style exposition.
+//!
+//! Honest finding, pinned by the checked-in `BENCH_metrics.json` and
+//! gated in CI: a counter inc is at parity with the bare atomic
+//! (~6.8 ns either way on the 1-core build box — the handle holds its
+//! cell directly, so there is no name lookup after registration), and
+//! a histogram observation is ~3.4× the atomic (~23 ns) — cheap
+//! enough to leave every instrumentation site on unconditionally,
+//! which is exactly what the runtime does. The scrape side is four
+//! orders of magnitude dearer (~240 µs to render 100 series), which
+//! is why it only runs when a `gridbnb_net::query_metrics` frame
+//! arrives, never on the recording path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridbnb_metrics::{latency_buckets_ns, MetricsRegistry};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const OPS: u64 = 1024;
+
+/// A registry shaped like a mid-campaign server's: 100 series across
+/// counters, gauges, and bucketed histograms, several label sets each.
+fn loaded_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+    for shard in 0..20 {
+        let label = shard.to_string();
+        let labels = [("shard", label.as_str())];
+        registry
+            .counter("gbnb_bench_contacts_total", &labels)
+            .add(shard + 1);
+        registry.gauge("gbnb_bench_live_intervals", &labels).set(64);
+        let h = registry.histogram("gbnb_bench_service_ns", &labels, &latency_buckets_ns());
+        for k in 0..12 {
+            h.observe(1 << (k + 8));
+        }
+    }
+    registry
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+
+    let raw = AtomicU64::new(0);
+    group.bench_function("atomic_add_x1024", |b| {
+        b.iter(|| {
+            // Discard each result, as `Counter::inc` does, so the two
+            // loops compile to the same shape and the ratio is honest.
+            for _ in 0..OPS {
+                raw.fetch_add(1, Ordering::Relaxed);
+            }
+            black_box(raw.load(Ordering::Relaxed))
+        })
+    });
+
+    let registry = MetricsRegistry::new();
+    let counter = registry.counter("gbnb_bench_ops_total", &[]);
+    group.bench_function("counter_inc_x1024", |b| {
+        b.iter(|| {
+            for _ in 0..OPS {
+                counter.inc();
+            }
+            black_box(counter.get())
+        })
+    });
+
+    let histogram = registry.histogram("gbnb_bench_lat_ns", &[], &latency_buckets_ns());
+    group.bench_function("histogram_observe_x1024", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                // Cycle the observations across the bucket range so the
+                // linear scan pays its average depth, not its best case.
+                histogram.observe(black_box(1u64 << (8 + (i % 16))));
+            }
+        })
+    });
+
+    let loaded = loaded_registry();
+    group.bench_function("snapshot_100_series", |b| {
+        b.iter(|| black_box(loaded.snapshot()))
+    });
+    group.bench_function("render_text_100_series", |b| {
+        b.iter(|| black_box(loaded.render_text()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

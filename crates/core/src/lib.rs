@@ -51,12 +51,11 @@ pub use coordinator::{
     compare_len_per_power, compare_len_per_power_exact, BatchOutcome, ConfigError, Coordinator,
     CoordinatorConfig, CoordinatorStats, Holder, IntervalEntry,
 };
-pub use gateway::{ContactGateway, GatewayPolicy, GatewayStats};
+pub use gateway::{BundleHandler, ContactGateway, GatewayMode, GatewayPolicy, GatewayStats};
 pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
 pub use shard::ShardRouter;
-pub use transport::{
-    ChannelTransport, GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError,
-};
+pub use transport::{GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError};
 
 pub use gridbnb_coding::{Interval, IntervalSet, TreeShape, UBig};
 pub use gridbnb_engine::{Problem, Solution};
+pub use gridbnb_metrics::{MetricsRegistry, MetricsSnapshot};

@@ -29,17 +29,17 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::transport::{
-    ChannelTransport, Envelope, GatewayTransport, ProtocolError, RouterTransport, Transport,
-    TransportError,
+    Envelope, GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError,
 };
 use crate::{
-    ConfigError, ContactGateway, Coordinator, CoordinatorConfig, CoordinatorStats, GatewayPolicy,
-    GatewayStats, Request, Response, ShardRouter, WorkerId,
+    BundleHandler, ConfigError, ContactGateway, Coordinator, CoordinatorConfig, CoordinatorStats,
+    GatewayPolicy, GatewayStats, Request, Response, ShardEnvelope, ShardId, ShardRouter, WorkerId,
 };
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridbnb_bigint::UBig;
 use gridbnb_coding::Interval;
 use gridbnb_engine::{IntervalExplorer, Problem, SearchStats, Solution};
+use gridbnb_metrics::{latency_buckets_ns, Counter, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -167,6 +167,12 @@ pub struct RuntimeConfig {
     /// How workers retry contacts that fail transiently (see
     /// [`RetryPolicy`]).
     pub transport_retry: RetryPolicy,
+    /// Registry every layer of the run records into (`None` = a private
+    /// registry per run, still populated — [`RunReport`] totals come
+    /// from the same cells either way). Inject one to scrape worker,
+    /// coordinator, gateway and router series together, e.g. over the
+    /// wire through `gridbnb-net`.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl RuntimeConfig {
@@ -184,7 +190,14 @@ impl RuntimeConfig {
             chaos: None,
             pooling: true,
             transport_retry: RetryPolicy::default(),
+            metrics: None,
         }
+    }
+
+    /// Records the run into `registry` (see [`RuntimeConfig::metrics`]).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = Some(registry.clone());
+        self
     }
 
     /// Enables or disables pooled frontier exploration (see
@@ -235,6 +248,16 @@ impl RuntimeConfig {
     pub fn with_gateway(mut self, fan_in: usize) -> Self {
         let max_delay_ns = (self.coordinator.holder_timeout_ns / 8).max(1);
         self.gateway = Some(GatewayPolicy::new(fan_in, max_delay_ns));
+        self
+    }
+
+    /// Like [`RuntimeConfig::with_gateway`], but the fan-in adapts at
+    /// run time between 1 and `max_fan_in` (see [`crate::GatewayMode`]):
+    /// growing while flushes fill fast and the shard locks show
+    /// contention, shrinking on backpressure and towards termination.
+    pub fn with_adaptive_gateway(mut self, fan_in: usize, max_fan_in: usize) -> Self {
+        let max_delay_ns = (self.coordinator.holder_timeout_ns / 8).max(1);
+        self.gateway = Some(GatewayPolicy::adaptive(fan_in, max_fan_in, max_delay_ns));
         self
     }
 
@@ -478,6 +501,100 @@ impl RunReport {
     }
 }
 
+/// Worker-side series, shared by every worker thread of a run (the
+/// cells are atomic, so one registration serves the whole fleet). The
+/// counters mirror the [`WorkerReport`] sums exactly — the metrics
+/// exactness tests pin `gbnb_worker_contacts_total` to
+/// [`RunReport::total_contacts`] and `gbnb_worker_bound_calls_total` to
+/// [`RunReport::total_bound_calls`].
+struct WorkerMetrics {
+    /// `gbnb_worker_contacts_total` — contacts (bundles) sent.
+    contacts: Counter,
+    /// `gbnb_worker_units_total` — work units processed.
+    units: Counter,
+    /// `gbnb_worker_bound_calls_total` — bound results consumed by the
+    /// elimination test.
+    bound_calls: Counter,
+    /// `gbnb_worker_slice_ns` — exploration slice latency.
+    slice_ns: Histogram,
+    /// `gbnb_worker_idle_wait_ns` — time a worker spent blocked in one
+    /// contact (transport round-trip, gateway park, retry backoffs).
+    idle_wait_ns: Histogram,
+    /// `gbnb_worker_busy_ns_total` — total exploring time.
+    busy_ns: Counter,
+    /// `gbnb_worker_idle_ns_total` — total contact-blocked time.
+    idle_ns: Counter,
+}
+
+impl WorkerMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        WorkerMetrics {
+            contacts: registry.counter("gbnb_worker_contacts_total", &[]),
+            units: registry.counter("gbnb_worker_units_total", &[]),
+            bound_calls: registry.counter("gbnb_worker_bound_calls_total", &[]),
+            slice_ns: registry.histogram("gbnb_worker_slice_ns", &[], &latency_buckets_ns()),
+            idle_wait_ns: registry.histogram(
+                "gbnb_worker_idle_wait_ns",
+                &[],
+                &latency_buckets_ns(),
+            ),
+            busy_ns: registry.counter("gbnb_worker_busy_ns_total", &[]),
+            idle_ns: registry.counter("gbnb_worker_idle_ns_total", &[]),
+        }
+    }
+}
+
+/// [`BundleHandler`] over the classic farmer channel: the single-shard
+/// counterpart of handing the gateway a [`ShardRouter`]. A flush sends
+/// the combined bundle through one channel round-trip to the farmer
+/// thread, which folds it through `Coordinator::apply_batch` — so at
+/// `shards = 1` many workers' contacts still merge into one channel
+/// send and one batch application per flush.
+struct FarmerChannelHandler {
+    req_tx: Sender<Envelope>,
+    registry: MetricsRegistry,
+    /// Latches once any flush comes back with a `Terminate`: the
+    /// gateway's adaptive mode reads this to shrink its fan-in during
+    /// the endgame, and `submit` uses it to flush without waiting.
+    terminated: AtomicBool,
+}
+
+impl BundleHandler for &FarmerChannelHandler {
+    fn envelope(&self, request: Request) -> ShardEnvelope {
+        ShardEnvelope {
+            shard: ShardId(0),
+            request,
+        }
+    }
+
+    fn handle_bundle(&self, bundle: Vec<ShardEnvelope>, _now_ns: u64) -> Vec<(ShardId, Response)> {
+        let requests: Vec<Request> = bundle.into_iter().map(|e| e.request).collect();
+        let (reply_tx, reply_rx) = unbounded();
+        if self.req_tx.send((requests, reply_tx)).is_err() {
+            // The farmer hung up: the gateway's empty-reply sentinel
+            // tells every parked submitter the run is over.
+            return Vec::new();
+        }
+        match reply_rx.recv() {
+            Ok(responses) => {
+                if responses.iter().any(|r| matches!(r, Response::Terminate)) {
+                    self.terminated.store(true, Ordering::Release);
+                }
+                responses.into_iter().map(|r| (ShardId(0), r)).collect()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    fn metrics(&self) -> MetricsRegistry {
+        self.registry.clone()
+    }
+}
+
 /// Runs the grid-enabled B&B on `problem` with real threads.
 ///
 /// Blocks until the whole root interval is explored or eliminated, then
@@ -510,6 +627,14 @@ pub fn run_on<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -
 /// [`CheckpointStore`]) behind the classic single farmer thread.
 /// `config.shards` is ignored here — a pre-built coordinator is by
 /// definition one shard.
+///
+/// Worker contacts funnel through a [`ContactGateway`] over the farmer
+/// channel, so even the classic path amortizes: many workers' bundles
+/// merge into one channel round-trip and one `apply_batch` per flush.
+/// With no explicit [`RuntimeConfig::gateway`] policy the fan-in is a
+/// modest `min(workers, 4)` and the deadline at most 1 ms, so lightly
+/// threaded runs keep their latency; the response stream is pinned
+/// response-identical to the ungated channel by an exactness test.
 pub fn run_with_coordinator<P: Problem>(
     problem: &P,
     coordinator: Coordinator,
@@ -520,15 +645,42 @@ pub fn run_with_coordinator<P: Problem>(
     let root_length = coordinator.root().length();
     let (req_tx, req_rx) = unbounded::<Envelope>();
     let fresh_ids = AtomicU64::new(config.workers as u64);
+    let registry = config.metrics.clone().unwrap_or_default();
+    let worker_metrics = WorkerMetrics::register(&registry);
+    let policy = config.gateway.unwrap_or_else(|| {
+        // Defaults tuned for the in-process channel: small fan-in, and
+        // a deadline that is both proportional to the holder timeout
+        // (a parked submitter is silent towards the coordinator) and
+        // capped at 1 ms so huge timeouts cannot park workers long.
+        let max_delay_ns = (config.coordinator.holder_timeout_ns / 8).clamp(1, 1_000_000);
+        GatewayPolicy::new(config.workers.min(4), max_delay_ns)
+    });
+    let handler = FarmerChannelHandler {
+        req_tx,
+        registry: registry.clone(),
+        terminated: AtomicBool::new(false),
+    };
+    let gateway = ContactGateway::new(&handler, policy);
+    let gateway = &gateway;
+    let workers_done = AtomicBool::new(false);
+    let farmer_done = AtomicBool::new(false);
 
     let mut worker_reports: Vec<WorkerReport> = Vec::new();
     let mut farmer_out: Option<(Coordinator, Duration, u64)> = None;
+    let mut sweeper_busy = Duration::ZERO;
 
     crossbeam::thread::scope(|scope| {
-        let farmer = scope.spawn(|_| farmer_loop(coordinator, req_rx, config, started));
+        let workers_done = &workers_done;
+        let farmer_done = &farmer_done;
+        let worker_metrics = &worker_metrics;
+        let farmer =
+            scope.spawn(|_| farmer_loop(coordinator, req_rx, config, started, farmer_done));
+        // The deadline sweeper plays the sharded supervisor's gateway
+        // role: it guarantees liveness when every submitter is parked
+        // below the fan-in.
+        let sweeper = scope.spawn(move |_| channel_gateway_sweeper(gateway, started, workers_done));
         let mut handles = Vec::new();
         for index in 0..config.workers {
-            let req_tx = req_tx.clone();
             let fresh_ids = &fresh_ids;
             let power = config.worker_powers[index % config.worker_powers.len()];
             let crash = config
@@ -537,18 +689,29 @@ pub fn run_with_coordinator<P: Problem>(
                 .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
                 .copied();
             handles.push(scope.spawn(move |_| {
-                let transport = ChannelTransport::new(req_tx);
+                let transport = GatewayTransport::new(gateway, started);
                 worker_loop(
-                    problem, index, power, crash, &transport, fresh_ids, 0, config,
+                    problem,
+                    index,
+                    power,
+                    crash,
+                    &transport,
+                    fresh_ids,
+                    0,
+                    config,
+                    worker_metrics,
                 )
             }));
         }
-        // The farmer's receiver disconnects when every worker sender is
-        // dropped — including ours.
-        drop(req_tx);
         for h in handles {
             worker_reports.push(h.join().expect("worker thread panicked"));
         }
+        // Teardown order matters: the sweeper's final flush (anyone
+        // parked at this instant) still needs the farmer answering, so
+        // the farmer's stop flag is set only after the sweeper joins.
+        workers_done.store(true, Ordering::Release);
+        sweeper_busy = sweeper.join().expect("sweeper thread panicked");
+        farmer_done.store(true, Ordering::Release);
         farmer_out = Some(farmer.join().expect("farmer thread panicked"));
     })
     .expect("scope panicked");
@@ -561,13 +724,37 @@ pub fn run_with_coordinator<P: Problem>(
         coordinator_stats: *coordinator.stats(),
         steals: 0,
         router_contacts: 0,
-        gateway: None,
+        gateway: Some(gateway.stats()),
         workers: worker_reports,
         wall: started.elapsed(),
-        farmer_busy,
+        farmer_busy: farmer_busy + sweeper_busy,
         farmer_checkpoints,
         root_length,
     }
+}
+
+/// Deadline housekeeping for the channel-path gateway: polls
+/// [`ContactGateway::flush_stale`] at half the deadline until every
+/// worker thread has returned, then runs one final
+/// [`ContactGateway::flush_now`] for anyone parked at that instant.
+fn channel_gateway_sweeper(
+    gateway: &ContactGateway<&FarmerChannelHandler>,
+    started: Instant,
+    workers_done: &AtomicBool,
+) -> Duration {
+    let mut busy = Duration::ZERO;
+    let poll = Duration::from_nanos(gateway.policy().max_delay_ns / 2)
+        .clamp(Duration::from_micros(200), Duration::from_millis(50));
+    while !workers_done.load(Ordering::Acquire) {
+        std::thread::sleep(poll);
+        let t0 = Instant::now();
+        gateway.flush_stale(started.elapsed().as_nanos() as u64);
+        busy += t0.elapsed();
+    }
+    let t0 = Instant::now();
+    gateway.flush_now(started.elapsed().as_nanos() as u64);
+    busy += t0.elapsed();
+    busy
 }
 
 /// Runs with a pre-built [`ShardRouter`] (fresh, or restored from a
@@ -586,7 +773,14 @@ pub fn run_with_router<P: Problem>(
     let root_length = router.root().length();
     let fresh_ids = AtomicU64::new(config.workers as u64);
     let workers_done = AtomicBool::new(false);
+    // An injected registry re-homes the router's series so every layer
+    // of the run is scrapeable from the one place.
+    let router = match &config.metrics {
+        Some(registry) => router.with_metrics(registry),
+        None => router,
+    };
     let router = &router;
+    let worker_metrics = WorkerMetrics::register(router.metrics());
     let gateway = config
         .gateway
         .map(|policy| ContactGateway::new(router, policy));
@@ -597,6 +791,7 @@ pub fn run_with_router<P: Problem>(
 
     crossbeam::thread::scope(|scope| {
         let workers_done = &workers_done;
+        let worker_metrics = &worker_metrics;
         let supervisor =
             scope.spawn(move |_| supervisor_loop(router, gateway, config, started, workers_done));
         let mut handles = Vec::new();
@@ -626,6 +821,7 @@ pub fn run_with_router<P: Problem>(
                     fresh_ids,
                     0,
                     config,
+                    worker_metrics,
                 )
             }));
         }
@@ -677,7 +873,7 @@ pub fn run_with_router<P: Problem>(
 /// (later submitters see the terminated router and flush themselves).
 fn supervisor_loop(
     router: &ShardRouter,
-    gateway: Option<&ContactGateway>,
+    gateway: Option<&ContactGateway<&ShardRouter>>,
     config: &RuntimeConfig,
     started: Instant,
     workers_done: &AtomicBool,
@@ -747,6 +943,7 @@ fn farmer_loop(
     req_rx: Receiver<Envelope>,
     config: &RuntimeConfig,
     started: Instant,
+    done: &AtomicBool,
 ) -> (Coordinator, Duration, u64) {
     let mut busy = Duration::ZERO;
     let mut checkpoints = 0u64;
@@ -793,7 +990,14 @@ fn farmer_loop(
                 // A dropped worker (crash between send and reply) is fine.
                 let _ = reply_tx.send(responses);
             }
-            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                // The gateway's handler keeps a Sender alive for the
+                // whole run, so teardown is flag-driven: the runtime
+                // raises `done` once the final gateway flush is served.
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+            }
             Err(RecvTimeoutError::Disconnected) => break,
         }
         let t0 = Instant::now();
@@ -848,10 +1052,13 @@ where
 {
     config.assert_valid();
     let fresh_ids = AtomicU64::new(id_base + config.workers as u64);
+    let registry = config.metrics.clone().unwrap_or_default();
+    let worker_metrics = WorkerMetrics::register(&registry);
     let mut worker_reports: Vec<WorkerReport> = Vec::new();
     crossbeam::thread::scope(|scope| {
         let fresh_ids = &fresh_ids;
         let connect = &connect;
+        let worker_metrics = &worker_metrics;
         let mut handles = Vec::new();
         for index in 0..config.workers {
             let power = config.worker_powers[index % config.worker_powers.len()];
@@ -863,7 +1070,15 @@ where
             handles.push(scope.spawn(move |_| {
                 let transport = connect(index);
                 worker_loop(
-                    problem, index, power, crash, &transport, fresh_ids, id_base, config,
+                    problem,
+                    index,
+                    power,
+                    crash,
+                    &transport,
+                    fresh_ids,
+                    id_base,
+                    config,
+                    worker_metrics,
                 )
             }));
         }
@@ -880,6 +1095,23 @@ where
 /// `report`). Checks the one-response-per-request contract on success —
 /// a mismatch is a [`ProtocolError::ResponseCount`], never a panic.
 fn contact_with_retry<T: Transport + ?Sized>(
+    transport: &T,
+    requests: Vec<Request>,
+    policy: &RetryPolicy,
+    report: &mut WorkerReport,
+    metrics: &WorkerMetrics,
+) -> Result<Vec<Response>, TransportError> {
+    // The whole contact — round-trip, gateway park, retry backoffs —
+    // is worker idle time: it holds work it is not exploring.
+    let t0 = Instant::now();
+    let result = send_with_retry(transport, requests, policy, report);
+    let waited = t0.elapsed().as_nanos() as u64;
+    metrics.idle_wait_ns.observe(waited);
+    metrics.idle_ns.add(waited);
+    result
+}
+
+fn send_with_retry<T: Transport + ?Sized>(
     transport: &T,
     requests: Vec<Request>,
     policy: &RetryPolicy,
@@ -938,6 +1170,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
     fresh_ids: &AtomicU64,
     id_base: u64,
     config: &RuntimeConfig,
+    metrics: &WorkerMetrics,
 ) -> WorkerReport {
     let thread_start = Instant::now();
     let mut report = WorkerReport::default();
@@ -960,6 +1193,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
         // Termination-sensitive flush: the work request always goes out
         // now; an unreported solution shares the contact.
         report.contacts += 1;
+        metrics.contacts.inc();
         let bundle = match pending_solution.take() {
             Some(solution) => vec![
                 Request::ReportSolution {
@@ -970,14 +1204,19 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
             ],
             None => vec![work_request],
         };
-        let response =
-            match contact_with_retry(transport, bundle, &config.transport_retry, &mut report) {
-                Ok(mut responses) => responses.pop().expect("bundle was non-empty"),
-                Err(e) => {
-                    report.transport_failure = failure_of(e);
-                    break;
-                }
-            };
+        let response = match contact_with_retry(
+            transport,
+            bundle,
+            &config.transport_retry,
+            &mut report,
+            metrics,
+        ) {
+            Ok(mut responses) => responses.pop().expect("bundle was non-empty"),
+            Err(e) => {
+                report.transport_failure = failure_of(e);
+                break;
+            }
+        };
         let (interval, cutoff) = match response {
             Response::Work { interval, cutoff } => (interval, cutoff),
             Response::Terminate => break,
@@ -999,6 +1238,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
             }
         };
         report.units += 1;
+        metrics.units.inc();
         let mut explorer =
             IntervalExplorer::with_pooling(problem, &interval, cutoff, config.pooling);
         let unit_start_position = explorer.position().clone();
@@ -1008,7 +1248,10 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
         loop {
             let t0 = Instant::now();
             explorer.run(config.poll_nodes);
-            report.busy += t0.elapsed();
+            let slice = t0.elapsed();
+            report.busy += slice;
+            metrics.slice_ns.observe(slice.as_nanos() as u64);
+            metrics.busy_ns.add(slice.as_nanos() as u64);
             slices_since_contact += 1;
             let mut contacted_this_slice = false;
 
@@ -1020,6 +1263,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
             let mut fresh = explorer.take_fresh_best();
             if fresh.is_some() && !explorer.is_exhausted() {
                 report.contacts += 1;
+                metrics.contacts.inc();
                 let bundle = vec![Request::UpdateAndReport {
                     worker: id,
                     interval: explorer.current_interval(),
@@ -1030,6 +1274,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
                     bundle,
                     &config.transport_retry,
                     &mut report,
+                    metrics,
                 ) {
                     Ok(responses) => responses,
                     Err(e) => {
@@ -1061,6 +1306,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
                     crash = None;
                     report.crashes += 1;
                     report.consumed += &explorer.position().saturating_sub(&unit_start_position);
+                    metrics.bound_calls.add(explorer.stats().bound_calls);
                     report.stats.merge(explorer.stats());
                     if plan.rejoin {
                         id = WorkerId(fresh_ids.fetch_add(1, Ordering::Relaxed));
@@ -1092,18 +1338,24 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
                 continue;
             }
             report.contacts += 1;
+            metrics.contacts.inc();
             let bundle = vec![Request::Update {
                 worker: id,
                 interval: explorer.current_interval(),
             }];
-            let mut responses =
-                match contact_with_retry(transport, bundle, &config.transport_retry, &mut report) {
-                    Ok(responses) => responses,
-                    Err(e) => {
-                        report.transport_failure = failure_of(e);
-                        break 'units;
-                    }
-                };
+            let mut responses = match contact_with_retry(
+                transport,
+                bundle,
+                &config.transport_retry,
+                &mut report,
+                metrics,
+            ) {
+                Ok(responses) => responses,
+                Err(e) => {
+                    report.transport_failure = failure_of(e);
+                    break 'units;
+                }
+            };
             report.checkpoint_ops += 1;
             match adopt_update_ack(
                 responses.pop().expect("bundle was non-empty"),
@@ -1121,6 +1373,7 @@ fn worker_loop<P: Problem, T: Transport + ?Sized>(
         }
 
         report.consumed += &explorer.position().saturating_sub(&unit_start_position);
+        metrics.bound_calls.add(explorer.stats().bound_calls);
         report.stats.merge(explorer.stats());
     }
     report.wall = thread_start.elapsed();

@@ -52,12 +52,97 @@ use crate::{
 };
 use gridbnb_coding::{Interval, UBig};
 use gridbnb_engine::Solution;
+use gridbnb_metrics::{latency_buckets_ns, Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
+use std::time::Instant;
 
 /// One unit of the packed non-empty count (high half of
 /// [`ShardRouter::state`]); the low half counts steals in flight.
 const NON_EMPTY_UNIT: u64 = 1 << 32;
+
+/// The router's registered instrument handles, resolved once at
+/// construction so the contact path records with plain atomics. The
+/// contact and steal counters here **are** the router's bookkeeping —
+/// [`ShardRouter::contacts`] and [`ShardRouter::steals`] read these
+/// cells, so a metrics scrape and the run report can never disagree.
+#[derive(Debug)]
+struct RouterMetrics {
+    registry: MetricsRegistry,
+    /// `gbnb_router_contacts_total` — lock-acquiring contacts served.
+    contacts: Counter,
+    /// `gbnb_router_steals_total` — successful cross-shard steals.
+    steals: Counter,
+    /// `gbnb_shard_contacts_total{shard}` — the same contacts, by shard.
+    shard_contacts: Vec<Counter>,
+    /// `gbnb_shard_lock_hold_ns{shard}` — how long each service section
+    /// held the shard lock.
+    shard_lock_hold: Vec<Histogram>,
+    /// `gbnb_shard_live_intervals{shard}` — interval count after the
+    /// last service on that shard (sums to the live `INTERVALS` size).
+    shard_live_intervals: Vec<Gauge>,
+    /// `gbnb_coordinator_selection_ns` — single-request service latency
+    /// of `Join` / `RequestWork` (interval selection + partitioning).
+    selection_ns: Histogram,
+    /// `gbnb_coordinator_update_ns` — single-request service latency of
+    /// `Update` / `UpdateAndReport` (the eq. 14 intersection path).
+    update_ns: Histogram,
+    /// `gbnb_coordinator_batch_ns` — per-shard `apply_batch` run
+    /// latency on the bundle path.
+    batch_ns: Histogram,
+    /// `gbnb_coordinator_expiry_ns` — full expiry-sweep latency.
+    expiry_ns: Histogram,
+    /// `gbnb_coordinator_expired_holders_total`.
+    expired_holders: Counter,
+}
+
+impl RouterMetrics {
+    fn register(registry: &MetricsRegistry, shards: usize) -> Self {
+        let mut shard_contacts = Vec::with_capacity(shards);
+        let mut shard_lock_hold = Vec::with_capacity(shards);
+        let mut shard_live_intervals = Vec::with_capacity(shards);
+        for k in 0..shards {
+            let label = k.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &label)];
+            shard_contacts.push(registry.counter("gbnb_shard_contacts_total", labels));
+            shard_lock_hold.push(registry.histogram(
+                "gbnb_shard_lock_hold_ns",
+                labels,
+                &latency_buckets_ns(),
+            ));
+            shard_live_intervals.push(registry.gauge("gbnb_shard_live_intervals", labels));
+        }
+        RouterMetrics {
+            registry: registry.clone(),
+            contacts: registry.counter("gbnb_router_contacts_total", &[]),
+            steals: registry.counter("gbnb_router_steals_total", &[]),
+            shard_contacts,
+            shard_lock_hold,
+            shard_live_intervals,
+            selection_ns: registry.histogram(
+                "gbnb_coordinator_selection_ns",
+                &[],
+                &latency_buckets_ns(),
+            ),
+            update_ns: registry.histogram("gbnb_coordinator_update_ns", &[], &latency_buckets_ns()),
+            batch_ns: registry.histogram("gbnb_coordinator_batch_ns", &[], &latency_buckets_ns()),
+            expiry_ns: registry.histogram("gbnb_coordinator_expiry_ns", &[], &latency_buckets_ns()),
+            expired_holders: registry.counter("gbnb_coordinator_expired_holders_total", &[]),
+        }
+    }
+
+    /// Seeds the monotone counters from another instance (clone /
+    /// registry-swap paths, where the cells are fresh but the router's
+    /// history must read unchanged).
+    fn seed_from(&self, other: &RouterMetrics) {
+        self.contacts.add(other.contacts.get());
+        self.steals.add(other.steals.get());
+        for (mine, theirs) in self.shard_contacts.iter().zip(&other.shard_contacts) {
+            mine.add(theirs.get());
+        }
+        self.expired_holders.add(other.expired_holders.get());
+    }
+}
 
 /// `S` coordinators over disjoint slices of one root range, plus the
 /// routing, stealing and termination logic that makes them answer the
@@ -75,12 +160,9 @@ pub struct ShardRouter {
     /// interval is between shards. Each half is maintained under the
     /// owning shard's lock on every transition.
     state: AtomicU64,
-    /// Lock-acquiring coordinator contacts served: one per
-    /// [`ShardRouter::handle`] call, one per shard *run* of a
-    /// [`ShardRouter::handle_bundle`] call (however many requests the
-    /// run folded), one per steal-retry re-contact. `contacts` versus
-    /// `stats().updates + …` is exactly the amortization batching buys.
-    contacts: AtomicU64,
+    /// Registered instrument handles; the contact/steal counters double
+    /// as the router's own bookkeeping (see [`RouterMetrics`]).
+    metrics: RouterMetrics,
     /// Held for reading across each steal (concurrent steals are fine)
     /// and for writing by [`ShardRouter::snapshot`], `clone` and
     /// [`ShardRouter::check_invariants`]: while the write side is held,
@@ -89,8 +171,6 @@ pub struct ShardRouter {
     /// Ordering: the gate is always taken before any shard lock, never
     /// while holding one.
     steal_gate: RwLock<()>,
-    /// Successful cross-shard steals.
-    steals: AtomicU64,
 }
 
 impl Clone for ShardRouter {
@@ -111,13 +191,17 @@ impl Clone for ShardRouter {
             .iter()
             .filter(|m| !m.lock().expect("poisoned shard").is_terminated())
             .count() as u64;
+        // A clone gets a fresh registry (independent cells, like the
+        // copied counters always were) seeded with the original's
+        // monotone totals, so `contacts()`/`steals()` read unchanged.
+        let metrics = RouterMetrics::register(&MetricsRegistry::new(), shards.len());
+        metrics.seed_from(&self.metrics);
         ShardRouter {
             root: self.root.clone(),
             shards,
             state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
-            contacts: AtomicU64::new(self.contacts.load(Ordering::Relaxed)),
+            metrics,
             steal_gate: RwLock::new(()),
-            steals: AtomicU64::new(self.steals.load(Ordering::Relaxed)),
         }
     }
 }
@@ -181,14 +265,47 @@ impl ShardRouter {
             .iter()
             .filter(|m| !m.lock().expect("poisoned shard").is_terminated())
             .count() as u64;
+        let metrics = RouterMetrics::register(&MetricsRegistry::new(), shards.len());
         Ok(ShardRouter {
             root,
             shards,
             state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
-            contacts: AtomicU64::new(0),
+            metrics,
             steal_gate: RwLock::new(()),
-            steals: AtomicU64::new(0),
         })
+    }
+
+    /// Re-registers this router's instruments on `registry`, so its
+    /// `gbnb_router_*` / `gbnb_shard_*` / `gbnb_coordinator_*` families
+    /// land in a caller-owned exposition (the runtime and the socket
+    /// server both inject one shared registry this way). Monotone
+    /// counters carry their current values over. Builder-style: call
+    /// right after construction, before the router is shared.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        let metrics = RouterMetrics::register(registry, self.shards.len());
+        metrics.seed_from(&self.metrics);
+        self.metrics = metrics;
+        self
+    }
+
+    /// The registry this router's instruments are registered on —
+    /// gateways and servers in front of the router register their own
+    /// families here, so one scrape covers the whole serving path.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics.registry
+    }
+
+    /// Mean nanoseconds a shard lock was held per service section, over
+    /// the router's lifetime — the contention hint the adaptive gateway
+    /// policy reads. Zero before the first contact.
+    pub fn mean_lock_hold_ns(&self) -> u64 {
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for h in &self.metrics.shard_lock_hold {
+            sum = sum.saturating_add(h.sum());
+            count += h.count();
+        }
+        sum.checked_div(count).unwrap_or(0)
     }
 
     /// Number of shards.
@@ -235,7 +352,7 @@ impl ShardRouter {
         let ShardEnvelope { shard, request } = envelope;
         let home = shard.0 as usize;
         assert!(home < self.shards.len(), "envelope for unknown shard");
-        self.contacts.fetch_add(1, Ordering::Relaxed);
+        self.metrics.contacts.inc();
         match request {
             // Only work requests can draw a local Terminate and loop
             // through the steal path; re-issuing one costs two u64
@@ -351,8 +468,10 @@ impl ShardRouter {
             positions.reverse(); // pop() yields original order
             let mut pending = requests;
             loop {
-                self.contacts.fetch_add(1, Ordering::Relaxed);
-                let outcome = {
+                self.metrics.contacts.inc();
+                self.metrics.shard_contacts[home].inc();
+                let t0 = Instant::now();
+                let (outcome, live) = {
                     let mut coordinator = self.shards[home].lock().expect("poisoned shard");
                     let was_live = !coordinator.is_terminated();
                     let outcome = coordinator.apply_batch(pending, now_ns);
@@ -362,8 +481,13 @@ impl ShardRouter {
                     if was_live && coordinator.is_terminated() {
                         self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
                     }
-                    outcome
+                    let live = coordinator.cardinality() as u64;
+                    (outcome, live)
                 };
+                let held_ns = t0.elapsed().as_nanos() as u64;
+                self.metrics.shard_lock_hold[home].observe(held_ns);
+                self.metrics.batch_ns.observe(held_ns);
+                self.metrics.shard_live_intervals[home].set(live);
                 for response in outcome.responses {
                     let pos = positions.pop().expect("a position per response");
                     out[pos] = Some((shard, response));
@@ -419,7 +543,7 @@ impl ShardRouter {
 
     /// Successful cross-shard steals so far.
     pub fn steals(&self) -> u64 {
-        self.steals.load(Ordering::Relaxed)
+        self.metrics.steals.get()
     }
 
     /// Lock-acquiring coordinator contacts served so far: single
@@ -430,7 +554,7 @@ impl ShardRouter {
     /// lock traffic, and tests pin it (a bundle of N updates to one
     /// shard moves `contacts` by exactly 1 and `updates` by N).
     pub fn contacts(&self) -> u64 {
-        self.contacts.load(Ordering::Relaxed)
+        self.metrics.contacts.get()
     }
 
     /// Protocol counters aggregated over all shards.
@@ -477,14 +601,23 @@ impl ShardRouter {
     /// Expiry only detaches holders (intervals stay), so it never
     /// changes the non-empty count.
     pub fn expire_stale_holders(&self, now_ns: u64) -> u64 {
-        self.shards
+        let t0 = Instant::now();
+        let expired: u64 = self
+            .shards
             .iter()
             .map(|m| {
                 m.lock()
                     .expect("poisoned shard")
                     .expire_stale_holders(now_ns)
             })
-            .sum()
+            .sum();
+        self.metrics
+            .expiry_ns
+            .observe(t0.elapsed().as_nanos() as u64);
+        if expired > 0 {
+            self.metrics.expired_holders.add(expired);
+        }
+        expired
     }
 
     /// Per-shard interval snapshot plus the best solution — the input to
@@ -563,14 +696,34 @@ impl ShardRouter {
 
     /// Serves `request` on shard `idx`, keeping the non-empty count in
     /// step with any empty↔non-empty transition (all under the shard's
-    /// lock).
+    /// lock). The lock-hold span is recorded per shard, and per request
+    /// class (selection vs update) for the single-request path.
     fn handle_on(&self, idx: usize, request: Request, now_ns: u64) -> Response {
-        let mut coordinator = self.shards[idx].lock().expect("poisoned shard");
-        let was_live = !coordinator.is_terminated();
-        let response = coordinator.handle(request, now_ns);
-        if was_live && coordinator.is_terminated() {
-            self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
+        let latency = match &request {
+            Request::Join { .. } | Request::RequestWork { .. } => Some(&self.metrics.selection_ns),
+            Request::Update { .. } | Request::UpdateAndReport { .. } => {
+                Some(&self.metrics.update_ns)
+            }
+            _ => None,
+        };
+        self.metrics.shard_contacts[idx].inc();
+        let t0 = Instant::now();
+        let (response, live) = {
+            let mut coordinator = self.shards[idx].lock().expect("poisoned shard");
+            let was_live = !coordinator.is_terminated();
+            let response = coordinator.handle(request, now_ns);
+            if was_live && coordinator.is_terminated() {
+                self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
+            }
+            let live = coordinator.cardinality() as u64;
+            (response, live)
+        };
+        let held_ns = t0.elapsed().as_nanos() as u64;
+        self.metrics.shard_lock_hold[idx].observe(held_ns);
+        if let Some(h) = latency {
+            h.observe(held_ns);
         }
+        self.metrics.shard_live_intervals[idx].set(live);
         response
     }
 
@@ -595,7 +748,7 @@ impl ShardRouter {
                     Response::Retry
                 };
             }
-            self.contacts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.contacts.inc();
             let response = self.handle_on(home, request.clone(), now_ns);
             match response {
                 Response::Terminate => continue,
@@ -662,7 +815,7 @@ impl ShardRouter {
         // Release the in-flight unit only now that the destination is
         // counted.
         self.state.fetch_sub(1, Ordering::AcqRel);
-        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.metrics.steals.inc();
         true
     }
 

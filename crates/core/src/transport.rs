@@ -2,18 +2,17 @@
 //! a coordinator, wherever it lives.
 //!
 //! The paper's workers are remote processes contacting the farmer over
-//! the network; this workspace grew three *in-process* contact paths
-//! first (the farmer channel, direct [`ShardRouter`] calls, and the
-//! [`ContactGateway`]) and a socket path in the `gridbnb-net` crate.
-//! All four implement this one trait, so the runtime's `worker_loop` —
-//! and every exactness test driving it — runs identically over any of
-//! them:
+//! the network; this workspace grew *in-process* contact paths first
+//! (direct [`ShardRouter`] calls and the [`ContactGateway`] — which
+//! fronts either the router or the classic farmer channel) and a socket
+//! path in the `gridbnb-net` crate. All of them implement this one
+//! trait, so the runtime's `worker_loop` — and every exactness test
+//! driving it — runs identically over any of them:
 //!
 //! | impl | where the coordinator lives |
 //! |---|---|
-//! | [`ChannelTransport`] | farmer thread behind a crossbeam channel |
 //! | [`RouterTransport`] | sharded router called directly |
-//! | [`GatewayTransport`] | shared gateway fronting a router |
+//! | [`GatewayTransport`] | shared gateway fronting a router or the farmer channel |
 //! | `gridbnb_net::SocketTransport` | a TCP server, possibly remote |
 //!
 //! Failures are typed, not sentinel values: a contact returns
@@ -21,8 +20,8 @@
 //! drives the worker loop's retry-with-backoff policy (a flaky socket
 //! is retried; a closed coordinator or a protocol violation is not).
 
-use crate::{ContactGateway, Request, Response, ShardRouter};
-use crossbeam::channel::{Receiver, Sender};
+use crate::{BundleHandler, ContactGateway, Request, Response, ShardRouter};
+use crossbeam::channel::Sender;
 use std::time::Instant;
 
 /// A violation of the coordinator protocol itself — malformed wire
@@ -177,38 +176,10 @@ pub trait Transport {
 /// One farmer-channel contact: a request bundle and the reply slot. A
 /// classic single request is a bundle of one; the farmer folds the
 /// whole bundle through `Coordinator::apply_batch` and answers all of
-/// it in one round-trip.
+/// it in one round-trip. Since the classic runtime routed its workers
+/// through the [`ContactGateway`], these are sent by the gateway's
+/// farmer-channel handler, one per flush.
 pub(crate) type Envelope = (Vec<Request>, Sender<Vec<Response>>);
-
-/// The classic single-farmer path: bundles go over a crossbeam channel
-/// to the farmer thread, which owns the [`crate::Coordinator`].
-pub struct ChannelTransport {
-    req_tx: Sender<Envelope>,
-    reply_tx: Sender<Vec<Response>>,
-    reply_rx: Receiver<Vec<Response>>,
-}
-
-impl ChannelTransport {
-    /// A transport for one worker, multiplexing onto the farmer's
-    /// request channel with a private reply channel.
-    pub(crate) fn new(req_tx: Sender<Envelope>) -> Self {
-        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
-        ChannelTransport {
-            req_tx,
-            reply_tx,
-            reply_rx,
-        }
-    }
-}
-
-impl Transport for ChannelTransport {
-    fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
-        self.req_tx
-            .send((requests, self.reply_tx.clone()))
-            .map_err(|_| TransportError::Closed)?;
-        self.reply_rx.recv().map_err(|_| TransportError::Closed)
-    }
-}
 
 /// Direct sharded contacts: each bundle goes straight into the worker's
 /// home shard of a [`ShardRouter`] (no farmer funnel).
@@ -247,21 +218,22 @@ impl Transport for RouterTransport<'_> {
 
 /// Aggregated contacts: bundles are submitted to a shared
 /// [`ContactGateway`] that merges many workers' batches into one
-/// router bundle per flush.
-pub struct GatewayTransport<'g, 'r> {
-    gateway: &'g ContactGateway<'r>,
+/// combined bundle per flush — fronting a [`ShardRouter`] or the
+/// farmer channel, whichever [`BundleHandler`] the gateway wraps.
+pub struct GatewayTransport<'g, H: BundleHandler> {
+    gateway: &'g ContactGateway<H>,
     started: Instant,
 }
 
-impl<'g, 'r> GatewayTransport<'g, 'r> {
+impl<'g, H: BundleHandler> GatewayTransport<'g, H> {
     /// A transport submitting to `gateway`, with submission timestamps
     /// measured from `started`.
-    pub fn new(gateway: &'g ContactGateway<'r>, started: Instant) -> Self {
+    pub fn new(gateway: &'g ContactGateway<H>, started: Instant) -> Self {
         GatewayTransport { gateway, started }
     }
 }
 
-impl Transport for GatewayTransport<'_, '_> {
+impl<H: BundleHandler> Transport for GatewayTransport<'_, H> {
     fn contact(&self, requests: Vec<Request>) -> Result<Vec<Response>, TransportError> {
         let sent = requests.len();
         let now_ns = self.started.elapsed().as_nanos() as u64;

@@ -18,8 +18,8 @@ use crate::pool::GridPool;
 use crate::volatility::{AvailabilitySampler, VolatilityModel};
 use crate::workload::WorkloadModel;
 use gridbnb_core::{
-    CoordinatorConfig, CoordinatorStats, Interval, Request, Response, ShardEnvelope, ShardRouter,
-    WorkerId,
+    CoordinatorConfig, CoordinatorStats, Interval, MetricsRegistry, Request, Response,
+    ShardEnvelope, ShardRouter, WorkerId,
 };
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -89,6 +89,12 @@ pub struct SimConfig {
     /// [`SimReport::bound_batches`] model quantity (and documents the
     /// engine configuration a campaign would run); 1 = scalar bounding.
     pub pool_width: usize,
+    /// Shared metrics registry. When set, the simulated coordinator's
+    /// shard/router metrics land here alongside per-kind
+    /// `gbnb_sim_events_total` counters for the event loop itself, so
+    /// a campaign harness can scrape the virtual deployment exactly as
+    /// it scrapes a live one. `None` keeps a private registry.
+    pub metrics: Option<MetricsRegistry>,
     /// Metrics sampling period (Figure 7 resolution).
     pub sample_period_s: f64,
     /// RNG seed for availability.
@@ -114,6 +120,7 @@ impl SimConfig {
             contact_batch: 1,
             gateway_fan_in: 0,
             pool_width: 1,
+            metrics: None,
             sample_period_s: 3_600.0,
             seed: 2006,
             max_sim_days: 400.0,
@@ -255,12 +262,24 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
     let mut sampler = AvailabilitySampler::new(config.seed);
     // Invalid configs fail fast here (satisfying CoordinatorConfig's
     // documented contract) instead of being silently clamped.
-    let coordinator = ShardRouter::new(
+    let mut coordinator = ShardRouter::new(
         Interval::new(gridbnb_core::UBig::zero(), workload.root_length().clone()),
         config.shards,
         config.coordinator.clone(),
     )
     .expect("invalid sim coordinator config");
+    if let Some(registry) = &config.metrics {
+        coordinator = coordinator.with_metrics(registry);
+    }
+    let registry = coordinator.metrics().clone();
+    let sim_event = |kind: &str| registry.counter("gbnb_sim_events_total", &[("kind", kind)]);
+    let ev_host_up = sim_event("host_up");
+    let ev_host_down = sim_event("host_down");
+    let ev_step = sim_event("step");
+    let ev_gateway_flush = sim_event("gateway_flush");
+    let ev_sweep = sim_event("sweep");
+    let ev_checkpoint = sim_event("checkpoint");
+    let ev_sample = sim_event("sample");
 
     let mut queue: BinaryHeap<HeapItem> = BinaryHeap::new();
     let mut seq = 0u64;
@@ -365,6 +384,15 @@ pub fn simulate(config: &SimConfig, workload: &WorkloadModel) -> SimReport {
         if coordinator.is_terminated() {
             completed = true;
             break;
+        }
+        match item.kind {
+            EventKind::HostUp(_) => ev_host_up.inc(),
+            EventKind::HostDown(..) => ev_host_down.inc(),
+            EventKind::Step(..) => ev_step.inc(),
+            EventKind::GatewayFlush => ev_gateway_flush.inc(),
+            EventKind::Sweep => ev_sweep.inc(),
+            EventKind::Checkpoint => ev_checkpoint.inc(),
+            EventKind::Sample => ev_sample.inc(),
         }
         match item.kind {
             EventKind::HostUp(w) => {

@@ -1,0 +1,88 @@
+//! Property pins for the metrics registry: concurrent recording never
+//! loses an increment, and the text exposition stays parseable.
+
+use gridbnb_metrics::{exponential_buckets, MetricsRegistry};
+use proptest::prelude::*;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any split of a workload across recorder threads lands every
+    /// single increment: counter totals, histogram counts, bucket sums
+    /// and value sums all equal the sequentially computed expectation.
+    #[test]
+    fn concurrent_recording_never_loses_increments(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 0..200),
+            1..8,
+        ),
+    ) {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("events_total", &[]);
+        let histogram =
+            registry.histogram("event_ns", &[], &exponential_buckets(16, 4, 8));
+        thread::scope(|scope| {
+            for values in &per_thread {
+                let counter = counter.clone();
+                let histogram = histogram.clone();
+                scope.spawn(move || {
+                    for &v in values {
+                        counter.inc();
+                        histogram.observe(v);
+                    }
+                });
+            }
+        });
+        let expected_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let expected_sum: u64 = per_thread.iter().flatten().sum();
+        let snap = registry.snapshot();
+        prop_assert_eq!(snap.counter("events_total"), expected_count);
+        prop_assert_eq!(snap.histogram_count("event_ns"), expected_count);
+        prop_assert_eq!(snap.histogram_sum("event_ns"), expected_sum);
+        let sample = &snap.histograms[0];
+        prop_assert_eq!(
+            sample.buckets.iter().sum::<u64>(),
+            expected_count,
+            "bucket counts must sum to the observation count"
+        );
+    }
+
+    /// Exposition lines are well-formed for arbitrary label values:
+    /// every non-comment line is `name{...} value` with a parseable
+    /// integer, and cumulative buckets are monotone.
+    #[test]
+    fn render_text_is_well_formed(
+        label_bytes in proptest::collection::vec(32u8..127, 0..24),
+        counts in proptest::collection::vec(0u64..1_000, 1..5),
+    ) {
+        let label: String = label_bytes.iter().map(|&b| b as char).collect();
+        let registry = MetricsRegistry::new();
+        for (i, &n) in counts.iter().enumerate() {
+            registry
+                .counter("labeled_total", &[("origin", &format!("{label}{i}"))])
+                .add(n);
+        }
+        let h = registry.histogram("spread_ns", &[], &[10, 100, 1_000]);
+        for &n in &counts {
+            h.observe(n);
+        }
+        let text = registry.render_text();
+        let mut last_bucket = 0u64;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let value: u64 = value.parse().expect("sample value parses as u64");
+            if line.starts_with("spread_ns_bucket") {
+                prop_assert!(value >= last_bucket, "buckets are cumulative: {}", line);
+                last_bucket = value;
+            }
+        }
+        prop_assert_eq!(last_bucket, counts.len() as u64, "+Inf bucket counts all");
+        let total: u64 = counts.iter().sum();
+        let sum_line = format!("spread_ns_sum {total}");
+        prop_assert!(text.contains(&sum_line), "missing {}", sum_line);
+    }
+}

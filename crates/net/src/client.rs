@@ -17,8 +17,8 @@
 //!   pair, and ~one shard lock per burst instead of W of each.
 
 use crate::wire::{
-    self, frame_query, frame_request_bundle, parse_response_bundle, parse_status, read_frame,
-    write_frame, RunStatus,
+    self, frame_metrics_query, frame_query, frame_request_bundle, parse_metrics_text,
+    parse_response_bundle, parse_status, read_frame, write_frame, RunStatus,
 };
 use gridbnb_core::runtime::{run_workers, RuntimeConfig, WorkerReport};
 use gridbnb_core::{Problem, ProtocolError, Request, Response, Transport, TransportError};
@@ -446,4 +446,26 @@ pub fn query_status(
         .into());
     }
     Ok(parse_status(&frame)?)
+}
+
+/// One-shot metrics scrape: connect, ask, disconnect. Returns the
+/// server registry's Prometheus-style text exposition — every layer's
+/// series (coordinator operators, shards, gateway, sockets) in one
+/// read, scrapeable mid-campaign without disturbing the workers.
+pub fn query_metrics(addr: SocketAddr, options: &ClientOptions) -> Result<String, TransportError> {
+    let stream = connect_stream(addr, options)?;
+    stream.set_read_timeout(Some(options.reply_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &frame_metrics_query(1))?;
+    writer.flush()?;
+    let frame = read_frame(&mut reader)?;
+    if frame.seq != 1 {
+        return Err(ProtocolError::BadPayload(format!(
+            "metrics reply for seq {} while awaiting seq 1",
+            frame.seq
+        ))
+        .into());
+    }
+    Ok(parse_metrics_text(&frame)?)
 }

@@ -34,8 +34,8 @@ pub mod server;
 pub mod wire;
 
 pub use client::{
-    query_status, run_workers_over_socket, ClientMode, ClientOptions, MuxClient, MuxTransport,
-    SocketTransport,
+    query_metrics, query_status, run_workers_over_socket, ClientMode, ClientOptions, MuxClient,
+    MuxTransport, SocketTransport,
 };
 pub use server::{NetServer, ServerConfig, ServerError, ServerHandle, ServerReport};
 pub use wire::{Frame, RunStatus};

@@ -42,6 +42,7 @@ use gridbnb_core::{
     ConfigError, ContactGateway, CoordinatorConfig, CoordinatorStats, GatewayPolicy, GatewayStats,
     Interval, Request, ShardRouter, TransportError,
 };
+use gridbnb_metrics::{latency_buckets_ns, Counter, Histogram, MetricsRegistry};
 use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -203,6 +204,59 @@ struct Counters {
     protocol_errors: AtomicU64,
 }
 
+/// The service layer's series, registered on the router's registry so
+/// one scrape covers the whole server — coordinator, shards, gateway
+/// and sockets. Answered over the wire by [`wire::kind::METRICS_QUERY`].
+struct NetMetrics {
+    /// `gbnb_net_connections_total` — connections accepted.
+    connections: Counter,
+    /// `gbnb_net_frames_in_total{kind=...}` — frames received, by kind.
+    frames_in_bundle: Counter,
+    frames_in_query: Counter,
+    frames_in_metrics: Counter,
+    /// `gbnb_net_frames_out_total` — reply frames written.
+    frames_out: Counter,
+    /// `gbnb_net_decode_errors_total` — connections dropped for
+    /// protocol violations.
+    decode_errors: Counter,
+    /// `gbnb_net_service_ns{kind=...}` — time to serve one burst's
+    /// coordinator bundle / status snapshot / metrics render.
+    service_bundle_ns: Histogram,
+    service_query_ns: Histogram,
+    service_metrics_ns: Histogram,
+}
+
+impl NetMetrics {
+    fn register(registry: &MetricsRegistry) -> Self {
+        let buckets = latency_buckets_ns();
+        NetMetrics {
+            connections: registry.counter("gbnb_net_connections_total", &[]),
+            frames_in_bundle: registry
+                .counter("gbnb_net_frames_in_total", &[("kind", "request_bundle")]),
+            frames_in_query: registry.counter("gbnb_net_frames_in_total", &[("kind", "query")]),
+            frames_in_metrics: registry
+                .counter("gbnb_net_frames_in_total", &[("kind", "metrics_query")]),
+            frames_out: registry.counter("gbnb_net_frames_out_total", &[]),
+            decode_errors: registry.counter("gbnb_net_decode_errors_total", &[]),
+            service_bundle_ns: registry.histogram(
+                "gbnb_net_service_ns",
+                &[("kind", "bundle")],
+                &buckets,
+            ),
+            service_query_ns: registry.histogram(
+                "gbnb_net_service_ns",
+                &[("kind", "query")],
+                &buckets,
+            ),
+            service_metrics_ns: registry.histogram(
+                "gbnb_net_service_ns",
+                &[("kind", "metrics")],
+                &buckets,
+            ),
+        }
+    }
+}
+
 /// A clonable remote control for a running server: its address and the
 /// stop switch.
 #[derive(Clone, Debug)]
@@ -281,6 +335,7 @@ impl NetServer {
             .config
             .aggregate
             .map(|policy| ContactGateway::new(&router, policy));
+        let net_metrics = NetMetrics::register(router.metrics());
         let counters = Counters::default();
         let live = AtomicUsize::new(0);
         let supervising = AtomicBool::new(true);
@@ -301,11 +356,21 @@ impl NetServer {
             let gateway = gateway_tier.as_ref();
             let conn_rx = &conn_rx;
             let supervising = &supervising;
+            let net_metrics = &net_metrics;
             for _ in 0..config.handler_threads.max(1) {
                 scope.spawn(move |_| loop {
                     let next = conn_rx.lock().expect("poisoned accept queue").recv();
                     let Ok(stream) = next else { break };
-                    serve_connection(stream, router, gateway, config, counters, shutdown, started);
+                    serve_connection(
+                        stream,
+                        router,
+                        gateway,
+                        config,
+                        counters,
+                        net_metrics,
+                        shutdown,
+                        started,
+                    );
                     live.fetch_sub(1, Ordering::AcqRel);
                 });
             }
@@ -350,6 +415,7 @@ impl NetServer {
                 match self.listener.accept() {
                     Ok((stream, _)) => {
                         counters.connections.fetch_add(1, Ordering::Relaxed);
+                        net_metrics.connections.inc();
                         live.fetch_add(1, Ordering::AcqRel);
                         if conn_tx.send(stream).is_err() {
                             live.fetch_sub(1, Ordering::AcqRel);
@@ -399,12 +465,14 @@ impl NetServer {
 
 /// Serves one connection until the peer hangs up, a protocol violation,
 /// or server shutdown.
+#[allow(clippy::too_many_arguments)]
 fn serve_connection(
     stream: TcpStream,
     router: &ShardRouter,
-    gateway: Option<&ContactGateway<'_>>,
+    gateway: Option<&ContactGateway<&ShardRouter>>,
     config: &ServerConfig,
     counters: &Counters,
+    metrics: &NetMetrics,
     shutdown: &AtomicBool,
     started: Instant,
 ) {
@@ -437,6 +505,7 @@ fn serve_connection(
             Err(TransportError::Io(_)) => return,
             Err(TransportError::Protocol(_)) => {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.decode_errors.inc();
                 return;
             }
         };
@@ -447,10 +516,21 @@ fn serve_connection(
             Ok(more) => frames.extend(more),
             Err(_) => {
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.decode_errors.inc();
                 return;
             }
         }
-        if serve_frames(frames, &mut writer, router, gateway, counters, started).is_err() {
+        if serve_frames(
+            frames,
+            &mut writer,
+            router,
+            gateway,
+            counters,
+            metrics,
+            started,
+        )
+        .is_err()
+        {
             return;
         }
     }
@@ -463,8 +543,9 @@ fn serve_frames(
     frames: Vec<Frame>,
     writer: &mut BufWriter<TcpStream>,
     router: &ShardRouter,
-    gateway: Option<&ContactGateway<'_>>,
+    gateway: Option<&ContactGateway<&ShardRouter>>,
     counters: &Counters,
+    metrics: &NetMetrics,
     started: Instant,
 ) -> Result<(), ()> {
     // (seq, request count) per request-bundle frame, for splitting the
@@ -478,8 +559,10 @@ fn serve_frames(
             wire::kind::REQUEST_BUNDLE => {
                 let requests = wire::parse_request_bundle(frame).map_err(|_| {
                     counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    metrics.decode_errors.inc();
                 })?;
                 counters.frames.fetch_add(1, Ordering::Relaxed);
+                metrics.frames_in_bundle.inc();
                 counters
                     .requests
                     .fetch_add(requests.len() as u64, Ordering::Relaxed);
@@ -488,13 +571,30 @@ fn serve_frames(
             }
             wire::kind::QUERY => {
                 counters.queries.fetch_add(1, Ordering::Relaxed);
+                metrics.frames_in_query.inc();
+                let t0 = Instant::now();
                 let status = status_of(router);
                 replies.push(wire::frame_status(frame.seq, &status));
+                metrics
+                    .service_query_ns
+                    .observe(t0.elapsed().as_nanos() as u64);
+            }
+            wire::kind::METRICS_QUERY => {
+                metrics.frames_in_metrics.inc();
+                let t0 = Instant::now();
+                // One scrape = the whole registry: router, shards,
+                // coordinator operators, gateway and this net layer.
+                let text = router.metrics().render_text();
+                replies.push(wire::frame_metrics_text(frame.seq, &text));
+                metrics
+                    .service_metrics_ns
+                    .observe(t0.elapsed().as_nanos() as u64);
             }
             _ => {
                 // A response/status frame from a client is out of
                 // contract.
                 counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                metrics.decode_errors.inc();
                 return Err(());
             }
         }
@@ -507,6 +607,7 @@ fn serve_frames(
             .fetch_add(slices.len() as u64 - 1, Ordering::Relaxed);
         let now_ns = started.elapsed().as_nanos() as u64;
         let sent = combined.len();
+        let t0 = Instant::now();
         let responses = match gateway {
             Some(gateway) => {
                 let responses = gateway.submit(combined, now_ns);
@@ -525,6 +626,9 @@ fn serve_frames(
                     .collect()
             }
         };
+        metrics
+            .service_bundle_ns
+            .observe(t0.elapsed().as_nanos() as u64);
         debug_assert_eq!(responses.len(), sent, "one response per request");
         let mut responses = responses.into_iter();
         for (seq, count) in slices {
@@ -533,6 +637,7 @@ fn serve_frames(
         }
     }
 
+    metrics.frames_out.add(replies.len() as u64);
     for reply in &replies {
         write_frame(writer, reply).map_err(|_| ())?;
     }

@@ -57,6 +57,11 @@ pub mod kind {
     pub const QUERY: u8 = 3;
     /// Answers a [`QUERY`].
     pub const STATUS: u8 = 4;
+    /// Asks the server for a full metrics scrape.
+    pub const METRICS_QUERY: u8 = 5;
+    /// Answers a [`METRICS_QUERY`] with the registry's Prometheus-style
+    /// text exposition (UTF-8 payload).
+    pub const METRICS_TEXT: u8 = 6;
 }
 
 /// One decoded frame: validated header plus raw payload.
@@ -119,7 +124,7 @@ fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, u16, u64, u32), Proto
         });
     }
     let k = header[5];
-    if !(kind::REQUEST_BUNDLE..=kind::STATUS).contains(&k) {
+    if !(kind::REQUEST_BUNDLE..=kind::METRICS_TEXT).contains(&k) {
         return Err(ProtocolError::UnknownKind(k));
     }
     let flags = u16::from_le_bytes([header[6], header[7]]);
@@ -631,6 +636,42 @@ pub fn parse_status(frame: &Frame) -> Result<RunStatus, ProtocolError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Metrics query / text
+// ---------------------------------------------------------------------
+
+/// Encodes a metrics query frame (empty payload).
+pub fn frame_metrics_query(seq: u64) -> Frame {
+    Frame {
+        kind: kind::METRICS_QUERY,
+        flags: 0,
+        seq,
+        payload: Vec::new(),
+    }
+}
+
+/// Encodes a metrics text frame echoing `seq`. The payload is the
+/// registry's text exposition verbatim — the one wire message whose
+/// schema is "whatever series the server registered", so a scraper
+/// needs no redeploy when the server grows a new counter.
+pub fn frame_metrics_text(seq: u64, text: &str) -> Frame {
+    Frame {
+        kind: kind::METRICS_TEXT,
+        flags: 0,
+        seq,
+        payload: text.as_bytes().to_vec(),
+    }
+}
+
+/// Decodes a metrics text frame's payload.
+pub fn parse_metrics_text(frame: &Frame) -> Result<String, ProtocolError> {
+    if frame.kind != kind::METRICS_TEXT {
+        return Err(ProtocolError::UnknownKind(frame.kind));
+    }
+    String::from_utf8(frame.payload.clone())
+        .map_err(|_| ProtocolError::BadPayload("metrics text is not UTF-8".into()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -734,6 +775,21 @@ mod tests {
         };
         let frame = frame_status(5, &status);
         assert_eq!(parse_status(&frame).unwrap(), status);
+    }
+
+    #[test]
+    fn metrics_text_round_trips_through_a_byte_stream() {
+        let text = "# TYPE gbnb_router_contacts_total counter\ngbnb_router_contacts_total 41\n";
+        let frame = frame_metrics_text(9, text);
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let back = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.kind, kind::METRICS_TEXT);
+        assert_eq!(parse_metrics_text(&back).unwrap(), text);
+        assert!(matches!(
+            parse_metrics_text(&frame_query(1)),
+            Err(ProtocolError::UnknownKind(_))
+        ));
     }
 
     #[test]

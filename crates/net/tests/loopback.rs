@@ -10,8 +10,8 @@ use gridbnb_engine::solve;
 use gridbnb_flowshop::bounds::PairSelection;
 use gridbnb_flowshop::{taillard, BoundMode, FlowshopProblem};
 use gridbnb_net::{
-    query_status, run_workers_over_socket, ClientMode, ClientOptions, NetServer, ServerConfig,
-    ServerReport,
+    query_metrics, query_status, run_workers_over_socket, ClientMode, ClientOptions, NetServer,
+    ServerConfig, ServerReport,
 };
 use gridbnb_qap::greedy::{greedy_upper_bound, GreedyParams};
 use gridbnb_qap::{Bound, QapInstance, QapProblem};
@@ -113,6 +113,76 @@ fn flowshop_exact_over_tcp_with_server_side_aggregation() {
     assert_eq!(report.proven_optimum, Some(expected));
     let gateway = report.gateway.expect("aggregation stats");
     assert!(gateway.flushes > 0);
+}
+
+/// The observability acceptance path: while a campaign runs behind an
+/// *adaptive* aggregation tier, a separate connection scrapes the
+/// server's full registry over the same TCP port. Every scrape must be
+/// a non-empty, well-formed exposition, and the final one must carry
+/// all the layer families — router, shards, gateway (with its fan-in
+/// gauge), sockets — without disturbing the campaign's exactness.
+#[test]
+fn metrics_scrape_over_tcp_mid_campaign() {
+    let problem = flowshop9();
+    let expected = solve(&problem, None).best_cost.expect("finite optimum");
+    let config = ServerConfig {
+        shards: 2,
+        aggregate: Some(GatewayPolicy::adaptive(2, 16, 2_000_000)),
+        ..ServerConfig::default()
+    };
+    let (addr, server) = spawn_server(&problem, config);
+
+    // One scrape before the fleet joins: the families are registered at
+    // serve() start, so even an idle server answers with a catalogue.
+    let options = ClientOptions::default();
+    let idle = query_metrics(addr, &options).expect("idle scrape");
+    assert!(idle.contains("gbnb_router_contacts_total"));
+
+    let fleet = std::thread::spawn(move || {
+        let problem = flowshop9();
+        run_workers_over_socket(
+            &problem,
+            addr,
+            &campaign_config(8),
+            0,
+            ClientMode::PerConnection,
+            &ClientOptions::default(),
+        )
+        .expect("client fleet")
+    });
+    let mut mid_scrapes = 0u64;
+    let mut last = idle;
+    while !fleet.is_finished() {
+        // Scrapes racing the drain may be refused — only successful
+        // ones count, and the pre-join scrape guarantees coverage.
+        if let Ok(text) = query_metrics(addr, &options) {
+            assert!(!text.is_empty(), "mid-campaign scrape came back empty");
+            mid_scrapes += 1;
+            last = text;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let reports = fleet.join().expect("fleet thread");
+    assert!(reports.iter().all(|r| r.transport_failure.is_none()));
+    let report = server.join().expect("server thread");
+    assert!(report.terminated);
+    assert_eq!(report.proven_optimum, Some(expected));
+
+    assert!(mid_scrapes > 0, "no scrape landed while the campaign ran");
+    for family in [
+        "gbnb_router_contacts_total",
+        "gbnb_shard_contacts_total",
+        "gbnb_coordinator_update_ns",
+        "gbnb_gateway_fan_in",
+        "gbnb_net_frames_in_total",
+        "gbnb_net_connections_total",
+    ] {
+        assert!(last.contains(family), "scrape is missing {family}");
+    }
+    // Well-formed exposition: metadata lines for every family, and the
+    // scraper's own traffic is visible in it.
+    assert!(last.lines().any(|l| l.starts_with("# TYPE")));
+    assert!(last.contains("{kind=\"metrics_query\"}"));
 }
 
 /// QAP through the same socket stack: a 3×3 Nugent-style instance,

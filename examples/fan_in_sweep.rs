@@ -1,0 +1,131 @@
+//! Worker idle time vs contact count across gateway fan-in settings:
+//! a 64-worker, 4-shard in-process campaign run at fixed fan-in
+//! F ∈ {4, 16, 64} and under the adaptive policy, each with an
+//! injected metrics registry so the table below is read straight from
+//! the same counters a live scrape would see.
+//!
+//! ```sh
+//! cargo run --release --example fan_in_sweep -- [--workers 64] [--shards 4] [--jobs 10]
+//! ```
+//!
+//! The trade the fan-in knob controls: a larger flush folds more
+//! workers' contacts into one shard lock acquisition (fewer router
+//! contacts), but every parked submission is a worker holding work it
+//! is not exploring (idle time). The adaptive policy walks this
+//! frontier at run time — growing while flushes fill fast and the
+//! shard locks show contention, shrinking on backpressure and towards
+//! termination — and the sweep shows where it lands.
+
+use gridbnb::core::runtime::{run, RuntimeConfig};
+use gridbnb::core::{MetricsRegistry, UBig};
+use gridbnb::engine::solve;
+use gridbnb::flowshop::bounds::PairSelection;
+use gridbnb::flowshop::{taillard, BoundMode, FlowshopProblem};
+use std::time::Instant;
+
+struct Args {
+    workers: usize,
+    shards: usize,
+    jobs: usize,
+    poll_nodes: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: 64,
+        shards: 4,
+        jobs: 12,
+        // Small slices mean frequent contacts — the regime where the
+        // fan-in knob matters at all on a single box.
+        poll_nodes: 50,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--workers" => args.workers = value().parse().expect("--workers N"),
+            "--shards" => args.shards = value().parse().expect("--shards S"),
+            "--jobs" => args.jobs = value().parse().expect("--jobs J"),
+            "--poll" => args.poll_nodes = value().parse().expect("--poll N"),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+enum Policy {
+    Fixed(usize),
+    Adaptive { start: usize, max: usize },
+}
+
+impl Policy {
+    fn name(&self) -> String {
+        match self {
+            Policy::Fixed(f) => format!("fixed:{f}"),
+            Policy::Adaptive { max, .. } => format!("adaptive:{max}"),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let problem = FlowshopProblem::new(
+        taillard::generate(args.jobs, 5, 20_070_326),
+        BoundMode::Johnson(PairSelection::All),
+    );
+    let expected = solve(&problem, None).best_cost;
+    println!(
+        "fan-in sweep: {} workers, {} shards, {}x5 flowshop (optimum {:?})",
+        args.workers, args.shards, args.jobs, expected
+    );
+    println!(
+        "{:<12} {:>8} {:>12} {:>14} {:>9} {:>8} {:>7} {:>7}",
+        "policy", "wall_s", "worker_cts", "router_cts", "flushes", "idle_%", "grows", "shrinks"
+    );
+
+    let policies = [
+        Policy::Fixed(4),
+        Policy::Fixed(16),
+        Policy::Fixed(64),
+        Policy::Adaptive { start: 4, max: 64 },
+    ];
+    for policy in policies {
+        let registry = MetricsRegistry::new();
+        let mut config = RuntimeConfig::new(args.workers)
+            .with_shards(args.shards)
+            .with_metrics(&registry);
+        config.poll_nodes = args.poll_nodes;
+        config.coordinator.duplication_threshold = UBig::from(64u64);
+        config = match policy {
+            Policy::Fixed(f) => config.with_gateway(f),
+            Policy::Adaptive { start, max } => config.with_adaptive_gateway(start, max),
+        };
+
+        let started = Instant::now();
+        let report = run(&problem, &config);
+        let wall_s = started.elapsed().as_secs_f64();
+        assert_eq!(
+            report.proven_optimum,
+            expected,
+            "{} diverged",
+            policy.name()
+        );
+
+        let snapshot = registry.snapshot();
+        let busy = snapshot.counter("gbnb_worker_busy_ns_total");
+        let idle = snapshot.counter("gbnb_worker_idle_ns_total");
+        let idle_pct = 100.0 * idle as f64 / (busy + idle).max(1) as f64;
+        let stats = report.gateway.expect("gateway stats");
+        println!(
+            "{:<12} {:>8.2} {:>12} {:>14} {:>9} {:>8.1} {:>7} {:>7}",
+            policy.name(),
+            wall_s,
+            report.total_contacts(),
+            snapshot.counter("gbnb_router_contacts_total"),
+            stats.flushes,
+            idle_pct,
+            snapshot.counter("gbnb_gateway_fanin_grow_total"),
+            snapshot.counter("gbnb_gateway_fanin_shrink_total"),
+        );
+    }
+}

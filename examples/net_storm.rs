@@ -6,7 +6,8 @@
 //! ```sh
 //! cargo run --release --example net_storm -- \
 //!     [--workers 64] [--contacts 100] [--shards 4] \
-//!     [--mode per|mux|both] [--json PATH]
+//!     [--mode per|mux|both] [--aggregate none|fixed:N|adaptive:N] \
+//!     [--metrics] [--json PATH]
 //! ```
 //!
 //! Each worker joins (checking a real interval out of the sharded
@@ -15,19 +16,63 @@
 //! worker its own socket; multiplexed mode pipelines the whole storm
 //! over one socket, which the server folds into shared coordinator
 //! bundles — the mode the `net` bench gates in CI.
+//!
+//! `--aggregate` puts a [`gridbnb::core::ContactGateway`] between the
+//! handler pool and the router: `fixed:N` pins the fan-in, `adaptive:N`
+//! starts at `N/4` and lets the buffered-age / contention /
+//! backpressure policy resize it within `[1, N]`. `--metrics` scrapes
+//! the server's registry over the same TCP port *while the storm
+//! runs* — proving live observability under load — and reports series
+//! counts plus the adaptive policy's grow/shrink transitions.
 
-use gridbnb::core::{Interval, Request, Response, Transport, UBig, WorkerId};
+use gridbnb::core::{GatewayPolicy, Interval, Request, Response, Transport, UBig, WorkerId};
 use gridbnb::net::{
-    ClientMode, ClientOptions, MuxClient, NetServer, ServerConfig, SocketTransport,
+    query_metrics, ClientMode, ClientOptions, MuxClient, NetServer, ServerConfig, SocketTransport,
 };
 use std::net::SocketAddr;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Aggregate {
+    None,
+    Fixed(usize),
+    Adaptive(usize),
+}
+
+impl Aggregate {
+    /// The 500 µs deadline keeps heartbeat p99 bounded while still
+    /// letting the gateway merge a storm's worth of contacts per flush.
+    fn policy(self) -> Option<GatewayPolicy> {
+        const MAX_DELAY_NS: u64 = 500_000;
+        match self {
+            Aggregate::None => None,
+            Aggregate::Fixed(fan_in) => Some(GatewayPolicy::new(fan_in, MAX_DELAY_NS)),
+            Aggregate::Adaptive(max_fan_in) => Some(GatewayPolicy::adaptive(
+                (max_fan_in / 4).max(1),
+                max_fan_in,
+                MAX_DELAY_NS,
+            )),
+        }
+    }
+
+    fn name(self) -> String {
+        match self {
+            Aggregate::None => "none".into(),
+            Aggregate::Fixed(n) => format!("fixed:{n}"),
+            Aggregate::Adaptive(n) => format!("adaptive:{n}"),
+        }
+    }
+}
 
 struct Args {
     workers: usize,
     contacts: u64,
     shards: usize,
     modes: Vec<ClientMode>,
+    aggregate: Aggregate,
+    metrics: bool,
     json: Option<String>,
 }
 
@@ -37,6 +82,8 @@ fn parse_args() -> Args {
         contacts: 100,
         shards: 4,
         modes: vec![ClientMode::PerConnection, ClientMode::Multiplexed],
+        aggregate: Aggregate::None,
+        metrics: false,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -54,6 +101,16 @@ fn parse_args() -> Args {
                     other => panic!("--mode must be per, mux or both, not {other}"),
                 }
             }
+            "--aggregate" => {
+                let spec = value();
+                args.aggregate = match spec.split_once(':') {
+                    None if spec == "none" => Aggregate::None,
+                    Some(("fixed", n)) => Aggregate::Fixed(n.parse().expect("fixed:N")),
+                    Some(("adaptive", n)) => Aggregate::Adaptive(n.parse().expect("adaptive:N")),
+                    _ => panic!("--aggregate must be none, fixed:N or adaptive:N, not {spec}"),
+                }
+            }
+            "--metrics" => args.metrics = true,
             "--json" => args.json = Some(value()),
             other => panic!("unknown flag {other}"),
         }
@@ -68,6 +125,30 @@ struct StormResult {
     contacts: u64,
     wall_s: f64,
     latencies_ns: Vec<u64>,
+    scrape: Option<ScrapeSummary>,
+}
+
+/// What the live metrics scraper saw: how many mid-storm scrapes
+/// landed, the final exposition, and the adaptive policy's transitions.
+struct ScrapeSummary {
+    scrapes: u64,
+    series: usize,
+    fanin_grow: u64,
+    fanin_shrink: u64,
+    gateway_fan_in: u64,
+    text: String,
+}
+
+/// Sums every sample of `name` (all label sets) in an exposition text.
+fn metric_value(text: &str, name: &str) -> u64 {
+    text.lines()
+        .filter(|line| {
+            line.strip_prefix(name)
+                .is_some_and(|rest| rest.starts_with(' ') || rest.starts_with('{'))
+        })
+        .filter_map(|line| line.rsplit(' ').next())
+        .filter_map(|value| value.parse::<u64>().ok())
+        .sum()
 }
 
 impl StormResult {
@@ -116,13 +197,52 @@ fn storm_worker(transport: Box<dyn Transport + Send>, worker: WorkerId, contacts
     latencies
 }
 
+/// Scrapes the server registry over TCP until `stop` flips, keeping
+/// the last exposition — proof the metrics endpoint answers mid-storm.
+fn scrape_loop(addr: SocketAddr, stop: &AtomicBool) -> ScrapeSummary {
+    let options = ClientOptions::default();
+    let mut scrapes = 0u64;
+    let mut text = String::new();
+    while !stop.load(Ordering::Acquire) {
+        if let Ok(exposition) = query_metrics(addr, &options) {
+            assert!(
+                !exposition.is_empty(),
+                "mid-storm metrics scrape returned an empty exposition"
+            );
+            scrapes += 1;
+            text = exposition;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // One final scrape after the storm settles catches the totals.
+    if let Ok(exposition) = query_metrics(addr, &options) {
+        scrapes += 1;
+        text = exposition;
+    }
+    ScrapeSummary {
+        scrapes,
+        series: text.lines().filter(|l| !l.starts_with('#')).count(),
+        fanin_grow: metric_value(&text, "gbnb_gateway_fanin_grow_total"),
+        fanin_shrink: metric_value(&text, "gbnb_gateway_fanin_shrink_total"),
+        gateway_fan_in: metric_value(&text, "gbnb_gateway_fan_in"),
+        text,
+    }
+}
+
 fn run_storm(args: &Args, mode: ClientMode) -> StormResult {
     let root = Interval::new(UBig::zero(), UBig::factorial(50));
-    let server = NetServer::bind("127.0.0.1:0", root, ServerConfig::new(args.shards))
-        .expect("bind loopback");
+    let mut config = ServerConfig::new(args.shards);
+    config.aggregate = args.aggregate.policy();
+    let server = NetServer::bind("127.0.0.1:0", root, config).expect("bind loopback");
     let addr: SocketAddr = server.local_addr();
     let handle = server.handle();
     let server = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let stop_scraper = Arc::new(AtomicBool::new(false));
+    let scraper = args.metrics.then(|| {
+        let stop = Arc::clone(&stop_scraper);
+        std::thread::spawn(move || scrape_loop(addr, &stop))
+    });
 
     let options = ClientOptions::default();
     let mux = match mode {
@@ -148,6 +268,15 @@ fn run_storm(args: &Args, mode: ClientMode) -> StormResult {
     if let Some(mux) = mux {
         mux.close();
     }
+    let scrape = scraper.map(|scraper| {
+        stop_scraper.store(true, Ordering::Release);
+        let summary = scraper.join().expect("scraper thread");
+        assert!(
+            summary.scrapes > 0 && summary.series > 0,
+            "metrics scraper never landed a scrape"
+        );
+        summary
+    });
     handle.stop();
     server.join().expect("server thread");
 
@@ -157,14 +286,18 @@ fn run_storm(args: &Args, mode: ClientMode) -> StormResult {
         contacts: args.workers as u64 * args.contacts,
         wall_s,
         latencies_ns,
+        scrape,
     }
 }
 
 fn main() {
     let args = parse_args();
     println!(
-        "net storm: {} workers x {} contacts, {} shards, loopback TCP",
-        args.workers, args.contacts, args.shards
+        "net storm: {} workers x {} contacts, {} shards, aggregate {}, loopback TCP",
+        args.workers,
+        args.contacts,
+        args.shards,
+        args.aggregate.name()
     );
     println!(
         "{:<16} {:>14} {:>10} {:>10} {:>10} {:>10}",
@@ -188,15 +321,43 @@ fn main() {
             results[1].contacts_per_sec() / results[0].contacts_per_sec()
         );
     }
+    for r in &results {
+        if let Some(s) = &r.scrape {
+            println!(
+                "{}: {} live scrapes, {} series; frames_in {}, gateway fan_in {} \
+                 (grew {}x, shrank {}x)",
+                r.mode,
+                s.scrapes,
+                s.series,
+                metric_value(&s.text, "gbnb_net_frames_in_total"),
+                s.gateway_fan_in,
+                s.fanin_grow,
+                s.fanin_shrink,
+            );
+        }
+    }
     if let Some(path) = &args.json {
         let rows: Vec<String> = results
             .iter()
             .map(|r| {
+                let scrape = r
+                    .scrape
+                    .as_ref()
+                    .map(|s| {
+                        format!(
+                            ", \"scrapes\": {}, \"metric_series\": {}, \"fanin_grow\": {}, \
+                             \"fanin_shrink\": {}",
+                            s.scrapes, s.series, s.fanin_grow, s.fanin_shrink
+                        )
+                    })
+                    .unwrap_or_default();
                 format!(
-                    "  {{\"mode\": \"{}\", \"workers\": {}, \"contacts\": {}, \"wall_s\": {:.4}, \
+                    "  {{\"mode\": \"{}\", \"aggregate\": \"{}\", \"workers\": {}, \
+                     \"contacts\": {}, \"wall_s\": {:.4}, \
                      \"contacts_per_sec\": {:.1}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \
-                     \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
+                     \"p99_us\": {:.1}, \"max_us\": {:.1}{}}}",
                     r.mode,
+                    args.aggregate.name(),
                     args.workers,
                     r.contacts,
                     r.wall_s,
@@ -205,6 +366,7 @@ fn main() {
                     r.quantile_us(0.90),
                     r.quantile_us(0.99),
                     r.quantile_us(1.0),
+                    scrape,
                 )
             })
             .collect();
