@@ -49,6 +49,7 @@
 //! reference linear-scan implementation of the same rule; a property
 //! test asserts the indexed selection always agrees with it.
 
+use crate::wal::WalOp;
 use crate::{Request, Response, WorkerId};
 use gridbnb_coding::{Interval, UBig};
 use gridbnb_engine::Solution;
@@ -450,6 +451,12 @@ pub struct Coordinator {
     solution: Option<Solution>,
     config: CoordinatorConfig,
     stats: CoordinatorStats,
+    /// Durability deltas queued since the last drain — `None` while
+    /// journaling is disabled (the default; a WAL-attached router turns
+    /// it on). Holder churn is deliberately not journaled: recovery
+    /// restores every interval unassigned, exactly like
+    /// [`Coordinator::restore`].
+    journal: Option<Vec<WalOp>>,
 }
 
 impl Coordinator {
@@ -492,6 +499,7 @@ impl Coordinator {
             solution,
             config: config.sanitized(),
             stats: CoordinatorStats::default(),
+            journal: None,
         };
         for interval in intervals {
             if interval.is_empty() {
@@ -505,6 +513,37 @@ impl Coordinator {
             coordinator.index_insert(coordinator.entries.len() - 1);
         }
         coordinator
+    }
+
+    /// Turns on durability journaling: every subsequent interval
+    /// mutation and solution improvement queues a [`WalOp`] until
+    /// [`Coordinator::drain_journal`] takes it. Idempotent.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Takes the queued durability deltas (always empty while journaling
+    /// is disabled). The caller appends them to the shard's WAL segment
+    /// before releasing the shard lock — that is what keeps the log in
+    /// state order.
+    pub fn drain_journal(&mut self) -> Vec<WalOp> {
+        match self.journal.as_mut() {
+            Some(journal) => std::mem::take(journal),
+            None => Vec::new(),
+        }
+    }
+
+    /// `true` iff [`Coordinator::enable_journal`] has been called.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Turns journaling back off, discarding any queued deltas (used by
+    /// clones, which have no log to drain into).
+    pub fn disable_journal(&mut self) {
+        self.journal = None;
     }
 
     /// Handles one worker request at injected time `now_ns`.
@@ -678,10 +717,20 @@ impl Coordinator {
             .entry(idx)
             .or_insert_with(|| priority_key_of(&self.entries, idx));
         let old_len = self.entries[idx].interval.length();
+        let journaled_old = self
+            .journal
+            .is_some()
+            .then(|| self.entries[idx].interval.clone());
         self.remaining += &met.length();
         self.remaining = self.remaining.saturating_sub(&old_len);
         let result = met.clone();
         self.entries[idx].interval = met;
+        if let Some(old) = journaled_old {
+            self.journal.as_mut().unwrap().push(WalOp::Replace {
+                old,
+                new: result.clone(),
+            });
+        }
         Response::UpdateAck {
             interval: result,
             cutoff,
@@ -972,6 +1021,9 @@ impl Coordinator {
             self.index_remove(last);
         }
         let entry = self.entries.swap_remove(idx);
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(WalOp::Remove(entry.interval.clone()));
+        }
         for h in &entry.holders {
             self.holder_of.remove(&h.worker);
             self.heartbeats.remove(&(h.last_contact_ns, h.worker));
@@ -1038,6 +1090,13 @@ impl Coordinator {
         let cut = entry.interval.end().saturating_sub(&steal);
         let (keep, give) = entry.interval.split_at(&cut);
         debug_assert!(!keep.is_empty() && !give.is_empty());
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(WalOp::Replace {
+                old: entry.interval.clone(),
+                new: keep.clone(),
+            });
+            journal.push(WalOp::Insert(give.clone()));
+        }
         self.with_entry(idx, |e| e.interval = keep);
         self.entries.push(IntervalEntry {
             interval: give.clone(),
@@ -1121,6 +1180,12 @@ impl Coordinator {
             let (keep, give) = self.entries[idx].interval.split_at(&cut);
             debug_assert!(!keep.is_empty() && !give.is_empty());
             self.remaining = self.remaining.saturating_sub(&donated);
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push(WalOp::Replace {
+                    old: self.entries[idx].interval.clone(),
+                    new: keep.clone(),
+                });
+            }
             self.with_entry(idx, |e| e.interval = keep);
             give
         } else {
@@ -1145,6 +1210,9 @@ impl Coordinator {
             self.root.contains_interval(&interval),
             "adopted interval escapes the root range"
         );
+        if let Some(journal) = self.journal.as_mut() {
+            journal.push(WalOp::Insert(interval.clone()));
+        }
         self.remaining += &interval.length();
         self.entries.push(IntervalEntry {
             interval,
@@ -1164,6 +1232,9 @@ impl Coordinator {
             None => true,
         };
         if improves {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push(WalOp::Solution(solution.clone()));
+            }
             self.solution = Some(solution.clone());
         }
         improves
@@ -1218,10 +1289,17 @@ impl Coordinator {
             };
         }
         let old_len = entry.interval.length();
+        let journaled_old = self.journal.is_some().then(|| entry.interval.clone());
         self.remaining += &met.length();
         self.remaining = self.remaining.saturating_sub(&old_len);
         let result = met.clone();
         self.with_entry(idx, |e| e.interval = met);
+        if let Some(old) = journaled_old {
+            self.journal.as_mut().unwrap().push(WalOp::Replace {
+                old,
+                new: result.clone(),
+            });
+        }
         Response::UpdateAck {
             interval: result,
             cutoff,
@@ -1239,6 +1317,9 @@ impl Coordinator {
             None => true,
         };
         if improves {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push(WalOp::Solution(solution.clone()));
+            }
             self.solution = Some(solution);
             self.stats.improvements += 1;
         }

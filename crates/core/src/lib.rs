@@ -45,7 +45,9 @@ pub mod gateway;
 mod protocol;
 pub mod runtime;
 pub mod shard;
+pub mod storage;
 pub mod transport;
+pub mod wal;
 
 pub use coordinator::{
     compare_len_per_power, compare_len_per_power_exact, BatchOutcome, ConfigError, Coordinator,
@@ -54,7 +56,11 @@ pub use coordinator::{
 pub use gateway::{BundleHandler, ContactGateway, GatewayMode, GatewayPolicy, GatewayStats};
 pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
 pub use shard::ShardRouter;
+pub use storage::{
+    Fault, FaultBackend, FileBackend, MemoryBackend, ShardDirBackend, StorageBackend,
+};
 pub use transport::{GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError};
+pub use wal::{RecoveredState, WalError, WalMetrics, WalOp, WalStore};
 
 pub use gridbnb_coding::{Interval, IntervalSet, TreeShape, UBig};
 pub use gridbnb_engine::{Problem, Solution};

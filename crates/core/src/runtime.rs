@@ -28,9 +28,11 @@
 //! assert it.
 
 use crate::checkpoint::CheckpointStore;
+use crate::storage::StorageBackend;
 use crate::transport::{
     Envelope, GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError,
 };
+use crate::wal::WalStore;
 use crate::{
     BundleHandler, ConfigError, ContactGateway, Coordinator, CoordinatorConfig, CoordinatorStats,
     GatewayPolicy, GatewayStats, Request, Response, ShardEnvelope, ShardId, ShardRouter, WorkerId,
@@ -41,6 +43,7 @@ use gridbnb_coding::Interval;
 use gridbnb_engine::{IntervalExplorer, Problem, SearchStats, Solution};
 use gridbnb_metrics::{latency_buckets_ns, Counter, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Periodic farmer checkpointing policy.
@@ -50,6 +53,31 @@ pub struct CheckpointPolicy {
     pub store: CheckpointStore,
     /// Save period (the paper's coordinator checkpointed every 30 min).
     pub every: Duration,
+}
+
+/// Durable coordinator state: a write-ahead operation log plus
+/// generational snapshots behind a pluggable [`StorageBackend`] (see
+/// [`crate::wal`]).
+///
+/// With a policy, the run journals every coordinator state change
+/// (interval inserts/removes/shrinks, solution improvements) into
+/// per-shard CRC-framed segments as it happens, and the supervisor
+/// folds the log into a fresh snapshot every `compact_every`. A process
+/// killed at any instant recovers to its exact pre-crash interval sets
+/// with [`WalStore::recover`] — rebuild the router via
+/// [`ShardRouter::restore`] and run again with the same policy; the new
+/// run opens a fresh log epoch on top of the old one.
+#[derive(Clone, Debug)]
+pub struct DurabilityPolicy {
+    /// Where the manifest, snapshots and per-shard log segments live
+    /// ([`crate::MemoryBackend`], [`crate::FileBackend`],
+    /// [`crate::ShardDirBackend`], or anything else implementing
+    /// [`StorageBackend`]).
+    pub backend: Arc<dyn StorageBackend>,
+    /// Compaction period: how often the grown log is folded into a
+    /// snapshot, bounding recovery replay time. The paper's coordinator
+    /// checkpointed every 30 min; tests compact every few milliseconds.
+    pub compact_every: Duration,
 }
 
 /// One scripted worker crash.
@@ -155,6 +183,10 @@ pub struct RuntimeConfig {
     pub worker_powers: Vec<u64>,
     /// Optional periodic checkpointing.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Optional durable operation log (see [`DurabilityPolicy`]). Runs
+    /// with a policy always take the router path, whatever the shard
+    /// count — the journal hangs off the [`ShardRouter`].
+    pub durability: Option<DurabilityPolicy>,
     /// Optional fault injection.
     pub chaos: Option<ChaosConfig>,
     /// Pooled frontier exploration (the default): workers expand whole
@@ -187,6 +219,7 @@ impl RuntimeConfig {
             coordinator: CoordinatorConfig::default(),
             worker_powers: vec![100],
             checkpoint: None,
+            durability: None,
             chaos: None,
             pooling: true,
             transport_retry: RetryPolicy::default(),
@@ -217,6 +250,20 @@ impl RuntimeConfig {
     /// Sets the shard count (see [`RuntimeConfig::shards`]).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Attaches a durable operation log on `backend`, compacted every
+    /// `compact_every` (see [`DurabilityPolicy`]).
+    pub fn with_durability(
+        mut self,
+        backend: Arc<dyn StorageBackend>,
+        compact_every: Duration,
+    ) -> Self {
+        self.durability = Some(DurabilityPolicy {
+            backend,
+            compact_every,
+        });
         self
     }
 
@@ -384,6 +431,11 @@ pub struct RunReport {
     pub farmer_busy: Duration,
     /// Checkpoint files written by the farmer.
     pub farmer_checkpoints: u64,
+    /// Checkpoint writes that **failed** (also counted on
+    /// `gbnb_checkpoint_failures_total`). Non-zero means the on-disk
+    /// checkpoint may be stale — a run that silently kept going on a
+    /// dead store used to look identical to a healthy one.
+    pub checkpoint_failures: u64,
     /// Length of the root interval (for redundancy accounting).
     pub root_length: UBig,
 }
@@ -613,7 +665,7 @@ pub fn run_on<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -
     // The gateway aggregates in front of a ShardRouter, so a gateway
     // run at shards = 1 still takes the router path (response-identical
     // to the bare coordinator, property-pinned).
-    if config.shards > 1 || config.gateway.is_some() {
+    if config.shards > 1 || config.gateway.is_some() || config.durability.is_some() {
         let router = ShardRouter::new(root, config.shards, config.coordinator.clone())
             .expect("invalid coordinator config");
         run_with_router(problem, router, config)
@@ -666,15 +718,25 @@ pub fn run_with_coordinator<P: Problem>(
     let farmer_done = AtomicBool::new(false);
 
     let mut worker_reports: Vec<WorkerReport> = Vec::new();
-    let mut farmer_out: Option<(Coordinator, Duration, u64)> = None;
+    let mut farmer_out: Option<(Coordinator, Duration, u64, u64)> = None;
     let mut sweeper_busy = Duration::ZERO;
+    let checkpoint_failed = registry.counter("gbnb_checkpoint_failures_total", &[]);
 
     crossbeam::thread::scope(|scope| {
         let workers_done = &workers_done;
         let farmer_done = &farmer_done;
         let worker_metrics = &worker_metrics;
-        let farmer =
-            scope.spawn(|_| farmer_loop(coordinator, req_rx, config, started, farmer_done));
+        let checkpoint_failed = &checkpoint_failed;
+        let farmer = scope.spawn(|_| {
+            farmer_loop(
+                coordinator,
+                req_rx,
+                config,
+                started,
+                farmer_done,
+                checkpoint_failed,
+            )
+        });
         // The deadline sweeper plays the sharded supervisor's gateway
         // role: it guarantees liveness when every submitter is parked
         // below the fan-in.
@@ -716,7 +778,8 @@ pub fn run_with_coordinator<P: Problem>(
     })
     .expect("scope panicked");
 
-    let (coordinator, farmer_busy, farmer_checkpoints) = farmer_out.expect("farmer result");
+    let (coordinator, farmer_busy, farmer_checkpoints, checkpoint_failures) =
+        farmer_out.expect("farmer result");
     let solution = coordinator.solution().cloned();
     RunReport {
         proven_optimum: coordinator.cutoff(),
@@ -729,6 +792,7 @@ pub fn run_with_coordinator<P: Problem>(
         wall: started.elapsed(),
         farmer_busy: farmer_busy + sweeper_busy,
         farmer_checkpoints,
+        checkpoint_failures,
         root_length,
     }
 }
@@ -779,6 +843,20 @@ pub fn run_with_router<P: Problem>(
         Some(registry) => router.with_metrics(registry),
         None => router,
     };
+    // Durability opens a fresh log epoch snapshotting the router's
+    // *current* state — which is the recovered state when the caller
+    // rebuilt the router from [`WalStore::recover`] — so a run killed
+    // at any instant resumes from here plus the journaled deltas.
+    // After `with_metrics`, so `gbnb_wal_*` lands on the run registry.
+    let router = match &config.durability {
+        Some(policy) => {
+            let (intervals, solution) = router.snapshot();
+            let wal = WalStore::create(Arc::clone(&policy.backend), &intervals, solution.as_ref())
+                .expect("failed to open the durable operation log");
+            router.with_wal(Arc::new(wal))
+        }
+        None => router,
+    };
     let router = &router;
     let worker_metrics = WorkerMetrics::register(router.metrics());
     let gateway = config
@@ -787,7 +865,7 @@ pub fn run_with_router<P: Problem>(
     let gateway = gateway.as_ref();
 
     let mut worker_reports: Vec<WorkerReport> = Vec::new();
-    let mut supervisor_out = (Duration::ZERO, 0u64);
+    let mut supervisor_out = (Duration::ZERO, 0u64, 0u64);
 
     crossbeam::thread::scope(|scope| {
         let workers_done = &workers_done;
@@ -847,7 +925,7 @@ pub fn run_with_router<P: Problem>(
     })
     .expect("scope panicked");
 
-    let (farmer_busy, farmer_checkpoints) = supervisor_out;
+    let (farmer_busy, farmer_checkpoints, checkpoint_failures) = supervisor_out;
     RunReport {
         proven_optimum: router.cutoff(),
         solution: router.solution(),
@@ -859,6 +937,7 @@ pub fn run_with_router<P: Problem>(
         wall: started.elapsed(),
         farmer_busy,
         farmer_checkpoints,
+        checkpoint_failures,
         root_length,
     }
 }
@@ -877,16 +956,24 @@ fn supervisor_loop(
     config: &RuntimeConfig,
     started: Instant,
     workers_done: &AtomicBool,
-) -> (Duration, u64) {
+) -> (Duration, u64, u64) {
     let mut busy = Duration::ZERO;
     let mut checkpoints = 0u64;
+    let mut checkpoint_failures = 0u64;
+    let checkpoint_failed = router
+        .metrics()
+        .counter("gbnb_checkpoint_failures_total", &[]);
     let mut last_checkpoint = Instant::now();
+    let mut last_compaction = Instant::now();
     let mut tick = config
         .checkpoint
         .as_ref()
         .map(|p| p.every)
         .unwrap_or(Duration::from_millis(50))
         .min(Duration::from_millis(50));
+    if let Some(policy) = &config.durability {
+        tick = tick.min(policy.compact_every);
+    }
     if let Some(gateway) = gateway {
         // Poll at least twice per gateway deadline, so a lone buffered
         // submission waits at most ~1.5 deadlines in the worst case.
@@ -911,10 +998,23 @@ fn supervisor_loop(
         router.expire_stale_holders(started.elapsed().as_nanos() as u64);
         if let Some(policy) = &config.checkpoint {
             if last_checkpoint.elapsed() >= policy.every {
-                if policy.store.save_sharded(router).is_ok() {
-                    checkpoints += 1;
+                match policy.store.save_sharded(router) {
+                    Ok(()) => checkpoints += 1,
+                    Err(_) => {
+                        checkpoint_failures += 1;
+                        checkpoint_failed.inc();
+                    }
                 }
                 last_checkpoint = Instant::now();
+            }
+        }
+        if let Some(policy) = &config.durability {
+            if last_compaction.elapsed() >= policy.compact_every {
+                // A failed compaction leaves the previous manifest
+                // committed and is counted on
+                // `gbnb_wal_compaction_failures_total` by the store.
+                let _ = router.compact_wal();
+                last_compaction = Instant::now();
             }
         }
         busy += t0.elapsed();
@@ -930,12 +1030,24 @@ fn supervisor_loop(
     // Final checkpoint so a restart sees the terminal state.
     if let Some(policy) = &config.checkpoint {
         let t0 = Instant::now();
-        if policy.store.save_sharded(router).is_ok() {
-            checkpoints += 1;
+        match policy.store.save_sharded(router) {
+            Ok(()) => checkpoints += 1,
+            Err(_) => {
+                checkpoint_failures += 1;
+                checkpoint_failed.inc();
+            }
         }
         busy += t0.elapsed();
     }
-    (busy, checkpoints)
+    // Final compaction: a finished campaign's backend holds the terminal
+    // snapshot (usually empty intervals) and no segments, so a restart
+    // recovers the proof instead of redoing work.
+    if config.durability.is_some() {
+        let t0 = Instant::now();
+        let _ = router.compact_wal();
+        busy += t0.elapsed();
+    }
+    (busy, checkpoints, checkpoint_failures)
 }
 
 fn farmer_loop(
@@ -944,9 +1056,11 @@ fn farmer_loop(
     config: &RuntimeConfig,
     started: Instant,
     done: &AtomicBool,
-) -> (Coordinator, Duration, u64) {
+    checkpoint_failed: &Counter,
+) -> (Coordinator, Duration, u64, u64) {
     let mut busy = Duration::ZERO;
     let mut checkpoints = 0u64;
+    let mut checkpoint_failures = 0u64;
     let mut last_checkpoint = Instant::now();
     let tick = config
         .checkpoint
@@ -1009,8 +1123,12 @@ fn farmer_loop(
         }
         if let Some(policy) = &config.checkpoint {
             if last_checkpoint.elapsed() >= policy.every {
-                if policy.store.save(&coordinator).is_ok() {
-                    checkpoints += 1;
+                match policy.store.save(&coordinator) {
+                    Ok(()) => checkpoints += 1,
+                    Err(_) => {
+                        checkpoint_failures += 1;
+                        checkpoint_failed.inc();
+                    }
                 }
                 last_checkpoint = Instant::now();
             }
@@ -1020,12 +1138,16 @@ fn farmer_loop(
     // Final checkpoint so a restart sees the terminal state.
     if let Some(policy) = &config.checkpoint {
         let t0 = Instant::now();
-        if policy.store.save(&coordinator).is_ok() {
-            checkpoints += 1;
+        match policy.store.save(&coordinator) {
+            Ok(()) => checkpoints += 1,
+            Err(_) => {
+                checkpoint_failures += 1;
+                checkpoint_failed.inc();
+            }
         }
         busy += t0.elapsed();
     }
-    (coordinator, busy, checkpoints)
+    (coordinator, busy, checkpoints, checkpoint_failures)
 }
 
 /// Client-side half of a run: spawns `config.workers` worker threads,

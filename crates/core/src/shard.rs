@@ -46,6 +46,7 @@
 //! response-identical to a bare [`Coordinator`] (pinned by a property
 //! test).
 
+use crate::wal::{WalError, WalMetrics, WalStore};
 use crate::{
     ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response,
     ShardEnvelope, ShardId, WorkerId,
@@ -54,7 +55,7 @@ use gridbnb_coding::{Interval, UBig};
 use gridbnb_engine::Solution;
 use gridbnb_metrics::{latency_buckets_ns, Counter, Gauge, Histogram, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// One unit of the packed non-empty count (high half of
@@ -171,6 +172,12 @@ pub struct ShardRouter {
     /// Ordering: the gate is always taken before any shard lock, never
     /// while holding one.
     steal_gate: RwLock<()>,
+    /// Durable operation log, when attached via [`ShardRouter::with_wal`]:
+    /// every service section drains its shard's journal into the log
+    /// before releasing the shard lock, and
+    /// [`ShardRouter::compact_wal`] periodically folds the log into a
+    /// snapshot.
+    wal: Option<Arc<WalStore>>,
 }
 
 impl Clone for ShardRouter {
@@ -181,7 +188,13 @@ impl Clone for ShardRouter {
         let shards: Vec<Mutex<Coordinator>> = self
             .shards
             .iter()
-            .map(|m| Mutex::new(m.lock().expect("poisoned shard").clone()))
+            .map(|m| {
+                let mut coordinator = m.lock().expect("poisoned shard").clone();
+                // The clone has no WAL attached (logs are not shareable);
+                // leaving journaling on would queue deltas nobody drains.
+                coordinator.disable_journal();
+                Mutex::new(coordinator)
+            })
             .collect();
         // Recompute the packed word from what was actually cloned: a
         // contact may empty a shard between its copy and a load of the
@@ -202,6 +215,7 @@ impl Clone for ShardRouter {
             state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
             metrics,
             steal_gate: RwLock::new(()),
+            wal: None,
         }
     }
 }
@@ -272,6 +286,7 @@ impl ShardRouter {
             state: AtomicU64::new(non_empty * NON_EMPTY_UNIT),
             metrics,
             steal_gate: RwLock::new(()),
+            wal: None,
         })
     }
 
@@ -293,6 +308,94 @@ impl ShardRouter {
     /// families here, so one scrape covers the whole serving path.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics.registry
+    }
+
+    /// Attaches a durable operation log: turns on delta journaling in
+    /// every shard and drains each shard's journal into `wal` before the
+    /// owning lock is released, so the log is always in state order and
+    /// a crash recovers to the exact pre-crash interval sets. The
+    /// store's shard count must match the router's. Builder-style: call
+    /// after [`ShardRouter::with_metrics`] (the `gbnb_wal_*` instruments
+    /// are registered on the current registry), before the router is
+    /// shared.
+    pub fn with_wal(self, wal: Arc<WalStore>) -> Self {
+        assert_eq!(
+            wal.shards(),
+            self.shards.len(),
+            "wal store shard count must match the router"
+        );
+        wal.set_metrics(WalMetrics::register(self.metrics()));
+        for m in &self.shards {
+            m.lock().expect("poisoned shard").enable_journal();
+        }
+        ShardRouter {
+            wal: Some(wal),
+            ..self
+        }
+    }
+
+    /// The attached operation log, if any.
+    pub fn wal(&self) -> Option<&Arc<WalStore>> {
+        self.wal.as_ref()
+    }
+
+    /// Drains `coordinator`'s journaled deltas into the attached log.
+    /// MUST run while the shard's lock is still held — that is the only
+    /// thing serializing records into state order. Append failures are
+    /// counted by the store (`gbnb_wal_append_failures_total`) and heal
+    /// at the next compaction; the service path does not fail over them.
+    fn journal_flush(&self, idx: usize, coordinator: &mut Coordinator) {
+        if let Some(wal) = &self.wal {
+            let ops = coordinator.drain_journal();
+            if !ops.is_empty() {
+                let _ = wal.append(idx, &ops);
+            }
+        }
+    }
+
+    /// Compacts the attached log: takes a consistent cut (steal gate
+    /// write-held plus every shard lock, ascending — the only place the
+    /// router holds more than one shard lock), switches the WAL to its
+    /// next generation, clones the per-shard state, then releases all
+    /// locks and persists the cut as a snapshot
+    /// ([`WalStore::compact`]). Returns `Ok(false)` when no WAL is
+    /// attached.
+    pub fn compact_wal(&self) -> Result<bool, WalError> {
+        let Some(wal) = &self.wal else {
+            return Ok(false);
+        };
+        let (generation, shard_intervals, solution) = {
+            let _gate = self.steal_gate.write().expect("poisoned steal gate");
+            let mut guards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|m| m.lock().expect("poisoned shard"))
+                .collect();
+            let generation = wal.advance_generation();
+            let mut best: Option<Solution> = None;
+            let mut shard_intervals = Vec::with_capacity(guards.len());
+            for coordinator in guards.iter_mut() {
+                // Journals are drained under each service lock, so they
+                // are empty here; discard defensively anyway — the cut
+                // being snapshotted already reflects any queued delta.
+                let _ = coordinator.drain_journal();
+                shard_intervals.push(
+                    coordinator
+                        .entries()
+                        .iter()
+                        .map(|e| e.interval.clone())
+                        .collect::<Vec<Interval>>(),
+                );
+                if let Some(s) = coordinator.solution() {
+                    if best.as_ref().is_none_or(|b| s.cost < b.cost) {
+                        best = Some(s.clone());
+                    }
+                }
+            }
+            (generation, shard_intervals, best)
+        };
+        wal.compact(generation, &shard_intervals, solution.as_ref())?;
+        Ok(true)
     }
 
     /// Mean nanoseconds a shard lock was held per service section, over
@@ -475,6 +578,7 @@ impl ShardRouter {
                     let mut coordinator = self.shards[home].lock().expect("poisoned shard");
                     let was_live = !coordinator.is_terminated();
                     let outcome = coordinator.apply_batch(pending, now_ns);
+                    self.journal_flush(home, &mut coordinator);
                     // An apply_batch can empty the shard (completions,
                     // empty intersections) but never refill it, so the
                     // whole run is at most one live→empty transition.
@@ -712,6 +816,7 @@ impl ShardRouter {
             let mut coordinator = self.shards[idx].lock().expect("poisoned shard");
             let was_live = !coordinator.is_terminated();
             let response = coordinator.handle(request, now_ns);
+            self.journal_flush(idx, &mut coordinator);
             if was_live && coordinator.is_terminated() {
                 self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
             }
@@ -793,6 +898,7 @@ impl ShardRouter {
             let mut coordinator = self.shards[victim].lock().expect("poisoned shard");
             let was_live = !coordinator.is_terminated();
             let stolen = coordinator.steal_largest();
+            self.journal_flush(victim, &mut coordinator);
             if stolen.is_some() {
                 // In-flight unit first, so the word stays non-zero even
                 // if the next line empties the victim.
@@ -809,6 +915,7 @@ impl ShardRouter {
         let mut coordinator = self.shards[dest].lock().expect("poisoned shard");
         let was_terminated = coordinator.is_terminated();
         coordinator.adopt(interval);
+        self.journal_flush(dest, &mut coordinator);
         if was_terminated {
             self.state.fetch_add(NON_EMPTY_UNIT, Ordering::AcqRel);
         }
@@ -824,7 +931,10 @@ impl ShardRouter {
     fn broadcast_solution(&self, home: usize, solution: &Solution) {
         for (i, m) in self.shards.iter().enumerate() {
             if i != home {
-                m.lock().expect("poisoned shard").merge_solution(solution);
+                let mut coordinator = m.lock().expect("poisoned shard");
+                if coordinator.merge_solution(solution) {
+                    self.journal_flush(i, &mut coordinator);
+                }
             }
         }
     }

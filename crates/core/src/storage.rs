@@ -1,0 +1,604 @@
+//! Pluggable storage backends for durable coordinator state.
+//!
+//! The write-ahead log and snapshot machinery in [`crate::wal`] never touch
+//! the filesystem directly: everything goes through the [`StorageBackend`]
+//! trait, a tiny named-blob store with atomic replacement and append
+//! semantics. That keeps the recovery logic testable (the in-memory backend
+//! makes crash/restart a pure data-structure exercise), lets deployments pick
+//! a layout (one flat directory, or a directory per shard), and gives the
+//! fault-injection backend a single choke point at which to return IO errors
+//! or tear a write mid-record.
+//!
+//! Blob names are flat strings chosen by the caller (`MANIFEST`,
+//! `snap-3`, `shard-2-gen-3.wal`, ...). Backends may map them onto any
+//! physical layout as long as the observable contract holds:
+//!
+//! - [`StorageBackend::put`] atomically replaces the whole blob — after a
+//!   crash a reader sees either the old or the new contents, never a mix.
+//! - [`StorageBackend::append`] extends a blob (creating it if absent) and
+//!   may tear: a crash mid-append leaves a prefix of the appended bytes.
+//!   The WAL's CRC framing is what detects that.
+//! - [`StorageBackend::truncate`] cuts a blob back to a known-good length
+//!   (used to repair a torn tail).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A named-blob store: the only interface the durability layer uses to
+/// reach stable storage.
+///
+/// Implementations must be safe to share across threads; the shard router
+/// appends from several shard locks concurrently (always to *different*
+/// blobs — per-blob append ordering is the caller's responsibility and is
+/// guaranteed by appending under the owning shard's lock).
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Atomically replaces `name` with `bytes` (write-temp-then-rename or
+    /// equivalent). Readers never observe a partial blob.
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Appends `bytes` to `name`, creating the blob if it does not exist.
+    /// A crash may persist any prefix of `bytes`.
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()>;
+
+    /// Reads the full contents of `name`, or `None` if it does not exist.
+    fn get(&self, name: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Truncates `name` to `len` bytes. A no-op if the blob is already
+    /// shorter. Errors if the blob does not exist.
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+
+    /// Deletes `name`. Deleting a missing blob is not an error (recovery
+    /// retries cleanup that a crash may have half-finished).
+    fn delete(&self, name: &str) -> io::Result<()>;
+
+    /// Lists every blob name in the store, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// A heap-backed [`StorageBackend`]: blobs live in a mutex-guarded map.
+///
+/// Used by the recovery property tests (crashes become byte-slicing on the
+/// stored `Vec<u8>`) and by the WAL benchmark (no disk noise).
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    blobs: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// Creates an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a deep copy of every blob — the test harness uses this to
+    /// model "what is on disk at the instant of the crash".
+    pub fn dump(&self) -> HashMap<String, Vec<u8>> {
+        self.blobs.lock().unwrap().clone()
+    }
+
+    /// Replaces the entire store contents (restoring a crash image captured
+    /// with [`MemoryBackend::dump`]).
+    pub fn load(&self, blobs: HashMap<String, Vec<u8>>) {
+        *self.blobs.lock().unwrap() = blobs;
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.blobs
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.blobs
+            .lock()
+            .unwrap()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.blobs.lock().unwrap().get(name).cloned())
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let mut blobs = self.blobs.lock().unwrap();
+        match blobs.get_mut(name) {
+            Some(blob) => {
+                if (blob.len() as u64) > len {
+                    blob.truncate(len as usize);
+                }
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such blob: {name}"),
+            )),
+        }
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.blobs.lock().unwrap().remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.blobs.lock().unwrap().keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem backends
+// ---------------------------------------------------------------------------
+
+/// Maps a blob name to a path under `root`, optionally splitting
+/// `shard-K-...` names into a `shard-K/` subdirectory.
+fn blob_path(root: &Path, name: &str, shard_dirs: bool) -> PathBuf {
+    if shard_dirs {
+        if let Some(rest) = name.strip_prefix("shard-") {
+            if let Some(dash) = rest.find('-') {
+                if rest[..dash].bytes().all(|b| b.is_ascii_digit()) {
+                    return root
+                        .join(format!("shard-{}", &rest[..dash]))
+                        .join(&rest[dash + 1..]);
+                }
+            }
+        }
+    }
+    root.join(name)
+}
+
+/// Reverses [`blob_path`] for directory listings.
+fn blob_name(name: &std::ffi::OsStr, shard_dir: Option<&str>) -> Option<String> {
+    let name = name.to_str()?;
+    // Skip temp files left behind by a crash mid-`put`.
+    if name.ends_with(".tmp") {
+        return None;
+    }
+    Some(match shard_dir {
+        Some(dir) => format!("{dir}-{name}"),
+        None => name.to_string(),
+    })
+}
+
+fn file_put(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn file_append(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(bytes)?;
+    f.sync_data()
+}
+
+fn file_get(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match fs::read(path) {
+        Ok(bytes) => Ok(Some(bytes)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn file_truncate(path: &Path, len: u64) -> io::Result<()> {
+    let f = fs::OpenOptions::new().write(true).open(path)?;
+    let current = f.metadata()?.len();
+    if current > len {
+        f.set_len(len)?;
+        f.sync_data()?;
+    }
+    Ok(())
+}
+
+fn file_delete(path: &Path) -> io::Result<()> {
+    match fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// A [`StorageBackend`] storing every blob as a file in one flat directory.
+///
+/// `put` is write-temp-then-rename (same atomicity as the checkpoint
+/// store); `append` is `O_APPEND` + `fdatasync`.
+#[derive(Debug)]
+pub struct FileBackend {
+    root: PathBuf,
+}
+
+impl FileBackend {
+    /// Creates (if needed) `root` and stores blobs inside it.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(FileBackend { root })
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        file_put(&blob_path(&self.root, name, false), bytes)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        file_append(&blob_path(&self.root, name, false), bytes)
+    }
+
+    fn get(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        file_get(&blob_path(&self.root, name, false))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        file_truncate(&blob_path(&self.root, name, false), len)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        file_delete(&blob_path(&self.root, name, false))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = blob_name(&entry.file_name(), None) {
+                    names.push(name);
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+/// A [`StorageBackend`] that gives every shard its own subdirectory:
+/// blob `shard-2-gen-7.wal` lands at `<root>/shard-2/gen-7.wal`, while
+/// non-shard blobs (`MANIFEST`, `snap-*`) stay at the top level.
+///
+/// This is the deployment layout: per-shard directories keep each shard's
+/// segments together and make it obvious on disk which shard wrote what.
+#[derive(Debug)]
+pub struct ShardDirBackend {
+    root: PathBuf,
+}
+
+impl ShardDirBackend {
+    /// Creates (if needed) `root` and stores blobs inside it, one
+    /// subdirectory per shard.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ShardDirBackend { root })
+    }
+}
+
+impl StorageBackend for ShardDirBackend {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        file_put(&blob_path(&self.root, name, true), bytes)
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        file_append(&blob_path(&self.root, name, true), bytes)
+    }
+
+    fn get(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        file_get(&blob_path(&self.root, name, true))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        file_truncate(&blob_path(&self.root, name, true), len)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        file_delete(&blob_path(&self.root, name, true))
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let file_name = entry.file_name();
+            if entry.file_type()?.is_file() {
+                if let Some(name) = blob_name(&file_name, None) {
+                    names.push(name);
+                }
+            } else if entry.file_type()?.is_dir() {
+                let dir = match file_name.to_str() {
+                    Some(d) if d.starts_with("shard-") => d.to_string(),
+                    _ => continue,
+                };
+                for sub in fs::read_dir(entry.path())? {
+                    let sub = sub?;
+                    if sub.file_type()?.is_file() {
+                        if let Some(name) = blob_name(&sub.file_name(), Some(&dir)) {
+                            names.push(name);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// What the [`FaultBackend`] should do to the next matching write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Return `io::ErrorKind::Other` without touching the inner backend.
+    Error,
+    /// Persist only the first `n` bytes of the write, then return an
+    /// error — a torn write, as a crash mid-`append` would leave it.
+    Torn(usize),
+}
+
+/// A [`StorageBackend`] wrapper that injects failures on command.
+///
+/// Faults are armed with [`FaultBackend::fail_after`]: the first `after`
+/// matching writes succeed, then `count` consecutive writes fail with the
+/// armed [`Fault`]. `put` faults always surface as clean errors (a
+/// half-renamed `put` is not observable); `append` faults honor
+/// [`Fault::Torn`] by persisting a prefix, which is exactly the condition
+/// the WAL's CRC framing must detect on recovery.
+#[derive(Debug)]
+pub struct FaultBackend<B: StorageBackend> {
+    inner: B,
+    plan: Mutex<Option<FaultPlan>>,
+    /// Writes (put + append) attempted, whether or not they failed.
+    writes: AtomicU64,
+    /// Writes that were failed or torn by the armed plan.
+    injected: AtomicU64,
+}
+
+#[derive(Debug)]
+struct FaultPlan {
+    fault: Fault,
+    remaining_ok: u64,
+    remaining_faults: u64,
+}
+
+impl<B: StorageBackend> FaultBackend<B> {
+    /// Wraps `inner` with no fault armed.
+    pub fn new(inner: B) -> Self {
+        FaultBackend {
+            inner,
+            plan: Mutex::new(None),
+            writes: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms a fault: the next `after` writes succeed, then `count` writes
+    /// fail with `fault`. Re-arming replaces any previous plan.
+    pub fn fail_after(&self, after: u64, count: u64, fault: Fault) {
+        *self.plan.lock().unwrap() = Some(FaultPlan {
+            fault,
+            remaining_ok: after,
+            remaining_faults: count,
+        });
+    }
+
+    /// Disarms any pending fault.
+    pub fn clear_faults(&self) {
+        *self.plan.lock().unwrap() = None;
+    }
+
+    /// Number of writes that were failed or torn so far.
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Total writes attempted (including failed ones).
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Access to the wrapped backend (e.g. to inspect blobs after a fault).
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Decides the fate of one write. Returns the fault to apply, if any.
+    fn next_fault(&self) -> Option<Fault> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.plan.lock().unwrap();
+        let plan = guard.as_mut()?;
+        if plan.remaining_ok > 0 {
+            plan.remaining_ok -= 1;
+            return None;
+        }
+        if plan.remaining_faults == 0 {
+            *guard = None;
+            return None;
+        }
+        plan.remaining_faults -= 1;
+        let fault = plan.fault;
+        if plan.remaining_faults == 0 {
+            *guard = None;
+        }
+        drop(guard);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        Some(fault)
+    }
+
+    fn injected_error() -> io::Error {
+        io::Error::other("injected storage fault")
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
+    fn put(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault() {
+            // A torn `put` is indistinguishable from a clean failure: the
+            // rename never happened, so the old blob is intact.
+            Some(_) => Err(Self::injected_error()),
+            None => self.inner.put(name, bytes),
+        }
+    }
+
+    fn append(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        match self.next_fault() {
+            Some(Fault::Error) => Err(Self::injected_error()),
+            Some(Fault::Torn(n)) => {
+                let n = n.min(bytes.len());
+                // Persist the prefix, then report failure — the caller sees
+                // an error but the tear is on "disk".
+                self.inner.append(name, &bytes[..n])?;
+                Err(Self::injected_error())
+            }
+            None => self.inner.append(name, bytes),
+        }
+    }
+
+    fn get(&self, name: &str) -> io::Result<Option<Vec<u8>>> {
+        self.inner.get(name)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.inner.truncate(name, len)
+    }
+
+    fn delete(&self, name: &str) -> io::Result<()> {
+        self.inner.delete(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gridbnb-storage-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn exercise(backend: &dyn StorageBackend) {
+        assert_eq!(backend.get("a").unwrap(), None);
+        backend.put("a", b"hello").unwrap();
+        assert_eq!(backend.get("a").unwrap().unwrap(), b"hello");
+        backend.put("a", b"world").unwrap();
+        assert_eq!(backend.get("a").unwrap().unwrap(), b"world");
+        backend.append("log", b"one").unwrap();
+        backend.append("log", b"two").unwrap();
+        assert_eq!(backend.get("log").unwrap().unwrap(), b"onetwo");
+        backend.truncate("log", 3).unwrap();
+        assert_eq!(backend.get("log").unwrap().unwrap(), b"one");
+        backend.truncate("log", 100).unwrap(); // no-op beyond end
+        assert_eq!(backend.get("log").unwrap().unwrap(), b"one");
+        let mut names = backend.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["a".to_string(), "log".to_string()]);
+        backend.delete("a").unwrap();
+        backend.delete("a").unwrap(); // idempotent
+        assert_eq!(backend.get("a").unwrap(), None);
+        backend.delete("log").unwrap();
+        assert!(backend.list().unwrap().is_empty());
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn file_backend_contract() {
+        let dir = tempdir("file");
+        exercise(&FileBackend::new(&dir).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_dir_backend_contract() {
+        let dir = tempdir("sharddir");
+        exercise(&ShardDirBackend::new(&dir).unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_dir_backend_splits_shard_blobs() {
+        let dir = tempdir("sharddir-split");
+        let backend = ShardDirBackend::new(&dir).unwrap();
+        backend.append("shard-3-gen-0.wal", b"ops").unwrap();
+        backend.put("MANIFEST", b"0").unwrap();
+        assert!(dir.join("shard-3").join("gen-0.wal").is_file());
+        assert!(dir.join("MANIFEST").is_file());
+        let mut names = backend.list().unwrap();
+        names.sort();
+        assert_eq!(
+            names,
+            vec!["MANIFEST".to_string(), "shard-3-gen-0.wal".to_string()]
+        );
+        assert_eq!(backend.get("shard-3-gen-0.wal").unwrap().unwrap(), b"ops");
+        backend.delete("shard-3-gen-0.wal").unwrap();
+        assert!(!dir.join("shard-3").join("gen-0.wal").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_backend_errors_and_tears() {
+        let backend = FaultBackend::new(MemoryBackend::new());
+        backend.append("log", b"good").unwrap();
+
+        backend.fail_after(0, 1, Fault::Error);
+        assert!(backend.append("log", b"bad").is_err());
+        assert_eq!(backend.get("log").unwrap().unwrap(), b"good");
+
+        backend.fail_after(0, 1, Fault::Torn(2));
+        assert!(backend.append("log", b"torn").is_err());
+        assert_eq!(backend.get("log").unwrap().unwrap(), b"goodto");
+
+        // Plan exhausted: writes succeed again.
+        backend.append("log", b"!").unwrap();
+        assert_eq!(backend.get("log").unwrap().unwrap(), b"goodto!");
+        assert_eq!(backend.injected_faults(), 2);
+    }
+
+    #[test]
+    fn fault_backend_counts_down_before_failing() {
+        let backend = FaultBackend::new(MemoryBackend::new());
+        backend.fail_after(2, 1, Fault::Error);
+        backend.put("a", b"1").unwrap();
+        backend.put("a", b"2").unwrap();
+        assert!(backend.put("a", b"3").is_err());
+        assert_eq!(backend.get("a").unwrap().unwrap(), b"2");
+        backend.put("a", b"4").unwrap();
+    }
+}

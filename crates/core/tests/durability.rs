@@ -1,0 +1,176 @@
+//! Durability integration tests at the runtime layer: durable runs
+//! prove the same optimum, a mid-flight crash image recovers and
+//! finishes, and a failing checkpoint store can no longer fail
+//! silently.
+
+use gridbnb_core::checkpoint::CheckpointStore;
+use gridbnb_core::runtime::{run, run_with_router, CheckpointPolicy, RuntimeConfig};
+use gridbnb_core::{MemoryBackend, MetricsRegistry, ShardRouter, StorageBackend, UBig, WalStore};
+use gridbnb_engine::solve;
+use gridbnb_flowshop::taillard::generate;
+use gridbnb_flowshop::{BoundMode, FlowshopProblem, Problem};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_flowshop(seed: i64) -> FlowshopProblem {
+    let instance = generate(9, 4, seed);
+    FlowshopProblem::new(
+        instance,
+        BoundMode::Johnson(gridbnb_flowshop::bounds::PairSelection::All),
+    )
+}
+
+fn fast_config(workers: usize) -> RuntimeConfig {
+    let mut config = RuntimeConfig::new(workers);
+    config.poll_nodes = 500;
+    config.coordinator.duplication_threshold = UBig::from(32u64);
+    config.coordinator.holder_timeout_ns = 20_000_000; // 20 ms
+    config
+}
+
+/// A durable run proves the optimum, journals real deltas, and leaves
+/// the terminal state committed: recovering the backend afterwards
+/// yields empty intervals (nothing left to explore) and the optimal
+/// solution — plus live `gbnb_wal_*` series on the run's registry.
+#[test]
+fn durable_run_is_exact_and_commits_terminal_state() {
+    let problem = small_flowshop(77);
+    let expected = solve(&problem, None).best_cost;
+    let backend = Arc::new(MemoryBackend::new());
+    let registry = MetricsRegistry::new();
+    let config = fast_config(4)
+        .with_shards(2)
+        .with_metrics(&registry)
+        .with_durability(
+            Arc::clone(&backend) as Arc<dyn StorageBackend>,
+            Duration::from_millis(5),
+        );
+    let report = run(&problem, &config);
+    assert_eq!(report.proven_optimum, expected);
+    assert_eq!(report.checkpoint_failures, 0);
+
+    let scrape = registry.render_text();
+    assert!(
+        scrape.contains("gbnb_wal_appends_total"),
+        "wal series missing from the run registry:\n{scrape}"
+    );
+
+    let (_, state) =
+        WalStore::recover(Arc::clone(&backend) as Arc<dyn StorageBackend>).expect("recover");
+    assert_eq!(
+        state.total_length(),
+        UBig::zero(),
+        "terminal compaction must commit the fully-explored state"
+    );
+    assert_eq!(state.solution.map(|s| s.cost), expected);
+    assert_eq!(
+        state.replayed_ops, 0,
+        "a compacted terminal backend has no log tail to replay"
+    );
+}
+
+/// Crash-anywhere: image the backend *while the durable run is live*
+/// (MemoryBackend::dump is one mutex — a consistent point-in-time copy,
+/// exactly what a kill -9 leaves on disk), then recover the image,
+/// rebuild a router from it, and finish the campaign on the recovered
+/// state. The resumed run must prove the same optimum.
+#[test]
+fn mid_flight_crash_image_recovers_and_finishes() {
+    let problem = small_flowshop(88);
+    let expected = solve(&problem, None).best_cost;
+    let backend = Arc::new(MemoryBackend::new());
+    let config = fast_config(4).with_shards(2).with_durability(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        Duration::from_millis(2),
+    );
+
+    // Snapshot thief: grab crash images continuously while the run is
+    // in flight; the last image taken before termination wins.
+    let imaging = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let thief = {
+        let backend = Arc::clone(&backend);
+        let imaging = Arc::clone(&imaging);
+        std::thread::spawn(move || {
+            let mut image = backend.dump();
+            while imaging.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+                let next = backend.dump();
+                if !next.is_empty() {
+                    image = next;
+                }
+            }
+            image
+        })
+    };
+    let live = run(&problem, &config);
+    imaging.store(false, std::sync::atomic::Ordering::Release);
+    let image = thief.join().expect("imaging thread panicked");
+    assert_eq!(live.proven_optimum, expected);
+
+    // "Restart" from the crash image on a fresh backend.
+    let restored = Arc::new(MemoryBackend::new());
+    restored.load(image);
+    let (_, state) = WalStore::recover(Arc::clone(&restored) as Arc<dyn StorageBackend>)
+        .expect("every point-in-time image must be recoverable");
+    let remaining = state.total_length();
+    let router = ShardRouter::restore(
+        problem.shape().root_range(),
+        state.shard_intervals,
+        state.solution,
+        config.coordinator.clone(),
+    )
+    .expect("restore");
+    assert_eq!(
+        router.size(),
+        remaining,
+        "the restored router holds exactly the recovered interval mass"
+    );
+    let resumed_config = fast_config(4).with_shards(2).with_durability(
+        Arc::clone(&restored) as Arc<dyn StorageBackend>,
+        Duration::from_millis(2),
+    );
+    let resumed = run_with_router(&problem, router, &resumed_config);
+    assert_eq!(
+        resumed.proven_optimum, expected,
+        "resumed campaign must prove the same optimum"
+    );
+}
+
+/// Satellite check: a checkpoint store that cannot write is *surfaced*
+/// — `RunReport::checkpoint_failures` counts every failed save and the
+/// `gbnb_checkpoint_failures_total` series records it, on both the
+/// sharded supervisor path and the classic farmer path. Before this
+/// counter existed, `save().is_ok()` swallowed the error and a run with
+/// a dead store looked identical to a healthy one.
+#[test]
+fn failing_checkpoint_store_is_surfaced() {
+    let problem = small_flowshop(99);
+    let expected = solve(&problem, None).best_cost;
+    // A directory path that cannot exist: a *file* sits where the
+    // parent directory would have to be.
+    let dir = std::env::temp_dir().join(format!("gridbnb-ckpt-fail-{}", std::process::id()));
+    std::fs::write(&dir, b"a file, not a directory").expect("plant blocker file");
+    let store = CheckpointStore::new(dir.join("intervals.ckpt"), dir.join("solution.ckpt"));
+
+    for shards in [1usize, 2] {
+        let registry = MetricsRegistry::new();
+        let mut config = fast_config(2).with_shards(shards).with_metrics(&registry);
+        config.checkpoint = Some(CheckpointPolicy {
+            store: store.clone(),
+            every: Duration::from_millis(1),
+        });
+        let report = run(&problem, &config);
+        assert_eq!(report.proven_optimum, expected, "run must stay exact");
+        assert_eq!(report.farmer_checkpoints, 0, "no save can have succeeded");
+        assert!(
+            report.checkpoint_failures > 0,
+            "S={shards}: failed checkpoints must be counted, not swallowed"
+        );
+        let scrape = registry.render_text();
+        assert!(
+            scrape.contains("gbnb_checkpoint_failures_total"),
+            "S={shards}: failure series missing from scrape:\n{scrape}"
+        );
+    }
+    let _ = std::fs::remove_file(&dir);
+}

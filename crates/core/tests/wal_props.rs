@@ -1,0 +1,325 @@
+//! Crash-recovery property tests for the durable operation log.
+//!
+//! The scheme is deliberately non-circular: the tests drive a
+//! [`WalStore`] with random (but state-consistent) operation sequences
+//! while maintaining an independent *shadow oracle* — after every
+//! appended record, the expected per-shard interval multiset and the
+//! solutions published so far are snapshotted, along with the record's
+//! framed byte length. Killing the log at an arbitrary byte position
+//! then has a closed-form expectation: the surviving whole records are
+//! exactly the prefix whose framed lengths fit below the cut, so the
+//! recovered state must equal the shadow snapshot at that prefix — with
+//! total interval length conserved — and a cut strictly inside a record
+//! must be repaired as exactly one torn-tail truncation.
+//!
+//! A flipped byte *inside* a complete record, by contrast, must refuse
+//! recovery with [`WalError::Corrupt`]: that is the difference between
+//! a crash (tear at the tail) and damage (anywhere else).
+//!
+//! Both properties run at S ∈ {1, 4} shards.
+
+use gridbnb_core::wal::segment_blob;
+use gridbnb_core::{
+    Interval, MemoryBackend, Solution, StorageBackend, UBig, WalError, WalOp, WalStore,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Root length per shard — large enough that splits stay non-trivial
+/// for the whole sequence.
+const SHARD_LEN: u64 = 1 << 32;
+
+fn iv(begin: u64, end: u64) -> Interval {
+    Interval::new(UBig::from(begin), UBig::from(end))
+}
+
+/// Symbolic log step: (action, shard selector, entry selector, fraction).
+type Step = (u8, u8, u16, u32);
+
+fn arb_steps(max: usize) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec((0u8..4, 0u8..8, 0u16..1024, 1u32..1_000_000), 1..max)
+}
+
+/// Everything the oracle knows about one shard's log right after one
+/// appended record.
+#[derive(Clone)]
+struct RecordSnapshot {
+    /// Framed length of this record (header + payload).
+    framed_len: u64,
+    /// The shard's expected interval multiset after this record.
+    state: Vec<(u64, u64)>,
+    /// Costs of every solution published in this shard's log so far.
+    solutions: Vec<u64>,
+}
+
+/// One shard's shadow: live state plus the per-record history.
+struct Shadow {
+    state: Vec<(u64, u64)>,
+    solutions: Vec<u64>,
+    records: Vec<RecordSnapshot>,
+}
+
+/// Drives `steps` through a fresh store on `backend`, mirroring every
+/// record in the shadow oracle.
+fn build_log(backend: &Arc<MemoryBackend>, shards: usize, steps: &[Step]) -> Vec<Shadow> {
+    let initial: Vec<Vec<Interval>> = (0..shards)
+        .map(|k| vec![iv(k as u64 * SHARD_LEN, (k as u64 + 1) * SHARD_LEN)])
+        .collect();
+    let store = WalStore::create(
+        Arc::clone(backend) as Arc<dyn StorageBackend>,
+        &initial,
+        None,
+    )
+    .expect("create");
+    let mut shadows: Vec<Shadow> = (0..shards)
+        .map(|k| Shadow {
+            state: vec![(k as u64 * SHARD_LEN, (k as u64 + 1) * SHARD_LEN)],
+            solutions: Vec::new(),
+            records: Vec::new(),
+        })
+        .collect();
+    // Strictly decreasing costs so every published solution improves and
+    // no two solutions tie (ties would make "which one survived the
+    // cut" ambiguous).
+    let mut next_cost = 1_000_000u64;
+    for &(action, shard_sel, entry_sel, frac) in steps {
+        let k = shard_sel as usize % shards;
+        let shadow = &mut shadows[k];
+        let ops: Vec<WalOp> = match action {
+            // Remove one whole entry.
+            0 if !shadow.state.is_empty() => {
+                let i = entry_sel as usize % shadow.state.len();
+                let (b, e) = shadow.state.remove(i);
+                vec![WalOp::Remove(iv(b, e))]
+            }
+            // Shrink an entry from the left (a worker's update).
+            1 if !shadow.state.is_empty() => {
+                let i = entry_sel as usize % shadow.state.len();
+                let (b, e) = shadow.state[i];
+                if e - b < 2 {
+                    continue;
+                }
+                let adv = 1 + (frac as u64) % (e - b - 1);
+                shadow.state[i] = (b + adv, e);
+                vec![WalOp::Replace {
+                    old: iv(b, e),
+                    new: iv(b + adv, e),
+                }]
+            }
+            // Split an entry in two (a partition): one record, two ops.
+            2 if !shadow.state.is_empty() => {
+                let i = entry_sel as usize % shadow.state.len();
+                let (b, e) = shadow.state[i];
+                if e - b < 2 {
+                    continue;
+                }
+                let mid = b + 1 + (frac as u64) % (e - b - 1);
+                shadow.state[i] = (b, mid);
+                shadow.state.push((mid, e));
+                vec![
+                    WalOp::Replace {
+                        old: iv(b, e),
+                        new: iv(b, mid),
+                    },
+                    WalOp::Insert(iv(mid, e)),
+                ]
+            }
+            // Publish an improving solution.
+            3 => {
+                next_cost -= 1;
+                shadow.solutions.push(next_cost);
+                vec![WalOp::Solution(Solution::new(next_cost, vec![k as u64]))]
+            }
+            _ => continue,
+        };
+        let record = gridbnb_core::wal::encode_record(&ops);
+        store.append(k, &ops).expect("append");
+        shadow.records.push(RecordSnapshot {
+            framed_len: record.len() as u64,
+            state: shadow.state.clone(),
+            solutions: shadow.solutions.clone(),
+        });
+    }
+    shadows
+}
+
+/// Sorted-interval view of a shadow state, for multiset comparison.
+fn sorted_intervals(state: &[(u64, u64)]) -> Vec<Interval> {
+    let mut pairs = state.to_vec();
+    pairs.sort_unstable();
+    pairs.into_iter().map(|(b, e)| iv(b, e)).collect()
+}
+
+fn sort_recovered(mut recovered: Vec<Interval>) -> Vec<Interval> {
+    recovered.sort_by_key(|iv| format!("{:0>40}{:0>40}", iv.begin(), iv.end()));
+    recovered
+}
+
+/// Kills shard `cut_shard`'s segment at byte `cut` (clean boundary or
+/// mid-record), recovers, and checks the recovered state against the
+/// shadow oracle. Returns the property-test verdict.
+fn check_kill_at(
+    shards: usize,
+    steps: &[Step],
+    cut_shard: usize,
+    cut_ppm: u32,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let backend = Arc::new(MemoryBackend::new());
+    let shadows = build_log(&backend, shards, steps);
+    let k = cut_shard % shards;
+
+    let total: u64 = shadows[k].records.iter().map(|r| r.framed_len).sum();
+    let cut = (total as u128 * cut_ppm as u128 / 1_000_000) as u64;
+    let blob = segment_blob(k, 0);
+    if total > 0 {
+        backend.truncate(&blob, cut).expect("cut the segment");
+    }
+
+    // The oracle's expectation: whole records strictly below the cut
+    // survive; a strict remainder is one torn tail.
+    let mut surviving = 0usize;
+    let mut boundary = 0u64;
+    for r in &shadows[k].records {
+        if boundary + r.framed_len <= cut {
+            boundary += r.framed_len;
+            surviving += 1;
+        } else {
+            break;
+        }
+    }
+    let torn = cut > boundary;
+
+    let (_, recovered) =
+        WalStore::recover(Arc::clone(&backend) as Arc<dyn StorageBackend>).expect("recover");
+
+    prop_assert_eq!(recovered.torn_truncations, u64::from(torn));
+
+    // Per-shard interval multisets: the cut shard rolls back to the
+    // surviving prefix, every other shard keeps its full log.
+    let mut expected_total = 0u64;
+    for (s, shadow) in shadows.iter().enumerate() {
+        let expected_state: &[(u64, u64)] = if s == k {
+            if surviving == 0 {
+                &[(k as u64 * SHARD_LEN, (k as u64 + 1) * SHARD_LEN)]
+            } else {
+                &shadow.records[surviving - 1].state
+            }
+        } else {
+            &shadow.state
+        };
+        expected_total += expected_state.iter().map(|(b, e)| e - b).sum::<u64>();
+        prop_assert_eq!(
+            sort_recovered(recovered.shard_intervals[s].clone()),
+            sorted_intervals(expected_state),
+            "shard {} diverged (cut {} of {}, {} surviving records)",
+            s,
+            cut,
+            total,
+            surviving
+        );
+    }
+    // Conservation: Σ recovered length equals the oracle exactly.
+    prop_assert_eq!(recovered.total_length(), UBig::from(expected_total));
+
+    // Best solution: the minimum cost among every surviving record's
+    // publications (solutions on other shards never roll back).
+    let mut best: Option<u64> = None;
+    for (s, shadow) in shadows.iter().enumerate() {
+        let costs: &[u64] = if s == k {
+            if surviving == 0 {
+                &[]
+            } else {
+                &shadow.records[surviving - 1].solutions
+            }
+        } else {
+            &shadow.solutions
+        };
+        for &c in costs {
+            best = Some(best.map_or(c, |b: u64| b.min(c)));
+        }
+    }
+    prop_assert_eq!(recovered.solution.map(|s| s.cost), best);
+
+    // The truncation repair must land exactly on the record boundary.
+    if torn {
+        let repaired = backend.get(&blob).expect("get").unwrap_or_default();
+        prop_assert_eq!(repaired.len() as u64, boundary);
+    }
+    Ok(())
+}
+
+/// Flips one byte inside a complete record (past the length field, so
+/// the record still *frames* correctly and the CRC must catch it) and
+/// demands a loud [`WalError::Corrupt`]. Returns the verdict.
+fn check_corruption(
+    shards: usize,
+    steps: &[Step],
+    cut_shard: usize,
+    pick: u32,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let backend = Arc::new(MemoryBackend::new());
+    let shadows = build_log(&backend, shards, steps);
+    let k = cut_shard % shards;
+    prop_assume!(!shadows[k].records.is_empty());
+
+    let record = pick as usize % shadows[k].records.len();
+    let start: u64 = shadows[k].records[..record]
+        .iter()
+        .map(|r| r.framed_len)
+        .sum();
+    let len = shadows[k].records[record].framed_len;
+    // Offset 8.. skips magic (4) and the length field (4): the record
+    // still parses as complete, so the damage must be caught by CRC.
+    let offset = start + 8 + (pick as u64 % (len - 8));
+
+    let blob = segment_blob(k, 0);
+    let mut bytes = backend.get(&blob).expect("get").expect("segment exists");
+    bytes[offset as usize] = bytes[offset as usize].wrapping_add(1);
+    backend.put(&blob, &bytes).expect("put damaged segment");
+
+    let result = WalStore::recover(Arc::clone(&backend) as Arc<dyn StorageBackend>);
+    prop_assert!(
+        matches!(result, Err(WalError::Corrupt { .. })),
+        "mid-log damage at byte {} of {} must refuse recovery, got {:?}",
+        offset,
+        blob,
+        result.map(|(_, state)| state.replayed_ops)
+    );
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn kill_at_any_byte_recovers_exactly_s1(
+        steps in arb_steps(60),
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        check_kill_at(1, &steps, 0, cut_ppm)?;
+    }
+
+    #[test]
+    fn kill_at_any_byte_recovers_exactly_s4(
+        steps in arb_steps(60),
+        cut_shard in 0usize..4,
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        check_kill_at(4, &steps, cut_shard, cut_ppm)?;
+    }
+
+    #[test]
+    fn mid_log_damage_is_rejected_s1(
+        steps in arb_steps(40),
+        pick in 0u32..u32::MAX,
+    ) {
+        check_corruption(1, &steps, 0, pick)?;
+    }
+
+    #[test]
+    fn mid_log_damage_is_rejected_s4(
+        steps in arb_steps(40),
+        cut_shard in 0usize..4,
+        pick in 0u32..u32::MAX,
+    ) {
+        check_corruption(4, &steps, cut_shard, pick)?;
+    }
+}

@@ -37,5 +37,5 @@ pub use client::{
     query_metrics, query_status, run_workers_over_socket, ClientMode, ClientOptions, MuxClient,
     MuxTransport, SocketTransport,
 };
-pub use server::{NetServer, ServerConfig, ServerError, ServerHandle, ServerReport};
+pub use server::{NetServer, RecoveryStats, ServerConfig, ServerError, ServerHandle, ServerReport};
 pub use wire::{Frame, RunStatus};

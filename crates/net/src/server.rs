@@ -38,9 +38,10 @@
 //! [`ServerReport::protocol_errors`].
 
 use crate::wire::{self, drain_buffered_frames, read_frame, write_frame, Frame, RunStatus};
+use gridbnb_core::runtime::DurabilityPolicy;
 use gridbnb_core::{
     ConfigError, ContactGateway, CoordinatorConfig, CoordinatorStats, GatewayPolicy, GatewayStats,
-    Interval, Request, ShardRouter, TransportError,
+    Interval, Request, ShardRouter, TransportError, UBig, WalError, WalStore,
 };
 use gridbnb_metrics::{latency_buckets_ns, Counter, Histogram, MetricsRegistry};
 use std::io::{self, BufReader, BufWriter, Write as _};
@@ -82,6 +83,17 @@ pub struct ServerConfig {
     /// campaign per server. When `false` the server keeps listening
     /// until [`ServerHandle::stop`].
     pub drain_on_termination: bool,
+    /// Durable coordinator state (see
+    /// [`gridbnb_core::runtime::DurabilityPolicy`]). At startup the
+    /// server recovers any campaign committed on the backend — a killed
+    /// server restarted on the same backend resumes exactly where its
+    /// log ends, holders cleared, and the rejoining fleet finishes the
+    /// proof. Mid-log corruption refuses to serve
+    /// ([`ServerError::Durability`]); only a torn final record is
+    /// repaired silently. When the backend is empty a fresh log epoch is
+    /// opened. The recovered log's shard count overrides
+    /// [`ServerConfig::shards`].
+    pub durability: Option<DurabilityPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +106,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_millis(20),
             write_timeout: Duration::from_secs(5),
             drain_on_termination: true,
+            durability: None,
         }
     }
 }
@@ -129,6 +142,10 @@ pub enum ServerError {
     Config(ConfigError),
     /// Binding or operating the listener failed.
     Io(io::Error),
+    /// The durable log could not be opened or recovered — including
+    /// mid-log corruption, which the server refuses to serve past (a
+    /// torn *final* record is repaired by truncation instead).
+    Durability(WalError),
 }
 
 impl std::fmt::Display for ServerError {
@@ -136,11 +153,18 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Config(e) => write!(f, "invalid server config: {e}"),
             ServerError::Io(e) => write!(f, "server I/O error: {e}"),
+            ServerError::Durability(e) => write!(f, "durable log unusable: {e}"),
         }
     }
 }
 
 impl std::error::Error for ServerError {}
+
+impl From<WalError> for ServerError {
+    fn from(e: WalError) -> Self {
+        ServerError::Durability(e)
+    }
+}
 
 impl From<ConfigError> for ServerError {
     fn from(e: ConfigError) -> Self {
@@ -188,8 +212,30 @@ pub struct ServerReport {
     pub coordinator_stats: CoordinatorStats,
     /// Gateway counters, when aggregation was on.
     pub gateway: Option<GatewayStats>,
+    /// Σ unexplored interval length when the server wound down: zero
+    /// after a terminated campaign, and — for a server stopped mid-run —
+    /// exactly what a restart on the same durable backend must recover.
+    pub remaining: UBig,
+    /// Set when startup recovered a campaign from a durable log.
+    pub recovery: Option<RecoveryStats>,
     /// Wall time from bind to drain.
     pub wall: Duration,
+}
+
+/// What WAL recovery replayed when a server started on a backend that
+/// already held a committed campaign.
+#[derive(Clone, Debug)]
+pub struct RecoveryStats {
+    /// Complete log records replayed on top of the committed snapshot.
+    pub replayed_records: u64,
+    /// Operations inside those records.
+    pub replayed_ops: u64,
+    /// Torn final records repaired by truncation (a crash mid-append).
+    pub torn_truncations: u64,
+    /// Σ unexplored interval length at the recovery point — compare
+    /// against the killed server's [`ServerReport::remaining`] to prove
+    /// zero lost work.
+    pub recovered_length: UBig,
 }
 
 /// Counters shared between acceptor and handlers.
@@ -324,13 +370,56 @@ impl NetServer {
     }
 
     /// Runs the server to completion: accept, serve, supervise, drain.
+    ///
+    /// With [`ServerConfig::durability`] set, startup first recovers any
+    /// campaign committed on the backend (snapshot + log tails, exact
+    /// pre-crash interval sets) and serves the resumed state; a fresh
+    /// backend opens a new log epoch instead.
     pub fn serve(self) -> Result<ServerReport, ServerError> {
         let started = Instant::now();
-        let router = ShardRouter::new(
-            self.root.clone(),
-            self.config.shards,
-            self.config.coordinator.clone(),
-        )?;
+        let durability = self.config.durability.clone();
+        let mut recovery = None;
+        let router = match &durability {
+            Some(policy) => {
+                if WalStore::exists(policy.backend.as_ref()).map_err(ServerError::Io)? {
+                    let (wal, state) = WalStore::recover(Arc::clone(&policy.backend))?;
+                    recovery = Some(RecoveryStats {
+                        replayed_records: state.replayed_records,
+                        replayed_ops: state.replayed_ops,
+                        torn_truncations: state.torn_truncations,
+                        recovered_length: state.total_length(),
+                    });
+                    // The log is authoritative about sharding: restoring
+                    // into a different shard count would break per-shard
+                    // segment replay on the *next* recovery.
+                    ShardRouter::restore(
+                        self.root.clone(),
+                        state.shard_intervals,
+                        state.solution,
+                        self.config.coordinator.clone(),
+                    )?
+                    .with_wal(Arc::new(wal))
+                } else {
+                    let router = ShardRouter::new(
+                        self.root.clone(),
+                        self.config.shards,
+                        self.config.coordinator.clone(),
+                    )?;
+                    let (intervals, solution) = router.snapshot();
+                    let wal = WalStore::create(
+                        Arc::clone(&policy.backend),
+                        &intervals,
+                        solution.as_ref(),
+                    )?;
+                    router.with_wal(Arc::new(wal))
+                }
+            }
+            None => ShardRouter::new(
+                self.root.clone(),
+                self.config.shards,
+                self.config.coordinator.clone(),
+            )?,
+        };
         let gateway_tier = self
             .config
             .aggregate
@@ -379,14 +468,19 @@ impl NetServer {
             // runs — holder expiry recovers intervals from vanished
             // connections, the deadline flush keeps gateway submitters
             // live below the fan-in.
+            let durability = durability.as_ref();
             scope.spawn(move |_| {
-                let tick = gateway
+                let mut tick = gateway
                     .map(|g| {
                         Duration::from_nanos(g.policy().max_delay_ns / 2)
                             .max(Duration::from_millis(1))
                     })
                     .unwrap_or(Duration::from_millis(5))
                     .min(Duration::from_millis(5));
+                if let Some(policy) = durability {
+                    tick = tick.min(policy.compact_every);
+                }
+                let mut last_compaction = Instant::now();
                 while supervising.load(Ordering::Acquire) {
                     std::thread::sleep(tick);
                     let now_ns = started.elapsed().as_nanos() as u64;
@@ -394,6 +488,15 @@ impl NetServer {
                         gateway.flush_stale(now_ns);
                     }
                     router.expire_stale_holders(now_ns);
+                    if let Some(policy) = durability {
+                        if last_compaction.elapsed() >= policy.compact_every {
+                            // A failed compaction leaves the previous
+                            // manifest committed; the store counts it on
+                            // `gbnb_wal_compaction_failures_total`.
+                            let _ = router.compact_wal();
+                            last_compaction = Instant::now();
+                        }
+                    }
                 }
                 if let Some(gateway) = gateway {
                     gateway.flush_now(started.elapsed().as_nanos() as u64);
@@ -441,6 +544,14 @@ impl NetServer {
         })
         .expect("server scope panicked")?;
 
+        // A *terminated* campaign gets one last compaction after every
+        // handler is gone: the backend ends up holding the terminal
+        // snapshot and no segments, so a restart replays nothing. A
+        // server merely stopped mid-campaign skips this — its log tail
+        // is the crash image a restart must replay.
+        if durability.is_some() && router.is_terminated() {
+            let _ = router.compact_wal();
+        }
         let terminated = router.is_terminated();
         let solution = router.solution();
         Ok(ServerReport {
@@ -458,6 +569,8 @@ impl NetServer {
             steals: router.steals(),
             coordinator_stats: router.stats(),
             gateway: gateway_tier.as_ref().map(|g| g.stats()),
+            remaining: router.size(),
+            recovery,
             wall: started.elapsed(),
         })
     }

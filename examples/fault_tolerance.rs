@@ -6,18 +6,50 @@
 //! ```sh
 //! cargo run --release --example fault_tolerance
 //! ```
+//!
+//! Two extra modes:
+//!
+//! ```sh
+//! # Durable coordinator: a write-ahead log on a directory-per-shard
+//! # backend, a crash image taken mid-run (what kill -9 leaves on
+//! # disk), recovery, and a resumed run proving the same optimum.
+//! cargo run --release --example fault_tolerance -- --durable
+//!
+//! # A bigger checkpointed campaign: 16-facility Nugent-style QAP,
+//! # heuristic-seeded, durable and checkpointed while it runs.
+//! cargo run --release --example fault_tolerance -- --nug16
+//! ```
 
 use gridbnb::core::checkpoint::CheckpointStore;
 use gridbnb::core::runtime::{
-    run, run_with_coordinator, ChaosConfig, CheckpointPolicy, CrashPlan, RuntimeConfig,
+    run, run_with_coordinator, run_with_router, ChaosConfig, CheckpointPolicy, CrashPlan,
+    RuntimeConfig,
 };
-use gridbnb::core::{Coordinator, CoordinatorConfig};
+use gridbnb::core::{
+    Coordinator, CoordinatorConfig, MetricsRegistry, ShardDirBackend, ShardRouter, StorageBackend,
+    WalStore,
+};
 use gridbnb::engine::solve;
 use gridbnb::flowshop::bounds::PairSelection;
 use gridbnb::flowshop::{taillard, BoundMode, FlowshopProblem};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--durable") {
+        demo_durable();
+        return;
+    }
+    if args.iter().any(|a| a == "--nug16") {
+        demo_nug16();
+        return;
+    }
+    demo_crashes_and_checkpoints();
+}
+
+fn demo_crashes_and_checkpoints() {
     let instance = taillard::generate(10, 5, 31_337);
     let problem = FlowshopProblem::new(instance, BoundMode::Johnson(PairSelection::All));
 
@@ -72,8 +104,8 @@ fn main() {
     });
     let report = run(&problem, &config);
     println!(
-        "checkpointing run: optimum {:?}, {} farmer checkpoints written",
-        report.proven_optimum, report.farmer_checkpoints
+        "checkpointing run: optimum {:?}, {} farmer checkpoints written, {} failed",
+        report.proven_optimum, report.farmer_checkpoints, report.checkpoint_failures
     );
 
     // Simulate a farmer restart from the files — here the terminal state.
@@ -93,6 +125,173 @@ fn main() {
     println!("resumed run confirms optimum: {:?}", resumed.proven_optimum);
     assert_eq!(resumed.proven_optimum, expected);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Durable-coordinator demo: the campaign journals every interval delta
+/// to a write-ahead log on a directory-per-shard backend; a concurrent
+/// thread keeps copying the directory — each copy is a *crash image*,
+/// the bytes a `kill -9` would leave behind. The last image is then
+/// recovered (torn tail repaired, log tail replayed over the committed
+/// snapshot), a router is rebuilt from the recovered state, and the
+/// resumed run proves the same optimum.
+fn demo_durable() {
+    let instance = taillard::generate(10, 5, 31_337);
+    let problem = FlowshopProblem::new(instance, BoundMode::Johnson(PairSelection::All));
+    let expected = solve(&problem, None).best_cost;
+    println!("sequential optimum: {expected:?}");
+
+    let scratch = std::env::temp_dir().join(format!("gridbnb-durable-{}", std::process::id()));
+    let live_dir = scratch.join("live");
+    let image_dir = scratch.join("crash-image");
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let backend: Arc<dyn StorageBackend> =
+        Arc::new(ShardDirBackend::new(&live_dir).expect("shard-dir backend"));
+    let registry = MetricsRegistry::new();
+    let mut config = RuntimeConfig::new(4)
+        .with_shards(2)
+        .with_metrics(&registry)
+        .with_durability(Arc::clone(&backend), Duration::from_millis(10));
+    config.poll_nodes = 200;
+
+    // Crash-image thief: while the durable run is live, copy the
+    // backend directory once, as early as possible — a mid-flight
+    // point-in-time image, the bytes a kill -9 would leave behind.
+    let imaging = Arc::new(std::sync::atomic::AtomicBool::new(true));
+    let thief = {
+        let live = live_dir.clone();
+        let image = image_dir.clone();
+        let imaging = Arc::clone(&imaging);
+        std::thread::spawn(move || {
+            while imaging.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(2));
+                if live.exists() && copy_tree(&live, &image).is_ok() {
+                    return true;
+                }
+            }
+            false
+        })
+    };
+    let live_report = run(&problem, &config);
+    imaging.store(false, std::sync::atomic::Ordering::Release);
+    let imaged_in_flight = thief.join().expect("imaging thread");
+    if !imaged_in_flight {
+        // The run beat the thief to it — image the terminal state.
+        copy_tree(&live_dir, &image_dir).expect("image terminal state");
+    }
+    println!(
+        "durable run: optimum {:?} (crash image taken {})",
+        live_report.proven_optimum,
+        if imaged_in_flight {
+            "mid-flight"
+        } else {
+            "after the fact"
+        }
+    );
+    for line in registry
+        .render_text()
+        .lines()
+        .filter(|l| l.starts_with("gbnb_wal_") && !l.contains("_ns"))
+    {
+        println!("  {line}");
+    }
+    assert_eq!(live_report.proven_optimum, expected);
+
+    // "Restart" from the crash image.
+    let imaged: Arc<dyn StorageBackend> =
+        Arc::new(ShardDirBackend::new(&image_dir).expect("imaged backend"));
+    let (_, state) =
+        WalStore::recover(Arc::clone(&imaged)).expect("every point-in-time image must recover");
+    println!(
+        "recovered image: {} replayed records ({} ops), {} torn tail(s) repaired, \
+         remaining length {}, solution {:?}",
+        state.replayed_records,
+        state.replayed_ops,
+        state.torn_truncations,
+        state.total_length(),
+        state.solution.as_ref().map(|s| s.cost),
+    );
+    let shards = state.shard_intervals.len();
+    let router = ShardRouter::restore(
+        problem_root(&problem),
+        state.shard_intervals,
+        state.solution,
+        CoordinatorConfig::default(),
+    )
+    .expect("restore router");
+    let mut resumed_config = RuntimeConfig::new(4)
+        .with_shards(shards)
+        .with_durability(imaged, Duration::from_millis(10));
+    resumed_config.poll_nodes = 200;
+    let resumed = run_with_router(&problem, router, &resumed_config);
+    println!("resumed run confirms optimum: {:?}", resumed.proven_optimum);
+    assert_eq!(resumed.proven_optimum, expected);
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// A bigger campaign in the paper's style: 16-facility Nugent-like QAP,
+/// seeded with the greedy heuristic's upper bound, running durable AND
+/// checkpointed at once. Expect minutes, not seconds — that is the
+/// point: the checkpoint files and the WAL stay warm the whole way.
+fn demo_nug16() {
+    use gridbnb::qap::greedy::{greedy_upper_bound, GreedyParams};
+    use gridbnb::qap::{Bound, QapInstance, QapProblem};
+
+    let instance = QapInstance::nugent_style(4, 4, 2007);
+    let (_, ub) = greedy_upper_bound(&instance, &GreedyParams::default());
+    println!("nug16: greedy upper bound {ub}");
+    let problem = QapProblem::new(instance, Bound::GilmoreLawler);
+
+    let scratch = std::env::temp_dir().join(format!("gridbnb-nug16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let backend: Arc<dyn StorageBackend> =
+        Arc::new(ShardDirBackend::new(scratch.join("wal")).expect("shard-dir backend"));
+    std::fs::create_dir_all(scratch.join("ckpt")).expect("ckpt dir");
+    let store = CheckpointStore::new(
+        scratch.join("ckpt/INTERVALS"),
+        scratch.join("ckpt/SOLUTION"),
+    );
+
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let registry = MetricsRegistry::new();
+    let mut config = RuntimeConfig::new(workers)
+        .with_shards(4)
+        .with_metrics(&registry)
+        .with_durability(Arc::clone(&backend), Duration::from_millis(500));
+    config.coordinator.initial_upper_bound = Some(ub + 1);
+    config.checkpoint = Some(CheckpointPolicy {
+        store,
+        every: Duration::from_millis(250),
+    });
+    let report = run(&problem, &config);
+    println!(
+        "nug16 proved optimum {:?} on {workers} workers in {:?} \
+         ({} checkpoints, {} failed)",
+        report.proven_optimum, report.wall, report.farmer_checkpoints, report.checkpoint_failures
+    );
+    for line in registry
+        .render_text()
+        .lines()
+        .filter(|l| l.starts_with("gbnb_wal_") && !l.contains("_ns"))
+    {
+        println!("  {line}");
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+/// Recursive file copy — the crash-image "dd" of the demo.
+fn copy_tree(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        let to: PathBuf = dst.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_tree(&entry.path(), &to)?;
+        } else {
+            std::fs::copy(entry.path(), &to)?;
+        }
+    }
+    Ok(())
 }
 
 fn problem_root(problem: &FlowshopProblem) -> gridbnb::coding::Interval {
