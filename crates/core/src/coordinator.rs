@@ -1203,6 +1203,19 @@ impl Coordinator {
     /// from every current entry (guaranteed when it came from a peer
     /// shard administering the same root). Empty intervals are ignored.
     pub fn adopt(&mut self, interval: Interval) {
+        self.adopt_inner(interval, true);
+    }
+
+    /// [`Coordinator::adopt`] minus the journaled `Insert` — the landing
+    /// half of a cross-shard steal. The router has already appended the
+    /// `Insert` to this shard's log segment *before* the victim's
+    /// `Remove`/`Replace` could be logged (the loss-proof steal
+    /// ordering), so journaling it again here would duplicate the record.
+    pub fn adopt_prelogged(&mut self, interval: Interval) {
+        self.adopt_inner(interval, false);
+    }
+
+    fn adopt_inner(&mut self, interval: Interval, journal: bool) {
         if interval.is_empty() {
             return;
         }
@@ -1210,8 +1223,10 @@ impl Coordinator {
             self.root.contains_interval(&interval),
             "adopted interval escapes the root range"
         );
-        if let Some(journal) = self.journal.as_mut() {
-            journal.push(WalOp::Insert(interval.clone()));
+        if journal {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push(WalOp::Insert(interval.clone()));
+            }
         }
         self.remaining += &interval.length();
         self.entries.push(IntervalEntry {

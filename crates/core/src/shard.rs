@@ -46,7 +46,7 @@
 //! response-identical to a bare [`Coordinator`] (pinned by a property
 //! test).
 
-use crate::wal::{WalError, WalMetrics, WalStore};
+use crate::wal::{WalError, WalMetrics, WalOp, WalStore};
 use crate::{
     ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response,
     ShardEnvelope, ShardId, WorkerId,
@@ -350,6 +350,50 @@ impl ShardRouter {
             if !ops.is_empty() {
                 let _ = wal.append(idx, &ops);
             }
+        }
+    }
+
+    /// Logs a cross-shard steal with loss-proof ordering. Runs while the
+    /// *victim's* lock is still held, with the victim's `Remove`/`Replace`
+    /// sitting undrained in its journal.
+    ///
+    /// The stolen interval's `Insert` is appended (and fsynced) to the
+    /// **destination's** segment first; only then is the victim's journal
+    /// flushed. A crash between the two appends therefore recovers the
+    /// interval in *both* shards — re-explored once per copy, which is
+    /// safe — and never in neither, which would silently shrink the
+    /// search space and let a resumed campaign "prove" an optimum without
+    /// ever exploring the lost region.
+    ///
+    /// Appending to the destination's segment without holding the
+    /// destination's shard lock is safe: any op referencing the stolen
+    /// interval can only be journaled after `adopt_prelogged` runs under
+    /// the destination's lock, which happens-after this append, and the
+    /// per-segment mutex in [`WalStore::append`] turns that into record
+    /// order.
+    ///
+    /// If the destination's append fails (poisoning its log), the
+    /// victim's delta is *dropped* and its log poisoned too: flushing the
+    /// `Remove` with no durable `Insert` anywhere is exactly the loss
+    /// above, and the victim's later appends must also be suppressed so
+    /// its log never references post-steal state it does not record.
+    /// Both logs heal at the next compaction; until then recovery
+    /// replays the interval still in the victim.
+    fn journal_steal(
+        &self,
+        victim: usize,
+        dest: usize,
+        interval: &Interval,
+        coordinator: &mut Coordinator,
+    ) {
+        let Some(wal) = &self.wal else {
+            return;
+        };
+        if wal.append(dest, &[WalOp::Insert(interval.clone())]).is_ok() {
+            self.journal_flush(victim, coordinator);
+        } else {
+            let _ = coordinator.drain_journal();
+            wal.poison(victim);
         }
     }
 
@@ -874,7 +918,9 @@ impl ShardRouter {
     /// counted non-empty — so termination never misfires mid-steal; and
     /// the whole move holds the read side of the steal gate, so
     /// snapshots (write side) can never observe the interval in neither
-    /// shard.
+    /// shard. When a WAL is attached the move is logged with the same
+    /// never-in-neither guarantee on disk: see
+    /// [`ShardRouter::journal_steal`].
     fn steal_into(&self, dest: usize) -> bool {
         let _gate = self.steal_gate.read().expect("poisoned steal gate");
         let mut victim: Option<(usize, UBig)> = None;
@@ -898,8 +944,8 @@ impl ShardRouter {
             let mut coordinator = self.shards[victim].lock().expect("poisoned shard");
             let was_live = !coordinator.is_terminated();
             let stolen = coordinator.steal_largest();
-            self.journal_flush(victim, &mut coordinator);
-            if stolen.is_some() {
+            if let Some(interval) = &stolen {
+                self.journal_steal(victim, dest, interval, &mut coordinator);
                 // In-flight unit first, so the word stays non-zero even
                 // if the next line empties the victim.
                 self.state.fetch_add(1, Ordering::AcqRel);
@@ -914,8 +960,9 @@ impl ShardRouter {
         };
         let mut coordinator = self.shards[dest].lock().expect("poisoned shard");
         let was_terminated = coordinator.is_terminated();
-        coordinator.adopt(interval);
-        self.journal_flush(dest, &mut coordinator);
+        // The `Insert` was pre-logged by `journal_steal`; journaling it
+        // again here would duplicate the record.
+        coordinator.adopt_prelogged(interval);
         if was_terminated {
             self.state.fetch_add(NON_EMPTY_UNIT, Ordering::AcqRel);
         }

@@ -179,13 +179,39 @@ fn file_put(path: &Path, bytes: &[u8]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let tmp = path.with_extension("tmp");
+    // Append `.tmp` to the full file name rather than replacing the
+    // extension: `snap-3.intervals` and `snap-3.solution` must not both
+    // stage through the same `snap-3.tmp`.
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
     {
         let mut f = fs::File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)
+}
+
+/// Removes stray `*.tmp` files a crash mid-[`file_put`] may have left in
+/// `dir`. They are invisible to `list` (so recovery already ignores
+/// them), but would otherwise accumulate forever; best-effort, run at
+/// backend construction.
+fn sweep_tmp(dir: &Path) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let is_tmp = entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".tmp"));
+        if is_tmp && entry.file_type().is_ok_and(|t| t.is_file()) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
 }
 
 fn file_append(path: &Path, bytes: &[u8]) -> io::Result<()> {
@@ -240,6 +266,7 @@ impl FileBackend {
     pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
+        sweep_tmp(&root);
         Ok(FileBackend { root })
     }
 }
@@ -296,6 +323,14 @@ impl ShardDirBackend {
     pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
+        sweep_tmp(&root);
+        if let Ok(entries) = fs::read_dir(&root) {
+            for entry in entries.flatten() {
+                if entry.file_type().is_ok_and(|t| t.is_dir()) {
+                    sweep_tmp(&entry.path());
+                }
+            }
+        }
         Ok(ShardDirBackend { root })
     }
 }
@@ -569,6 +604,45 @@ mod tests {
         assert_eq!(backend.get("shard-3-gen-0.wal").unwrap().unwrap(), b"ops");
         backend.delete("shard-3-gen-0.wal").unwrap();
         assert!(!dir.join("shard-3").join("gen-0.wal").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_temp_paths_never_collide_across_same_stem_blobs() {
+        // `snap-1.intervals` and `snap-1.solution` must stage through
+        // *different* temp files — with `with_extension("tmp")` they both
+        // mapped to `snap-1.tmp` and a concurrent put could corrupt one
+        // with the other's bytes.
+        let dir = tempdir("tmp-collide");
+        let backend = FileBackend::new(&dir).unwrap();
+        backend.put("snap-1.intervals", b"intervals").unwrap();
+        backend.put("snap-1.solution", b"solution").unwrap();
+        assert_eq!(
+            backend.get("snap-1.intervals").unwrap().unwrap(),
+            b"intervals"
+        );
+        assert_eq!(
+            backend.get("snap-1.solution").unwrap().unwrap(),
+            b"solution"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stray_tmp_files_are_swept_at_construction() {
+        let dir = tempdir("tmp-sweep");
+        fs::write(dir.join("snap-1.intervals.tmp"), b"torn").unwrap();
+        let backend = FileBackend::new(&dir).unwrap();
+        assert!(!dir.join("snap-1.intervals.tmp").exists());
+        assert!(backend.list().unwrap().is_empty());
+
+        fs::write(dir.join("MANIFEST.tmp"), b"torn").unwrap();
+        fs::create_dir_all(dir.join("shard-0")).unwrap();
+        fs::write(dir.join("shard-0").join("gen-2.wal.tmp"), b"torn").unwrap();
+        let backend = ShardDirBackend::new(&dir).unwrap();
+        assert!(!dir.join("MANIFEST.tmp").exists());
+        assert!(!dir.join("shard-0").join("gen-2.wal.tmp").exists());
+        assert!(backend.list().unwrap().is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 

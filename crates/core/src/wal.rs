@@ -60,6 +60,16 @@
 //! skipped and counted until the next compaction writes a fresh snapshot
 //! and heals the log. Failures are never silent: they are counted in
 //! `gbnb_wal_append_failures_total` and surfaced to the caller.
+//!
+//! Cross-shard steals span *two* segments and are ordered loss-proof:
+//! the stolen interval's `ins` is appended to the destination's segment
+//! (and fsynced) **before** the victim's `del`/`rep` can be. A crash
+//! between the two appends therefore recovers the interval in *both*
+//! shards — it is re-explored once per copy, which is safe — and never
+//! in neither, which would silently shrink the search space. If the
+//! destination's append fails, the victim's half of the move is dropped
+//! and its log poisoned too ([`WalStore::poison`]): recovery then replays
+//! the interval still in the victim until compaction heals both logs.
 
 use crate::checkpoint::{
     decode_interval_line, decode_sharded_intervals, decode_solution, encode_interval_line,
@@ -638,9 +648,12 @@ impl WalStore {
             logs.push(Mutex::new(log));
         }
 
-        // Retry the cleanup a crash may have half-finished.
+        // Retry the cleanup a crash may have half-finished. Best-effort,
+        // exactly like `create`'s: the recovered state is already fully
+        // reconstructed, and a blob that survives a failed delete is
+        // ignored by the committed-manifest logic on the next recovery.
         for name in stale {
-            backend.delete(&name)?;
+            let _ = backend.delete(&name);
         }
 
         let state = RecoveredState {
@@ -689,9 +702,15 @@ impl WalStore {
     /// Appends one record holding `ops` to shard `shard`'s segment.
     ///
     /// MUST be called while the owning coordinator shard's lock is held —
-    /// that is what serializes records into state order. A failed append
-    /// is repaired by truncating back to the last good length and poisons
-    /// the shard log until the next compaction.
+    /// that is what serializes records into state order. The one
+    /// exception is the cross-shard steal's pre-logged `Insert`, which
+    /// the router appends to the *destination's* segment while holding
+    /// only the victim's lock: any later op referencing the stolen
+    /// interval is journaled after `adopt` under the destination's lock,
+    /// which happens-after the pre-log, so the per-segment mutex here
+    /// still orders the records correctly. A failed append is repaired by
+    /// truncating back to the last good length and poisons the shard log
+    /// until the next compaction.
     pub fn append(&self, shard: usize, ops: &[WalOp]) -> Result<(), WalError> {
         if ops.is_empty() {
             return Ok(());
@@ -736,6 +755,24 @@ impl WalStore {
         self.append_failures.fetch_add(1, Ordering::Relaxed);
         if let Some(m) = self.metrics.get() {
             m.append_failures.inc();
+        }
+    }
+
+    /// Marks shard `shard`'s log stale without appending: subsequent
+    /// appends are skipped and counted until the next compaction heals
+    /// it. The steal path uses this on the *victim* when the
+    /// destination's pre-logged `Insert` failed — logging the victim's
+    /// `Remove`/`Replace` with no durable `Insert` anywhere would turn
+    /// the failed append into silently lost work at recovery, and the
+    /// victim's later appends must also be suppressed so its log never
+    /// references post-steal state it does not record. Counted as an
+    /// append failure (the log is stale either way).
+    pub fn poison(&self, shard: usize) {
+        let mut log = self.logs[shard].lock().unwrap();
+        if !log.poisoned {
+            log.poisoned = true;
+            drop(log);
+            self.count_append_failure();
         }
     }
 

@@ -5,7 +5,10 @@
 
 use gridbnb_core::checkpoint::CheckpointStore;
 use gridbnb_core::runtime::{run, run_with_router, CheckpointPolicy, RuntimeConfig};
-use gridbnb_core::{MemoryBackend, MetricsRegistry, ShardRouter, StorageBackend, UBig, WalStore};
+use gridbnb_core::{
+    CoordinatorConfig, Fault, FaultBackend, Interval, IntervalSet, MemoryBackend, MetricsRegistry,
+    Request, Response, ShardRouter, StorageBackend, UBig, WalStore, WorkerId,
+};
 use gridbnb_engine::solve;
 use gridbnb_flowshop::taillard::generate;
 use gridbnb_flowshop::{BoundMode, FlowshopProblem, Problem};
@@ -133,6 +136,140 @@ fn mid_flight_crash_image_recovers_and_finishes() {
     assert_eq!(
         resumed.proven_optimum, expected,
         "resumed campaign must prove the same optimum"
+    );
+}
+
+/// A 2-shard router on a fault-injectable WAL, positioned one
+/// `RequestWork` away from a cross-shard steal: w0 holds all of its home
+/// shard's slice, the returned worker has taken (and still holds) all of
+/// the other shard's slice, so that worker's next request can only be
+/// served by stealing across shards.
+fn steal_scene() -> (Arc<FaultBackend<MemoryBackend>>, ShardRouter, WorkerId) {
+    let root = Interval::new(UBig::zero(), UBig::from(1_000u64));
+    let config = CoordinatorConfig {
+        duplication_threshold: UBig::from(1u64),
+        holder_timeout_ns: 1_000_000_000,
+        initial_upper_bound: Some(10_000),
+    };
+    let router = ShardRouter::new(root, 2, config).expect("router");
+    let backend = Arc::new(FaultBackend::new(MemoryBackend::new()));
+    let (intervals, solution) = router.snapshot();
+    let wal = WalStore::create(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        &intervals,
+        solution.as_ref(),
+    )
+    .expect("create wal");
+    let router = router.with_wal(Arc::new(wal));
+
+    let w0 = WorkerId(0);
+    let home = router.route(w0);
+    let w1 = (1..64)
+        .map(WorkerId)
+        .find(|&w| router.route(w) != home)
+        .expect("some worker must hash to the other shard");
+    for (t, w) in [(0u64, w0), (1, w1)] {
+        match router.handle(
+            Request::Join {
+                worker: w,
+                power: 10,
+            },
+            t,
+        ) {
+            Response::Work { .. } => {}
+            other => panic!("expected work for {w:?}, got {other:?}"),
+        }
+    }
+    (backend, router, w1)
+}
+
+/// Serves the thief's next request, which drains its home shard and
+/// steals. Three appends run in order: the home shard's `del` of the
+/// completed slice, the destination's pre-logged `Insert` of the stolen
+/// interval, then the victim's `Replace` flush — arm the fault plan
+/// accordingly.
+fn steal_now(router: &ShardRouter, worker: WorkerId) -> Interval {
+    let response = router.handle(Request::RequestWork { worker, power: 10 }, 2);
+    let interval = match response {
+        Response::Work { interval, .. } => interval,
+        other => panic!("expected stolen work, got {other:?}"),
+    };
+    assert_eq!(router.steals(), 1, "the request must be served by a steal");
+    interval
+}
+
+/// Regression: the cross-shard steal is logged destination-`Insert`
+/// first. When that append *fails*, the victim's `Remove`/`Replace`
+/// must not be logged either (both logs go stale instead) — otherwise a
+/// crash image would show the stolen interval in neither shard's log and
+/// recovery would silently shrink the search space.
+#[test]
+fn steal_with_failing_destination_append_loses_no_work() {
+    let (backend, router, thief) = steal_scene();
+    // Skip the home shard's `del`; fail the steal's pre-logged
+    // destination Insert.
+    backend.fail_after(1, 1, Fault::Error);
+    let stolen = steal_now(&router, thief);
+    let wal = router.wal().expect("wal attached");
+    assert!(
+        wal.append_failures() >= 2,
+        "destination failure + victim poisoning must both be surfaced, saw {}",
+        wal.append_failures()
+    );
+    backend.clear_faults();
+
+    // Crash now: recover from what is on "disk". Neither half of the
+    // move became durable, so the stolen interval is still covered by
+    // the victim's log and the live mass (the root minus the thief's
+    // completed 500-wide home slice) is exactly conserved.
+    let (_, state) = WalStore::recover(Arc::clone(&backend) as Arc<dyn StorageBackend>)
+        .expect("a failed steal append must not corrupt the log");
+    assert_eq!(
+        state.total_length(),
+        UBig::from(500u64),
+        "failed steal logging must not lose interval mass"
+    );
+    let mut union = IntervalSet::new();
+    for interval in state.shard_intervals.iter().flatten() {
+        union.insert(interval.clone());
+    }
+    assert!(
+        union.covers(&stolen),
+        "the stolen interval must survive in the victim's log"
+    );
+}
+
+/// Regression: when the destination's `Insert` is durable but the
+/// victim's half of the move fails to append, recovery sees the donated
+/// range *twice* — once still inside the victim's logged interval, once
+/// as the destination's Insert. Re-exploring a duplicate is safe; the
+/// crash window where the interval existed in neither log is what this
+/// pins down as gone.
+#[test]
+fn steal_with_failing_victim_append_duplicates_instead_of_losing() {
+    let (backend, router, thief) = steal_scene();
+    // Home `del` and the destination's Insert succeed; the victim's
+    // Replace flush fails.
+    backend.fail_after(2, 1, Fault::Error);
+    let stolen = steal_now(&router, thief);
+    backend.clear_faults();
+
+    let (_, state) = WalStore::recover(Arc::clone(&backend) as Arc<dyn StorageBackend>)
+        .expect("a half-logged steal must recover");
+    // The victim's log rolled back to its full 500-wide slice, and the
+    // destination's durable Insert duplicates the donated range on top.
+    assert_eq!(
+        state.total_length(),
+        &UBig::from(500u64) + &stolen.length(),
+        "the donated range must be duplicated, with nothing lost"
+    );
+    let mut union = IntervalSet::new();
+    for interval in state.shard_intervals.iter().flatten() {
+        union.insert(interval.clone());
+    }
+    assert!(
+        union.covers(&stolen),
+        "the stolen interval must be covered by the recovered state"
     );
 }
 

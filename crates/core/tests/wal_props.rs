@@ -16,7 +16,17 @@
 //! recovery with [`WalError::Corrupt`]: that is the difference between
 //! a crash (tear at the tail) and damage (anywhere else).
 //!
-//! Both properties run at S ∈ {1, 4} shards.
+//! A second family of properties models **cross-shard moves** (the
+//! router's work steals), which span two segments: the stolen interval's
+//! `Insert` is appended to the destination's log *before* the victim's
+//! `Remove`/`Replace`. Because appends are fsynced in issue order, a
+//! crash there is a cut in the *global* append sequence — every record
+//! issued before the cut survives on whatever shard it went to — so the
+//! oracle is simply the op-sequence prefix: a cut between a move's two
+//! records must recover the interval in *both* shards (a duplicate,
+//! re-explored once per copy — safe), never in neither (a silent loss).
+//!
+//! All properties run at S ∈ {1, 4} shards.
 
 use gridbnb_core::wal::segment_blob;
 use gridbnb_core::{
@@ -288,6 +298,307 @@ fn check_corruption(
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Cross-shard moves under the global crash model
+// ---------------------------------------------------------------------------
+//
+// The per-shard cut model above cannot express a steal: truncating only
+// the destination's log while keeping the victim's later `Remove` would
+// fake a crash that fsync ordering makes impossible (and would "observe"
+// a loss that cannot happen). Here every appended record carries its
+// global issue order, a crash is a byte position in that global stream,
+// and each shard's segment is truncated to exactly the bytes it had
+// durable at that instant.
+
+/// Symbolic shadow op, mirroring [`WalOp`] on plain `u64` pairs so the
+/// oracle never round-trips through the codec under test.
+#[derive(Clone, Copy)]
+enum SOp {
+    Ins(u64, u64),
+    Del(u64, u64),
+    Rep(u64, u64, u64, u64),
+    Sol(u64),
+}
+
+/// One record in global append order: which shard's segment it extended,
+/// its framed byte length, and the shadow ops it carried.
+struct GlobalRecord {
+    shard: usize,
+    framed_len: u64,
+    ops: Vec<SOp>,
+}
+
+fn initial_states(shards: usize) -> Vec<Vec<(u64, u64)>> {
+    (0..shards)
+        .map(|k| vec![(k as u64 * SHARD_LEN, (k as u64 + 1) * SHARD_LEN)])
+        .collect()
+}
+
+fn emit(
+    store: &WalStore,
+    records: &mut Vec<GlobalRecord>,
+    shard: usize,
+    wal_ops: &[WalOp],
+    sops: Vec<SOp>,
+) {
+    let framed_len = gridbnb_core::wal::encode_record(wal_ops).len() as u64;
+    store.append(shard, wal_ops).expect("append");
+    records.push(GlobalRecord {
+        shard,
+        framed_len,
+        ops: sops,
+    });
+}
+
+/// Like [`build_log`], plus two cross-shard move actions (full-entry and
+/// split-tier steals) that append to two segments in the router's
+/// loss-proof order: destination `Insert` first, victim half second.
+fn build_log_with_moves(
+    backend: &Arc<MemoryBackend>,
+    shards: usize,
+    steps: &[Step],
+) -> Vec<GlobalRecord> {
+    let initial: Vec<Vec<Interval>> = (0..shards)
+        .map(|k| vec![iv(k as u64 * SHARD_LEN, (k as u64 + 1) * SHARD_LEN)])
+        .collect();
+    let store = WalStore::create(
+        Arc::clone(backend) as Arc<dyn StorageBackend>,
+        &initial,
+        None,
+    )
+    .expect("create");
+    let mut states = initial_states(shards);
+    let mut next_cost = 1_000_000u64;
+    let mut records = Vec::new();
+    for &(action, shard_sel, entry_sel, frac) in steps {
+        let k = shard_sel as usize % shards;
+        match action {
+            0 if !states[k].is_empty() => {
+                let i = entry_sel as usize % states[k].len();
+                let (b, e) = states[k].remove(i);
+                emit(
+                    &store,
+                    &mut records,
+                    k,
+                    &[WalOp::Remove(iv(b, e))],
+                    vec![SOp::Del(b, e)],
+                );
+            }
+            1 if !states[k].is_empty() => {
+                let i = entry_sel as usize % states[k].len();
+                let (b, e) = states[k][i];
+                if e - b < 2 {
+                    continue;
+                }
+                let adv = 1 + (frac as u64) % (e - b - 1);
+                states[k][i] = (b + adv, e);
+                emit(
+                    &store,
+                    &mut records,
+                    k,
+                    &[WalOp::Replace {
+                        old: iv(b, e),
+                        new: iv(b + adv, e),
+                    }],
+                    vec![SOp::Rep(b, e, b + adv, e)],
+                );
+            }
+            2 if !states[k].is_empty() => {
+                let i = entry_sel as usize % states[k].len();
+                let (b, e) = states[k][i];
+                if e - b < 2 {
+                    continue;
+                }
+                let mid = b + 1 + (frac as u64) % (e - b - 1);
+                states[k][i] = (b, mid);
+                states[k].push((mid, e));
+                emit(
+                    &store,
+                    &mut records,
+                    k,
+                    &[
+                        WalOp::Replace {
+                            old: iv(b, e),
+                            new: iv(b, mid),
+                        },
+                        WalOp::Insert(iv(mid, e)),
+                    ],
+                    vec![SOp::Rep(b, e, b, mid), SOp::Ins(mid, e)],
+                );
+            }
+            3 => {
+                next_cost -= 1;
+                emit(
+                    &store,
+                    &mut records,
+                    k,
+                    &[WalOp::Solution(Solution::new(next_cost, vec![k as u64]))],
+                    vec![SOp::Sol(next_cost)],
+                );
+            }
+            // Full-entry move: the whole entry leaves shard `k` for
+            // `dest`. Destination's Insert is record one, victim's
+            // Remove is record two.
+            4 if shards > 1 && !states[k].is_empty() => {
+                let dest = (k + 1 + entry_sel as usize % (shards - 1)) % shards;
+                let i = entry_sel as usize % states[k].len();
+                let (b, e) = states[k][i];
+                emit(
+                    &store,
+                    &mut records,
+                    dest,
+                    &[WalOp::Insert(iv(b, e))],
+                    vec![SOp::Ins(b, e)],
+                );
+                states[k].remove(i);
+                states[dest].push((b, e));
+                emit(
+                    &store,
+                    &mut records,
+                    k,
+                    &[WalOp::Remove(iv(b, e))],
+                    vec![SOp::Del(b, e)],
+                );
+            }
+            // Split-tier move: the victim keeps the front half, the back
+            // half is donated. Same two-record order.
+            5 if shards > 1 && !states[k].is_empty() => {
+                let dest = (k + 1 + entry_sel as usize % (shards - 1)) % shards;
+                let i = entry_sel as usize % states[k].len();
+                let (b, e) = states[k][i];
+                if e - b < 2 {
+                    continue;
+                }
+                let mid = b + 1 + (frac as u64) % (e - b - 1);
+                emit(
+                    &store,
+                    &mut records,
+                    dest,
+                    &[WalOp::Insert(iv(mid, e))],
+                    vec![SOp::Ins(mid, e)],
+                );
+                states[k][i] = (b, mid);
+                states[dest].push((mid, e));
+                emit(
+                    &store,
+                    &mut records,
+                    k,
+                    &[WalOp::Replace {
+                        old: iv(b, e),
+                        new: iv(b, mid),
+                    }],
+                    vec![SOp::Rep(b, e, b, mid)],
+                );
+            }
+            _ => continue,
+        }
+    }
+    records
+}
+
+/// Replays the first `records` shadow ops onto fresh initial state — the
+/// closed-form expectation for a crash right after that many records
+/// became durable. Any prefix of a valid sequence is valid: a move cut
+/// in half leaves its `Ins` applied and its `Del`/`Rep` not, i.e. the
+/// interval in both shards.
+fn simulate(shards: usize, records: &[GlobalRecord]) -> (Vec<Vec<(u64, u64)>>, Option<u64>) {
+    let mut states = initial_states(shards);
+    let mut best: Option<u64> = None;
+    for r in records {
+        for &op in &r.ops {
+            match op {
+                SOp::Ins(b, e) => states[r.shard].push((b, e)),
+                SOp::Del(b, e) => {
+                    let i = states[r.shard]
+                        .iter()
+                        .position(|&p| p == (b, e))
+                        .expect("oracle removal of unknown pair");
+                    states[r.shard].remove(i);
+                }
+                SOp::Rep(b, e, nb, ne) => {
+                    let i = states[r.shard]
+                        .iter()
+                        .position(|&p| p == (b, e))
+                        .expect("oracle replacement of unknown pair");
+                    states[r.shard][i] = (nb, ne);
+                }
+                SOp::Sol(c) => best = Some(best.map_or(c, |b: u64| b.min(c))),
+            }
+        }
+    }
+    (states, best)
+}
+
+/// Kills the whole store at global byte position `cut_ppm · total`,
+/// truncating every shard's segment to the bytes it had durable at that
+/// instant, then recovers and checks against the prefix oracle.
+fn check_global_kill(
+    shards: usize,
+    steps: &[Step],
+    cut_ppm: u32,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let backend = Arc::new(MemoryBackend::new());
+    let records = build_log_with_moves(&backend, shards, steps);
+    let total: u64 = records.iter().map(|r| r.framed_len).sum();
+    let cut = (total as u128 * cut_ppm as u128 / 1_000_000) as u64;
+
+    // Whole records strictly below the cut survive; a strict remainder
+    // tears the record at the cut on whichever shard it was going to.
+    let mut surviving = 0usize;
+    let mut consumed = 0u64;
+    for r in &records {
+        if consumed + r.framed_len <= cut {
+            consumed += r.framed_len;
+            surviving += 1;
+        } else {
+            break;
+        }
+    }
+    let partial = cut - consumed;
+
+    let mut keep = vec![0u64; shards];
+    for r in &records[..surviving] {
+        keep[r.shard] += r.framed_len;
+    }
+    if partial > 0 {
+        keep[records[surviving].shard] += partial;
+    }
+    for (s, &len) in keep.iter().enumerate() {
+        let blob = segment_blob(s, 0);
+        if backend.get(&blob).expect("get").is_some() {
+            backend.truncate(&blob, len).expect("cut the segment");
+        }
+    }
+
+    let (_, recovered) =
+        WalStore::recover(Arc::clone(&backend) as Arc<dyn StorageBackend>).expect("recover");
+    prop_assert_eq!(recovered.torn_truncations, u64::from(partial > 0));
+
+    let (expected, best) = simulate(shards, &records[..surviving]);
+    let mut expected_total = 0u64;
+    for (s, state) in expected.iter().enumerate() {
+        expected_total += state.iter().map(|(b, e)| e - b).sum::<u64>();
+        prop_assert_eq!(
+            sort_recovered(recovered.shard_intervals[s].clone()),
+            sorted_intervals(state),
+            "shard {} diverged (global cut {} of {}, {} whole records)",
+            s,
+            cut,
+            total,
+            surviving
+        );
+    }
+    // Conservation across shards: a half-durable move duplicates mass,
+    // never loses it — the oracle total already accounts for the copy.
+    prop_assert_eq!(recovered.total_length(), UBig::from(expected_total));
+    prop_assert_eq!(recovered.solution.map(|s| s.cost), best);
+    Ok(())
+}
+
+fn arb_move_steps(max: usize) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec((0u8..6, 0u8..8, 0u16..1024, 1u32..1_000_000), 1..max)
+}
+
 proptest! {
     #[test]
     fn kill_at_any_byte_recovers_exactly_s1(
@@ -304,6 +615,22 @@ proptest! {
         cut_ppm in 0u32..=1_000_000,
     ) {
         check_kill_at(4, &steps, cut_shard, cut_ppm)?;
+    }
+
+    #[test]
+    fn global_cut_with_cross_shard_moves_recovers_exactly_s1(
+        steps in arb_move_steps(60),
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        check_global_kill(1, &steps, cut_ppm)?;
+    }
+
+    #[test]
+    fn global_cut_with_cross_shard_moves_recovers_exactly_s4(
+        steps in arb_move_steps(60),
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        check_global_kill(4, &steps, cut_ppm)?;
     }
 
     #[test]

@@ -165,7 +165,14 @@ fn demo_durable() {
         std::thread::spawn(move || {
             while imaging.load(std::sync::atomic::Ordering::Acquire) {
                 std::thread::sleep(Duration::from_millis(2));
-                if live.exists() && copy_tree(&live, &image).is_ok() {
+                // An image copied before the WAL's first MANIFEST commit
+                // has nothing to recover — wipe partial attempts and keep
+                // trying until the copy caught a committed state.
+                let _ = std::fs::remove_dir_all(&image);
+                if live.exists()
+                    && copy_tree(&live, &image).is_ok()
+                    && image.join("MANIFEST").exists()
+                {
                     return true;
                 }
             }
