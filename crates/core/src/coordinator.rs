@@ -118,6 +118,11 @@ pub enum ConfigError {
         /// The coordinator's `holder_timeout_ns` it must stay below.
         timeout_ns: u64,
     },
+    /// A deterministic replicable run combined with a contact gateway:
+    /// the gateway's flush timing depends on wall-clock deadlines and
+    /// thread interleaving, which no seed can fix, so the combination
+    /// is rejected loudly instead of producing quietly varying traces.
+    ReplicableGatewayUnsupported,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -150,6 +155,11 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "gateway.max_delay_ns must stay below coordinator.holder_timeout_ns \
                  ({delay_ns} ns ≥ {timeout_ns} ns)"
+            ),
+            ConfigError::ReplicableGatewayUnsupported => write!(
+                f,
+                "a deterministic replicable run cannot use a contact gateway \
+                 (its flush timing is wall-clock driven)"
             ),
         }
     }
@@ -1174,6 +1184,16 @@ impl Coordinator {
             }
         }
         let (tier, donated, idx) = best?;
+        Some(self.donate(tier, donated, idx))
+    }
+
+    /// Performs the donation a steal scan chose: tier 1 splits the
+    /// entry (holders keep the front, the back half leaves), tier 2
+    /// removes the whole unassigned entry. Shared by
+    /// [`Coordinator::steal_largest`] and
+    /// [`Coordinator::steal_ordered`], which differ only in *which*
+    /// candidate they pick.
+    fn donate(&mut self, tier: u8, donated: UBig, idx: usize) -> Interval {
         let stolen = if tier == 1 {
             // Split: holders keep the front, the back half is donated.
             let cut = self.entries[idx].interval.end().saturating_sub(&donated);
@@ -1194,7 +1214,75 @@ impl Coordinator {
             interval
         };
         self.stats.steals_donated += 1;
-        Some(stolen)
+        stolen
+    }
+
+    /// The candidate [`Coordinator::steal_ordered`] would donate:
+    /// tier-major like [`Coordinator::steal_largest`] (a whole
+    /// unassigned entry always beats a holder-disturbing split), then
+    /// largest donated length, then — the replicable refinement —
+    /// **lowest left endpoint**. Unlike the plain largest-first scan,
+    /// every comparison is a total order on the entry's value, never on
+    /// its position in the contention-dependent `entries` vector, so
+    /// two runs whose coordinators hold the same interval sets always
+    /// donate the same interval.
+    fn ordered_steal_candidate(&self) -> Option<(u8, UBig, usize)> {
+        let mut best: Option<(u8, UBig, usize)> = None;
+        for (idx, e) in self.entries.iter().enumerate() {
+            let len = e.interval.length();
+            let (tier, donated) = if e.holders.is_empty() {
+                (2u8, len)
+            } else if len > UBig::one() {
+                (1u8, len.div_rem_u64(2).0)
+            } else {
+                continue; // held and unsplittable: leave it to its holder
+            };
+            let better = match &best {
+                None => true,
+                Some((b_tier, b_len, b_idx)) => match tier.cmp(b_tier) {
+                    Ordering::Greater => true,
+                    Ordering::Less => false,
+                    Ordering::Equal => match donated.cmp(b_len) {
+                        Ordering::Greater => true,
+                        Ordering::Less => false,
+                        Ordering::Equal => {
+                            e.interval.begin() < self.entries[*b_idx].interval.begin()
+                        }
+                    },
+                },
+            };
+            if better {
+                best = Some((tier, donated, idx));
+            }
+        }
+        best
+    }
+
+    /// The left endpoint of the interval [`Coordinator::steal_ordered`]
+    /// would donate right now, or `None` when nothing is donatable —
+    /// the router's replicable victim scan picks the shard whose
+    /// preview is **lowest** (lowest-left-endpoint-first), replacing
+    /// the load-dependent most-loaded-victim rule.
+    pub fn steal_preview(&self) -> Option<UBig> {
+        let (tier, donated, idx) = self.ordered_steal_candidate()?;
+        let begin = if tier == 1 {
+            // The donated piece is the back half: it starts at the cut.
+            self.entries[idx].interval.end().saturating_sub(&donated)
+        } else {
+            self.entries[idx].interval.begin().clone()
+        };
+        Some(begin)
+    }
+
+    /// Deterministic variant of [`Coordinator::steal_largest`]: donates
+    /// the [`Coordinator::ordered_steal_candidate`], whose selection is
+    /// a pure function of the held interval sets (tier, then length,
+    /// then lowest left endpoint) instead of entry-vector position.
+    /// Tier semantics, journaling and counters are identical to the
+    /// default rule.
+    pub fn steal_ordered(&mut self) -> Option<Interval> {
+        let (tier, donated, idx) = self.ordered_steal_candidate()?;
+        Some(self.donate(tier, donated, idx))
     }
 
     /// Adopts a stolen interval as a new unassigned entry — the

@@ -46,6 +46,7 @@ mod protocol;
 pub mod runtime;
 pub mod shard;
 pub mod storage;
+pub mod trace;
 pub mod transport;
 pub mod wal;
 
@@ -58,6 +59,9 @@ pub use protocol::{Request, Response, ShardEnvelope, ShardId, WorkerId};
 pub use shard::ShardRouter;
 pub use storage::{
     Fault, FaultBackend, FileBackend, MemoryBackend, ShardDirBackend, StorageBackend,
+};
+pub use trace::{
+    diff_traces, RunTrace, TraceDivergence, TraceError, TraceEvent, TraceMeta, TraceReplayer,
 };
 pub use transport::{GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError};
 pub use wal::{RecoveredState, WalError, WalMetrics, WalOp, WalStore};

@@ -29,6 +29,7 @@
 
 use crate::checkpoint::CheckpointStore;
 use crate::storage::StorageBackend;
+use crate::trace::{RunTrace, TraceMeta};
 use crate::transport::{
     Envelope, GatewayTransport, ProtocolError, RouterTransport, Transport, TransportError,
 };
@@ -152,6 +153,41 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Replicable-search policy (after Archibald et al., *Replicable
+/// Parallel Branch and Bound Search*): same seed, same search.
+///
+/// A replicable run replaces the throughput-tuned heuristics whose
+/// outcome depends on thread timing with **ordered rules** that are
+/// pure functions of the interval state:
+///
+/// * steal victim = the shard whose donatable piece has the lowest
+///   left endpoint (seed-rotated scan breaks exact ties);
+/// * donation = the largest *ordered* candidate
+///   ([`Coordinator::steal_ordered`] — tier, then length, then lowest
+///   left endpoint) instead of entry-vector position.
+///
+/// With [`ReplicablePolicy::deterministic`] set the run is driven by a
+/// single-threaded scheduler over logical workers on a logical clock —
+/// two runs with the same seed produce **byte-identical** traces and
+/// identical per-shard counters (the headline property test). With it
+/// clear, the ordered rules and the trace run on real threads: the
+/// trace stays replayable (every event is recorded inside the shard
+/// critical section that produced it), but event *order* may vary
+/// between runs — that's the configuration the throughput benchmark
+/// gates, since byte-identity is impossible with racing threads.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicablePolicy {
+    /// Tie-break seed: rotates the victim scan and the deterministic
+    /// scheduler's worker permutation.
+    pub seed: u64,
+    /// Record a [`RunTrace`] of every handout, journal delta, steal
+    /// and cutoff broadcast (returned in [`RunReport::trace`]).
+    pub record_trace: bool,
+    /// Drive the run on one thread over a logical clock for
+    /// byte-identical traces (see the type docs).
+    pub deterministic: bool,
+}
+
 /// Runtime configuration.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -196,6 +232,12 @@ pub struct RuntimeConfig {
     /// (property-pinned), so this only changes throughput, never the
     /// search. `false` restores the node-at-a-time explorer.
     pub pooling: bool,
+    /// Optional replicable mode (see [`ReplicablePolicy`]): ordered
+    /// steal rules, an event trace, and — when `deterministic` — a
+    /// single-threaded logical-clock driver producing byte-identical
+    /// traces per seed. Runs with a policy always take the router
+    /// path.
+    pub replicable: Option<ReplicablePolicy>,
     /// How workers retry contacts that fail transiently (see
     /// [`RetryPolicy`]).
     pub transport_retry: RetryPolicy,
@@ -222,9 +264,35 @@ impl RuntimeConfig {
             durability: None,
             chaos: None,
             pooling: true,
+            replicable: None,
             transport_retry: RetryPolicy::default(),
             metrics: None,
         }
+    }
+
+    /// Enables fully deterministic replicable mode: ordered steal
+    /// rules, a recorded [`RunTrace`], and the single-threaded
+    /// logical-clock driver — two runs with the same `seed` produce
+    /// byte-identical traces (see [`ReplicablePolicy`]).
+    pub fn with_replicable(mut self, seed: u64) -> Self {
+        self.replicable = Some(ReplicablePolicy {
+            seed,
+            record_trace: true,
+            deterministic: true,
+        });
+        self
+    }
+
+    /// Replicable *rules* on real threads: ordered steals and a
+    /// replayable trace, but OS scheduling still orders the events —
+    /// the configuration the trace-overhead benchmark measures.
+    pub fn with_replicable_threads(mut self, seed: u64) -> Self {
+        self.replicable = Some(ReplicablePolicy {
+            seed,
+            record_trace: true,
+            deterministic: false,
+        });
+        self
     }
 
     /// Records the run into `registry` (see [`RuntimeConfig::metrics`]).
@@ -346,6 +414,9 @@ impl RuntimeConfig {
         if let Some(policy) = &self.gateway {
             policy.validate_against(&self.coordinator)?;
         }
+        if self.gateway.is_some() && self.replicable.is_some_and(|p| p.deterministic) {
+            return Err(ConfigError::ReplicableGatewayUnsupported);
+        }
         self.coordinator.validate()
     }
 
@@ -413,6 +484,11 @@ pub struct RunReport {
     pub proven_optimum: Option<u64>,
     /// Farmer-side protocol counters (summed over shards when sharded).
     pub coordinator_stats: CoordinatorStats,
+    /// The same counters per shard, in shard order (a single-shard or
+    /// classic farmer run reports one entry). Replicability tests
+    /// compare these across same-seed runs — the aggregated sum could
+    /// mask two runs that distributed the work differently.
+    pub shard_stats: Vec<CoordinatorStats>,
     /// Cross-shard work steals (0 on single-shard runs).
     pub steals: u64,
     /// Lock-acquiring router contacts actually served
@@ -438,6 +514,10 @@ pub struct RunReport {
     pub checkpoint_failures: u64,
     /// Length of the root interval (for redundancy accounting).
     pub root_length: UBig,
+    /// The recorded run trace, when [`ReplicablePolicy::record_trace`]
+    /// asked for one — encode it, diff it against another run's, or
+    /// replay it through [`crate::TraceReplayer`].
+    pub trace: Option<Arc<RunTrace>>,
 }
 
 impl RunReport {
@@ -662,10 +742,20 @@ pub fn run<P: Problem>(problem: &P, config: &RuntimeConfig) -> RunReport {
 /// or the router and call [`run_with_router`]).
 pub fn run_on<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -> RunReport {
     config.assert_valid();
+    // A deterministic replicable run is driven by the single-threaded
+    // logical-clock scheduler — byte-identical traces per seed.
+    if config.replicable.is_some_and(|p| p.deterministic) {
+        return run_replicable(problem, root, config);
+    }
     // The gateway aggregates in front of a ShardRouter, so a gateway
     // run at shards = 1 still takes the router path (response-identical
-    // to the bare coordinator, property-pinned).
-    if config.shards > 1 || config.gateway.is_some() || config.durability.is_some() {
+    // to the bare coordinator, property-pinned). Replicable rules hang
+    // off the router, so those runs take it too.
+    if config.shards > 1
+        || config.gateway.is_some()
+        || config.durability.is_some()
+        || config.replicable.is_some()
+    {
         let router = ShardRouter::new(root, config.shards, config.coordinator.clone())
             .expect("invalid coordinator config");
         run_with_router(problem, router, config)
@@ -785,6 +875,7 @@ pub fn run_with_coordinator<P: Problem>(
         proven_optimum: coordinator.cutoff(),
         solution,
         coordinator_stats: *coordinator.stats(),
+        shard_stats: vec![*coordinator.stats()],
         steals: 0,
         router_contacts: 0,
         gateway: Some(gateway.stats()),
@@ -794,6 +885,7 @@ pub fn run_with_coordinator<P: Problem>(
         farmer_checkpoints,
         checkpoint_failures,
         root_length,
+        trace: None,
     }
 }
 
@@ -854,6 +946,25 @@ pub fn run_with_router<P: Problem>(
             let wal = WalStore::create(Arc::clone(&policy.backend), &intervals, solution.as_ref())
                 .expect("failed to open the durable operation log");
             router.with_wal(Arc::new(wal))
+        }
+        None => router,
+    };
+    // Replicable rules (ordered steals) and the event trace attach
+    // last, so the trace counters land on the run registry too.
+    let router = match &config.replicable {
+        Some(policy) => {
+            let router = router.with_replicable(policy.seed);
+            if policy.record_trace {
+                let meta = TraceMeta {
+                    seed: policy.seed,
+                    workers: config.workers as u64,
+                    shards: config.shards as u64,
+                };
+                let trace = Arc::new(RunTrace::new(meta, router.metrics()));
+                router.with_trace(trace)
+            } else {
+                router
+            }
         }
         None => router,
     };
@@ -930,6 +1041,7 @@ pub fn run_with_router<P: Problem>(
         proven_optimum: router.cutoff(),
         solution: router.solution(),
         coordinator_stats: router.stats(),
+        shard_stats: router.shard_stats(),
         steals: router.steals(),
         router_contacts: router.contacts(),
         gateway: gateway.map(|g| g.stats()),
@@ -939,6 +1051,361 @@ pub fn run_with_router<P: Problem>(
         farmer_checkpoints,
         checkpoint_failures,
         root_length,
+        trace: router.trace().cloned(),
+    }
+}
+
+/// SplitMix64 step: the driver's only randomness source, fully
+/// determined by the policy seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What one logical worker did with its scheduler visit.
+enum StepOutcome {
+    /// Explored a slice or completed a contact — the round made
+    /// progress.
+    Advanced,
+    /// Its work request came back [`Response::Retry`]: the endgame
+    /// intervals are all in their holders' hands.
+    Blocked,
+}
+
+/// One logical worker of the deterministic driver: the exact state the
+/// threaded [`worker_loop`] keeps on its stack, laid out so a
+/// single-threaded scheduler can advance it one step at a time.
+struct LogicalWorker<'p, P: Problem> {
+    id: WorkerId,
+    power: u64,
+    joining: bool,
+    done: bool,
+    crash: Option<CrashPlan>,
+    pending_solution: Option<Solution>,
+    /// The in-flight unit: explorer plus its start position (for
+    /// consumed-length accounting).
+    unit: Option<(IntervalExplorer<'p, P>, UBig)>,
+    slices_since_contact: u64,
+    report: WorkerReport,
+}
+
+impl<P: Problem> LogicalWorker<'_, P> {
+    /// Folds the finished (or abandoned) unit into the report.
+    fn retire_unit(&mut self, metrics: &WorkerMetrics) {
+        if let Some((explorer, unit_start)) = self.unit.take() {
+            self.report.consumed += &explorer.position().saturating_sub(&unit_start);
+            metrics.bound_calls.add(explorer.stats().bound_calls);
+            self.report.stats.merge(explorer.stats());
+        }
+    }
+}
+
+/// The deterministic replicable driver: `config.workers` **logical**
+/// workers advanced one step at a time by a single-threaded scheduler,
+/// over a **logical clock** that ticks once per coordinator contact.
+///
+/// Determinism comes from three substitutions, each mirroring the
+/// threaded path exactly otherwise:
+///
+/// * *scheduler* — workers run in a seed-shuffled round-robin instead
+///   of OS scheduling; a worker's step is one exploration slice or one
+///   contact, in [`worker_loop`]'s order (fresh-best report, scripted
+///   crash, exhaustion, periodic update);
+/// * *clock* — `now_ns` is a tick counter, so holder heartbeats and
+///   expiry decisions are functions of contact order, not wall time.
+///   Stale holders are expired right before every contact, and when a
+///   whole round yields only [`Response::Retry`] (the crashed-holder
+///   endgame) the clock fast-forwards to the next expiry instant —
+///   per-contact ticks make every heartbeat unique, so exactly the
+///   stalest holder expires, deterministically;
+/// * *coalescing* — only the slice-count trigger fires
+///   ([`CoalescePolicy::max_silence`] is wall-clock and is ignored
+///   here).
+///
+/// Checkpoint and durability policies are not serviced in this mode
+/// (there is no supervisor thread); [`RunReport::trace`] is the
+/// replicable artifact. Two calls with the same problem, config and
+/// seed produce byte-identical traces and identical per-shard
+/// counters — the property the replicable test suite pins.
+fn run_replicable<P: Problem>(problem: &P, root: Interval, config: &RuntimeConfig) -> RunReport {
+    config.assert_valid();
+    let policy = config
+        .replicable
+        .expect("replicable driver without a policy");
+    let started = Instant::now();
+    let root_length = root.length();
+    let registry = config.metrics.clone().unwrap_or_default();
+    let mut router = ShardRouter::new(root, config.shards, config.coordinator.clone())
+        .expect("invalid coordinator config")
+        .with_metrics(&registry)
+        .with_replicable(policy.seed);
+    if policy.record_trace {
+        let meta = TraceMeta {
+            seed: policy.seed,
+            workers: config.workers as u64,
+            shards: config.shards as u64,
+        };
+        let trace = Arc::new(RunTrace::new(meta, router.metrics()));
+        router = router.with_trace(trace);
+    }
+    let worker_metrics = WorkerMetrics::register(router.metrics());
+
+    let mut workers: Vec<LogicalWorker<'_, P>> = (0..config.workers)
+        .map(|index| LogicalWorker {
+            id: WorkerId(index as u64),
+            power: config.worker_powers[index % config.worker_powers.len()],
+            joining: true,
+            done: false,
+            crash: config
+                .chaos
+                .as_ref()
+                .and_then(|c| c.crashes.iter().find(|p| p.worker_index == index))
+                .copied(),
+            pending_solution: None,
+            unit: None,
+            slices_since_contact: 0,
+            report: WorkerReport::default(),
+        })
+        .collect();
+    let mut fresh_ids = config.workers as u64;
+
+    // Seeded Fisher–Yates: the one fixed visiting order of the run.
+    let mut order: Vec<usize> = (0..config.workers).collect();
+    let mut rng = policy.seed;
+    for i in (1..order.len()).rev() {
+        let j = (splitmix64(&mut rng) % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+
+    // The logical clock: one tick per coordinator contact, so every
+    // heartbeat lands on a distinct instant.
+    let mut tick: u64 = 0;
+    let contact = |router: &ShardRouter, tick: &mut u64, request: Request| -> Response {
+        *tick += 1;
+        router.expire_stale_holders(*tick);
+        router.handle(request, *tick)
+    };
+
+    loop {
+        let mut any_advanced = false;
+        let mut all_done = true;
+        for &w in &order {
+            let state = &mut workers[w];
+            if state.done {
+                continue;
+            }
+            all_done = false;
+            let outcome = if state.unit.is_none() {
+                // Work request step, mirroring the 'units head: an
+                // unreported solution rides the same visit (its own
+                // tick — a bundle's requests are served in order).
+                if let Some(solution) = state.pending_solution.take() {
+                    let worker = state.id;
+                    let _ = contact(
+                        &router,
+                        &mut tick,
+                        Request::ReportSolution { worker, solution },
+                    );
+                }
+                let request = if state.joining {
+                    Request::Join {
+                        worker: state.id,
+                        power: state.power,
+                    }
+                } else {
+                    Request::RequestWork {
+                        worker: state.id,
+                        power: state.power,
+                    }
+                };
+                state.joining = false;
+                state.report.contacts += 1;
+                worker_metrics.contacts.inc();
+                match contact(&router, &mut tick, request) {
+                    Response::Work { interval, cutoff } => {
+                        state.report.units += 1;
+                        worker_metrics.units.inc();
+                        let explorer = IntervalExplorer::with_pooling(
+                            problem,
+                            &interval,
+                            cutoff,
+                            config.pooling,
+                        );
+                        let start = explorer.position().clone();
+                        state.unit = Some((explorer, start));
+                        state.slices_since_contact = 0;
+                        StepOutcome::Advanced
+                    }
+                    Response::Terminate => {
+                        state.done = true;
+                        StepOutcome::Advanced
+                    }
+                    Response::Retry => StepOutcome::Blocked,
+                    other => {
+                        state.report.transport_failure = Some(
+                            ProtocolError::UnexpectedResponse {
+                                expected: "Work, Terminate or Retry",
+                                got: format!("{other:?}"),
+                            }
+                            .into(),
+                        );
+                        state.done = true;
+                        StepOutcome::Advanced
+                    }
+                }
+            } else {
+                // Exploration step: one slice, then worker_loop's exact
+                // follow-up order.
+                let (explorer, _) = state.unit.as_mut().expect("unit checked above");
+                let t0 = Instant::now();
+                explorer.run(config.poll_nodes);
+                let slice = t0.elapsed();
+                state.report.busy += slice;
+                worker_metrics.slice_ns.observe(slice.as_nanos() as u64);
+                worker_metrics.busy_ns.add(slice.as_nanos() as u64);
+                state.slices_since_contact += 1;
+                let mut contacted_this_slice = false;
+                let mut fresh = explorer.take_fresh_best();
+                let mut ended = false;
+                if fresh.is_some() && !explorer.is_exhausted() {
+                    state.report.contacts += 1;
+                    worker_metrics.contacts.inc();
+                    let response = contact(
+                        &router,
+                        &mut tick,
+                        Request::UpdateAndReport {
+                            worker: state.id,
+                            interval: explorer.current_interval(),
+                            solution: fresh.take(),
+                        },
+                    );
+                    state.report.checkpoint_ops += 1;
+                    match adopt_update_ack(response, explorer) {
+                        Ok(true) => {}
+                        Ok(false) => ended = true,
+                        Err(e) => {
+                            state.report.transport_failure = Some(e.into());
+                            ended = true;
+                        }
+                    }
+                    state.slices_since_contact = 0;
+                    contacted_this_slice = true;
+                }
+                if ended {
+                    state.retire_unit(&worker_metrics);
+                    state.done = true;
+                    StepOutcome::Advanced
+                } else if state.crash.is_some_and(|plan| {
+                    state.report.stats.explored
+                        + state.unit.as_ref().map_or(0, |(e, _)| e.stats().explored)
+                        >= plan.after_nodes
+                }) {
+                    // Scripted crash: lose the explorer and any solution
+                    // still waiting for the work-request bundle.
+                    let plan = state.crash.take().expect("crash plan checked above");
+                    state.report.crashes += 1;
+                    state.retire_unit(&worker_metrics);
+                    state.pending_solution = None;
+                    if plan.rejoin {
+                        state.id = WorkerId(fresh_ids);
+                        fresh_ids += 1;
+                        state.joining = true;
+                    } else {
+                        state.done = true;
+                    }
+                    StepOutcome::Advanced
+                } else if state.unit.as_ref().is_some_and(|(e, _)| e.is_exhausted()) {
+                    state.pending_solution = fresh.take();
+                    state.retire_unit(&worker_metrics);
+                    StepOutcome::Advanced
+                } else {
+                    // Periodic checkpoint: only the deterministic
+                    // slice-count trigger — max_silence is wall-clock.
+                    let due = !contacted_this_slice
+                        && match &config.coalesce {
+                            None => true,
+                            Some(policy) => state.slices_since_contact >= policy.slices_per_contact,
+                        };
+                    if due {
+                        let (explorer, _) = state.unit.as_mut().expect("unit survives the slice");
+                        state.report.contacts += 1;
+                        worker_metrics.contacts.inc();
+                        let response = contact(
+                            &router,
+                            &mut tick,
+                            Request::Update {
+                                worker: state.id,
+                                interval: explorer.current_interval(),
+                            },
+                        );
+                        state.report.checkpoint_ops += 1;
+                        match adopt_update_ack(response, explorer) {
+                            Ok(true) => {}
+                            Ok(false) => {
+                                state.retire_unit(&worker_metrics);
+                                state.done = true;
+                            }
+                            Err(e) => {
+                                state.report.transport_failure = Some(e.into());
+                                state.retire_unit(&worker_metrics);
+                                state.done = true;
+                            }
+                        }
+                        state.slices_since_contact = 0;
+                    }
+                    StepOutcome::Advanced
+                }
+            };
+            if matches!(outcome, StepOutcome::Advanced) {
+                any_advanced = true;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !any_advanced {
+            // Every live worker is parked on Retry: the remaining
+            // intervals belong to crashed holders. Fast-forward the
+            // clock to the earliest expiry instant instead of spinning
+            // one tick at a time through a (logical) timeout.
+            match router.next_expiry_at() {
+                Some(at) => {
+                    tick = tick.max(at);
+                    router.expire_stale_holders(tick);
+                }
+                None => {
+                    // Nothing to expire and nothing stealable: the next
+                    // round observes global termination.
+                    tick += 1;
+                }
+            }
+        }
+    }
+
+    let mut worker_reports = Vec::with_capacity(workers.len());
+    for mut state in workers {
+        state.retire_unit(&worker_metrics);
+        state.report.wall = started.elapsed();
+        worker_reports.push(state.report);
+    }
+    RunReport {
+        proven_optimum: router.cutoff(),
+        solution: router.solution(),
+        coordinator_stats: router.stats(),
+        shard_stats: router.shard_stats(),
+        steals: router.steals(),
+        router_contacts: router.contacts(),
+        gateway: None,
+        workers: worker_reports,
+        wall: started.elapsed(),
+        farmer_busy: Duration::ZERO,
+        farmer_checkpoints: 0,
+        checkpoint_failures: 0,
+        root_length,
+        trace: router.trace().cloned(),
     }
 }
 

@@ -46,9 +46,10 @@
 //! response-identical to a bare [`Coordinator`] (pinned by a property
 //! test).
 
+use crate::trace::RunTrace;
 use crate::wal::{WalError, WalMetrics, WalOp, WalStore};
 use crate::{
-    ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response,
+    BatchOutcome, ConfigError, Coordinator, CoordinatorConfig, CoordinatorStats, Request, Response,
     ShardEnvelope, ShardId, WorkerId,
 };
 use gridbnb_coding::{Interval, UBig};
@@ -178,6 +179,39 @@ pub struct ShardRouter {
     /// [`ShardRouter::compact_wal`] periodically folds the log into a
     /// snapshot.
     wal: Option<Arc<WalStore>>,
+    /// Replicable-mode seed, when set via
+    /// [`ShardRouter::with_replicable`]: steal-victim selection and the
+    /// in-shard donation rule switch from the contention-dependent
+    /// most-loaded/largest-first scans to ordered rules keyed by
+    /// interval position (lowest left endpoint first), with the seed
+    /// rotating residual scan-order ties.
+    replicable: Option<u64>,
+    /// Run-trace recorder, when attached via
+    /// [`ShardRouter::with_trace`]: every service section records its
+    /// shard's drained deltas, handouts, steals and cutoff broadcasts
+    /// inside the owning lock section, so the trace is a valid
+    /// linearization of the run.
+    trace: Option<Arc<RunTrace>>,
+}
+
+/// The initial per-shard partition of `root` into `shards` equal
+/// contiguous slices (the last absorbs the remainder) — what
+/// [`ShardRouter::new`] starts from, and what a
+/// [`crate::trace::TraceReplayer`] must seed its shadow state with to
+/// replay a fresh run's trace.
+pub fn partition_root(root: &Interval, shards: usize) -> Vec<Vec<Interval>> {
+    let len = root.length();
+    (0..shards)
+        .map(|k| {
+            let lo = root
+                .begin()
+                .add(&len.mul_div_floor(k as u64, shards as u64));
+            let hi = root
+                .begin()
+                .add(&len.mul_div_floor(k as u64 + 1, shards as u64));
+            vec![Interval::new(lo, hi)]
+        })
+        .collect()
 }
 
 impl Clone for ShardRouter {
@@ -216,6 +250,10 @@ impl Clone for ShardRouter {
             metrics,
             steal_gate: RwLock::new(()),
             wal: None,
+            replicable: self.replicable,
+            // A trace is a run-scoped recording, not shareable state:
+            // the clone starts untraced (journaling is already off).
+            trace: None,
         }
     }
 }
@@ -233,18 +271,7 @@ impl ShardRouter {
         if shards == 0 {
             return Err(ConfigError::ZeroShards);
         }
-        let len = root.length();
-        let slices = (0..shards)
-            .map(|k| {
-                let lo = root
-                    .begin()
-                    .add(&len.mul_div_floor(k as u64, shards as u64));
-                let hi = root
-                    .begin()
-                    .add(&len.mul_div_floor(k as u64 + 1, shards as u64));
-                vec![Interval::new(lo, hi)]
-            })
-            .collect();
+        let slices = partition_root(&root, shards);
         Self::restore(root, slices, None, config)
     }
 
@@ -287,6 +314,8 @@ impl ShardRouter {
             metrics,
             steal_gate: RwLock::new(()),
             wal: None,
+            replicable: None,
+            trace: None,
         })
     }
 
@@ -339,17 +368,76 @@ impl ShardRouter {
         self.wal.as_ref()
     }
 
+    /// Switches steal-victim selection and in-shard donation to the
+    /// replicable ordered rules (see [`ShardRouter::steal_into`]'s
+    /// docs): the victim is the shard whose donatable candidate has the
+    /// **lowest left endpoint** ([`Coordinator::steal_preview`]) and
+    /// the donation is [`Coordinator::steal_ordered`]. `seed` rotates
+    /// the scan's starting shard, breaking residual ties
+    /// deterministically. Builder-style: call before the router is
+    /// shared.
+    pub fn with_replicable(mut self, seed: u64) -> Self {
+        self.replicable = Some(seed);
+        self
+    }
+
+    /// The replicable seed, when ordered scheduling is on.
+    pub fn replicable_seed(&self) -> Option<u64> {
+        self.replicable
+    }
+
+    /// Attaches a run-trace recorder: turns on delta journaling in
+    /// every shard (like [`ShardRouter::with_wal`]) and records every
+    /// drained delta, work handout, cross-shard steal and cutoff
+    /// broadcast into `trace`, each inside the lock section that
+    /// produced it — so the recorded order is a valid linearization of
+    /// the run and a [`crate::trace::TraceReplayer`] can check state
+    /// consistency event by event. Composes with a WAL (the journal is
+    /// drained once and fed to both). Builder-style: call before the
+    /// router is shared.
+    pub fn with_trace(self, trace: Arc<RunTrace>) -> Self {
+        for m in &self.shards {
+            m.lock().expect("poisoned shard").enable_journal();
+        }
+        ShardRouter {
+            trace: Some(trace),
+            ..self
+        }
+    }
+
+    /// The attached run-trace recorder, if any.
+    pub fn trace(&self) -> Option<&Arc<RunTrace>> {
+        self.trace.as_ref()
+    }
+
+    /// Per-shard protocol counters, in shard order — replicable runs
+    /// pin these (node handouts, donations, adoptions per shard) as
+    /// run-to-run identical.
+    pub fn shard_stats(&self) -> Vec<CoordinatorStats> {
+        self.shards
+            .iter()
+            .map(|m| *m.lock().expect("poisoned shard").stats())
+            .collect()
+    }
+
     /// Drains `coordinator`'s journaled deltas into the attached log.
     /// MUST run while the shard's lock is still held — that is the only
     /// thing serializing records into state order. Append failures are
     /// counted by the store (`gbnb_wal_append_failures_total`) and heal
     /// at the next compaction; the service path does not fail over them.
     fn journal_flush(&self, idx: usize, coordinator: &mut Coordinator) {
+        if self.wal.is_none() && self.trace.is_none() {
+            return;
+        }
+        let ops = coordinator.drain_journal();
+        if ops.is_empty() {
+            return;
+        }
         if let Some(wal) = &self.wal {
-            let ops = coordinator.drain_journal();
-            if !ops.is_empty() {
-                let _ = wal.append(idx, &ops);
-            }
+            let _ = wal.append(idx, &ops);
+        }
+        if let Some(trace) = &self.trace {
+            trace.record_ops(idx, &ops);
         }
     }
 
@@ -386,14 +474,26 @@ impl ShardRouter {
         interval: &Interval,
         coordinator: &mut Coordinator,
     ) {
-        let Some(wal) = &self.wal else {
-            return;
-        };
-        if wal.append(dest, &[WalOp::Insert(interval.clone())]).is_ok() {
-            self.journal_flush(victim, coordinator);
-        } else {
-            let _ = coordinator.drain_journal();
-            wal.poison(victim);
+        match &self.wal {
+            Some(wal) => {
+                if wal.append(dest, &[WalOp::Insert(interval.clone())]).is_ok() {
+                    self.journal_flush(victim, coordinator);
+                } else {
+                    let ops = coordinator.drain_journal();
+                    wal.poison(victim);
+                    // The WAL dropped the victim's delta (it heals at
+                    // compaction), but the in-memory state *did* change
+                    // — the trace still records it, or replay would
+                    // find the stolen interval in both shards.
+                    if let Some(trace) = &self.trace {
+                        trace.record_ops(victim, &ops);
+                    }
+                }
+            }
+            None => self.journal_flush(victim, coordinator),
+        }
+        if let Some(trace) = &self.trace {
+            trace.record_steal(victim, dest, interval);
         }
     }
 
@@ -621,7 +721,11 @@ impl ShardRouter {
                 let (outcome, live) = {
                     let mut coordinator = self.shards[home].lock().expect("poisoned shard");
                     let was_live = !coordinator.is_terminated();
-                    let outcome = coordinator.apply_batch(pending, now_ns);
+                    let outcome = if self.trace.is_some() {
+                        self.apply_group_traced(home, &mut coordinator, pending, now_ns)
+                    } else {
+                        coordinator.apply_batch(pending, now_ns)
+                    };
                     self.journal_flush(home, &mut coordinator);
                     // An apply_batch can empty the shard (completions,
                     // empty intersections) but never refill it, so the
@@ -690,7 +794,16 @@ impl ShardRouter {
     }
 
     /// Successful cross-shard steals so far.
+    ///
+    /// Sampled under the **write** side of the steal gate: a steal's
+    /// trace event is recorded (and its counter incremented) entirely
+    /// under the read side, so quiescing in-flight steals first
+    /// guarantees the returned count can never disagree with the
+    /// number of steal events in an attached [`RunTrace`]. Previously
+    /// the counter was read ungated, so a report snapshot racing a
+    /// steal could run one behind the trace.
     pub fn steals(&self) -> u64 {
+        let _gate = self.steal_gate.write().expect("poisoned steal gate");
         self.metrics.steals.get()
     }
 
@@ -855,12 +968,26 @@ impl ShardRouter {
             _ => None,
         };
         self.metrics.shard_contacts[idx].inc();
+        // Handouts are traced by (worker, assigned interval); only work
+        // requests can draw a `Response::Work`.
+        let requester = match &request {
+            Request::Join { worker, .. } | Request::RequestWork { worker, .. } => Some(*worker),
+            _ => None,
+        };
         let t0 = Instant::now();
         let (response, live) = {
             let mut coordinator = self.shards[idx].lock().expect("poisoned shard");
             let was_live = !coordinator.is_terminated();
             let response = coordinator.handle(request, now_ns);
             self.journal_flush(idx, &mut coordinator);
+            // Record the handout *after* the contact's deltas, still
+            // under the shard lock: replay then finds the handed
+            // interval among the shard's live entries.
+            if let (Some(trace), Some(worker)) = (&self.trace, requester) {
+                if let Response::Work { interval, .. } = &response {
+                    trace.record_handout(worker.0, idx, interval);
+                }
+            }
             if was_live && coordinator.is_terminated() {
                 self.state.fetch_sub(NON_EMPTY_UNIT, Ordering::AcqRel);
             }
@@ -874,6 +1001,56 @@ impl ShardRouter {
         }
         self.metrics.shard_live_intervals[idx].set(live);
         response
+    }
+
+    /// Per-request twin of [`Coordinator::apply_batch`] used when a
+    /// [`RunTrace`] is attached. The group still runs under **one**
+    /// shard lock acquisition, but each request's journal deltas are
+    /// drained — and its handout recorded — before the next request
+    /// runs. `apply_batch` drains the journal once at the end of the
+    /// group, which is fine for the WAL (op order within one lock
+    /// scope is arbitrary but consistent) yet would break handout
+    /// replay: a later holder's `Update` in the same group can shrink
+    /// a duplicated entry *before* the earlier handout is recorded,
+    /// so replay would no longer find the handed interval live.
+    /// Responses and final coordinator state match `apply_batch` —
+    /// that equivalence is exactly what the bundle-vs-sequential
+    /// property test pins.
+    fn apply_group_traced(
+        &self,
+        home: usize,
+        coordinator: &mut Coordinator,
+        requests: Vec<Request>,
+        now_ns: u64,
+    ) -> BatchOutcome {
+        let trace = self.trace.as_ref().expect("traced group without a trace");
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut queue = requests.into_iter();
+        while let Some(request) = queue.next() {
+            let requester = match &request {
+                Request::Join { worker, .. } | Request::RequestWork { worker, .. } => Some(*worker),
+                _ => None,
+            };
+            let response = coordinator.handle(request.clone(), now_ns);
+            self.journal_flush(home, coordinator);
+            if requester.is_some() && matches!(response, Response::Terminate) {
+                // Same stall contract as `apply_batch`: hand the
+                // drained work request and the unprocessed tail back
+                // to the bundle loop for steal-and-retry.
+                return BatchOutcome {
+                    responses,
+                    stalled: Some((request, queue.collect())),
+                };
+            }
+            if let (Some(worker), Response::Work { interval, .. }) = (requester, &response) {
+                trace.record_handout(worker.0, home, interval);
+            }
+            responses.push(response);
+        }
+        BatchOutcome {
+            responses,
+            stalled: None,
+        }
     }
 
     /// Continuation of a work request whose home shard answered
@@ -923,27 +1100,60 @@ impl ShardRouter {
     /// [`ShardRouter::journal_steal`].
     fn steal_into(&self, dest: usize) -> bool {
         let _gate = self.steal_gate.read().expect("poisoned steal gate");
-        let mut victim: Option<(usize, UBig)> = None;
-        for (i, m) in self.shards.iter().enumerate() {
-            if i == dest {
-                continue;
+        let victim = if let Some(seed) = self.replicable {
+            // Replicable rule: the victim is the shard whose would-be
+            // donated piece has the **lowest left endpoint** — a pure
+            // function of the interval sets, independent of load
+            // history. The seed only rotates the scan start, which
+            // fixes how exact-endpoint ties break for a given run.
+            let n = self.shards.len();
+            let start = (seed as usize) % n;
+            let mut best: Option<(usize, UBig)> = None;
+            for step in 0..n {
+                let i = (start + step) % n;
+                if i == dest {
+                    continue;
+                }
+                let coordinator = self.shards[i].lock().expect("poisoned shard");
+                if coordinator.is_terminated() {
+                    continue;
+                }
+                let Some(left) = coordinator.steal_preview() else {
+                    continue;
+                };
+                if best.as_ref().is_none_or(|(_, b)| left < *b) {
+                    best = Some((i, left));
+                }
             }
-            let coordinator = m.lock().expect("poisoned shard");
-            if coordinator.is_terminated() {
-                continue;
+            best.map(|(i, _)| i)
+        } else {
+            let mut victim: Option<(usize, UBig)> = None;
+            for (i, m) in self.shards.iter().enumerate() {
+                if i == dest {
+                    continue;
+                }
+                let coordinator = m.lock().expect("poisoned shard");
+                if coordinator.is_terminated() {
+                    continue;
+                }
+                let size = coordinator.size();
+                if victim.as_ref().is_none_or(|(_, s)| size > *s) {
+                    victim = Some((i, size));
+                }
             }
-            let size = coordinator.size();
-            if victim.as_ref().is_none_or(|(_, s)| size > *s) {
-                victim = Some((i, size));
-            }
-        }
-        let Some((victim, _)) = victim else {
+            victim.map(|(i, _)| i)
+        };
+        let Some(victim) = victim else {
             return false;
         };
         let stolen = {
             let mut coordinator = self.shards[victim].lock().expect("poisoned shard");
             let was_live = !coordinator.is_terminated();
-            let stolen = coordinator.steal_largest();
+            let stolen = if self.replicable.is_some() {
+                coordinator.steal_ordered()
+            } else {
+                coordinator.steal_largest()
+            };
             if let Some(interval) = &stolen {
                 self.journal_steal(victim, dest, interval, &mut coordinator);
                 // In-flight unit first, so the word stays non-zero even
@@ -981,6 +1191,12 @@ impl ShardRouter {
                 let mut coordinator = m.lock().expect("poisoned shard");
                 if coordinator.merge_solution(solution) {
                     self.journal_flush(i, &mut coordinator);
+                    // The flush already recorded the adopting
+                    // `Solution` op; the cutoff event is the
+                    // broadcast marker replay asserts against.
+                    if let Some(trace) = &self.trace {
+                        trace.record_cutoff(i, solution.cost);
+                    }
                 }
             }
         }

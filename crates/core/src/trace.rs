@@ -1,0 +1,855 @@
+//! Replayable run-traces for the replicable search mode.
+//!
+//! A [`RunTrace`] records the scheduling history of a sharded run as a
+//! flat ordered event stream: every interval-state delta (splits,
+//! shrinks, removals, solution adoptions — the same [`WalOp`] deltas the
+//! durable log journals), every work handout, every cross-shard steal
+//! and every cutoff broadcast. Two goals drive the design:
+//!
+//! * **Equivalence proofs.** Two replicable runs with the same seed must
+//!   produce byte-identical traces; [`diff_traces`] pinpoints the first
+//!   divergent event when they do not. A [`TraceReplayer`] re-applies a
+//!   recorded trace onto shadow per-shard interval multisets, checking
+//!   state consistency at *every* event (a `Remove` must find its
+//!   interval, a handout must name a live entry, a cutoff must match the
+//!   replayed solution), and finally compares the reconstruction against
+//!   a router snapshot.
+//! * **Cheap enough to leave on.** An event is a few machine words plus
+//!   its intervals; recording is one mutex push gated by the
+//!   `gbnb_trace_events_total` counter. Text encoding (the
+//!   checkpoint/WAL decimal interval codec with a per-line CRC-32 and a
+//!   counted `end` footer) happens only on [`RunTrace::encode`].
+//!
+//! The text format, one event per line, CRC first:
+//!
+//! ```text
+//! gridbnb-trace v1
+//! <crc32> meta <seed> <workers> <shards>
+//! <crc32> op <shard> ins <begin> <end>
+//! <crc32> hand <worker> <shard> <begin> <end>
+//! <crc32> steal <victim> <dest> <begin> <end>
+//! <crc32> cut <shard> <cost>
+//! <crc32> end <events>
+//! ```
+//!
+//! Every line after the magic carries the CRC-32 of its body, so a
+//! single corrupted byte anywhere — magic, meta, an event, the footer,
+//! even a newline — is refused loudly ([`TraceError::Corrupt`]), never
+//! silently replayed; the counted footer catches truncation.
+
+use crate::checkpoint::{decode_interval_line, encode_interval_line};
+use crate::storage::StorageBackend;
+use crate::wal::{crc32, WalOp};
+use gridbnb_coding::Interval;
+use gridbnb_engine::Solution;
+use gridbnb_metrics::{Counter, MetricsRegistry};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Magic first line of the text encoding.
+const TRACE_MAGIC: &str = "gridbnb-trace v1";
+
+/// Run identity recorded in the trace header: replaying or diffing
+/// traces from different configurations is a usage error worth catching
+/// before the first event comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// The replicable policy's seed.
+    pub seed: u64,
+    /// Worker count of the run.
+    pub workers: u64,
+    /// Shard count of the run.
+    pub shards: u64,
+}
+
+/// One recorded scheduling event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An interval-state delta on one shard — the coordinator's
+    /// journaled [`WalOp`] stream verbatim (splits, shrinks, removals,
+    /// solution adoptions), in state order.
+    Op {
+        /// The shard whose state changed.
+        shard: u32,
+        /// The delta, same codec as the WAL.
+        op: WalOp,
+    },
+    /// A work unit handed to a worker. Recorded *after* the ops of the
+    /// contact that produced it, so at replay time the handed interval
+    /// names an existing entry of the shard.
+    Handout {
+        /// The receiving worker's id.
+        worker: u64,
+        /// The serving (home) shard.
+        shard: u32,
+        /// The assigned interval, exactly as responded.
+        interval: Interval,
+    },
+    /// A cross-shard steal: `interval` left `victim` (its `Remove` /
+    /// `Replace` precedes this event as [`TraceEvent::Op`]s) and is
+    /// adopted by `dest`.
+    Steal {
+        /// The shard the interval was taken from.
+        victim: u32,
+        /// The drained shard adopting it.
+        dest: u32,
+        /// The stolen interval.
+        interval: Interval,
+    },
+    /// A cutoff broadcast: `shard` adopted an externally reported
+    /// solution of cost `cost` (the matching [`WalOp::Solution`]
+    /// precedes this event).
+    Cutoff {
+        /// The shard whose cutoff tightened.
+        shard: u32,
+        /// The broadcast solution's cost.
+        cost: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Encodes the event as one line body (no CRC, no newline).
+    pub fn encode(&self) -> String {
+        match self {
+            TraceEvent::Op { shard, op } => format!("op {shard} {}", op.encode()),
+            TraceEvent::Handout {
+                worker,
+                shard,
+                interval,
+            } => format!("hand {worker} {shard} {}", encode_interval_line(interval)),
+            TraceEvent::Steal {
+                victim,
+                dest,
+                interval,
+            } => format!("steal {victim} {dest} {}", encode_interval_line(interval)),
+            TraceEvent::Cutoff { shard, cost } => format!("cut {shard} {cost}"),
+        }
+    }
+
+    /// Decodes one line body (the inverse of [`TraceEvent::encode`]).
+    pub fn decode(body: &str) -> Result<TraceEvent, String> {
+        let interval_of = |a: &str, b: &str| -> Result<Interval, String> {
+            decode_interval_line(&format!("{a} {b}")).map_err(|e| e.to_string())
+        };
+        let parse_u32 = |s: &str, what: &str| -> Result<u32, String> {
+            s.parse::<u32>().map_err(|e| format!("bad {what}: {e}"))
+        };
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        match fields.as_slice() {
+            ["op", shard, rest @ ..] => {
+                let shard = parse_u32(shard, "shard")?;
+                let op = WalOp::decode(&rest.join(" "))?;
+                Ok(TraceEvent::Op { shard, op })
+            }
+            ["hand", worker, shard, a, b] => Ok(TraceEvent::Handout {
+                worker: worker
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad worker: {e}"))?,
+                shard: parse_u32(shard, "shard")?,
+                interval: interval_of(a, b)?,
+            }),
+            ["steal", victim, dest, a, b] => Ok(TraceEvent::Steal {
+                victim: parse_u32(victim, "victim")?,
+                dest: parse_u32(dest, "dest")?,
+                interval: interval_of(a, b)?,
+            }),
+            ["cut", shard, cost] => Ok(TraceEvent::Cutoff {
+                shard: parse_u32(shard, "shard")?,
+                cost: cost.parse::<u64>().map_err(|e| format!("bad cost: {e}"))?,
+            }),
+            _ => Err(format!("unrecognized trace event: {body:?}")),
+        }
+    }
+}
+
+/// What can go wrong loading, decoding or replaying a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The storage backend failed.
+    Io(std::io::Error),
+    /// A line failed its CRC, failed to parse, or the magic/footer is
+    /// wrong — the trace is refused whole, never partially replayed.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Replay found an event inconsistent with the reconstructed state
+    /// (e.g. a `Remove` of an interval no replayed shard holds).
+    Replay {
+        /// 0-based index of the inconsistent event.
+        at: usize,
+        /// The inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace storage failed: {e}"),
+            TraceError::Corrupt { line, reason } => {
+                write!(f, "corrupt trace at line {line}: {reason}")
+            }
+            TraceError::Replay { at, reason } => {
+                write!(f, "trace replay diverged at event {at}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// An append-only recorder of [`TraceEvent`]s, shared across the
+/// threads of a run behind an `Arc`. Recording is one mutex push;
+/// `gbnb_trace_events_total` counts events as they land and
+/// `gbnb_trace_bytes_total` counts encoded bytes when the trace is
+/// serialized, so a scrape shows both the live event rate and the
+/// serialization cost actually paid.
+#[derive(Debug)]
+pub struct RunTrace {
+    meta: TraceMeta,
+    events: Mutex<Vec<TraceEvent>>,
+    events_total: Counter,
+    bytes_total: Counter,
+}
+
+impl RunTrace {
+    /// An empty trace for a run with this identity, its `gbnb_trace_*`
+    /// instruments registered on `registry`.
+    pub fn new(meta: TraceMeta, registry: &MetricsRegistry) -> Self {
+        RunTrace {
+            meta,
+            events: Mutex::new(Vec::new()),
+            events_total: registry.counter("gbnb_trace_events_total", &[]),
+            bytes_total: registry.counter("gbnb_trace_bytes_total", &[]),
+        }
+    }
+
+    /// The run identity recorded in the header.
+    pub fn meta(&self) -> TraceMeta {
+        self.meta
+    }
+
+    /// Records one shard's drained journal deltas, in state order.
+    pub fn record_ops(&self, shard: usize, ops: &[WalOp]) {
+        if ops.is_empty() {
+            return;
+        }
+        let mut events = self.events.lock().expect("poisoned trace");
+        for op in ops {
+            events.push(TraceEvent::Op {
+                shard: shard as u32,
+                op: op.clone(),
+            });
+        }
+        self.events_total.add(ops.len() as u64);
+    }
+
+    /// Records a work handout.
+    pub fn record_handout(&self, worker: u64, shard: usize, interval: &Interval) {
+        self.push(TraceEvent::Handout {
+            worker,
+            shard: shard as u32,
+            interval: interval.clone(),
+        });
+    }
+
+    /// Records a cross-shard steal.
+    pub fn record_steal(&self, victim: usize, dest: usize, interval: &Interval) {
+        self.push(TraceEvent::Steal {
+            victim: victim as u32,
+            dest: dest as u32,
+            interval: interval.clone(),
+        });
+    }
+
+    /// Records a cutoff broadcast adoption.
+    pub fn record_cutoff(&self, shard: usize, cost: u64) {
+        self.push(TraceEvent::Cutoff {
+            shard: shard as u32,
+            cost,
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.events.lock().expect("poisoned trace").push(event);
+        self.events_total.inc();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("poisoned trace").len()
+    }
+
+    /// `true` when nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of recorded [`TraceEvent::Steal`] events — must always
+    /// equal [`crate::ShardRouter::steals`] on the recording router
+    /// (pinned by a test).
+    pub fn steal_count(&self) -> u64 {
+        self.events
+            .lock()
+            .expect("poisoned trace")
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Steal { .. }))
+            .count() as u64
+    }
+
+    /// A snapshot of the recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("poisoned trace").clone()
+    }
+
+    /// Serializes the whole trace (see the module doc for the format).
+    pub fn encode(&self) -> String {
+        let events = self.events.lock().expect("poisoned trace");
+        let mut out = String::new();
+        out.push_str(TRACE_MAGIC);
+        out.push('\n');
+        let line = |body: String, out: &mut String| {
+            out.push_str(&format!("{:08x} {body}\n", crc32(body.as_bytes())));
+        };
+        line(
+            format!(
+                "meta {} {} {}",
+                self.meta.seed, self.meta.workers, self.meta.shards
+            ),
+            &mut out,
+        );
+        for event in events.iter() {
+            line(event.encode(), &mut out);
+        }
+        line(format!("end {}", events.len()), &mut out);
+        self.bytes_total.add(out.len() as u64);
+        out
+    }
+
+    /// Decodes a serialized trace, verifying the magic, every line's
+    /// CRC, and the counted footer. Any mismatch — including invalid
+    /// UTF-8 from a flipped byte — is [`TraceError::Corrupt`].
+    pub fn decode(bytes: &[u8]) -> Result<RunTrace, TraceError> {
+        let text = std::str::from_utf8(bytes).map_err(|e| TraceError::Corrupt {
+            line: 0,
+            reason: format!("not UTF-8: {e}"),
+        })?;
+        let mut lines = text.split('\n').enumerate();
+        let (_, magic) = lines.next().ok_or(TraceError::Corrupt {
+            line: 1,
+            reason: "empty trace".into(),
+        })?;
+        if magic != TRACE_MAGIC {
+            return Err(TraceError::Corrupt {
+                line: 1,
+                reason: format!("bad magic {magic:?}"),
+            });
+        }
+        let mut meta: Option<TraceMeta> = None;
+        let mut events = Vec::new();
+        let mut footer: Option<u64> = None;
+        for (i, raw) in lines {
+            let lineno = i + 1;
+            if raw.is_empty() {
+                // Only the single trailing newline may leave an empty
+                // tail segment; anything after the footer is corruption.
+                continue;
+            }
+            if footer.is_some() {
+                return Err(TraceError::Corrupt {
+                    line: lineno,
+                    reason: "data after the end footer".into(),
+                });
+            }
+            let corrupt = |reason: String| TraceError::Corrupt {
+                line: lineno,
+                reason,
+            };
+            let (crc_hex, body) = raw
+                .split_once(' ')
+                .ok_or_else(|| corrupt("missing CRC field".into()))?;
+            let expected =
+                u32::from_str_radix(crc_hex, 16).map_err(|e| corrupt(format!("bad CRC: {e}")))?;
+            if crc_hex.len() != 8 || crc32(body.as_bytes()) != expected {
+                return Err(corrupt("CRC mismatch".into()));
+            }
+            let fields: Vec<&str> = body.split_whitespace().collect();
+            match fields.as_slice() {
+                ["meta", seed, workers, shards] if meta.is_none() => {
+                    let parse = |s: &str| {
+                        s.parse::<u64>()
+                            .map_err(|e| corrupt(format!("bad meta field: {e}")))
+                    };
+                    meta = Some(TraceMeta {
+                        seed: parse(seed)?,
+                        workers: parse(workers)?,
+                        shards: parse(shards)?,
+                    });
+                }
+                ["end", count] => {
+                    footer = Some(
+                        count
+                            .parse::<u64>()
+                            .map_err(|e| corrupt(format!("bad footer count: {e}")))?,
+                    );
+                }
+                _ if meta.is_some() => {
+                    events.push(TraceEvent::decode(body).map_err(corrupt)?);
+                }
+                _ => return Err(corrupt("event before the meta line".into())),
+            }
+        }
+        let meta = meta.ok_or(TraceError::Corrupt {
+            line: 2,
+            reason: "missing meta line".into(),
+        })?;
+        match footer {
+            Some(count) if count == events.len() as u64 => {}
+            Some(count) => {
+                return Err(TraceError::Corrupt {
+                    line: 0,
+                    reason: format!("footer counts {count} events, found {}", events.len()),
+                })
+            }
+            None => {
+                return Err(TraceError::Corrupt {
+                    line: 0,
+                    reason: "truncated: no end footer".into(),
+                })
+            }
+        }
+        let trace = RunTrace::new(meta, &MetricsRegistry::new());
+        trace.events_total.add(events.len() as u64);
+        *trace.events.lock().expect("poisoned trace") = events;
+        Ok(trace)
+    }
+
+    /// Writes the serialized trace to `backend` under `name`
+    /// (atomically, via the backend's `put`).
+    pub fn save(&self, backend: &dyn StorageBackend, name: &str) -> Result<(), TraceError> {
+        backend.put(name, self.encode().as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads and decodes a trace previously [`RunTrace::save`]d.
+    pub fn load(backend: &dyn StorageBackend, name: &str) -> Result<RunTrace, TraceError> {
+        let bytes = backend.get(name)?.ok_or_else(|| {
+            TraceError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no trace blob {name:?}"),
+            ))
+        })?;
+        RunTrace::decode(&bytes)
+    }
+}
+
+/// The first point where two traces disagree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceDivergence {
+    /// 0-based index of the first differing event.
+    pub index: usize,
+    /// The left trace's event there (`None` = left ended early).
+    pub left: Option<TraceEvent>,
+    /// The right trace's event there (`None` = right ended early).
+    pub right: Option<TraceEvent>,
+}
+
+impl fmt::Display for TraceDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let show = |e: &Option<TraceEvent>| match e {
+            Some(e) => e.encode(),
+            None => "<end of trace>".into(),
+        };
+        write!(
+            f,
+            "event {}: {} != {}",
+            self.index,
+            show(&self.left),
+            show(&self.right)
+        )
+    }
+}
+
+/// Compares two event streams; `None` means they are identical.
+pub fn diff_traces(left: &[TraceEvent], right: &[TraceEvent]) -> Option<TraceDivergence> {
+    let n = left.len().max(right.len());
+    for i in 0..n {
+        let l = left.get(i);
+        let r = right.get(i);
+        if l != r {
+            return Some(TraceDivergence {
+                index: i,
+                left: l.cloned(),
+                right: r.cloned(),
+            });
+        }
+    }
+    None
+}
+
+/// Re-applies a recorded trace onto shadow per-shard interval
+/// multisets, checking consistency at every event; after the last
+/// event, [`TraceReplayer::verify_snapshot`] compares the
+/// reconstruction against a live router's
+/// [`crate::ShardRouter::snapshot`].
+#[derive(Clone, Debug)]
+pub struct TraceReplayer {
+    shards: Vec<Vec<Interval>>,
+    cutoffs: Vec<Option<u64>>,
+    solutions: Vec<Option<Solution>>,
+    applied: usize,
+}
+
+impl TraceReplayer {
+    /// A replayer seeded with the same initial per-shard partition a
+    /// fresh router over `root` would start from.
+    pub fn new(root: &Interval, shards: usize) -> Self {
+        TraceReplayer::from_intervals(crate::shard::partition_root(root, shards))
+    }
+
+    /// A replayer seeded with explicit per-shard intervals (a restored
+    /// or checkpointed starting state).
+    pub fn from_intervals(shards: Vec<Vec<Interval>>) -> Self {
+        let n = shards.len();
+        TraceReplayer {
+            shards,
+            cutoffs: vec![None; n],
+            solutions: vec![None; n],
+            applied: 0,
+        }
+    }
+
+    /// Events applied so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// The replayed per-shard interval multisets.
+    pub fn shards(&self) -> &[Vec<Interval>] {
+        &self.shards
+    }
+
+    /// The best replayed solution across shards.
+    pub fn solution(&self) -> Option<&Solution> {
+        self.solutions.iter().flatten().min_by_key(|s| s.cost)
+    }
+
+    /// Applies one event, failing loudly on the first inconsistency.
+    pub fn apply(&mut self, event: &TraceEvent) -> Result<(), TraceError> {
+        let at = self.applied;
+        let fail = |reason: String| TraceError::Replay { at, reason };
+        let shard_of = |shards: &Vec<Vec<Interval>>, k: u32| -> Result<usize, TraceError> {
+            let k = k as usize;
+            if k >= shards.len() {
+                Err(TraceError::Replay {
+                    at,
+                    reason: format!("event names shard {k}, replay has {}", shards.len()),
+                })
+            } else {
+                Ok(k)
+            }
+        };
+        match event {
+            TraceEvent::Op { shard, op } => {
+                let k = shard_of(&self.shards, *shard)?;
+                match op {
+                    WalOp::Insert(iv) => self.shards[k].push(iv.clone()),
+                    WalOp::Remove(iv) => {
+                        let pos = self.shards[k]
+                            .iter()
+                            .position(|e| e == iv)
+                            .ok_or_else(|| fail(format!("remove of absent interval {iv}")))?;
+                        self.shards[k].swap_remove(pos);
+                    }
+                    WalOp::Replace { old, new } => {
+                        let pos = self.shards[k]
+                            .iter()
+                            .position(|e| e == old)
+                            .ok_or_else(|| fail(format!("replace of absent interval {old}")))?;
+                        self.shards[k][pos] = new.clone();
+                    }
+                    WalOp::Solution(s) => {
+                        let improves = match self.cutoffs[k] {
+                            Some(c) => s.cost < c,
+                            None => true,
+                        };
+                        if !improves {
+                            return Err(fail(format!(
+                                "solution of cost {} does not improve shard cutoff {:?}",
+                                s.cost, self.cutoffs[k]
+                            )));
+                        }
+                        self.cutoffs[k] = Some(s.cost);
+                        self.solutions[k] = Some(s.clone());
+                    }
+                }
+            }
+            TraceEvent::Handout {
+                shard, interval, ..
+            } => {
+                let k = shard_of(&self.shards, *shard)?;
+                if !self.shards[k].iter().any(|e| e == interval) {
+                    return Err(fail(format!(
+                        "handout of {interval} which is not an entry of shard {k}"
+                    )));
+                }
+            }
+            TraceEvent::Steal {
+                victim,
+                dest,
+                interval,
+            } => {
+                shard_of(&self.shards, *victim)?;
+                let d = shard_of(&self.shards, *dest)?;
+                if self.shards[d].iter().any(|e| e == interval) {
+                    return Err(fail(format!(
+                        "steal lands {interval} on shard {d} which already holds it"
+                    )));
+                }
+                self.shards[d].push(interval.clone());
+            }
+            TraceEvent::Cutoff { shard, cost } => {
+                let k = shard_of(&self.shards, *shard)?;
+                if self.cutoffs[k] != Some(*cost) {
+                    return Err(fail(format!(
+                        "cutoff broadcast of {cost} but shard {k} replays at {:?}",
+                        self.cutoffs[k]
+                    )));
+                }
+            }
+        }
+        self.applied += 1;
+        Ok(())
+    }
+
+    /// Applies a whole event stream.
+    pub fn replay(&mut self, events: &[TraceEvent]) -> Result<(), TraceError> {
+        for event in events {
+            self.apply(event)?;
+        }
+        Ok(())
+    }
+
+    /// Compares the reconstruction against a live router snapshot
+    /// (per-shard interval multisets, order-insensitive, plus the best
+    /// solution). `Err` carries the first difference found.
+    pub fn verify_snapshot(
+        &self,
+        snapshot: &(Vec<Vec<Interval>>, Option<Solution>),
+    ) -> Result<(), String> {
+        let (shards, solution) = snapshot;
+        if shards.len() != self.shards.len() {
+            return Err(format!(
+                "snapshot has {} shards, replay has {}",
+                shards.len(),
+                self.shards.len()
+            ));
+        }
+        for (k, (mine, theirs)) in self.shards.iter().zip(shards).enumerate() {
+            let mut a: Vec<String> = mine.iter().map(encode_interval_line).collect();
+            let mut b: Vec<String> = theirs.iter().map(encode_interval_line).collect();
+            a.sort();
+            b.sort();
+            if a != b {
+                return Err(format!(
+                    "shard {k}: replayed entries {a:?} != snapshot entries {b:?}"
+                ));
+            }
+        }
+        let mine = self.solution();
+        match (mine, solution) {
+            (None, None) => Ok(()),
+            (Some(a), Some(b)) if a == b => Ok(()),
+            (a, b) => Err(format!(
+                "replayed solution {a:?} != snapshot solution {b:?}"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridbnb_coding::UBig;
+
+    fn iv(a: u64, b: u64) -> Interval {
+        Interval::new(UBig::from(a), UBig::from(b))
+    }
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Op {
+                shard: 0,
+                op: WalOp::Replace {
+                    old: iv(0, 100),
+                    new: iv(0, 60),
+                },
+            },
+            TraceEvent::Op {
+                shard: 1,
+                op: WalOp::Insert(iv(60, 100)),
+            },
+            TraceEvent::Handout {
+                worker: 7,
+                shard: 1,
+                interval: iv(60, 100),
+            },
+            TraceEvent::Op {
+                shard: 0,
+                op: WalOp::Remove(iv(0, 60)),
+            },
+            TraceEvent::Steal {
+                victim: 0,
+                dest: 2,
+                interval: iv(0, 60),
+            },
+            TraceEvent::Op {
+                shard: 2,
+                op: WalOp::Solution(Solution::new(42, vec![1, 2, 3])),
+            },
+            TraceEvent::Cutoff { shard: 2, cost: 42 },
+        ]
+    }
+
+    fn sample_trace() -> RunTrace {
+        let trace = RunTrace::new(
+            TraceMeta {
+                seed: 99,
+                workers: 8,
+                shards: 4,
+            },
+            &MetricsRegistry::new(),
+        );
+        for e in sample_events() {
+            match e {
+                TraceEvent::Op { shard, op } => trace.record_ops(shard as usize, &[op]),
+                TraceEvent::Handout {
+                    worker,
+                    shard,
+                    interval,
+                } => trace.record_handout(worker, shard as usize, &interval),
+                TraceEvent::Steal {
+                    victim,
+                    dest,
+                    interval,
+                } => trace.record_steal(victim as usize, dest as usize, &interval),
+                TraceEvent::Cutoff { shard, cost } => trace.record_cutoff(shard as usize, cost),
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let trace = sample_trace();
+        let decoded = RunTrace::decode(trace.encode().as_bytes()).expect("decode");
+        assert_eq!(decoded.meta(), trace.meta());
+        assert_eq!(decoded.events(), trace.events());
+        assert_eq!(decoded.len(), 7);
+        assert_eq!(decoded.steal_count(), 1);
+    }
+
+    #[test]
+    fn factorial_scale_intervals_round_trip() {
+        let trace = RunTrace::new(
+            TraceMeta {
+                seed: 1,
+                workers: 1,
+                shards: 1,
+            },
+            &MetricsRegistry::new(),
+        );
+        let huge = Interval::new(UBig::factorial(49), UBig::factorial(50));
+        trace.record_handout(3, 0, &huge);
+        trace.record_ops(0, &[WalOp::Remove(huge.clone())]);
+        let decoded = RunTrace::decode(trace.encode().as_bytes()).expect("decode");
+        assert_eq!(decoded.events(), trace.events());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let trace = RunTrace::new(
+            TraceMeta {
+                seed: 0,
+                workers: 2,
+                shards: 2,
+            },
+            &MetricsRegistry::new(),
+        );
+        let decoded = RunTrace::decode(trace.encode().as_bytes()).expect("decode");
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.meta().workers, 2);
+    }
+
+    #[test]
+    fn truncated_trace_is_refused() {
+        let encoded = sample_trace().encode();
+        // Drop the footer line.
+        let cut = encoded.rfind("end").unwrap();
+        let err = RunTrace::decode(&encoded.as_bytes()[..cut]).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn replay_reconstructs_and_checks() {
+        let mut replayer = TraceReplayer::from_intervals(vec![
+            vec![iv(0, 100)],
+            vec![iv(100, 200)],
+            vec![],
+            vec![iv(200, 300)],
+        ]);
+        replayer.replay(&sample_events()).expect("replay");
+        // Shard 0 gave [0,60) away (to shard 2 via the steal) and kept
+        // nothing; shard 1 gained [60,100).
+        assert_eq!(replayer.shards()[0], Vec::<Interval>::new());
+        assert_eq!(replayer.solution().map(|s| s.cost), Some(42));
+        let snapshot = (
+            vec![
+                vec![],
+                vec![iv(100, 200), iv(60, 100)],
+                vec![iv(0, 60)],
+                vec![iv(200, 300)],
+            ],
+            Some(Solution::new(42, vec![1, 2, 3])),
+        );
+        replayer.verify_snapshot(&snapshot).expect("snapshot match");
+    }
+
+    #[test]
+    fn replay_refuses_inconsistent_events() {
+        let mut replayer = TraceReplayer::from_intervals(vec![vec![iv(0, 10)]]);
+        let bad = TraceEvent::Op {
+            shard: 0,
+            op: WalOp::Remove(iv(5, 9)),
+        };
+        let err = replayer.apply(&bad).unwrap_err();
+        assert!(matches!(err, TraceError::Replay { at: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn diff_pinpoints_first_divergence() {
+        let a = sample_events();
+        let mut b = a.clone();
+        b[4] = TraceEvent::Steal {
+            victim: 0,
+            dest: 3,
+            interval: iv(0, 60),
+        };
+        let d = diff_traces(&a, &b).expect("divergence");
+        assert_eq!(d.index, 4);
+        assert!(diff_traces(&a, &a).is_none());
+        // Length mismatch diverges at the shorter trace's end.
+        let d = diff_traces(&a, &a[..4]).expect("divergence");
+        assert_eq!(d.index, 4);
+        assert_eq!(d.right, None);
+    }
+}

@@ -593,8 +593,14 @@ fn report_accounting_is_consistent() {
     assert!(report.total_explored() > 0);
     let updates: u64 = report.workers.iter().map(|w| w.checkpoint_ops).sum();
     assert_eq!(updates, report.coordinator_stats.updates);
-    // Every worker processed at least one unit.
-    assert!(report.workers.iter().all(|w| w.units >= 1));
+    // Handouts are conserved: the units the workers saw are exactly the
+    // allocations the coordinator counted. (Per-worker `units >= 1` is
+    // NOT an invariant — on a tiny instance a late-joining worker can
+    // legitimately drain zero units when the search finishes first, and
+    // asserting it made this test flake roughly once per ten runs.)
+    let units: u64 = report.workers.iter().map(|w| w.units).sum();
+    assert_eq!(units, report.coordinator_stats.work_allocations);
+    assert!(units >= 1, "somebody must have processed a unit");
     // Busy fractions are sane.
     assert!(report.worker_exploitation() > 0.0);
     assert!(report.worker_exploitation() <= 1.0 + 1e-9);

@@ -1,0 +1,176 @@
+//! Codec property tests for the replicable run-trace.
+//!
+//! Mirrors the `wal_props.rs` scheme: random symbolic event sequences
+//! are materialized into a [`RunTrace`], serialized, and the properties
+//! pin the three contracts the format documents:
+//!
+//! * **round-trip** — decode(encode(t)) reproduces the meta header and
+//!   every event exactly, for every event kind, including intervals at
+//!   50!-scale (the paper's 50-job flowshop roots do not fit in any
+//!   machine word);
+//! * **single-byte corruption is refused loudly** — flipping any one
+//!   byte of the serialized trace (magic, CRC field, body, separator,
+//!   even a newline) makes [`RunTrace::decode`] fail with
+//!   [`TraceError::Corrupt`], never silently drop or alter an event
+//!   (per-line CRC-32 detects all single-byte errors by construction);
+//! * **truncation is refused** — any strict byte-prefix short of the
+//!   counted `end` footer is rejected, so a torn download can never
+//!   replay as a complete run. (Cutting only the final newline leaves
+//!   a complete trace — nothing was lost — so the property cuts
+//!   strictly inside the payload.)
+
+use gridbnb_core::{
+    Interval, MetricsRegistry, RunTrace, Solution, TraceError, TraceEvent, TraceMeta, UBig, WalOp,
+};
+use proptest::prelude::*;
+
+/// Symbolic event: (kind, shard, worker, a, len, cost, huge-scale flag).
+type Step = (u8, u8, u16, u64, u64, u64, bool);
+
+fn arb_steps(max: usize) -> impl Strategy<Value = Vec<Step>> {
+    // Nested pair of tuples: the flat 7-tuple exceeds the largest tuple
+    // arity `Strategy` is implemented for.
+    let step = (
+        (0u8..7, 0u8..4, 0u16..64),
+        (0u64..1 << 48, 1u64..1 << 32, 1u64..1_000_000, any::<bool>()),
+    )
+        .prop_map(|((kind, shard, worker), (a, len, cost, huge))| {
+            (kind, shard, worker, a, len, cost, huge)
+        });
+    proptest::collection::vec(step, 0..max)
+}
+
+/// An interval at machine scale, or offset past 50! when `huge` — the
+/// magnitude a real 50-job flowshop root interval lives at.
+fn interval(a: u64, len: u64, huge: bool) -> Interval {
+    let mut begin = UBig::from(a);
+    if huge {
+        begin += &UBig::factorial(50);
+    }
+    let mut end = begin.clone();
+    end += &UBig::from(len);
+    Interval::new(begin, end)
+}
+
+fn materialize(steps: &[Step]) -> Vec<TraceEvent> {
+    steps
+        .iter()
+        .map(|&(kind, shard, worker, a, len, cost, huge)| {
+            let shard = shard as u32;
+            let iv = interval(a, len, huge);
+            match kind {
+                0 => TraceEvent::Op {
+                    shard,
+                    op: WalOp::Insert(iv),
+                },
+                1 => TraceEvent::Op {
+                    shard,
+                    op: WalOp::Remove(iv),
+                },
+                2 => TraceEvent::Op {
+                    shard,
+                    op: WalOp::Replace {
+                        old: iv.clone(),
+                        new: interval(a, 1 + len / 2, huge),
+                    },
+                },
+                3 => TraceEvent::Op {
+                    shard,
+                    op: WalOp::Solution(Solution::new(cost, (0..(worker % 8) as u64).collect())),
+                },
+                4 => TraceEvent::Handout {
+                    worker: worker as u64,
+                    shard,
+                    interval: iv,
+                },
+                5 => TraceEvent::Steal {
+                    victim: shard,
+                    dest: (shard + 1) % 4,
+                    interval: iv,
+                },
+                _ => TraceEvent::Cutoff { shard, cost },
+            }
+        })
+        .collect()
+}
+
+fn trace_of(seed: u64, events: &[TraceEvent]) -> RunTrace {
+    let trace = RunTrace::new(
+        TraceMeta {
+            seed,
+            workers: 8,
+            shards: 4,
+        },
+        &MetricsRegistry::new(),
+    );
+    for e in events {
+        match e {
+            TraceEvent::Op { shard, op } => {
+                trace.record_ops(*shard as usize, std::slice::from_ref(op))
+            }
+            TraceEvent::Handout {
+                worker,
+                shard,
+                interval,
+            } => trace.record_handout(*worker, *shard as usize, interval),
+            TraceEvent::Steal {
+                victim,
+                dest,
+                interval,
+            } => trace.record_steal(*victim as usize, *dest as usize, interval),
+            TraceEvent::Cutoff { shard, cost } => trace.record_cutoff(*shard as usize, *cost),
+        }
+    }
+    trace
+}
+
+proptest! {
+    #[test]
+    fn every_event_kind_round_trips(seed in any::<u64>(), steps in arb_steps(40)) {
+        let events = materialize(&steps);
+        let trace = trace_of(seed, &events);
+        prop_assert_eq!(trace.len(), events.len());
+        let decoded = RunTrace::decode(trace.encode().as_bytes()).expect("decode");
+        prop_assert_eq!(decoded.meta(), trace.meta());
+        prop_assert_eq!(decoded.events(), events);
+    }
+
+    #[test]
+    fn single_byte_corruption_is_refused(
+        seed in any::<u64>(),
+        steps in arb_steps(20),
+        pos_ppm in 0u32..1_000_000,
+        mask in 1u8..=255,
+    ) {
+        let trace = trace_of(seed, &materialize(&steps));
+        let mut bytes = trace.encode().into_bytes();
+        let pos = (pos_ppm as usize * bytes.len() / 1_000_000).min(bytes.len() - 1);
+        bytes[pos] ^= mask;
+        match RunTrace::decode(&bytes) {
+            Err(TraceError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error class: {other}"),
+            Ok(_) => prop_assert!(
+                false,
+                "flipping byte {pos} with mask {mask:#x} was silently accepted"
+            ),
+        }
+    }
+
+    #[test]
+    fn truncation_is_refused(
+        seed in any::<u64>(),
+        steps in arb_steps(20),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let trace = trace_of(seed, &materialize(&steps));
+        let bytes = trace.encode().into_bytes();
+        // Cut strictly inside the payload: [0, len - 2]. Cutting only
+        // the trailing newline (len - 1) leaves a complete trace.
+        let cut = (cut_ppm as usize * bytes.len() / 1_000_000).min(bytes.len() - 2);
+        match RunTrace::decode(&bytes[..cut]) {
+            Err(TraceError::Corrupt { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error class: {other}"),
+            Ok(_) => prop_assert!(false, "truncation at byte {cut} was silently accepted"),
+        }
+    }
+}
